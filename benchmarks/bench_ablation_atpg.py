@@ -1,0 +1,123 @@
+"""Ablation A2 — ATPG engines compared across the circuit zoo.
+
+The paper names the D-algorithm, compiled simulation, and adaptive
+random generation as the methods scan makes "again viable" (§IV-A).
+This benchmark races PODEM, the D-algorithm, uniform random, and
+adaptive random on the same circuits, reporting coverage, pattern
+counts, and backtracks.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.atpg import (
+    AdaptiveRandomGenerator,
+    generate_tests,
+    random_patterns,
+)
+from repro.circuits import alu74181, c17, carry_lookahead_adder, parity_tree
+from repro.faults import collapse_faults
+from repro.faultsim import FaultSimulator
+
+ZOO = [
+    ("c17", c17),
+    ("cla4", lambda: carry_lookahead_adder(4)),
+    ("parity8", lambda: parity_tree(8)),
+    ("alu74181", alu74181),
+]
+
+
+def test_ablation_deterministic_engines(benchmark):
+    def race():
+        rows = []
+        for name, factory in ZOO:
+            circuit = factory()
+            for method in ("podem", "dalg"):
+                start = time.perf_counter()
+                result = generate_tests(
+                    circuit, method=method, random_phase=16, seed=0
+                )
+                elapsed = time.perf_counter() - start
+                rows.append(
+                    (
+                        name,
+                        method,
+                        f"{result.coverage:.1%}",
+                        len(result.patterns),
+                        result.total_backtracks,
+                        f"{elapsed:.2f}s",
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(race, rounds=1, iterations=1)
+    print_table(
+        "Ablation A2: PODEM vs D-algorithm",
+        ["circuit", "engine", "coverage", "patterns", "backtracks", "time"],
+        rows,
+    )
+    # Both engines complete every zoo circuit.
+    assert all(row[2] == "100.0%" for row in rows)
+
+
+def test_ablation_random_vs_deterministic(benchmark):
+    def race():
+        rows = []
+        for name, factory in ZOO:
+            circuit = factory()
+            faults = collapse_faults(circuit)
+            simulator = FaultSimulator(circuit, faults=faults)
+            uniform = simulator.run(random_patterns(circuit, 128, seed=1))
+            adaptive_gen = AdaptiveRandomGenerator(circuit, seed=1)
+            adaptive = simulator.run(adaptive_gen.generate(128))
+            deterministic = generate_tests(circuit, random_phase=0, seed=1)
+            rows.append(
+                (
+                    name,
+                    f"{uniform.coverage:.1%}",
+                    f"{adaptive.coverage:.1%}",
+                    f"{deterministic.coverage:.1%}",
+                    len(deterministic.patterns),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(race, rounds=1, iterations=1)
+    print_table(
+        "Ablation A2: 128 random vs 128 adaptive vs deterministic",
+        ["circuit", "uniform", "adaptive", "deterministic", "det patterns"],
+        rows,
+    )
+    # Deterministic always reaches 100% with far fewer patterns than 128.
+    for _, _, _, deterministic, det_patterns in rows:
+        assert deterministic == "100.0%"
+        assert det_patterns < 128
+
+
+def test_ablation_compaction_effect(benchmark):
+    def measure():
+        rows = []
+        for name, factory in ZOO:
+            circuit = factory()
+            loose = generate_tests(circuit, compact=False, random_phase=0, seed=2)
+            compact = generate_tests(circuit, compact=True, random_phase=0, seed=2)
+            rows.append(
+                (
+                    name,
+                    len(loose.patterns),
+                    len(compact.patterns),
+                    f"{compact.coverage:.1%}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Ablation A2: merge compaction",
+        ["circuit", "uncompacted", "compacted", "coverage kept"],
+        rows,
+    )
+    for _, loose, compact, coverage in rows:
+        assert compact <= loose
+        assert coverage == "100.0%"

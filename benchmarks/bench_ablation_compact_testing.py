@@ -1,0 +1,80 @@
+"""Ablation A3 — compact testing methods compared (refs [58], [65],
+[115], and §III-D).
+
+Parker's "compact testing" framing covers everything that replaces the
+stored-response ledger with one statistic: ones counts (syndrome),
+transition counts, LFSR signatures.  This benchmark measures what each
+gives up relative to full response storage, on the same circuits with
+the same ordered pattern sets — and prices the storage each needs.
+"""
+
+from conftest import print_table
+
+from repro.atpg import exhaustive_patterns, random_patterns
+from repro.circuits import c17, majority3, parity_tree, ripple_carry_adder
+from repro.faults import collapse_faults
+from repro.testers import compact_method_comparison
+
+
+def test_compact_methods_detection(benchmark):
+    def sweep():
+        rows = []
+        for factory, pattern_source in (
+            (c17, "exhaustive"),
+            (lambda: ripple_carry_adder(4), "random64"),
+            (lambda: parity_tree(6), "random64"),
+        ):
+            circuit = factory()
+            if pattern_source == "exhaustive":
+                patterns = exhaustive_patterns(circuit)
+            else:
+                patterns = random_patterns(circuit, 64, seed=7)
+            faults = collapse_faults(circuit)
+            rates = compact_method_comparison(circuit, patterns, faults)
+            rows.append(
+                (
+                    circuit.name,
+                    f"{rates['full']:.1%}",
+                    f"{rates['signature']:.1%}",
+                    f"{rates['ones']:.1%}",
+                    f"{rates['transitions']:.1%}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation A3: fault exposure by response-compression method",
+        ["circuit", "full response", "16-bit signature", "ones count",
+         "transition count"],
+        rows,
+    )
+    for _, full, signature, ones, transitions in rows:
+        full_value = float(full.rstrip("%"))
+        # Signature analysis is nearly lossless (aliasing ~2^-16);
+        # counts lose more — the §III-D design choice in numbers.
+        assert abs(float(signature.rstrip("%")) - full_value) <= 2.0
+        assert float(ones.rstrip("%")) <= full_value + 1e-9
+        assert float(transitions.rstrip("%")) <= full_value + 1e-9
+
+
+def test_compact_methods_storage(benchmark):
+    """The whole point: response data volume per output."""
+
+    def tally():
+        circuit = ripple_carry_adder(8)
+        patterns = 1000
+        return [
+            ("full response", patterns),          # one bit/pattern/output
+            ("16-bit signature", 16),
+            ("ones count", 10),                    # log2(1000) bits
+            ("transition count", 10),
+        ]
+
+    rows = benchmark(tally)
+    print_table(
+        "Ablation A3: response storage per output, 1000 patterns",
+        ["method", "bits"],
+        rows,
+    )
+    assert rows[0][1] / rows[1][1] > 60  # compression is dramatic

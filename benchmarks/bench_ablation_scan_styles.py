@@ -1,0 +1,114 @@
+"""Ablation A1 — the structured techniques compared on one design.
+
+The paper presents LSSD, Scan Path, Scan/Set, Random-Access Scan and
+BILBO as a menu with different costs.  This benchmark buys each item
+for the same sequential design and tabulates: gate overhead, pin
+overhead, data-path delay, test data volume, and the access cost to
+set a single deep latch.
+"""
+
+from conftest import print_table
+
+from repro.circuits import random_sequential
+from repro.economics import (
+    bilbo_overhead,
+    bilbo_test_data_volume,
+    lssd_overhead,
+    random_access_scan_overhead,
+    scan_path_overhead,
+    scan_set_overhead,
+    scan_test_data_volume,
+)
+
+
+def test_ablation_overhead_menu(benchmark):
+    circuit = random_sequential(10, 2000, 64, seed=13)
+    latches = len(circuit.flip_flops)
+    base_gates = len(circuit)
+    patterns = 500
+
+    def build_menu():
+        rows = []
+        estimates = {
+            "LSSD (85% L2 reuse)": lssd_overhead(latches, base_gates, 0.85),
+            "LSSD (no reuse)": lssd_overhead(latches, base_gates, 0.0),
+            "Scan Path": scan_path_overhead(latches, base_gates),
+            "Scan/Set (64-bit)": scan_set_overhead(64),
+            "Random-Access Scan": random_access_scan_overhead(latches),
+            "RAS (serial address)": random_access_scan_overhead(
+                latches, serial_addressing=True
+            ),
+            "BILBO": bilbo_overhead(latches, base_gates),
+        }
+        volumes = {
+            "LSSD (85% L2 reuse)": scan_test_data_volume(patterns, latches, 10, 10),
+            "LSSD (no reuse)": scan_test_data_volume(patterns, latches, 10, 10),
+            "Scan Path": scan_test_data_volume(patterns, latches, 10, 10),
+            "Scan/Set (64-bit)": patterns * 64,  # snapshot unload each pattern
+            "Random-Access Scan": patterns * latches,  # per-latch ops
+            "RAS (serial address)": patterns * latches,
+            "BILBO": bilbo_test_data_volume(patterns // 100, 100, latches),
+        }
+        for name, estimate in estimates.items():
+            rows.append(
+                (
+                    name,
+                    f"{estimate.extra_gates / base_gates:.1%}",
+                    estimate.extra_pins,
+                    f"{estimate.extra_delay_gates:.1f}",
+                    volumes[name],
+                )
+            )
+        return rows
+
+    rows = benchmark(build_menu)
+    print_table(
+        "Ablation A1: DFT menu for 2000 gates / 64 latches / 500 patterns",
+        ["technique", "gate ovh", "pins", "delay", "test bits"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    # Qualitative shape from the paper:
+    # - LSSD reuse beats no-reuse on gates.
+    assert by_name["LSSD (85% L2 reuse)"][1] < by_name["LSSD (no reuse)"][1]
+    # - BILBO pays delay in the data path; scan styles do not.
+    assert float(by_name["BILBO"][3]) > 0
+    assert float(by_name["LSSD (no reuse)"][3]) == 0
+    # - BILBO's data volume is the smallest by an order of magnitude.
+    bilbo_bits = by_name["BILBO"][4]
+    assert all(
+        bilbo_bits <= row[4] / 10
+        for name, row in ((n, r) for n, r in by_name.items() if n != "BILBO")
+    )
+    # - serial addressing cuts RAS pins to 6.
+    assert by_name["RAS (serial address)"][2] == 6
+
+
+def test_ablation_single_latch_access(benchmark):
+    """Cost to control ONE deep latch: chains pay the full rotation,
+    RAS pays one operation — the structural difference of §IV-D."""
+    from repro.circuits import binary_counter
+    from repro.netlist import values as V
+    from repro.scan import RandomAccessScanDesign, ScanTester, insert_scan
+
+    circuit = binary_counter(8)
+
+    def flow():
+        chain = insert_scan(circuit)
+        tester = ScanTester(chain)
+        tester.load_state({"Q7": 1})
+        chain_clocks = tester.total_clocks
+        ras = RandomAccessScanDesign(circuit)
+        ras.clear_all()
+        ops_before = ras.scan_operations
+        ras.load_full_state({"Q7": V.ONE})
+        return chain_clocks, ras.scan_operations - ops_before
+
+    chain_clocks, ras_ops = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Ablation A1: set one latch of 8",
+        ["technique", "operations"],
+        [("shift chain", chain_clocks), ("Random-Access Scan", ras_ops)],
+    )
+    assert chain_clocks == 8
+    assert ras_ops == 1

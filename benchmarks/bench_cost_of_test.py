@@ -1,0 +1,62 @@
+"""§I-C table — the rule of tens: $0.30 / $3 / $30 / $300 per fault.
+
+Regenerates the escalation table and a worked scenario: how much a
+batch of early-caught faults saves versus field discovery.
+"""
+
+from conftest import print_table
+
+from repro.economics import (
+    LEVELS,
+    RULE_OF_TENS,
+    cost_of_fault,
+    early_detection_savings,
+    escalation_factor,
+)
+
+
+def test_rule_of_tens_table(benchmark):
+    rows = benchmark(
+        lambda: [
+            (
+                level,
+                f"${cost_of_fault(level):.2f}",
+                f"{escalation_factor('chip', level):.0f}x",
+            )
+            for level in LEVELS
+        ]
+    )
+    print_table(
+        "§I-C: cost to detect one fault, by packaging level",
+        ["level", "cost/fault", "vs chip"],
+        rows,
+    )
+    assert [cost for _, cost, _ in rows] == [
+        "$0.30", "$3.00", "$30.00", "$300.00"
+    ]
+    assert escalation_factor("chip", "field") == 1000.0
+
+
+def test_early_detection_scenario(benchmark):
+    """A 10k-unit product with 2% defective units: chip-level screening
+    vs field repair."""
+
+    def scenario():
+        defective = int(10_000 * 0.02)
+        return [
+            (
+                f"caught at {level}",
+                f"${defective * cost_of_fault(level):,.0f}",
+                f"${early_detection_savings(defective, level, 'field'):,.0f}",
+            )
+            for level in LEVELS
+        ]
+
+    rows = benchmark(scenario)
+    print_table(
+        "§I-C: 200 defective units, total cost by detection level",
+        ["strategy", "cost", "saved vs field"],
+        rows,
+    )
+    # Chip-level screening saves ~$59,940 of the $60,000 field bill.
+    assert early_detection_savings(200, "chip", "field") == 200 * 299.70

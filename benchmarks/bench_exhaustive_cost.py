@@ -1,0 +1,69 @@
+"""§I-B table — the exhaustive ("complete functional") test is hopeless.
+
+Regenerates the billion-year calculation: N=25 inputs, M=50 latches,
+1 µs per pattern -> 2^75 patterns -> over 10^9 years; and shows the
+contrast with what this repo's ATPG actually needs on real circuits.
+"""
+
+from conftest import print_table
+
+from repro.circuits import alu74181, c17, ripple_carry_adder
+from repro.economics import (
+    exhaustive_pattern_count,
+    exhaustive_test_time_years,
+)
+from repro.atpg import generate_tests
+
+
+def test_billion_year_table(benchmark):
+    configs = [(10, 0), (20, 10), (25, 50), (40, 100)]
+    rows = benchmark(
+        lambda: [
+            (
+                n,
+                m,
+                f"{exhaustive_pattern_count(n, m):.2e}",
+                f"{exhaustive_test_time_years(n, m):.2e}",
+            )
+            for n, m in configs
+        ]
+    )
+    print_table(
+        "§I-B: complete functional test at 1 us/pattern",
+        ["inputs N", "latches M", "patterns 2^(N+M)", "years"],
+        rows,
+    )
+    paper_case = exhaustive_test_time_years(25, 50)
+    assert paper_case > 1e9  # "over a billion years"
+    assert exhaustive_pattern_count(25, 50) == 2**75
+
+
+def test_structured_tests_are_tiny_by_contrast(benchmark):
+    """The motivating contrast: deterministic stuck-at tests need a
+    handful of patterns where exhaustive needs astronomical counts."""
+
+    def flow():
+        results = []
+        for factory in (c17, lambda: ripple_carry_adder(8), alu74181):
+            circuit = factory()
+            result = generate_tests(circuit, random_phase=32, seed=0)
+            results.append(
+                (
+                    circuit.name,
+                    len(circuit.inputs),
+                    exhaustive_pattern_count(len(circuit.inputs)),
+                    len(result.patterns),
+                    f"{result.coverage:.1%}",
+                )
+            )
+        return results
+
+    rows = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Deterministic stuck-at test vs exhaustive",
+        ["circuit", "inputs", "exhaustive", "ATPG patterns", "coverage"],
+        rows,
+    )
+    for _, _, exhaustive, atpg_patterns, coverage in rows:
+        assert atpg_patterns < exhaustive
+        assert coverage == "100.0%"

@@ -1,0 +1,103 @@
+"""Extension experiments: the survey's forward references made to run.
+
+* **Delay testing** (refs [81], [108]): transition-fault pattern pairs
+  on combinational cores — stuck-at tests alone launch no transitions.
+* **Embedded RAM** (§IV-A's caveat, ref [20], [59]): march tests over
+  an injectable RAM model — the "additional procedures" LSSD needs.
+* **Fault location** (refs [52]-[68]): dictionary-based diagnosis
+  resolution on a deterministic test set.
+"""
+
+from conftest import print_table
+
+from repro.atpg import TransitionFaultSimulator, generate_transition_tests, generate_tests
+from repro.circuits import (
+    MemFaultKind,
+    c17,
+    march_c_minus,
+    march_coverage,
+    mats_plus,
+    ripple_carry_adder,
+    standard_fault_list,
+)
+from repro.faultsim import FaultDictionary
+
+
+def test_extension_delay_testing(benchmark):
+    circuit = ripple_carry_adder(3)
+
+    def flow():
+        tests, untestable = generate_transition_tests(circuit)
+        simulator = TransitionFaultSimulator(circuit)
+        report = simulator.run([(t.v1, t.v2) for t in tests])
+        # Contrast: a repeated single pattern launches nothing.
+        static = simulator.run([(tests[0].v2, tests[0].v2)])
+        return tests, untestable, report, static
+
+    tests, untestable, report, static = benchmark.pedantic(
+        flow, rounds=1, iterations=1
+    )
+    print_table(
+        "Extension: transition-fault testing on rca3",
+        ["quantity", "value"],
+        [
+            ("transition faults targeted", len(tests) + len(untestable)),
+            ("pattern pairs generated", len(tests)),
+            ("untestable transitions", len(untestable)),
+            ("pairs' coverage", f"{report.coverage:.1%}"),
+            ("repeated-pattern coverage", f"{static.coverage:.1%}"),
+        ],
+    )
+    assert report.coverage > 0.9
+    assert static.coverage == 0.0  # no launch, no delay test
+
+
+def test_extension_ram_march_tests(benchmark):
+    words, width = 16, 4
+
+    def flow():
+        faults = standard_fault_list(words, width)
+        rows = []
+        for name, algorithm in (("MATS+", mats_plus), ("March C-", march_c_minus)):
+            detected, total = march_coverage(words, width, algorithm, faults)
+            from repro.circuits import Ram
+
+            operations = algorithm(Ram(words, width)).operations
+            rows.append(
+                (name, f"{detected}/{total}", f"{detected/total:.1%}", operations)
+            )
+        return rows
+
+    rows = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Extension: embedded-RAM march tests (16x4 with injected faults)",
+        ["algorithm", "detected", "coverage", "operations"],
+        rows,
+    )
+    mats, march = rows
+    assert float(march[2].rstrip("%")) >= float(mats[2].rstrip("%"))
+    assert float(march[2].rstrip("%")) == 100.0
+    assert march[3] == 2 * mats[3]  # March C- costs 10N vs MATS+ 5N
+
+
+def test_extension_fault_diagnosis(benchmark):
+    circuit = c17()
+
+    def flow():
+        patterns = generate_tests(circuit, random_phase=8, seed=1).patterns
+        dictionary = FaultDictionary(circuit, patterns)
+        groups = dictionary.indistinguishable_groups()
+        return dictionary, groups
+
+    dictionary, groups = benchmark.pedantic(flow, rounds=1, iterations=1)
+    resolution = dictionary.diagnostic_resolution()
+    print_table(
+        "Extension: fault-dictionary diagnosis on c17",
+        ["quantity", "value"],
+        [
+            ("dictionary entries", len(dictionary.entries)),
+            ("indistinguishable groups", len(groups)),
+            ("diagnostic resolution", f"{resolution:.1%}"),
+        ],
+    )
+    assert 0.3 <= resolution <= 1.0

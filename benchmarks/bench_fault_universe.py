@@ -1,0 +1,85 @@
+"""§I-A/§I-B table — fault universe arithmetic.
+
+Regenerates: 3^N multiple-fault combinations (N=100 -> ~5e47), the
+6000 single stuck-at faults of a 1000-gate two-input network, and the
+collapse to "about 3000".
+"""
+
+from conftest import print_table
+
+from repro.circuits import random_combinational
+from repro.economics import multiple_fault_space, stuck_at_fault_count
+from repro.faults import collapse_faults, fault_universe_size
+from repro.netlist import Circuit, GateType
+
+
+def _thousand_gate_network() -> Circuit:
+    """1000 two-input NAND gates in a random DAG (the paper's example)."""
+    return random_combinational(
+        20, 1000, seed=7, max_fanin=2, kinds=(GateType.NAND,)
+    )
+
+
+def test_multiple_fault_explosion(benchmark):
+    rows = benchmark(
+        lambda: [(n, f"{multiple_fault_space(n):.2e}") for n in (10, 50, 100)]
+    )
+    print_table(
+        "§I-A: multiple-fault combinations 3^N",
+        ["nets N", "combinations"],
+        rows,
+    )
+    n100 = multiple_fault_space(100)
+    assert 5.0e47 < n100 < 5.3e47  # the paper's "5 x 10^47"
+
+
+def test_single_stuck_at_universe_1000_gates(benchmark):
+    circuit = _thousand_gate_network()
+
+    def measure():
+        universe = fault_universe_size(circuit)
+        collapsed = len(collapse_faults(circuit))
+        return universe, collapsed
+
+    universe, collapsed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    closed_form = stuck_at_fault_count(1000, 2)
+    print_table(
+        "§I-B: 1000 two-input gates",
+        ["quantity", "value", "paper"],
+        [
+            ("closed-form universe", closed_form, 6000),
+            ("enumerated universe", universe, "6000 + PI faults"),
+            ("after equivalence collapse", collapsed, "about 3000"),
+        ],
+    )
+    assert closed_form == 6000
+    # Enumerated = 6000 + 2 per primary input.
+    assert universe == 6000 + 2 * 20
+    # "About 3000": within [2400, 3700] for NAND-structured logic.
+    assert 2400 <= collapsed <= 3700
+
+
+def test_collapse_is_sound(benchmark):
+    """Detecting the collapsed set detects the whole universe (on a
+    smaller instance where full verification is cheap)."""
+    from repro.atpg import generate_tests
+    from repro.faults import all_faults
+    from repro.faultsim import FaultSimulator
+
+    circuit = random_combinational(8, 80, seed=3, max_fanin=2, kinds=(GateType.NAND,))
+
+    def flow():
+        result = generate_tests(circuit, random_phase=32, seed=0)
+        full = FaultSimulator(circuit, faults=all_faults(circuit))
+        return result, full.run(result.patterns)
+
+    result, full_report = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print(
+        f"\ncollapsed coverage {result.coverage:.1%} -> "
+        f"full-universe coverage {full_report.coverage:.1%}"
+    )
+    testable = [
+        f for f in full_report.faults if f not in full_report.undetected
+    ]
+    # Whatever the collapsed run achieved must carry to the universe.
+    assert full_report.coverage >= result.coverage - 1e-9

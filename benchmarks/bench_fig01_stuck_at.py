@@ -1,0 +1,59 @@
+"""Fig. 1 — Test for an input stuck-at fault on an AND gate.
+
+Regenerates the paper's opening example: the pattern A=0, B=1 applied
+to the good machine yields 0, to the machine with A stuck-at-1 yields
+1, so the pattern is a test; and it is the *only* such pattern.
+"""
+
+import itertools
+
+from conftest import print_table
+
+from repro.circuits import and_gate
+from repro.atpg import PodemGenerator, detecting_minterms, minterm_to_pattern
+from repro.faults import Fault
+from repro.faultsim import SerialFaultSimulator
+from repro.sim import LogicSimulator
+
+
+def _fig1_rows():
+    circuit = and_gate(2)
+    sim = LogicSimulator(circuit)
+    fault = Fault("A", 1)
+    serial = SerialFaultSimulator(circuit, faults=[fault])
+    rows = []
+    for a, b in itertools.product((0, 1), repeat=2):
+        pattern = {"A": a, "B": b}
+        good = sim.outputs(pattern)["Y"]
+        faulty = sim.outputs({"A": 1, "B": b})["Y"]  # A perceived as 1
+        is_test = serial.detects(pattern, fault)
+        rows.append((a, b, good, faulty, "yes" if is_test else "no"))
+    return circuit, fault, rows
+
+
+def test_fig01_stuck_at_and_gate(benchmark):
+    circuit, fault, rows = benchmark(_fig1_rows)
+    print_table(
+        "Fig. 1: AND gate, input A stuck-at-1",
+        ["A", "B", "good Y", "faulty Y", "test?"],
+        rows,
+    )
+    # The paper's pattern 01 is a test; it is the unique one.
+    tests = [(a, b) for a, b, good, faulty, is_test in rows if is_test == "yes"]
+    assert tests == [(0, 1)]
+    # Good machine answers 0, faulty answers 1 on that pattern.
+    row = next(r for r in rows if (r[0], r[1]) == (0, 1))
+    assert row[2] == 0 and row[3] == 1
+
+
+def test_fig01_atpg_finds_the_pattern(benchmark):
+    circuit = and_gate(2)
+    engine = PodemGenerator(circuit)
+    fault = Fault("A", 1)
+    result = benchmark(engine.generate, fault)
+    assert result.pattern == {"A": 0, "B": 1}
+    # And the exhaustive oracle agrees it is unique.
+    minterms = detecting_minterms(circuit, fault)
+    assert [minterm_to_pattern(circuit, m) for m in minterms] == [
+        {"A": 0, "B": 1}
+    ]

@@ -1,0 +1,109 @@
+"""Fig. 6 — bus-structured microcomputer board (§III-C).
+
+Regenerates: three-stating all but one module turns the external bus
+into that module's primary I/O (each module tested in isolation to
+full coverage through the bus); and the flip side — a stuck bus line
+implicates every attached module.
+"""
+
+import itertools
+
+from conftest import print_table
+
+from repro.adhoc import BusBoard, BusModule, BusPort, BusValue
+from repro.circuits import full_adder, majority3, parity_tree
+from repro.faults import collapse_faults
+from repro.faultsim import FaultSimulator
+
+
+def _microcomputer_board():
+    """Fig. 6's shape: four modules on a shared 4-bit data bus."""
+    board = BusBoard("micro")
+    board.add_bus("DATA", 2)
+    modules = {
+        "cpu": full_adder(),
+        "rom": majority3(),
+        "ram": full_adder(),
+        "io": parity_tree(3),
+    }
+    ports = {
+        "cpu": ["SUM", "COUT"],
+        "rom": ["MAJ", "MAJ"],
+        "ram": ["COUT", "SUM"],
+        "io": ["PARITY", "PARITY"],
+    }
+    for name, circuit in modules.items():
+        board.add_module(
+            BusModule(name, circuit, [BusPort("DATA", ports[name])])
+        )
+    return board
+
+
+def test_fig06_module_isolation_testing(benchmark):
+    board = _microcomputer_board()
+
+    def flow():
+        rows = []
+        for name, module in board.modules.items():
+            circuit = module.circuit
+            patterns = [
+                dict(zip(circuit.inputs, bits))
+                for bits in itertools.product(
+                    (0, 1), repeat=len(circuit.inputs)
+                )
+            ]
+            board.test_module_in_isolation(name, patterns)
+            report = FaultSimulator(
+                circuit, faults=collapse_faults(circuit)
+            ).run(patterns)
+            drivers_on = sum(
+                1
+                for m in board.modules.values()
+                for p in m.driving_ports()
+            )
+            rows.append((name, f"{report.coverage:.1%}", drivers_on))
+        return rows
+
+    rows = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Fig. 6: per-module isolation test over the external bus",
+        ["module", "stuck-at coverage", "bus drivers enabled"],
+        rows,
+    )
+    assert all(row[1] == "100.0%" for row in rows)
+    assert all(row[2] == 1 for row in rows)  # exactly one driver at a time
+
+
+def test_fig06_bus_conflict_and_stuck_line(benchmark):
+    board = _microcomputer_board()
+
+    def flow():
+        # All enabled with disagreeing values: conflict visible.
+        outputs = {
+            "cpu": {"SUM": 1, "COUT": 1},
+            "rom": {"MAJ": 0},
+            "ram": {"SUM": 0, "COUT": 0},
+            "io": {"PARITY": 0},
+        }
+        for module in board.modules.values():
+            for port in module.ports:
+                module.enabled[port.bus] = True
+        conflicted = board.resolve_bus("DATA", outputs)
+        # Stuck line: everyone is a suspect.
+        board.inject_stuck_line("DATA", 0, 0)
+        suspects = board.suspects_for_stuck_line("DATA")
+        board.clear_faults()
+        return conflicted, suspects
+
+    conflicted, suspects = benchmark(flow)
+    print_table(
+        "Fig. 6: bus pathology",
+        ["condition", "result"],
+        [
+            ("multi-driver disagreement", conflicted[0]),
+            ("stuck-line suspects", ", ".join(suspects)),
+        ],
+    )
+    assert BusValue.CONFLICT in conflicted
+    # §III-C: "any module or the bus trace itself may be the culprit."
+    assert len(suspects) == len(board.modules) + 1

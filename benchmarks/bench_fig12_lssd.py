@@ -1,0 +1,107 @@
+"""Figs. 11-12 — LSSD subsystem with two system clocks (§IV-A).
+
+Regenerates: the full LSSD transaction (scan load, system C/B clock,
+scan unload) on a real design; the design-rule audit; and the paper's
+overhead table — SRLs "two or three times as complex as simple
+latches", total logic overhead 4-20% depending on L2 reuse (System/38
+reported 85% reuse), four extra pins per package level.
+"""
+
+from conftest import print_table
+
+from repro.atpg import generate_tests
+from repro.circuits import binary_counter, random_sequential
+from repro.economics import PLAIN_LATCH_GATES, SRL_GATES
+from repro.scan import LssdDesign, check_lssd_rules
+
+
+def test_fig12_lssd_transaction(benchmark):
+    circuit = binary_counter(6)
+
+    def flow():
+        design = LssdDesign(circuit)
+        core = circuit.combinational_core()
+        tests = generate_tests(core, random_phase=16, seed=0)
+        observed_failures = 0
+        for pattern in tests.patterns:
+            observed, unloaded = design.apply_core_test(pattern)
+        return design, tests
+
+    design, tests = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Fig. 12: LSSD on counter6",
+        ["property", "value"],
+        [
+            ("chain length", design.chain_length),
+            ("scan pins per package", len(design.scan_pins)),
+            ("core ATPG coverage", f"{tests.coverage:.1%}"),
+            ("core patterns", len(tests.patterns)),
+        ],
+    )
+    assert tests.testable_coverage == 1.0
+    assert len(design.scan_pins) == 4  # "up to four additional PIs/POs"
+
+
+def test_fig12_srl_complexity_ratio(benchmark):
+    ratio = benchmark(lambda: SRL_GATES / PLAIN_LATCH_GATES)
+    print(
+        f"\nSRL complexity = {SRL_GATES} gate-equivalents vs plain latch "
+        f"{PLAIN_LATCH_GATES}: ratio {ratio:.1f} "
+        "(paper: 'two or three times as complex')"
+    )
+    assert 2.0 <= ratio <= 3.0
+
+
+def test_fig12_overhead_vs_l2_reuse(benchmark):
+    """The 4-20% band, swept over L2 reuse including System/38's 85%.
+
+    Latch density matters: the paper's 4-20% band comes from mainframe
+    designs with modest storage-to-logic ratios (~40 latches per 1500
+    gates here).
+    """
+    circuit = random_sequential(8, 1500, 40, seed=9)
+
+    def sweep():
+        design = LssdDesign(circuit)
+        rows = []
+        for reuse in (0.0, 0.5, 0.85, 1.0):
+            estimate = design.overhead(l2_reuse_fraction=reuse)
+            fraction = estimate.gate_overhead_fraction(
+                len(circuit) + design.chain_length * PLAIN_LATCH_GATES
+            )
+            rows.append((f"{reuse:.0%}", f"{fraction:.1%}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Fig. 12: LSSD logic overhead vs L2 system reuse "
+        "(paper: 4-20%, System/38 at 85% reuse)",
+        ["L2 reuse", "gate overhead"],
+        rows,
+    )
+    worst = float(rows[0][1].rstrip("%")) / 100
+    system38 = float(rows[2][1].rstrip("%")) / 100
+    assert 0.04 <= system38 <= worst <= 0.25
+    assert system38 < 0.10  # reuse "drastically reduces the overhead"
+
+
+def test_fig12_design_rules(benchmark):
+    """Rule audit: a clean DFF design passes; a latch loop fails."""
+    from repro.scan import srl_netlist
+
+    def audit():
+        clean = check_lssd_rules(binary_counter(4))
+        dirty = check_lssd_rules(srl_netlist())
+        return clean, dirty
+
+    clean, dirty = benchmark(audit)
+    print_table(
+        "Fig. 12: LSSD rules audit",
+        ["design", "violations"],
+        [
+            ("counter4 (all DFF storage)", len(clean)),
+            ("raw latch netlist", len(dirty)),
+        ],
+    )
+    assert clean == []
+    assert dirty

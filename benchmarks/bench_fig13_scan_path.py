@@ -1,0 +1,133 @@
+"""Figs. 13-14 — NEC's Scan Path: raceless D-FF and card selection.
+
+Regenerates: the raceless flip-flop's behaviour on its gate netlist
+(system port, scan port, hold); the race-margin observation the paper
+makes about single-clock designs (the inverter delay *is* the margin);
+the card-level X/Y selection of Fig. 14; and NEC's backtrace
+partitioning with the FLT-700-style size control argument.
+"""
+
+from conftest import print_table
+
+from repro.circuits import binary_counter, random_sequential
+from repro.scan import (
+    CardScanConfiguration,
+    partition_sizes,
+    raceless_dff_netlist,
+)
+from repro.sim import EventSimulator
+
+
+def test_fig13_raceless_dff_protocol(benchmark):
+    def flow():
+        rows = []
+        # (label, pin sequence) — each starts from a fresh netlist.
+        for label, data, clock in (
+            ("capture 1 via system port", {"SDATA": 1, "TEST": 0}, "C1"),
+            ("capture 0 via system port", {"SDATA": 0, "TEST": 1}, "C1"),
+            ("capture 1 via scan port", {"SDATA": 0, "TEST": 1}, "C2"),
+        ):
+            dff = raceless_dff_netlist()
+            event = EventSimulator(dff)
+            event.settle({**data, "C1": 1, "C2": 1})
+            event.settle({clock: 0})
+            event.settle({clock: 1})
+            rows.append((label, event.values["Q"]))
+        return rows
+
+    rows = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table("Fig. 13: raceless D-FF with Scan Path", ["operation", "Q"], rows)
+    assert rows[0][1] == 1
+    assert rows[1][1] == 0
+    assert rows[2][1] == 1
+
+
+def test_fig13_race_margin_is_inverter_delay(benchmark):
+    """'The period of time that this can occur is related to the delay
+    of the inverter block for Clock 1' — widen that inverter's delay
+    and the master-to-slave handoff window (time both latches are
+    sensitive) widens with it."""
+
+    def sweep():
+        rows = []
+        for inverter_delay in (1, 3, 6):
+            dff = raceless_dff_netlist()
+            event = EventSimulator(dff, delays={"C1N": inverter_delay})
+            event.settle({"SDATA": 1, "TEST": 0, "C1": 1, "C2": 1})
+            event.settle({"C1": 0})
+            # Raise C1: L2 enable (C1 direct) rises immediately, but L1
+            # stays transparent until the inverter output falls —
+            # inverter_delay ticks of simultaneous sensitivity.
+            start = event.time
+            event.drive({"C1": 1}, at_time=start + 1)
+            event.run()
+            c1n_change = [t for t, v in event.history["C1N"] if t > start]
+            l2en_change = [t for t, v in event.history["L2EN"] if t > start]
+            window = (c1n_change[-1] - l2en_change[-1]) if c1n_change and l2en_change else 0
+            rows.append((inverter_delay, window, event.values["Q"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Fig. 13: race window vs Clock-1 inverter delay",
+        ["inverter delay", "overlap window", "Q (still correct)"],
+        rows,
+    )
+    windows = [w for _, w, _ in rows]
+    assert windows == sorted(windows)  # window grows with the delay
+    assert all(q == 1 for _, _, q in rows)  # correct given enough margin
+
+
+def test_fig14_card_selection(benchmark):
+    def flow():
+        config = CardScanConfiguration()
+        config.add_card(binary_counter(4), x_address=0, y_address=0)
+        config.add_card(binary_counter(6), x_address=1, y_address=0)
+        config.add_card(binary_counter(8), x_address=0, y_address=1)
+        selected = config.select(1, 0)
+        # Shared test output: unselected cards gate to 0.
+        shared = config.selected_scan_out(
+            1, 0, {"counter4": 1, "counter6": 1, "counter8": 1}
+        )
+        return config, selected, shared
+
+    config, selected, shared = benchmark(flow)
+    print_table(
+        "Fig. 14: Scan Path cards behind X/Y select",
+        ["property", "value"],
+        [
+            ("cards", len(config.cards)),
+            ("total chain bits", config.total_chain_length),
+            ("selected card", selected.name),
+            ("shared scan-out shows", shared),
+        ],
+    )
+    assert selected.name == "counter6"
+    assert shared == 1
+    assert config.total_chain_length == 18
+
+
+def test_fig14_backtrace_partitioning(benchmark):
+    """NEC partitions by backtracing from each D-FF; oversized
+    partitions are what their 'extra flip-flops independent of
+    function' trick bounds."""
+    circuit = random_sequential(6, 220, 24, seed=3)
+
+    def flow():
+        return partition_sizes(circuit)
+
+    sizes = benchmark.pedantic(flow, rounds=1, iterations=1)
+    biggest = max(sizes.values())
+    smallest = min(sizes.values())
+    print_table(
+        "Fig. 14/NEC: per-flip-flop partition sizes (nets in cone)",
+        ["metric", "value"],
+        [
+            ("flip-flops", len(sizes)),
+            ("largest partition", biggest),
+            ("smallest partition", smallest),
+            ("whole network nets", len(circuit.nets())),
+        ],
+    )
+    # Partitions are genuinely smaller than the whole network.
+    assert biggest < len(circuit.nets())

@@ -1,0 +1,120 @@
+"""Figs. 16-18 — Fujitsu Random-Access Scan (§IV-D).
+
+Regenerates: the addressable-latch protocol (Fig. 16 polarity-hold at
+the gate level, Fig. 17 CLEAR/PRESET), the grid-addressed state access
+of Fig. 18, the paper's overhead numbers (3-4 gates per latch, 10-20
+pins, 6 with serial addressing), and RAS's sparse-access advantage
+over a shift chain.
+"""
+
+from conftest import print_table
+
+from repro.circuits import binary_counter, random_sequential
+from repro.netlist import values as V
+from repro.scan import (
+    RandomAccessScanDesign,
+    ScanTester,
+    addressable_latch_netlist,
+    insert_scan,
+)
+from repro.sim import EventSimulator
+
+
+def test_fig16_polarity_hold_latch_netlist(benchmark):
+    def flow():
+        rows = []
+        latch = addressable_latch_netlist()
+        event = EventSimulator(latch)
+        base = {"DATA": 0, "CK": 0, "SDI": 1, "SCK": 0, "XADR": 0, "YADR": 0}
+        event.settle(base)
+        event.settle({"CK": 1}); event.settle({"CK": 0})
+        rows.append(("system write 0", event.values["Q"]))
+        event.settle({"SCK": 1}); event.settle({"SCK": 0})
+        rows.append(("scan clock, unaddressed", event.values["Q"]))
+        event.settle({"XADR": 1, "YADR": 1})
+        event.settle({"SCK": 1}); event.settle({"SCK": 0})
+        rows.append(("scan clock, addressed (SDI=1)", event.values["Q"]))
+        rows.append(("SDO while addressed", event.values["SDO"]))
+        return rows
+
+    rows = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table("Fig. 16: addressable latch protocol", ["step", "value"], rows)
+    assert rows[0][1] == 0
+    assert rows[1][1] == 0  # address gate blocks the write
+    assert rows[2][1] == 1
+    assert rows[3][1] == 1
+
+
+def test_fig17_clear_preset_protocol(benchmark):
+    design = RandomAccessScanDesign(binary_counter(6), latch_kind="set-reset")
+
+    def flow():
+        target = [(design.latches[1].x, design.latches[1].y),
+                  (design.latches[4].x, design.latches[4].y)]
+        design.preset(target)
+        return design.read_full_state()
+
+    state = benchmark(flow)
+    ones = [net for net, value in state.items() if value == V.ONE]
+    print_table(
+        "Fig. 17: CLEAR + addressed PRESET pulses",
+        ["latch", "value"],
+        sorted(state.items()),
+    )
+    assert sorted(ones) == ["Q1", "Q4"]
+
+
+def test_fig18_overhead_table(benchmark):
+    """§IV-D's numbers: 3-4 gates/latch; 10-20 pins, or ~6 serial."""
+    design = RandomAccessScanDesign(random_sequential(6, 200, 64, seed=5))
+
+    def flow():
+        parallel = design.overhead(serial_addressing=False)
+        serial = design.overhead(serial_addressing=True)
+        return parallel, serial
+
+    parallel, serial = benchmark(flow)
+    per_latch = parallel.extra_gates / len(design.latches)
+    print_table(
+        "Fig. 18: Random-Access Scan overhead (64 latches)",
+        ["variant", "extra gates", "gates/latch", "pins"],
+        [
+            ("parallel addressing", f"{parallel.extra_gates:.0f}",
+             f"{per_latch:.1f}", parallel.extra_pins),
+            ("serial addressing", f"{serial.extra_gates:.0f}",
+             f"{per_latch:.1f}", serial.extra_pins),
+        ],
+    )
+    assert 3.0 <= per_latch <= 5.0
+    assert 10 <= parallel.extra_pins <= 20
+    assert serial.extra_pins == 6
+
+
+def test_fig18_sparse_access_vs_shift_chain(benchmark):
+    """Setting ONE latch of 64: RAS needs 1 operation, a shift chain
+    needs a full chain rotation."""
+    circuit = random_sequential(6, 200, 64, seed=5)
+
+    def flow():
+        ras = RandomAccessScanDesign(circuit)
+        ras.clear_all()
+        ops_before = ras.scan_operations
+        ras.load_full_state({ras.latches[37].state_net: V.ONE})
+        ras_ops = ras.scan_operations - ops_before
+
+        chain_design = insert_scan(circuit)
+        tester = ScanTester(chain_design)
+        tester.load_state(
+            {net: (1 if net == ras.latches[37].state_net else 0)
+             for net in chain_design.chain}
+        )
+        return ras_ops, tester.total_clocks
+
+    ras_ops, chain_clocks = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Fig. 18: cost to set one latch of 64",
+        ["technique", "operations/clocks"],
+        [("Random-Access Scan", ras_ops), ("shift chain", chain_clocks)],
+    )
+    assert ras_ops == 1
+    assert chain_clocks == 64

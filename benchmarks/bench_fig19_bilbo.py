@@ -1,0 +1,161 @@
+"""Figs. 19-21 — BILBO registers and the two-network self-test (§V-A).
+
+Regenerates: the four register modes of Fig. 19 (on both the
+behavioral model and the gate netlist); the Figs. 20-21 alternating
+self-test with fault localization between the two combinational
+networks; stuck-at coverage of the pseudo-random session measured by
+fault simulation; and the ~100x test-data-volume reduction.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.atpg import random_patterns
+from repro.bist import BilboMode, BilboPair, BilboRegister, bilbo_netlist
+from repro.circuits import c17, ripple_carry_adder
+from repro.economics import bilbo_test_data_volume, scan_test_data_volume
+from repro.faults import collapse_faults
+from repro.faultsim import FaultSimulator
+from repro.lfsr import pseudo_random_patterns
+from repro.sim import SequentialSimulator
+
+
+def test_fig19_modes(benchmark):
+    def flow():
+        rows = []
+        register = BilboRegister(8)
+        register.set_mode(BilboMode.SYSTEM)
+        register.clock(z_word=0b1100_0101)
+        rows.append(("11 system", f"{register.state:08b}"))
+        register.set_mode(BilboMode.SHIFT)
+        register.clock(scan_in=1)
+        rows.append(("00 shift (scan in 1)", f"{register.state:08b}"))
+        register.set_mode(BilboMode.LFSR)
+        register.clock(z_word=0b0000_1111)
+        rows.append(("10 MISR (absorb 0F)", f"{register.state:08b}"))
+        register.set_mode(BilboMode.RESET)
+        register.clock()
+        rows.append(("01 reset", f"{register.state:08b}"))
+        return rows
+
+    rows = benchmark(flow)
+    print_table("Fig. 19: BILBO register modes", ["B1B2 mode", "state"], rows)
+    assert rows[0][1] == "11000101"
+    assert rows[3][1] == "00000000"
+
+
+def test_fig19_netlist_matches_model(benchmark):
+    """The gate-level BILBO (Fig. 19(a)) tracks the behavioral model."""
+
+    def flow():
+        width = 4
+        behavioral = BilboRegister(width)
+        behavioral.state = 0b1001
+        netlist = bilbo_netlist(width)
+        sim = SequentialSimulator(netlist)
+        sim.set_state({f"Q{i}": (0b1001 >> (i - 1)) & 1 for i in range(1, 5)})
+        rng = random.Random(3)
+        mismatches = 0
+        for mode, b1, b2 in (
+            (BilboMode.LFSR, 1, 0),
+            (BilboMode.SHIFT, 0, 0),
+            (BilboMode.SYSTEM, 1, 1),
+        ):
+            behavioral.set_mode(mode)
+            for _ in range(8):
+                z = rng.getrandbits(width)
+                s = rng.randint(0, 1)
+                behavioral.clock(z_word=z, scan_in=s)
+                inputs = {"B1": b1, "B2": b2, "SIN": s}
+                for i in range(1, width + 1):
+                    inputs[f"Z{i}"] = (z >> (i - 1)) & 1
+                sim.step(inputs)
+                got = sum(
+                    (1 if sim.state[f"Q{i}"] == 1 else 0) << (i - 1)
+                    for i in range(1, width + 1)
+                )
+                if got != behavioral.state:
+                    mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print(f"\nnetlist-vs-model mismatches over 24 mixed-mode clocks: {mismatches}")
+    assert mismatches == 0
+
+
+def test_fig20_21_self_test_with_localization(benchmark):
+    def flow():
+        rows = []
+        for label, network, net, value in (
+            ("fault-free", None, None, None),
+            ("fault in CLN1", "n1", "G1", 0),
+            ("fault in CLN2", "n2", "AXB1", 0),
+        ):
+            pair = BilboPair(c17(), ripple_carry_adder(2), width2=16)
+            golden = (pair.test_network1(200), pair.test_network2(200))
+            if network:
+                pair.inject_fault(network, net, value)
+            s1, s2 = pair.self_test(200, golden=golden)
+            rows.append((label, s1.passed, s2.passed))
+        return rows
+
+    rows = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Figs. 20-21: alternating BILBO self-test",
+        ["condition", "phase 1 (CLN1)", "phase 2 (CLN2)"],
+        rows,
+    )
+    assert rows[0][1:] == (True, True)
+    assert rows[1][1:] == (False, True)  # localized to network 1
+    assert rows[2][1:] == (True, False)  # localized to network 2
+
+
+def test_fig20_pn_pattern_stuck_at_coverage(benchmark):
+    """'Combinational logic is highly susceptible to random patterns':
+    fault-simulate the PN sequence a BILBO PRPG emits."""
+    circuit = ripple_carry_adder(4)
+
+    def flow():
+        patterns = []
+        for bits in pseudo_random_patterns(
+            len(circuit.inputs), 200, len(circuit.inputs)
+        ):
+            patterns.append(dict(zip(circuit.inputs, bits)))
+        report = FaultSimulator(circuit, faults=collapse_faults(circuit)).run(
+            patterns
+        )
+        return report
+
+    report = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print(f"\nPN-sequence coverage on rca4: {report.summary()}")
+    assert report.coverage > 0.95
+
+
+def test_fig19_data_volume_reduction(benchmark):
+    """§V-A: '100 patterns between scan-outs ... reduced by a factor
+    of 100.'"""
+
+    def flow():
+        patterns = 2000
+        chain = 64
+        scan_bits = scan_test_data_volume(patterns, chain, 0, 0)
+        bilbo_bits = bilbo_test_data_volume(
+            num_sessions=patterns // 100,
+            patterns_per_session=100,
+            chain_length=chain,
+        )
+        return scan_bits, bilbo_bits
+
+    scan_bits, bilbo_bits = benchmark(flow)
+    reduction = scan_bits / bilbo_bits
+    print_table(
+        "Fig. 19: test data volume",
+        ["technique", "bits moved"],
+        [
+            ("full scan (shift per pattern)", scan_bits),
+            ("BILBO (100 patterns/session)", bilbo_bits),
+        ],
+    )
+    print(f"reduction factor: {reduction:.0f}x (paper: ~100x)")
+    assert 90 <= reduction <= 110

@@ -1,0 +1,124 @@
+"""Fig. 23 — Syndrome testing (§V-B).
+
+Regenerates: Definition 1 on reference functions; the tester of
+Fig. 23 (counter + comparator) catching injected faults; and the
+paper's headline experiment — the SN74181 becomes fully syndrome-
+testable with at most one extra input (<= 5 %) and two gates (<= 4 %).
+"""
+
+from fractions import Fraction
+
+from conftest import print_table
+
+from repro.bist import SyndromeAnalyzer, make_syndrome_testable
+from repro.circuits import alu74181, and_gate, c17, majority3, parity_tree
+from repro.faults import collapse_faults
+from repro.netlist import Circuit, GateType
+from repro.testers import SyndromeTester
+
+
+def test_fig23_syndrome_values(benchmark):
+    def flow():
+        rows = []
+        for factory, expected in (
+            (lambda: and_gate(3), Fraction(1, 8)),
+            (majority3, Fraction(1, 2)),
+            (lambda: parity_tree(4), Fraction(1, 2)),
+        ):
+            circuit = factory()
+            syndrome = SyndromeAnalyzer(circuit).syndrome()
+            rows.append((circuit.name, str(syndrome), str(expected)))
+        return rows
+
+    rows = benchmark(flow)
+    print_table(
+        "Fig. 23 / Definition 1: syndromes S = K / 2^n",
+        ["function", "measured", "expected"],
+        rows,
+    )
+    assert all(measured == expected for _, measured, expected in rows)
+
+
+def test_fig23_tester_go_nogo(benchmark):
+    def flow():
+        tester = SyndromeTester()
+        reference = tester.characterize(c17())
+        good = tester.test(c17())
+        # Inject G16 stuck-at-0 by rebuilding with a constant.
+        faulty = Circuit("c17_f")
+        base = c17()
+        for pi in base.inputs:
+            faulty.add_input(pi)
+        for gate in base.gates:
+            inputs = ["__stuck" if n == "G16" else n for n in gate.inputs]
+            faulty.add_gate(gate.kind, inputs, gate.output, gate.name)
+        faulty.add_gate(GateType.CONST0, [], "__stuck")
+        for po in base.outputs:
+            faulty.add_output(po)
+        bad = tester.test(faulty)
+        return reference, good, bad
+
+    reference, good, bad = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Fig. 23: syndrome tester verdicts",
+        ["device", "verdict", "reference counts"],
+        [
+            ("good c17", str(good), str(reference)),
+            ("c17 + G16/SA0", str(bad), ""),
+        ],
+    )
+    assert good.passed and not bad.passed
+
+
+def test_fig23_sn74181_experiment(benchmark):
+    """§V-B: 'in a number of real networks (i.e., SN74181, etc.) the
+    numbers of extra primary inputs needed was at most one (<= 5
+    percent) and not more than two gates (<= 4 percent)'."""
+    alu = alu74181()
+
+    def flow():
+        analyzer = SyndromeAnalyzer(alu)
+        untestable_before = analyzer.untestable_faults()
+        report = make_syndrome_testable(alu)
+        return untestable_before, report
+
+    untestable_before, report = benchmark.pedantic(flow, rounds=1, iterations=1)
+    input_pct = len(report.extra_inputs) / len(alu.inputs)
+    gate_pct = report.extra_gates / len(alu)
+    print_table(
+        "Fig. 23: making the SN74181 syndrome-testable",
+        ["quantity", "measured", "paper bound"],
+        [
+            ("syndrome-untestable faults before", len(untestable_before), "-"),
+            ("extra primary inputs", len(report.extra_inputs), "<= 1"),
+            ("input overhead", f"{input_pct:.1%}", "<= 5% (they count vs 20+ pins)"),
+            ("extra gates", report.extra_gates, "<= 2"),
+            ("gate overhead", f"{gate_pct:.1%}", "<= 4%"),
+            ("untestable after", len(report.remaining_untestable), "0"),
+        ],
+    )
+    assert untestable_before  # the bare 74181 is NOT syndrome-testable
+    assert len(report.extra_inputs) <= 1
+    assert report.extra_gates <= 2
+    assert report.remaining_untestable == []
+    assert gate_pct <= 0.04
+
+
+def test_fig23_data_volume_is_one_count(benchmark):
+    """Test data volume: one ones-count per output, versus a stored
+    stimulus/response pair per pattern for conventional testing."""
+
+    def flow():
+        circuit = c17()
+        tester = SyndromeTester()
+        reference = tester.characterize(circuit)
+        stored_bits = (2**5) * (len(circuit.inputs) + len(circuit.outputs))
+        syndrome_bits = len(reference) * 6  # one 6-bit count per output
+        return stored_bits, syndrome_bits
+
+    stored_bits, syndrome_bits = benchmark(flow)
+    print(
+        f"\nstored-pattern data {stored_bits} bits vs syndrome "
+        f"{syndrome_bits} bits ({stored_bits / syndrome_bits:.0f}x smaller)"
+    )
+    assert syndrome_bits < stored_bits / 10

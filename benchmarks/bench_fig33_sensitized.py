@@ -1,0 +1,124 @@
+"""Figs. 33-34 — sensitized partitioning of the SN74181 (§V-D).
+
+Regenerates the paper's exact experiment: "all the L_i outputs of
+network N1 can be tested by holding S2 = S3 = low; further, all the
+H_i outputs ... by holding S0 = S1 = high, since sensitized paths
+exist through the subnetwork N2.  Thus far fewer than 2^n input
+patterns can be applied to the network to test it."
+"""
+
+from conftest import print_table
+
+from repro.bist import (
+    run_autonomous_test,
+    sensitized_partitions_74181,
+    sensitized_partitions_74181_compact,
+)
+from repro.circuits import alu74181
+from repro.faults import collapse_faults
+from repro.sim import LogicSimulator
+
+
+def test_fig33_sensitization_facts(benchmark):
+    """The structural facts Fig. 34 relies on, checked exhaustively
+    over the held-select subspaces."""
+    alu = alu74181()
+    sim = LogicSimulator(alu)
+
+    def sweep():
+        h_pinned = l_pinned = l_exposed = h_exposed = True
+        import itertools
+
+        for a, b in itertools.product(range(0, 16, 5), repeat=2):
+            for s01 in range(4):
+                pins = {"M": 1, "CN": 1, "S0": s01 & 1, "S1": s01 >> 1,
+                        "S2": 0, "S3": 0}
+                for i in range(4):
+                    pins[f"A{i}"] = (a >> i) & 1
+                    pins[f"B{i}"] = (b >> i) & 1
+                values = sim.run(pins)
+                h_pinned &= all(values[f"H{i}"] == 1 for i in range(4))
+                l_exposed &= all(
+                    values[f"F{i}"] == values[f"L{i}"] for i in range(4)
+                )
+            for s23 in range(4):
+                pins = {"M": 1, "CN": 1, "S0": 1, "S1": 1,
+                        "S2": s23 & 1, "S3": s23 >> 1}
+                for i in range(4):
+                    pins[f"A{i}"] = (a >> i) & 1
+                    pins[f"B{i}"] = (b >> i) & 1
+                values = sim.run(pins)
+                l_pinned &= all(values[f"L{i}"] == 0 for i in range(4))
+                h_exposed &= all(
+                    values[f"F{i}"] == 1 - values[f"H{i}"] for i in range(4)
+                )
+        return h_pinned, l_pinned, l_exposed, h_exposed
+
+    h_pinned, l_pinned, l_exposed, h_exposed = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print_table(
+        "Fig. 34: sensitization facts",
+        ["fact", "holds"],
+        [
+            ("S2=S3=0 pins every H_i to 1 (non-controlling)", h_pinned),
+            ("S0=S1=1 pins every L_i to 0", l_pinned),
+            ("L_i observable at F_i (M=1, S2=S3=0)", l_exposed),
+            ("H_i observable at F_i (M=1, S0=S1=1)", h_exposed),
+        ],
+    )
+    assert h_pinned and l_pinned and l_exposed and h_exposed
+
+
+def test_fig33_full_plan(benchmark):
+    alu = alu74181()
+
+    def flow():
+        return run_autonomous_test(alu, sensitized_partitions_74181())
+
+    result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Figs. 33-34: sensitized partitioning of the SN74181",
+        ["quantity", "value", "paper"],
+        [
+            ("partitions", len(result.partitions), "N1 x4 + N2"),
+            ("patterns", result.total_patterns, "far fewer than 2^14"),
+            ("exhaustive", result.exhaustive_patterns, 16384),
+            ("reduction", f"{result.pattern_reduction:.1f}x", ">1"),
+            ("stuck-at coverage", f"{result.coverage.coverage:.1%}", "complete"),
+        ],
+    )
+    assert result.total_patterns < result.exhaustive_patterns / 4
+    assert result.coverage.coverage == 1.0
+
+
+def test_fig34_slice_test_is_32_patterns(benchmark):
+    """The N1 slices are verified by just 32 matched-operand patterns
+    (16 for the L sweep, 16 for the H sweep) because all four identical
+    slices are exercised in parallel."""
+    alu = alu74181()
+
+    def flow():
+        partitions = sensitized_partitions_74181_compact()
+        slice_faults = [
+            f
+            for f in collapse_faults(alu)
+            if any(
+                f.net.startswith(prefix)
+                for prefix in ("L", "H", "NB", "LT", "HT")
+            )
+        ]
+        result = run_autonomous_test(alu, partitions, faults=slice_faults)
+        return result
+
+    result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    print_table(
+        "Fig. 34: compact N1 slice test",
+        ["quantity", "value"],
+        [
+            ("patterns", result.total_patterns),
+            ("slice-fault coverage", f"{result.coverage.coverage:.1%}"),
+        ],
+    )
+    assert result.total_patterns == 32
+    assert result.coverage.coverage > 0.9

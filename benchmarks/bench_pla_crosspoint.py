@@ -1,0 +1,80 @@
+"""Extension X2 — PLA crosspoint testing (Muehldorf & Williams [84]).
+
+The survey's first author co-wrote the reference this regenerates:
+stuck-at test sets, even at 100 % SAF coverage, leave crosspoint
+defects (growth/shrinkage/appearance/disappearance) undetected on
+sparse PLAs, while a small dedicated crosspoint set covers them all.
+"""
+
+from conftest import print_table
+
+from repro.atpg import (
+    CrosspointKind,
+    CrosspointTestGenerator,
+    enumerate_crosspoint_faults,
+    generate_crosspoint_tests,
+    generate_tests,
+)
+from repro.circuits import bcd_to_seven_segment, random_pla
+
+
+def test_crosspoint_vs_stuck_at(benchmark):
+    def sweep():
+        rows = []
+        for label, pla in (
+            ("bcd7seg (dense)", bcd_to_seven_segment()),
+            ("random 8x6x3 s5 (sparse)", random_pla(8, 6, 3, 3, seed=5)),
+            ("random 8x6x3 s9 (sparse)", random_pla(8, 6, 3, 3, seed=9)),
+        ):
+            circuit = pla.to_circuit()
+            sa = generate_tests(circuit, random_phase=16, seed=0)
+            generator = CrosspointTestGenerator(pla)
+            sa_detected, sa_missed, redundant = generator.run(sa.patterns)
+            xp_tests, _ = generate_crosspoint_tests(pla)
+            xp_detected, xp_missed, _ = generator.run(xp_tests)
+            total = len(sa_detected) + len(sa_missed)
+            rows.append(
+                (
+                    label,
+                    f"{sa.coverage:.0%}",
+                    f"{len(sa_detected)}/{total}",
+                    len(sa_missed),
+                    len(xp_tests),
+                    f"{len(xp_detected)}/{total}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ref [84]: stuck-at sets vs dedicated crosspoint sets",
+        ["PLA", "SAF cov", "SAF->crosspoint", "missed", "xp patterns",
+         "xp->crosspoint"],
+        rows,
+    )
+    # Sparse PLAs: the stuck-at set must miss crosspoint faults...
+    assert rows[1][3] > 0 and rows[2][3] > 0
+    # ...and the dedicated set must miss none.
+    for _, _, _, _, _, xp in rows:
+        covered, total = xp.split("/")
+        assert covered == total
+
+
+def test_crosspoint_universe_composition(benchmark):
+    pla = random_pla(10, 8, 4, 3, seed=1)
+
+    def count():
+        by_kind = {}
+        for fault in enumerate_crosspoint_faults(pla):
+            by_kind[fault.kind] = by_kind.get(fault.kind, 0) + 1
+        return by_kind
+
+    by_kind = benchmark(count)
+    print_table(
+        "Crosspoint fault universe (10-input, 8-term, 4-output PLA)",
+        ["kind", "count"],
+        [(k.value, v) for k, v in by_kind.items()],
+    )
+    # Shrinkage dominates on sparse PLAs: every unprogrammed column is
+    # two faults — the blind spot of gate-level SAF modeling.
+    assert by_kind[CrosspointKind.SHRINKAGE] > by_kind[CrosspointKind.GROWTH]

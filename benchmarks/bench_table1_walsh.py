@@ -1,0 +1,128 @@
+"""Table I + Figs. 24-25 — testing by verifying Walsh coefficients (§V-C).
+
+Regenerates Table I for the Fig. 24 function (the 3-input majority,
+read off the table's F column), the C_0/C_all measurements, the input
+stuck-at theorem, and the Fig. 25 two-pass counter tester.
+
+Note on conventions: the survey's printed Table I mixes two sign
+conventions between its W and F columns (and the OCR of our source
+garbles two entries); this reproduction fixes logical 0 -> -1 and
+1 -> +1 uniformly for both, under which |C_all| = 4 for the majority
+function.  The qualitative content — C_all != 0, every input stuck
+fault drives C_all to 0 — is convention-independent and asserted.
+"""
+
+from conftest import print_table
+
+from repro.bist import WalshAnalyzer, input_stuck_fault_theorem
+from repro.circuits import majority3
+from repro.faults import Fault
+from repro.netlist import Circuit, GateType
+from repro.testers import WalshTester
+
+
+def test_table1_walsh_functions(benchmark):
+    circuit = majority3()
+
+    def build():
+        walsh = WalshAnalyzer(circuit)
+        inputs = list(circuit.inputs)  # A, B, C = x1, x2, x3
+        rows = []
+        for minterm in range(8):
+            bits = [(minterm >> i) & 1 for i in range(3)]
+            f_bit = 1 if sum(bits) >= 2 else 0
+            w2 = 2 * bits[1] - 1
+            w13 = (2 * bits[0] - 1) * (2 * bits[2] - 1)
+            w_all = (2 * bits[0] - 1) * (2 * bits[1] - 1) * (2 * bits[2] - 1)
+            f_pm = 2 * f_bit - 1
+            rows.append(
+                (
+                    f"{bits[0]}{bits[1]}{bits[2]}",
+                    f"{w2:+d}",
+                    f"{w13:+d}",
+                    f_bit,
+                    f"{w2 * f_pm:+d}",
+                    f"{w13 * f_pm:+d}",
+                    f"{w_all:+d}",
+                    f"{w_all * f_pm:+d}",
+                )
+            )
+        coefficients = {
+            "C2": walsh.coefficient([inputs[1]]),
+            "C13": walsh.coefficient([inputs[0], inputs[2]]),
+            "C0": walsh.c0(),
+            "Call": walsh.c_all(),
+        }
+        return rows, coefficients
+
+    rows, coefficients = benchmark(build)
+    print_table(
+        "Table I: Walsh functions for F = majority(x1,x2,x3)",
+        ["x1x2x3", "W2", "W1,3", "F", "W2F", "W1,3F", "WALL", "WALLF"],
+        rows,
+    )
+    print(f"coefficients: {coefficients}")
+    # Column sums equal the analyzer's coefficients.
+    assert coefficients["C2"] == sum(int(r[4]) for r in rows)
+    assert coefficients["C13"] == sum(int(r[5]) for r in rows)
+    assert coefficients["Call"] == sum(int(r[7]) for r in rows)
+    assert coefficients["C0"] == 0  # balanced function
+    assert abs(coefficients["Call"]) == 4
+
+
+def test_fig24_input_fault_theorem(benchmark):
+    """'If C_all != 0 then all stuck-at faults on primary inputs will
+    be detected by measuring C_all.  If the fault is present
+    C_all = 0.'"""
+    circuit = majority3()
+
+    def check():
+        walsh = WalshAnalyzer(circuit)
+        rows = []
+        for net in circuit.inputs:
+            for value in (0, 1):
+                _, c_all = walsh.faulty_coefficients(Fault(net, value))
+                rows.append((f"{net}/SA{value}", c_all))
+        return walsh.c_all(), rows, input_stuck_fault_theorem(walsh)
+
+    good_c_all, rows, theorem = benchmark(check)
+    print_table(
+        f"Fig. 24: C_all under input faults (good C_all = {good_c_all})",
+        ["fault", "faulty C_all"],
+        rows,
+    )
+    assert good_c_all != 0
+    assert all(c == 0 for _, c in rows)
+    assert theorem
+
+
+def test_fig25_two_pass_tester(benchmark):
+    def flow():
+        tester = WalshTester()
+        tester.characterize(majority3())
+        good = tester.test(majority3())
+        # A stuck-at-0 on input A via constant rebuild.
+        faulty = Circuit("maj_f")
+        base = majority3()
+        for pi in base.inputs:
+            faulty.add_input(pi)
+        for gate in base.gates:
+            inputs = ["__stuck" if n == "A" else n for n in gate.inputs]
+            faulty.add_gate(gate.kind, inputs, gate.output, gate.name)
+        faulty.add_gate(GateType.CONST0, [], "__stuck")
+        for po in base.outputs:
+            faulty.add_output(po)
+        bad = tester.test(faulty)
+        return good, bad
+
+    good, bad = benchmark(flow)
+    print_table(
+        "Fig. 25: up/down-counter Walsh tester (two driving passes)",
+        ["device", "verdict", "patterns"],
+        [
+            ("good majority", "PASS" if good.passed else "FAIL", good.patterns_applied),
+            ("A stuck-at-0", "PASS" if bad.passed else "FAIL", bad.patterns_applied),
+        ],
+    )
+    assert good.passed and not bad.passed
+    assert good.patterns_applied == 2 * 8  # two passes of the counter

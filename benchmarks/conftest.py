@@ -1,0 +1,25 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper and
+prints the rows it reports (visible with ``pytest -s``); assertions pin
+the *shape* of each result (who wins, by what rough factor) rather than
+absolute timings.
+"""
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a figure/table reproduction as an aligned text table."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))

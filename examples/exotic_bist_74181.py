@@ -1,0 +1,71 @@
+"""Syndrome, Walsh, and Autonomous testing on the SN74181 ALU (§V-B/C/D).
+
+The survey's three "exhaustive-flavored" self-test schemes, run against
+the same real network the original authors used:
+
+* Syndrome testing — count the 1's over all 2^n patterns; Savir's
+  modification makes the 74181 fully syndrome-testable with one extra
+  input and one gate;
+* Walsh testing — measure just C_0 and C_all;
+* Autonomous testing — sensitized partitioning tests the ALU with far
+  fewer than 2^14 patterns at full stuck-at coverage.
+
+Run:  python examples/exotic_bist_74181.py
+"""
+
+from repro.bist import (
+    SyndromeAnalyzer,
+    WalshAnalyzer,
+    make_syndrome_testable,
+    run_autonomous_test,
+    sensitized_partitions_74181,
+)
+from repro.circuits import alu74181, majority3
+from repro.faults import Fault
+
+
+def syndrome_demo(alu) -> None:
+    print("=== Syndrome testing (§V-B) ===")
+    analyzer = SyndromeAnalyzer(alu)
+    syndromes = analyzer.syndromes()
+    print("  syndromes:", {k: str(v) for k, v in list(syndromes.items())[:4]}, "...")
+    untestable = analyzer.untestable_faults()
+    print(f"  syndrome-untestable faults: {len(untestable)} "
+          f"({[f.name for f in untestable[:4]]} ...)")
+    report = make_syndrome_testable(alu)
+    print(
+        f"  Savir fix: +{len(report.extra_inputs)} input, "
+        f"+{report.extra_gates} gate(s) -> "
+        f"{len(report.remaining_untestable)} untestable remain "
+        "(paper: at most one input, two gates)"
+    )
+
+
+def walsh_demo() -> None:
+    print("\n=== Walsh-coefficient testing (§V-C) ===")
+    circuit = majority3()  # the paper's Fig. 24 function
+    walsh = WalshAnalyzer(circuit)
+    print(f"  C_0 = {walsh.c0()}, C_all = {walsh.c_all()}")
+    for net in circuit.inputs:
+        _, c_all = walsh.faulty_coefficients(Fault(net, 0))
+        print(f"  with {net}/SA0: C_all = {c_all} (theorem says 0)")
+
+
+def autonomous_demo(alu) -> None:
+    print("\n=== Autonomous testing (§V-D, Figs. 33-34) ===")
+    result = run_autonomous_test(alu, sensitized_partitions_74181())
+    print(f"  {result.summary()}")
+    for partition in result.partitions:
+        held = ", ".join(f"{k}={v}" for k, v in sorted(partition.held.items()))
+        print(
+            f"    {partition.name}: {partition.pattern_count} patterns, "
+            f"holding {held}"
+        )
+
+
+if __name__ == "__main__":
+    alu = alu74181()
+    print(f"device: {alu.stats()}\n")
+    syndrome_demo(alu)
+    walsh_demo()
+    autonomous_demo(alu)

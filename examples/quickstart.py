@@ -1,0 +1,42 @@
+"""Quickstart: faults, test generation, and fault simulation in 30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuits import c17
+from repro.faults import all_faults, collapse_faults
+from repro.atpg import generate_tests
+from repro.faultsim import FaultSimulator
+from repro.testability import analyze
+
+
+def main() -> None:
+    # 1. A circuit: the classic ISCAS-85 c17 benchmark (6 NAND gates).
+    circuit = c17()
+    print(circuit.stats())
+
+    # 2. The single stuck-at fault universe, before and after collapsing.
+    universe = all_faults(circuit)
+    collapsed = collapse_faults(circuit)
+    print(f"fault universe: {len(universe)} -> {len(collapsed)} collapsed")
+
+    # 3. Testability analysis (the paper's §II workflow).
+    report = analyze(circuit)
+    print(report.summary())
+    print("hardest to observe:", report.hardest_to_observe(3))
+
+    # 4. Automatic test pattern generation (PODEM + fault dropping).
+    result = generate_tests(circuit, method="podem", random_phase=8)
+    print(result.summary())
+    for index, pattern in enumerate(result.patterns):
+        bits = "".join(str(pattern[net]) for net in circuit.inputs)
+        print(f"  pattern {index}: {bits}  (inputs {', '.join(circuit.inputs)})")
+
+    # 5. Independent verification by fault simulation.
+    simulator = FaultSimulator(circuit, faults=universe)
+    verification = simulator.run(result.patterns)
+    print(f"verified against the full universe: {verification.summary()}")
+
+
+if __name__ == "__main__":
+    main()

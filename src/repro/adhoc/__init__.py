@@ -1,0 +1,56 @@
+"""Ad hoc DFT: partitioning, test points, buses, bed-of-nails, signature
+analysis at the board level."""
+
+from .partition import (
+    DegatedDesign,
+    insert_degating,
+    degate_oscillator,
+    PartitionPlan,
+    mechanical_partition,
+)
+from .test_points import (
+    TestPointPlan,
+    add_observation_points,
+    add_control_points,
+    add_clear_line,
+    decoder_control_points,
+    select_test_points,
+)
+from .bus import BusValue, BusPort, BusModule, BusBoard
+from .bed_of_nails import Board, BoardModule, NailContact, BedOfNailsTester
+from .sigboard import (
+    SignatureBoard,
+    SignatureAnalyzer,
+    probe_order,
+    diagnose,
+    module_loop_check,
+    jumpers_to_break_loops,
+)
+
+__all__ = [
+    "DegatedDesign",
+    "insert_degating",
+    "degate_oscillator",
+    "PartitionPlan",
+    "mechanical_partition",
+    "TestPointPlan",
+    "add_observation_points",
+    "add_control_points",
+    "add_clear_line",
+    "decoder_control_points",
+    "select_test_points",
+    "BusValue",
+    "BusPort",
+    "BusModule",
+    "BusBoard",
+    "Board",
+    "BoardModule",
+    "NailContact",
+    "BedOfNailsTester",
+    "SignatureBoard",
+    "SignatureAnalyzer",
+    "probe_order",
+    "diagnose",
+    "module_loop_check",
+    "jumpers_to_break_loops",
+]

@@ -1,0 +1,197 @@
+"""Bus-architecture boards (§III-C, Fig. 6).
+
+A bus-structured board exposes its data/address buses at the edge; any
+module can be three-stated off the bus, after which the bus drives the
+remaining module "as if it were a primary input."  The model here is at
+the board level: modules are netlists with declared bus ports; the
+:class:`BusBoard` resolves tri-state contention, isolates modules, and
+reproduces the paper's bus-fault localization problem (a stuck bus wire
+implicates *every* attached module).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit, NetlistError
+from ..sim.logic import LogicSimulator
+
+
+class BusValue(enum.Enum):
+    """BusValue: see the module docstring for context."""
+    FLOATING = "Z"
+    CONFLICT = "!"
+
+
+@dataclass
+class BusPort:
+    """A module's attachment to a bus: which outputs drive which lines."""
+
+    bus: str
+    nets: List[str]  # module output nets, one per bus line
+    direction: str = "out"  # "out" (tri-state driver) or "in" (receiver)
+
+
+@dataclass
+class BusModule:
+    """One chip on the board: a netlist plus its bus ports."""
+
+    name: str
+    circuit: Circuit
+    ports: List[BusPort] = field(default_factory=list)
+    enabled: Dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for port in self.ports:
+            if port.direction == "out":
+                self.enabled.setdefault(port.bus, True)
+
+    def driving_ports(self) -> List[BusPort]:
+        """Driving ports."""
+        return [
+            p
+            for p in self.ports
+            if p.direction == "out" and self.enabled.get(p.bus, False)
+        ]
+
+    def receiving_ports(self) -> List[BusPort]:
+        """Receiving ports."""
+        return [p for p in self.ports if p.direction == "in"]
+
+
+class BusBoard:
+    """A board of modules sharing tri-state buses."""
+
+    def __init__(self, name: str = "board") -> None:
+        self.name = name
+        self.buses: Dict[str, int] = {}  # name -> width
+        self.modules: Dict[str, BusModule] = {}
+        self.external_access: Set[str] = set()
+        self.stuck_lines: Dict[Tuple[str, int], int] = {}
+
+    def add_bus(self, name: str, width: int, external: bool = True) -> None:
+        """Add bus."""
+        self.buses[name] = width
+        if external:
+            self.external_access.add(name)
+
+    def add_module(self, module: BusModule) -> None:
+        """Add module."""
+        for port in module.ports:
+            if port.bus not in self.buses:
+                raise NetlistError(f"unknown bus {port.bus!r}")
+            if len(port.nets) != self.buses[port.bus]:
+                raise NetlistError(
+                    f"{module.name}.{port.bus}: {len(port.nets)} nets for a "
+                    f"{self.buses[port.bus]}-wide bus"
+                )
+        self.modules[module.name] = module
+
+    # -- tri-state control -------------------------------------------------
+    def set_enable(self, module: str, bus: str, enabled: bool) -> None:
+        """Set enable."""
+        self.modules[module].enabled[bus] = enabled
+
+    def isolate(self, module: str) -> None:
+        """Three-state every *other* module off every bus (§III-C)."""
+        for name, mod in self.modules.items():
+            for port in mod.ports:
+                if port.direction == "out":
+                    mod.enabled[port.bus] = name == module
+
+    def inject_stuck_line(self, bus: str, line: int, value: int) -> None:
+        """A stuck fault on the bus trace itself."""
+        self.stuck_lines[(bus, line)] = value
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault."""
+        self.stuck_lines.clear()
+
+    # -- resolution ----------------------------------------------------------
+    def resolve_bus(
+        self,
+        bus: str,
+        module_outputs: Mapping[str, Mapping[str, int]],
+        external_drive: Optional[Sequence[int]] = None,
+    ) -> List[object]:
+        """Resolve one bus's line values.
+
+        ``module_outputs[mod][net]`` are the computed output values of
+        each module; ``external_drive`` (tester) counts as one more
+        driver when the bus is externally accessible.  Returns a list
+        of 0/1, ``BusValue.FLOATING`` or ``BusValue.CONFLICT``.
+        """
+        width = self.buses[bus]
+        drivers_per_line: List[List[int]] = [[] for _ in range(width)]
+        for module in self.modules.values():
+            for port in module.driving_ports():
+                if port.bus != bus:
+                    continue
+                outputs = module_outputs.get(module.name, {})
+                for line, net in enumerate(port.nets):
+                    if net in outputs:
+                        drivers_per_line[line].append(outputs[net])
+        if external_drive is not None:
+            if bus not in self.external_access:
+                raise NetlistError(f"bus {bus!r} has no external access")
+            for line, value in enumerate(external_drive):
+                if value is not None:
+                    drivers_per_line[line].append(value)
+        resolved: List[object] = []
+        for line, drivers in enumerate(drivers_per_line):
+            if (bus, line) in self.stuck_lines:
+                resolved.append(self.stuck_lines[(bus, line)])
+                continue
+            values = set(drivers)
+            if not drivers:
+                resolved.append(BusValue.FLOATING)
+            elif len(values) > 1:
+                resolved.append(BusValue.CONFLICT)
+            else:
+                resolved.append(drivers[0])
+        return resolved
+
+    # -- the localization problem ----------------------------------------------
+    def suspects_for_stuck_line(self, bus: str) -> List[str]:
+        """Who might be holding the bus?  Everyone attached, plus the trace.
+
+        The paper: "If a bus wire is stuck, any module or the bus trace
+        itself may be the culprit... Isolating a bus failure may require
+        current measurements."
+        """
+        suspects = [
+            module.name
+            for module in self.modules.values()
+            if any(p.bus == bus and p.direction == "out" for p in module.ports)
+        ]
+        return sorted(suspects) + ["<bus trace>"]
+
+    def test_module_in_isolation(
+        self,
+        module_name: str,
+        patterns: Sequence[Mapping[str, int]],
+    ) -> List[Dict[str, int]]:
+        """Drive one module through the external bus access.
+
+        With every other module three-stated, the tester owns the buses
+        and the module is tested "as if [the bus] were a primary input".
+        Returns the module's output responses.
+        """
+        self.isolate(module_name)
+        module = self.modules[module_name]
+        sim = LogicSimulator(module.circuit)
+        responses = []
+        for pattern in patterns:
+            values = sim.run(
+                {
+                    net: pattern.get(net, 0)
+                    for net in sim.free_nets
+                }
+            )
+            responses.append(
+                {net: values[net] for net in module.circuit.outputs}
+            )
+        return responses

@@ -1,0 +1,193 @@
+"""Ad hoc partitioning: degating and divide-and-conquer (§III-A).
+
+Because test generation cost grows like ``N**3`` (Eq. 1), cutting a
+network into independently testable pieces wins cubically.  Three
+mechanisms from the paper:
+
+* **mechanical partition** — split the netlist, pay for jumpers/pins;
+* **degating** (Fig. 2) — AND/OR gates let a control line disconnect
+  one module's outputs and substitute tester-driven values;
+* **oscillator degating** (Fig. 3) — the special case everyone hits:
+  block the free-running oscillator and substitute a tester-controlled
+  pseudo-clock so dc testing can be synchronized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gates import GateType
+
+
+@dataclass
+class DegatedDesign:
+    """A netlist with degating inserted on selected nets.
+
+    ``DEGATE = 1`` is normal operation; ``DEGATE = 0`` disconnects each
+    degated net's driver and substitutes its ``CTRL_*`` primary input.
+    """
+
+    circuit: Circuit
+    original: Circuit
+    degate_input: str
+    control_inputs: Dict[str, str]  # original net -> control PI
+
+    @property
+    def extra_gates(self) -> int:
+        """Extra gates."""
+        return len(self.circuit) - len(self.original)
+
+    @property
+    def extra_pins(self) -> int:
+        """Extra pins."""
+        return 1 + len(self.control_inputs)
+
+
+def insert_degating(
+    circuit: Circuit,
+    nets: Sequence[str],
+    degate_input: str = "DEGATE",
+) -> DegatedDesign:
+    """Insert Fig. 2 degating logic on the given nets."""
+    for net in nets:
+        if net not in circuit:
+            raise NetlistError(f"net {net!r} not in circuit")
+        if circuit.is_input(net):
+            raise NetlistError(f"{net!r} is a primary input; degating is moot")
+    degated = Circuit(f"{circuit.name}_degated")
+    for pi in circuit.inputs:
+        degated.add_input(pi)
+    degated.add_input(degate_input)
+    degated.not_(degate_input, f"__{degate_input}_b")
+
+    control_inputs: Dict[str, str] = {}
+    replacement: Dict[str, str] = {}
+    for net in nets:
+        control = f"CTRL_{net}"
+        degated.add_input(control)
+        control_inputs[net] = control
+        replacement[net] = f"__{net}_degated"
+
+    for gate in circuit.gates:
+        inputs = [replacement.get(n, n) for n in gate.inputs]
+        degated.add_gate(gate.kind, inputs, gate.output, gate.name)
+
+    for net in nets:
+        blocked = f"__{net}_blk"
+        injected = f"__{net}_inj"
+        degated.and_([net, degate_input], blocked)
+        degated.and_([control_inputs[net], f"__{degate_input}_b"], injected)
+        degated.or_([blocked, injected], replacement[net])
+
+    for po in circuit.outputs:
+        degated.add_output(replacement.get(po, po))
+    degated.validate()
+    return DegatedDesign(degated, circuit, degate_input, control_inputs)
+
+
+def degate_oscillator(
+    circuit: Circuit,
+    oscillator_net: str,
+    degate_input: str = "OSC_DEGATE",
+    pseudo_clock: str = "PSEUDO_CLK",
+) -> DegatedDesign:
+    """Fig. 3: block a free-running oscillator, substitute a tester clock.
+
+    ``oscillator_net`` must be a primary input here (the oscillator
+    module itself is off-netlist); its readers are rewired through the
+    degate structure.
+    """
+    if not circuit.is_input(oscillator_net):
+        raise NetlistError("model the oscillator as a primary input")
+    degated = Circuit(f"{circuit.name}_oscdegated")
+    for pi in circuit.inputs:
+        degated.add_input(pi)
+    degated.add_input(degate_input)
+    degated.add_input(pseudo_clock)
+    degated.not_(degate_input, "__osc_deg_b")
+    gated = f"__{oscillator_net}_gated"
+    degated.and_([oscillator_net, degate_input], "__osc_blk")
+    degated.and_([pseudo_clock, "__osc_deg_b"], "__osc_inj")
+    degated.or_(["__osc_blk", "__osc_inj"], gated)
+    for gate in circuit.gates:
+        inputs = [gated if n == oscillator_net else n for n in gate.inputs]
+        degated.add_gate(gate.kind, inputs, gate.output, gate.name)
+    for po in circuit.outputs:
+        degated.add_output(po)
+    degated.validate()
+    return DegatedDesign(
+        degated, circuit, degate_input, {oscillator_net: pseudo_clock}
+    )
+
+
+@dataclass
+class PartitionPlan:
+    """A mechanical partition of a netlist into independent pieces."""
+
+    pieces: List[Circuit]
+    jumper_nets: List[str]  # nets cut: outputs of one piece, inputs of another
+
+    @property
+    def extra_pins(self) -> int:
+        # Each cut net leaves one piece and enters another: 2 pins.
+        """Extra pins."""
+        return 2 * len(self.jumper_nets)
+
+    def cost_model_gain(self, exponent: float = 3.0) -> float:
+        """Test-cost ratio whole/partitioned under T = K N^e."""
+        whole = sum(len(p) for p in self.pieces) ** exponent
+        parts = sum(len(p) ** exponent for p in self.pieces)
+        return whole / parts if parts else 1.0
+
+
+def mechanical_partition(circuit: Circuit, parts: int) -> PartitionPlan:
+    """Split a combinational netlist into ``parts`` level-contiguous slabs.
+
+    Gates are ordered topologically and divided into equal chunks; any
+    net crossing a chunk boundary becomes a jumper (an output of the
+    earlier piece and an input of the later one) — the paper's off-board
+    wire trick, with its I/O-pin cost made explicit.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    order = circuit.topological_order()
+    if not order:
+        raise NetlistError("nothing to partition")
+    chunk = (len(order) + parts - 1) // parts
+    assignments: Dict[str, int] = {}
+    for index, gate in enumerate(order):
+        assignments[gate.name] = index // chunk
+
+    pieces: List[Circuit] = []
+    jumpers: List[str] = []
+    jumper_set = set()
+    for piece_index in range(parts):
+        piece = Circuit(f"{circuit.name}_part{piece_index}")
+        members = [g for g in order if assignments[g.name] == piece_index]
+        if not members:
+            continue
+        member_outputs = {g.output for g in members}
+        external: List[str] = []
+        for gate in members:
+            for net in gate.inputs:
+                if net not in member_outputs and net not in external:
+                    external.append(net)
+        for net in external:
+            piece.add_input(net)
+            if not circuit.is_input(net) and net not in jumper_set:
+                jumper_set.add(net)
+                jumpers.append(net)
+        for gate in members:
+            piece.add_gate(gate.kind, gate.inputs, gate.output, gate.name)
+        for net in member_outputs:
+            crosses = net in circuit.outputs or any(
+                assignments[reader.name] != piece_index
+                for reader in circuit.fanout_of(net)
+            )
+            if crosses:
+                piece.add_output(net)
+        piece.validate()
+        pieces.append(piece)
+    return PartitionPlan(pieces, jumpers)

@@ -1,0 +1,216 @@
+"""Board-level Signature Analysis (§III-D, Fig. 8).
+
+The discipline, as the paper lays it out:
+
+* the board must **stimulate itself** (here: an on-board LFSR or
+  counter drives the logic for a fixed number of clocks from a known
+  reset);
+* the external **signature analysis tool** — a probe feeding a 16-bit
+  LFSR synchronized to the board clock — compresses each probed net's
+  response into a signature;
+* **closed loops must be broken** (jumpers) or an upstream culprit is
+  indistinguishable from the probed module;
+* probing starts from a **kernel** (the free-running stimulus source)
+  and works outward.
+
+:class:`SignatureBoard` packages a sequential netlist with its
+self-stimulation; :class:`SignatureAnalyzer` is the tool;
+:func:`diagnose` walks nets kernel-outward to the first bad signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gates import GateType
+from ..lfsr.signature import SignatureRegister
+from ..lfsr.polynomials import primitive_polynomial
+from ..sim.sequential import SequentialSimulator
+
+
+class SignatureBoard:
+    """A self-stimulating board: sequential netlist + reset + clock count.
+
+    ``circuit`` must initialize itself: all flip-flops are reset to 0
+    at the start of every measurement (the paper: "the board must also
+    have some initialization, so that its response will be repeated").
+    Free inputs are held at constants during self-test.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        cycles: int,
+        input_hold: Optional[Mapping[str, int]] = None,
+        initial_state: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.cycles = cycles
+        self.input_hold = dict(input_hold or {})
+        self.initial_state = dict(initial_state or {})
+        self._stuck: Dict[str, int] = {}
+
+    def inject_fault(self, net: str, value: int) -> None:
+        """Stem stuck-at fault on a board net (the defect under test)."""
+        if net not in self.circuit:
+            raise NetlistError(f"net {net!r} not on board")
+        self._stuck[net] = value
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault."""
+        self._stuck.clear()
+
+    def trace(self, nets: Sequence[str]) -> Dict[str, List[int]]:
+        """Clock the board from reset; record each listed net per cycle."""
+        from ..netlist.gates import evaluate
+
+        sim = SequentialSimulator(self.circuit)
+        sim.reset(V.ZERO)
+        if self.initial_state:
+            sim.set_state(self.initial_state)
+        order = self.circuit.topological_order()
+        flops = self.circuit.flip_flops
+        history: Dict[str, List[int]] = {net: [] for net in nets}
+        inputs = {net: self.input_hold.get(net, 0) for net in self.circuit.inputs}
+        for _ in range(self.cycles):
+            net_values: Dict[str, int] = dict(inputs)
+            for flop in flops:
+                net_values[flop.output] = sim.state[flop.output]
+            for net, value in self._stuck.items():
+                if net in net_values:
+                    net_values[net] = value
+            for gate in order:
+                value = evaluate(
+                    gate.kind, tuple(net_values[n] for n in gate.inputs)
+                )
+                if gate.output in self._stuck:
+                    value = self._stuck[gate.output]
+                net_values[gate.output] = value
+            for net in nets:
+                history[net].append(net_values[net])
+            sim.state.update(
+                {flop.output: net_values[flop.inputs[0]] for flop in flops}
+            )
+        return history
+
+
+class SignatureAnalyzer:
+    """The external tool: probe + synchronized LFSR (Fig. 8)."""
+
+    def __init__(self, bits: int = 16, poly: Optional[int] = None) -> None:
+        self.register = SignatureRegister(
+            poly if poly is not None else primitive_polynomial(bits)
+        )
+
+    def signature(self, stream: Sequence[int]) -> int:
+        """Compress one probed net's stream; X bits count as 0.
+
+        A real probe sees a voltage either way; modeling X as 0 keeps
+        measurements repeatable, which is the tool's own requirement.
+        """
+        bits = [1 if b == 1 else 0 for b in stream]
+        return self.register.signature_of(bits)
+
+    def characterize(
+        self, board: SignatureBoard, nets: Sequence[str]
+    ) -> Dict[str, int]:
+        """Golden signatures for every listed net of the good board."""
+        history = board.trace(nets)
+        return {net: self.signature(history[net]) for net in nets}
+
+
+def probe_order(board: SignatureBoard, kernel: Sequence[str]) -> List[str]:
+    """Kernel-outward probing order (§III-D).
+
+    Start at the kernel nets (the self-stimulation source's outputs)
+    and breadth-first-walk the net graph forward, so every probed net's
+    upstream has been vouched for before it is blamed.
+    """
+    circuit = board.circuit
+    order: List[str] = []
+    seen: Set[str] = set()
+    frontier = list(kernel)
+    while frontier:
+        next_frontier: List[str] = []
+        for net in frontier:
+            if net in seen:
+                continue
+            seen.add(net)
+            order.append(net)
+            for gate in circuit.fanout_of(net):
+                if gate.output not in seen:
+                    next_frontier.append(gate.output)
+        frontier = next_frontier
+    return order
+
+
+def diagnose(
+    board: SignatureBoard,
+    golden: Mapping[str, int],
+    kernel: Sequence[str],
+    analyzer: Optional[SignatureAnalyzer] = None,
+) -> Optional[str]:
+    """Probe kernel-outward; return the first net with a bad signature.
+
+    That net's driver (or the net itself) is the repair callout — valid
+    only because probing order guarantees everything upstream already
+    matched.
+    """
+    tool = analyzer or SignatureAnalyzer()
+    order = [net for net in probe_order(board, kernel) if net in golden]
+    history = board.trace(order)
+    for net in order:
+        if tool.signature(history[net]) != golden[net]:
+            return net
+    return None
+
+
+def module_loop_check(module_graph: Mapping[str, Iterable[str]]) -> List[List[str]]:
+    """Find closed loops in a module-level connection graph.
+
+    The paper's rule one: "closed-loop paths must be broken at the
+    board level."  Returns the strongly-connected components with more
+    than one module (or self-loops) — each needs a jumper.
+    """
+    graph = nx.DiGraph()
+    for module, successors in module_graph.items():
+        graph.add_node(module)
+        for successor in successors:
+            graph.add_edge(module, successor)
+    loops = []
+    for component in nx.strongly_connected_components(graph):
+        members = sorted(component)
+        if len(members) > 1 or graph.has_edge(members[0], members[0]):
+            loops.append(members)
+    return loops
+
+
+def jumpers_to_break_loops(
+    module_graph: Mapping[str, Iterable[str]]
+) -> List[Tuple[str, str]]:
+    """A set of edges whose removal leaves the module graph acyclic.
+
+    Greedy: within each cyclic SCC, repeatedly drop one edge of some
+    cycle until none remain.  The count is the board's jumper overhead
+    for Signature Analysis readiness.
+    """
+    graph = nx.DiGraph()
+    for module, successors in module_graph.items():
+        graph.add_node(module)
+        for successor in successors:
+            graph.add_edge(module, successor)
+    removed: List[Tuple[str, str]] = []
+    while True:
+        try:
+            cycle = nx.find_cycle(graph)
+        except nx.NetworkXNoCycle:
+            break
+        edge = cycle[0][:2]
+        graph.remove_edge(*edge)
+        removed.append(edge)
+    return removed

@@ -1,0 +1,193 @@
+"""Test points: extra inputs and outputs for hard nets (§III-B, Fig. 4).
+
+A test point used as a primary output buys observability; used as a
+primary input (behind degating) it buys controllability; a CLEAR/PRESET
+pin buys *predictability* — "the sequential machine can be put into a
+known state with very few patterns."  Selection is driven by the
+testability measures of §II, closing the loop the paper describes:
+run the analysis program, then fix what it flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gates import GateType
+from ..testability.scoap import TestabilityReport, analyze
+
+
+@dataclass
+class TestPointPlan:
+    """Chosen control/observe points and the instrumented netlist."""
+
+    circuit: Circuit
+    original: Circuit
+    observe_points: List[str]
+    control_points: Dict[str, str]  # net -> control PI
+    test_mode_input: Optional[str]
+
+    @property
+    def extra_pins(self) -> int:
+        """Extra pins."""
+        pins = len(self.observe_points) + len(self.control_points)
+        if self.test_mode_input:
+            pins += 1
+        return pins
+
+    @property
+    def extra_gates(self) -> int:
+        """Extra gates."""
+        return len(self.circuit) - len(self.original)
+
+
+def add_observation_points(circuit: Circuit, nets: Sequence[str]) -> Circuit:
+    """Expose internal nets as primary outputs (buffered)."""
+    result = circuit.copy(f"{circuit.name}_obs")
+    for net in nets:
+        if net not in result:
+            raise NetlistError(f"net {net!r} not in circuit")
+        tp = f"TP_{net}"
+        result.buf(net, tp)
+        result.add_output(tp)
+    return result
+
+
+def add_control_points(
+    circuit: Circuit,
+    nets: Sequence[str],
+    test_mode_input: str = "TEST_MODE",
+) -> TestPointPlan:
+    """Insert controllability points: in test mode each chosen net is
+    replaced by its ``CP_*`` primary input (a 2:1 mux in gates)."""
+    for net in nets:
+        if net not in circuit or circuit.is_input(net):
+            raise NetlistError(f"{net!r} is not an internal net")
+    instrumented = Circuit(f"{circuit.name}_cp")
+    for pi in circuit.inputs:
+        instrumented.add_input(pi)
+    instrumented.add_input(test_mode_input)
+    instrumented.not_(test_mode_input, "__tm_b")
+    controls: Dict[str, str] = {}
+    replacement: Dict[str, str] = {}
+    for net in nets:
+        control = f"CP_{net}"
+        instrumented.add_input(control)
+        controls[net] = control
+        replacement[net] = f"__{net}_cp"
+    for gate in circuit.gates:
+        inputs = [replacement.get(n, n) for n in gate.inputs]
+        instrumented.add_gate(gate.kind, inputs, gate.output, gate.name)
+    for net in nets:
+        instrumented.and_([net, "__tm_b"], f"__{net}_sys")
+        instrumented.and_([controls[net], test_mode_input], f"__{net}_tst")
+        instrumented.or_([f"__{net}_sys", f"__{net}_tst"], replacement[net])
+    for po in circuit.outputs:
+        instrumented.add_output(replacement.get(po, po))
+    instrumented.validate()
+    return TestPointPlan(
+        instrumented, circuit, [], controls, test_mode_input
+    )
+
+
+def add_clear_line(circuit: Circuit, clear_input: str = "CLEAR") -> Circuit:
+    """Synchronous CLEAR to every flip-flop (§III-B predictability).
+
+    One pulse puts the whole machine in the all-zeros state — the
+    "known state with very few patterns" the paper asks for.
+    """
+    if circuit.is_combinational:
+        raise NetlistError("no flip-flops to clear")
+    result = Circuit(f"{circuit.name}_clr")
+    for pi in circuit.inputs:
+        result.add_input(pi)
+    result.add_input(clear_input)
+    result.not_(clear_input, "__clr_b")
+    for gate in circuit.gates:
+        if gate.kind is GateType.DFF:
+            gated = f"__{gate.name}_clrd"
+            result.and_([gate.inputs[0], "__clr_b"], gated)
+            result.dff(gated, gate.output, name=gate.name)
+        else:
+            result.add_gate(gate.kind, gate.inputs, gate.output, gate.name)
+    for po in circuit.outputs:
+        result.add_output(po)
+    result.validate()
+    return result
+
+
+def decoder_control_points(
+    circuit: Circuit,
+    nets: Sequence[str],
+    test_mode_input: str = "TEST_MODE",
+) -> TestPointPlan:
+    """The §III-B decoder trick: N select pins force 2**N nets.
+
+    In test mode the select lines address one of the chosen nets and
+    force it to 1 (others keep their system values), so many
+    hard-to-set nets share a handful of pins.
+    """
+    import math
+
+    count = len(nets)
+    if count == 0:
+        raise ValueError("no nets given")
+    select_bits = max(1, math.ceil(math.log2(count))) if count > 1 else 1
+    instrumented = Circuit(f"{circuit.name}_dcp")
+    for pi in circuit.inputs:
+        instrumented.add_input(pi)
+    instrumented.add_input(test_mode_input)
+    selects = [instrumented.add_input(f"TSEL{i}") for i in range(select_bits)]
+    for i, sel in enumerate(selects):
+        instrumented.not_(sel, f"__tselb{i}")
+    replacement = {net: f"__{net}_forced" for net in nets}
+    for gate in circuit.gates:
+        inputs = [replacement.get(n, n) for n in gate.inputs]
+        instrumented.add_gate(gate.kind, inputs, gate.output, gate.name)
+    for index, net in enumerate(nets):
+        literals = [test_mode_input]
+        for bit in range(select_bits):
+            literals.append(
+                selects[bit] if (index >> bit) & 1 else f"__tselb{bit}"
+            )
+        instrumented.and_(literals, f"__dec_{net}")
+        instrumented.or_([net, f"__dec_{net}"], replacement[net])
+    for po in circuit.outputs:
+        instrumented.add_output(replacement.get(po, po))
+    instrumented.validate()
+    return TestPointPlan(
+        instrumented,
+        circuit,
+        [],
+        {net: "decoder" for net in nets},
+        test_mode_input,
+    )
+
+
+def select_test_points(
+    circuit: Circuit,
+    observe_budget: int,
+    control_budget: int,
+    report: Optional[TestabilityReport] = None,
+) -> Tuple[List[str], List[str]]:
+    """Pick the worst nets per the §II analysis-program workflow.
+
+    Returns (observe_nets, control_nets): the hardest-to-observe and
+    hardest-to-control internal nets within the given pin budgets.
+    """
+    if report is None:
+        report = analyze(circuit)
+    internal = [
+        net
+        for net in circuit.nets()
+        if not circuit.is_input(net) and net not in circuit.outputs
+    ]
+    observe = sorted(
+        internal, key=lambda n: -min(report.measures[n].co, 1e18)
+    )[:observe_budget]
+    control = sorted(
+        internal,
+        key=lambda n: -min(report.measures[n].controllability, 1e18),
+    )[:control_budget]
+    return observe, control

@@ -1,0 +1,81 @@
+"""Automatic test pattern generation: PODEM, D-algorithm, random, oracles."""
+
+from .podem import PodemGenerator, PodemResult
+from .d_algorithm import DAlgorithm
+from .random_gen import (
+    random_patterns,
+    weighted_random_patterns,
+    AdaptiveRandomGenerator,
+    exhaustive_patterns,
+    fill_dont_cares,
+)
+from .boolean_difference import (
+    detecting_minterms,
+    is_redundant,
+    boolean_difference,
+    minterm_to_pattern,
+)
+from .compaction import merge_cubes, fill_cubes, reverse_order_compaction
+from .api import generate_tests, TestGenerationResult
+from .pla_crosspoint import (
+    CrosspointKind,
+    CrosspointFault,
+    CrosspointTestGenerator,
+    enumerate_crosspoint_faults,
+    apply_crosspoint_fault,
+    generate_crosspoint_tests,
+)
+from .timeframe import (
+    unroll,
+    frame_net,
+    SequentialTest,
+    SequentialAtpgResult,
+    TimeFrameAtpg,
+)
+from .delay import (
+    Edge,
+    TransitionFault,
+    TransitionTest,
+    TransitionTestGenerator,
+    TransitionFaultSimulator,
+    all_transition_faults,
+    generate_transition_tests,
+)
+
+__all__ = [
+    "CrosspointKind",
+    "CrosspointFault",
+    "CrosspointTestGenerator",
+    "enumerate_crosspoint_faults",
+    "apply_crosspoint_fault",
+    "generate_crosspoint_tests",
+    "unroll",
+    "frame_net",
+    "SequentialTest",
+    "SequentialAtpgResult",
+    "TimeFrameAtpg",
+    "Edge",
+    "TransitionFault",
+    "TransitionTest",
+    "TransitionTestGenerator",
+    "TransitionFaultSimulator",
+    "all_transition_faults",
+    "generate_transition_tests",
+    "PodemGenerator",
+    "PodemResult",
+    "DAlgorithm",
+    "random_patterns",
+    "weighted_random_patterns",
+    "AdaptiveRandomGenerator",
+    "exhaustive_patterns",
+    "fill_dont_cares",
+    "detecting_minterms",
+    "is_redundant",
+    "boolean_difference",
+    "minterm_to_pattern",
+    "merge_cubes",
+    "fill_cubes",
+    "reverse_order_compaction",
+    "generate_tests",
+    "TestGenerationResult",
+]

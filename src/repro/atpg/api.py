@@ -1,0 +1,186 @@
+"""Top-level deterministic test-generation flow.
+
+The classic mixed flow the mainframe CAD systems of the paper's era ran
+(Bottorff et al. [78]):
+
+1. optional random-pattern *phase 1* mops up the easy faults cheaply;
+2. a deterministic engine (PODEM or the D-algorithm) targets each
+   remaining collapsed fault, with fault dropping after every pattern;
+3. don't-care merge compaction and random fill;
+4. a final fault-simulation pass produces the signed-off coverage.
+
+Every emitted pattern is verified by fault simulation before being
+trusted — an engine bug can therefore lower coverage but never inflate
+the report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..faults.stuck_at import Fault
+from ..faults.collapse import collapse_faults
+from ..faultsim.parallel_pattern import FaultSimulator
+from ..faultsim.coverage import CoverageReport
+from .podem import PodemGenerator, PodemResult
+from .d_algorithm import DAlgorithm
+from .random_gen import random_patterns
+from .compaction import merge_cubes, fill_cubes
+
+Pattern = Dict[str, int]
+
+
+@dataclass
+class TestGenerationResult:
+    """Everything a test-floor hand-off needs."""
+
+    circuit_name: str
+    method: str
+    patterns: List[Pattern]
+    report: CoverageReport
+    redundant: List[Fault] = field(default_factory=list)
+    aborted: List[Fault] = field(default_factory=list)
+    total_backtracks: int = 0
+    random_phase_patterns: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Detected fraction of the fault list."""
+        return self.report.coverage
+
+    @property
+    def testable_coverage(self) -> float:
+        """Coverage over the non-redundant faults only."""
+        testable = len(self.report.faults) - len(self.redundant)
+        if testable <= 0:
+            return 1.0
+        return len(self.report.first_detection) / testable
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.circuit_name} [{self.method}]: {len(self.patterns)} patterns, "
+            f"coverage {self.coverage:.1%} "
+            f"({self.testable_coverage:.1%} of testable), "
+            f"{len(self.redundant)} redundant, {len(self.aborted)} aborted"
+        )
+
+
+def generate_tests(
+    circuit: Circuit,
+    method: str = "podem",
+    faults: Optional[Sequence[Fault]] = None,
+    random_phase: int = 32,
+    backtrack_limit: int = 10000,
+    compact: bool = True,
+    seed: int = 0,
+) -> TestGenerationResult:
+    """Run the full deterministic ATPG flow on a combinational circuit.
+
+    ``method`` is ``"podem"`` or ``"dalg"``.  ``random_phase`` patterns
+    of uniform random stimulus run first (0 disables).  Returns fully
+    specified patterns plus the verified coverage report.
+    """
+    if method not in ("podem", "dalg"):
+        raise ValueError(f"unknown ATPG method {method!r}")
+    fault_list = list(faults) if faults is not None else collapse_faults(circuit)
+    simulator = FaultSimulator(circuit, faults=fault_list)
+    rng = random.Random(seed)
+
+    undetected = list(fault_list)
+    accepted: List[Pattern] = []
+    cubes: List[Dict[str, Optional[int]]] = []
+
+    random_used = 0
+    if random_phase:
+        candidates = random_patterns(circuit, random_phase, seed=seed)
+        phase_report = simulator.run(candidates)
+        # Keep only useful random patterns, in first-detection order.
+        useful_indices = sorted(
+            {index for index in phase_report.first_detection.values()}
+        )
+        for index in useful_indices:
+            accepted.append(candidates[index])
+        random_used = len(useful_indices)
+        detected = set(phase_report.first_detection)
+        undetected = [f for f in undetected if f not in detected]
+
+    engine = (
+        PodemGenerator(circuit, backtrack_limit=backtrack_limit)
+        if method == "podem"
+        else DAlgorithm(circuit, backtrack_limit=backtrack_limit)
+    )
+
+    redundant: List[Fault] = []
+    aborted: List[Fault] = []
+    total_backtracks = 0
+    queue = list(undetected)
+    dropped: set = set()
+    while queue:
+        fault = queue.pop(0)
+        if fault in dropped:
+            continue
+        result: PodemResult = engine.generate(fault)
+        total_backtracks += result.backtracks
+        if result.pattern is None:
+            (redundant if result.redundant else aborted).append(fault)
+            continue
+        filled = {
+            net: (value if value is not None else rng.randint(0, 1))
+            for net, value in result.pattern.items()
+        }
+        if not simulator.detects(filled, fault):
+            # Engine produced an unsound cube: treat as aborted, never
+            # inflate coverage.
+            aborted.append(fault)
+            continue
+        cubes.append(dict(result.pattern))
+        # Fault-drop everything this pattern catches.
+        for other in simulator.detected_faults(filled):
+            dropped.add(other)
+
+    if compact and cubes:
+        cubes = merge_cubes(cubes, circuit.inputs)
+    deterministic = fill_cubes(cubes, circuit.inputs, seed=seed + 1)
+    patterns = accepted + deterministic
+
+    # Repair rounds: merge compaction changes the random fill, which can
+    # lose faults that were only detected by fill coincidence.  Re-target
+    # anything still undetected, appending uncompacted patterns.
+    final_report = simulator.run(patterns)
+    for _ in range(3):
+        missing = [
+            f
+            for f in final_report.undetected
+            if f not in redundant and f not in aborted
+        ]
+        if not missing:
+            break
+        for fault in missing:
+            result = engine.generate(fault)
+            total_backtracks += result.backtracks
+            if result.pattern is None:
+                (redundant if result.redundant else aborted).append(fault)
+                continue
+            filled = {
+                net: (value if value is not None else rng.randint(0, 1))
+                for net, value in result.pattern.items()
+            }
+            if simulator.detects(filled, fault):
+                patterns.append(filled)
+            else:
+                aborted.append(fault)
+        final_report = simulator.run(patterns)
+    return TestGenerationResult(
+        circuit_name=circuit.name,
+        method=method,
+        patterns=patterns,
+        report=final_report,
+        redundant=redundant,
+        aborted=aborted,
+        total_backtracks=total_backtracks,
+        random_phase_patterns=random_used,
+    )

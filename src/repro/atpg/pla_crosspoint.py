@@ -1,0 +1,251 @@
+"""PLA crosspoint fault testing (Muehldorf & Williams [84]).
+
+A PLA's physical defects are **crosspoints**, not gate pins: a
+programmed device in the AND/OR plane can be missing, or an
+unprogrammed site can short.  Four fault types result:
+
+* **growth** (missing AND crosspoint) — a product term loses a literal
+  and covers more of the input space;
+* **shrinkage** (extra AND crosspoint) — a term gains a literal;
+* **disappearance** (missing OR crosspoint) — a term drops from an
+  output's sum;
+* **appearance** (extra OR crosspoint) — a term joins an output it
+  never fed.
+
+Reference [84]'s point is that ordinary stuck-at patterns do not cover
+these; this module enumerates the crosspoint universe, builds exact
+faulty machines, generates one test per detectable fault via the
+packed exhaustive oracle, and measures how badly a stuck-at test set
+undershoots (regenerated in the benchmarks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuits.pla import Pla, ProductTerm
+from ..netlist.circuit import NetlistError
+from ..sim.packed import PackedPatternSet, PackedSimulator
+
+Pattern = Mapping[str, int]
+
+MAX_PLA_INPUTS = 20
+
+
+class CrosspointKind(enum.Enum):
+    """CrosspointKind: see the module docstring for context."""
+    GROWTH = "growth"              # missing AND device: literal lost
+    SHRINKAGE = "shrinkage"        # extra AND device: literal gained
+    DISAPPEARANCE = "disappearance"  # missing OR device: term lost
+    APPEARANCE = "appearance"      # extra OR device: term gained
+
+
+@dataclass(frozen=True)
+class CrosspointFault:
+    """One crosspoint defect.
+
+    ``term`` indexes the product term.  For AND-plane faults ``inp``
+    is the input column and ``polarity`` the literal involved; for
+    OR-plane faults ``output`` is the affected output.
+    """
+
+    kind: CrosspointKind
+    term: int
+    inp: Optional[int] = None
+    polarity: Optional[int] = None
+    output: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identifier."""
+        if self.kind in (CrosspointKind.GROWTH, CrosspointKind.SHRINKAGE):
+            literal = f"I{self.inp}" if self.polarity else f"~I{self.inp}"
+            return f"{self.kind.value}(P{self.term}, {literal})"
+        return f"{self.kind.value}(P{self.term}, O{self.output})"
+
+
+def enumerate_crosspoint_faults(pla: Pla) -> List[CrosspointFault]:
+    """The complete single-crosspoint fault universe."""
+    faults: List[CrosspointFault] = []
+    for t_index, term in enumerate(pla.terms):
+        programmed = dict(term.literals)
+        for inp, polarity in term.literals:
+            faults.append(
+                CrosspointFault(CrosspointKind.GROWTH, t_index, inp, polarity)
+            )
+        for inp in range(pla.num_inputs):
+            if inp in programmed:
+                continue
+            for polarity in (0, 1):
+                faults.append(
+                    CrosspointFault(
+                        CrosspointKind.SHRINKAGE, t_index, inp, polarity
+                    )
+                )
+    for o_index, term_indices in enumerate(pla.outputs):
+        connected = set(term_indices)
+        for t_index in range(len(pla.terms)):
+            if t_index in connected:
+                faults.append(
+                    CrosspointFault(
+                        CrosspointKind.DISAPPEARANCE, t_index, output=o_index
+                    )
+                )
+            else:
+                faults.append(
+                    CrosspointFault(
+                        CrosspointKind.APPEARANCE, t_index, output=o_index
+                    )
+                )
+    return faults
+
+
+def apply_crosspoint_fault(pla: Pla, fault: CrosspointFault) -> Pla:
+    """Build the faulty PLA."""
+    faulty = Pla(f"{pla.name}+{fault.name}", pla.num_inputs)
+    for t_index, term in enumerate(pla.terms):
+        literals = dict(term.literals)
+        if t_index == fault.term:
+            if fault.kind is CrosspointKind.GROWTH:
+                literals.pop(fault.inp, None)
+            elif fault.kind is CrosspointKind.SHRINKAGE:
+                literals[fault.inp] = fault.polarity
+        faulty.terms.append(ProductTerm.from_dict(literals))
+    for o_index, term_indices in enumerate(pla.outputs):
+        indices = list(term_indices)
+        if fault.output == o_index:
+            if fault.kind is CrosspointKind.DISAPPEARANCE:
+                indices = [i for i in indices if i != fault.term]
+            elif fault.kind is CrosspointKind.APPEARANCE:
+                indices.append(fault.term)
+        faulty.outputs.append(indices)
+    return faulty
+
+
+class CrosspointTestGenerator:
+    """Exact crosspoint test generation via packed exhaustive compare."""
+
+    def __init__(self, pla: Pla) -> None:
+        if pla.num_inputs > MAX_PLA_INPUTS:
+            raise NetlistError(
+                f"{pla.num_inputs} inputs exceed the exhaustive limit"
+            )
+        self.pla = pla
+        self.circuit = pla.to_circuit()
+        self._sim = PackedSimulator(self.circuit)
+        self._packed = PackedPatternSet.exhaustive(list(self.circuit.inputs))
+        self._good = self._sim.run(self._packed)
+
+    def _difference_word(self, fault: CrosspointFault) -> int:
+        faulty_pla = apply_crosspoint_fault(self.pla, fault)
+        faulty_circuit = faulty_pla.to_circuit()
+        # Output names O* match between good and faulty lowerings; the
+        # faulty circuit may have different internal structure.
+        sim = PackedSimulator(faulty_circuit)
+        packed = PackedPatternSet.exhaustive(list(faulty_circuit.inputs))
+        faulty = sim.run(packed)
+        difference = 0
+        for net in self.circuit.outputs:
+            difference |= (self._good[net] ^ faulty[net]) & self._packed.mask
+        return difference
+
+    def generate(self, fault: CrosspointFault) -> Optional[Dict[str, int]]:
+        """One detecting pattern, or None when the fault is redundant."""
+        difference = self._difference_word(fault)
+        if not difference:
+            return None
+        minterm = (difference & -difference).bit_length() - 1
+        return {
+            net: (minterm >> position) & 1
+            for position, net in enumerate(self.circuit.inputs)
+        }
+
+    def detects(self, pattern: Pattern, fault: CrosspointFault) -> bool:
+        """Does the pattern expose this crosspoint fault?"""
+        minterm = sum(
+            (pattern.get(net, 0) & 1) << position
+            for position, net in enumerate(self.circuit.inputs)
+        )
+        return bool((self._difference_word(fault) >> minterm) & 1)
+
+    def run(
+        self,
+        patterns: Sequence[Pattern],
+        faults: Optional[Sequence[CrosspointFault]] = None,
+    ) -> Tuple[List[CrosspointFault], List[CrosspointFault], List[CrosspointFault]]:
+        """(detected, missed, redundant) for a pattern set."""
+        if faults is None:
+            faults = enumerate_crosspoint_faults(self.pla)
+        minterms = {
+            sum(
+                (pattern.get(net, 0) & 1) << position
+                for position, net in enumerate(self.circuit.inputs)
+            )
+            for pattern in patterns
+        }
+        detected: List[CrosspointFault] = []
+        missed: List[CrosspointFault] = []
+        redundant: List[CrosspointFault] = []
+        for fault in faults:
+            difference = self._difference_word(fault)
+            if not difference:
+                redundant.append(fault)
+            elif any((difference >> m) & 1 for m in minterms):
+                detected.append(fault)
+            else:
+                missed.append(fault)
+        return detected, missed, redundant
+
+
+def generate_crosspoint_tests(
+    pla: Pla,
+) -> Tuple[List[Dict[str, int]], List[CrosspointFault]]:
+    """A compacted test set covering every detectable crosspoint fault.
+
+    Greedy covering over the exact detection sets; returns
+    (patterns, redundant faults).
+    """
+    generator = CrosspointTestGenerator(pla)
+    faults = enumerate_crosspoint_faults(pla)
+    words: Dict[CrosspointFault, int] = {}
+    redundant: List[CrosspointFault] = []
+    for fault in faults:
+        word = generator._difference_word(fault)
+        if word:
+            words[fault] = word
+        else:
+            redundant.append(fault)
+    patterns: List[Dict[str, int]] = []
+    remaining = dict(words)
+    inputs = list(generator.circuit.inputs)
+    while remaining:
+        # Pick the minterm covering the most remaining faults; sample up
+        # to 32 candidate minterms per fault (growth faults can have
+        # exponentially many detecting patterns).
+        counts: Dict[int, int] = {}
+        for word in remaining.values():
+            w = word
+            for _ in range(32):
+                if not w:
+                    break
+                low = (w & -w).bit_length() - 1
+                counts[low] = counts.get(low, 0) + 1
+                w &= w - 1
+        candidates = list(counts)
+        best = max(
+            candidates,
+            key=lambda m: sum(
+                1 for word in remaining.values() if (word >> m) & 1
+            ),
+        )
+        patterns.append(
+            {net: (best >> i) & 1 for i, net in enumerate(inputs)}
+        )
+        remaining = {
+            fault: word
+            for fault, word in remaining.items()
+            if not (word >> best) & 1
+        }
+    return patterns, redundant

@@ -1,0 +1,332 @@
+"""PODEM: Path-Oriented DEcision Making test generation (Goel [80]).
+
+PODEM searches over *primary input* assignments only (unlike the
+D-algorithm's internal-line search): repeatedly pick an objective —
+activate the fault, then drive a D through the D-frontier — backtrace
+the objective to an unassigned primary input, assign, and imply by
+five-valued simulation.  Conflicts flip the assignment; double failure
+backtracks.  The X-path check prunes branches whose fault effects can
+no longer reach a primary output.
+
+Operates on the branch-expanded circuit so every fault is a stem force;
+returned patterns are over the original primary inputs (with ``None``
+marking don't-cares, ready for random fill or merge compaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit
+from ..netlist.gates import CONTROLLING_VALUE, GateType, evaluate
+from ..faults.stuck_at import Fault
+from ..faultsim.expand import expand_branches, fault_site_net
+
+
+@dataclass
+class PodemResult:
+    """Outcome for one fault: a test cube, a redundancy proof, or abort."""
+
+    fault: Fault
+    pattern: Optional[Dict[str, Optional[int]]]  # None values = don't care
+    redundant: bool
+    aborted: bool
+    backtracks: int
+    decisions: int
+
+    @property
+    def found(self) -> bool:
+        """True when a test pattern was produced."""
+        return self.pattern is not None
+
+
+class PodemGenerator:
+    """Reusable PODEM engine for one circuit."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 10000) -> None:
+        self.circuit = circuit
+        self.expanded, self._branch_map = expand_branches(circuit)
+        self.backtrack_limit = backtrack_limit
+        self._order = self.expanded.topological_order()
+        self._inputs = list(self.expanded.inputs)
+        self._outputs = list(self.expanded.outputs)
+        self._fanout = {
+            net: self.expanded.fanout_of(net) for net in self.expanded.nets()
+        }
+        self._driver = {
+            gate.output: gate for gate in self.expanded.gates
+        }
+        # Level map for X-path distance heuristics.
+        self._level = {net: self.expanded.level_of(net) for net in self.expanded.nets()}
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        fault: Fault,
+        extra_sites: Optional[Sequence[str]] = None,
+        frozen_inputs: Optional[Sequence[str]] = None,
+    ) -> PodemResult:
+        """Run PODEM for one stuck-at fault.
+
+        ``extra_sites`` are additional nets carrying the *same* fault
+        (time-frame expansion replicates a physical fault into every
+        frame).  ``frozen_inputs`` are primary inputs the search may
+        not assign (e.g. unknowable initial-state nets): a test found
+        under this restriction is valid for any value they take.
+        """
+        site = fault_site_net(fault, self._branch_map)
+        sites = {site}
+        if extra_sites:
+            sites.update(extra_sites)
+        state = _PodemState(self, site, fault.value, sites, frozen_inputs)
+        state.simulate()
+        success = self._search(state)
+        if success:
+            pattern = {
+                net: state.assignment.get(net) for net in self.circuit.inputs
+            }
+            return PodemResult(fault, pattern, False, False, state.backtracks, state.decisions)
+        aborted = state.backtracks >= self.backtrack_limit
+        return PodemResult(fault, None, not aborted, aborted, state.backtracks, state.decisions)
+
+    # ------------------------------------------------------------------
+    def _search(self, state: "_PodemState") -> bool:
+        if state.test_found():
+            return True
+        if state.backtracks >= self.backtrack_limit:
+            return False
+        if not state.possible():
+            return False
+        objective = state.objective()
+        if objective is None:
+            return False
+        traced = state.backtrace(*objective)
+        if traced is None:
+            return False
+        pi, value = traced
+        for attempt, try_value in enumerate((value, _flip(value))):
+            state.decisions += 1
+            state.assignment[pi] = try_value
+            state.simulate()
+            if self._search(state):
+                return True
+            if attempt == 0:
+                state.backtracks += 1
+                if state.backtracks >= self.backtrack_limit:
+                    break
+        del state.assignment[pi]
+        state.simulate()
+        return False
+
+
+def _flip(value: int) -> int:
+    return 1 - value
+
+
+class _PodemState:
+    """Mutable search state: PI assignment plus implied net values."""
+
+    def __init__(
+        self,
+        generator: PodemGenerator,
+        site: str,
+        stuck_value: int,
+        sites: Optional[Set[str]] = None,
+        frozen_inputs: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.gen = generator
+        self.site = site
+        self.sites = sites if sites is not None else {site}
+        self.stuck_value = stuck_value
+        self.frozen = frozenset(frozen_inputs or ())
+        self.assignment: Dict[str, int] = {}
+        self.values: Dict[str, int] = {}
+        self.backtracks = 0
+        self.decisions = 0
+        self._assignable = self._assignable_support()
+
+    def _assignable_support(self) -> Set[str]:
+        """Nets whose cone contains at least one non-frozen PI.
+
+        Backtrace must never descend into a cone it can't assign; with
+        no frozen inputs every net qualifies (cheap common case).
+        """
+        if not self.frozen:
+            return set(self.gen.expanded.nets())
+        assignable: Set[str] = {
+            net for net in self.gen._inputs if net not in self.frozen
+        }
+        for gate in self.gen._order:
+            if any(n in assignable for n in gate.inputs):
+                assignable.add(gate.output)
+        return assignable
+
+    # -- five-valued simulation with the fault site(s) transformed -------
+    def simulate(self) -> None:
+        """Five-valued implication pass from the current assignment."""
+        values: Dict[str, int] = {}
+        for net in self.gen._inputs:
+            assigned = (
+                None if net in self.frozen else self.assignment.get(net)
+            )
+            value = V.X if assigned is None else (V.ONE if assigned else V.ZERO)
+            if net in self.sites:
+                value = self._faultify(value)
+            values[net] = value
+        for gate in self.gen._order:
+            value = evaluate(gate.kind, tuple(values[n] for n in gate.inputs))
+            if gate.output in self.sites:
+                value = self._faultify(value)
+            values[gate.output] = value
+        self.values = values
+
+    def _faultify(self, good: int) -> int:
+        if good == V.X:
+            return V.X
+        if self.stuck_value == 0:
+            if good == V.ONE:
+                return V.D
+            if good == V.DBAR:  # good 0, faulty forced 0 anyway
+                return V.ZERO
+            return good  # ZERO or D: faulty component already 0
+        # stuck-at-1
+        if good == V.ZERO:
+            return V.DBAR
+        if good == V.D:  # good 1, faulty forced 1
+            return V.ONE
+        return good
+
+    # -- status checks ---------------------------------------------------
+    def test_found(self) -> bool:
+        """Test found."""
+        return any(
+            self.values[net] in (V.D, V.DBAR) for net in self.gen._outputs
+        )
+
+    def d_frontier(self) -> List:
+        """D frontier."""
+        frontier = []
+        for gate in self.gen._order:
+            if self.values[gate.output] != V.X:
+                continue
+            if any(self.values[n] in (V.D, V.DBAR) for n in gate.inputs):
+                frontier.append(gate)
+        return frontier
+
+    def possible(self) -> bool:
+        """Activation still achievable and an X-path to a PO exists."""
+        site_values = [self.values[s] for s in self.sites]
+        if any(v in (V.D, V.DBAR) for v in site_values):
+            # Activated: a fault effect must have an X-path (or already be
+            # at a PO, handled by test_found before this call).
+            return self._xpath_exists()
+        if any(v == V.X for v in site_values):
+            return True  # activation still open at some site
+        return False  # every site pinned: activation impossible
+
+    def _xpath_exists(self) -> bool:
+        """Some net carrying D/D' reaches a PO through X-valued nets."""
+        sources = [
+            net for net, value in self.values.items() if value in (V.D, V.DBAR)
+        ]
+        seen: Set[str] = set()
+        stack = list(sources)
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            value = self.values[net]
+            if value not in (V.D, V.DBAR, V.X):
+                continue
+            if net in self.gen._outputs and value in (V.D, V.DBAR, V.X):
+                return True
+            for gate in self.gen._fanout.get(net, ()):
+                if self.values[gate.output] in (V.X, V.D, V.DBAR):
+                    stack.append(gate.output)
+        return False
+
+    # -- objective / backtrace (Goel's heuristics, simplified) -----------
+    def objective(self) -> Optional[Tuple[str, int]]:
+        """Next (net, value) goal: activate the fault, then drive the D-frontier."""
+        if not any(self.values[s] in (V.D, V.DBAR) for s in self.sites):
+            # Objective 1: activate the fault at some still-open site.
+            # Frozen sites (unknowable initial-state inputs) cannot be
+            # driven — skip them in favour of later-frame replicas.
+            for site in sorted(self.sites, key=lambda s: self.gen._level.get(s, 0)):
+                if (
+                    self.values[site] == V.X
+                    and site not in self.frozen
+                    and site in self._assignable
+                ):
+                    return site, 1 - self.stuck_value
+            return None
+        frontier = self.d_frontier()
+        if not frontier:
+            return None
+        # Prefer the frontier gate closest to a PO (deepest level).
+        gate = max(frontier, key=lambda g: self.gen._level[g.output])
+        control = CONTROLLING_VALUE.get(gate.kind)
+        for net in gate.inputs:
+            if self.values[net] == V.X and net in self._assignable:
+                if control is None:
+                    # XOR-family: any defined value sensitizes.
+                    return net, 0
+                return net, 1 - control
+        return None
+
+    def backtrace(self, net: str, value: int) -> Optional[Tuple[str, int]]:
+        """Walk the objective back to an unassigned primary input.
+
+        Returns ``None`` when the trace dead-ends in a constant
+        generator (the objective is structurally unreachable).
+        """
+        current, target = net, value
+        while True:
+            driver = self.gen._driver.get(current)
+            if driver is None:
+                if current in self.frozen:
+                    return None  # unknowable input: objective unreachable here
+                return current, target
+            kind = driver.kind
+            inversion = 1 if kind in (
+                GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR
+            ) else 0
+            needed = target ^ inversion
+            x_inputs = [
+                n
+                for n in driver.inputs
+                if self.values[n] == V.X and n in self._assignable
+            ]
+            if not x_inputs:
+                return None  # only frozen-rooted X's remain: dead end
+            if kind in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+                control = CONTROLLING_VALUE[kind]
+                if needed == control:
+                    # One controlling input suffices: pick the easiest
+                    # (shallowest) X input.
+                    chosen = min(x_inputs, key=lambda n: self.gen._level[n])
+                    current, target = chosen, control
+                else:
+                    # All inputs must be non-controlling: hardest first.
+                    chosen = max(x_inputs, key=lambda n: self.gen._level[n])
+                    current, target = chosen, 1 - control
+            elif kind in (GateType.NOT, GateType.BUF):
+                current, target = driver.inputs[0], needed
+            elif kind in (GateType.XOR, GateType.XNOR):
+                # Choose any X input; required value depends on the other
+                # (possibly X) inputs — aim for parity assuming X's -> 0.
+                chosen = x_inputs[0]
+                parity = 0
+                skipped = False
+                for n in driver.inputs:
+                    if n == chosen and not skipped:
+                        skipped = True
+                        continue
+                    if self.values[n] == V.ONE:
+                        parity ^= 1
+                current, target = chosen, needed ^ parity
+            else:  # CONST gates: objective unreachable
+                return None

@@ -1,0 +1,75 @@
+"""Self-test and built-in test: BILBO, random theory, Syndrome, Walsh,
+Autonomous testing."""
+
+from .bilbo import (
+    BilboMode,
+    BilboRegister,
+    BilboPair,
+    SelfTestSession,
+    bilbo_netlist,
+)
+from .random_theory import (
+    detection_probability,
+    detection_profile,
+    expected_random_test_length,
+    escape_probability,
+    profile_test_length,
+    pla_term_activation_probability,
+    pla_random_resistance,
+    RandomTestPrediction,
+    predict_random_testability,
+)
+from .syndrome import (
+    SyndromeAnalyzer,
+    SyndromeFixReport,
+    make_syndrome_testable,
+)
+from .walsh import WalshAnalyzer, input_stuck_fault_theorem
+from .weights import (
+    structural_weights,
+    detection_weights,
+    expected_coverage_gain,
+)
+from .autonomous import (
+    LfsrModuleMode,
+    ReconfigurableLfsrModule,
+    SubnetworkPartition,
+    AutonomousTestResult,
+    run_autonomous_test,
+    multiplexer_partition,
+    sensitized_partitions_74181,
+    sensitized_partitions_74181_compact,
+)
+
+__all__ = [
+    "structural_weights",
+    "detection_weights",
+    "expected_coverage_gain",
+    "BilboMode",
+    "BilboRegister",
+    "BilboPair",
+    "SelfTestSession",
+    "bilbo_netlist",
+    "detection_probability",
+    "detection_profile",
+    "expected_random_test_length",
+    "escape_probability",
+    "profile_test_length",
+    "pla_term_activation_probability",
+    "pla_random_resistance",
+    "RandomTestPrediction",
+    "predict_random_testability",
+    "SyndromeAnalyzer",
+    "SyndromeFixReport",
+    "make_syndrome_testable",
+    "WalshAnalyzer",
+    "input_stuck_fault_theorem",
+    "LfsrModuleMode",
+    "ReconfigurableLfsrModule",
+    "SubnetworkPartition",
+    "AutonomousTestResult",
+    "run_autonomous_test",
+    "multiplexer_partition",
+    "sensitized_partitions_74181",
+    "sensitized_partitions_74181_compact",
+]

@@ -1,0 +1,293 @@
+"""Built-In Logic Block Observation — BILBO (§V-A, Figs. 19-21).
+
+A BILBO register is a bank of system latches with mode controls B1 B2:
+
+====  =========================================================
+B1B2  behaviour
+====  =========================================================
+11    system register: latches load their Z inputs (Fig. 19(b))
+00    linear shift register: scan path (Fig. 19(c))
+10    multi-input LFSR: MISR / PRPG (Fig. 19(d))
+01    reset
+====  =========================================================
+
+With its Z inputs held constant, mode 10 free-runs as a maximal-length
+pseudo-random pattern generator; with live Z inputs it is a signature
+compactor.  Two BILBOs around two combinational networks therefore test
+both networks at speed with no stored patterns (Figs. 20-21).
+
+Both a behavioral model and a real gate netlist are provided; a test
+asserts they agree clock for clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from ..lfsr.polynomials import primitive_polynomial, taps_from_polynomial
+from ..sim.logic import LogicSimulator
+
+
+class BilboMode(enum.Enum):
+    """BilboMode: see the module docstring for context."""
+    SYSTEM = (1, 1)
+    SHIFT = (0, 0)
+    LFSR = (1, 0)  # MISR / PRPG
+    RESET = (0, 1)
+
+    @property
+    def b1(self) -> int:
+        """B1 control line value for this mode."""
+        return self.value[0]
+
+    @property
+    def b2(self) -> int:
+        """B2 control line value for this mode."""
+        return self.value[1]
+
+
+class BilboRegister:
+    """Behavioral BILBO of ``width`` latches.
+
+    State bit ``i`` is latch ``L_{i+1}``; stage 1 receives the scan
+    input (mode 00) or the tap feedback (mode 10).
+    """
+
+    def __init__(self, width: int, poly: Optional[int] = None) -> None:
+        self.width = width
+        self.poly = poly if poly is not None else primitive_polynomial(width)
+        self.taps = taps_from_polynomial(self.poly)
+        self.mode = BilboMode.SYSTEM
+        self.state = 0
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the register width."""
+        return (1 << self.width) - 1
+
+    def set_mode(self, mode: BilboMode) -> None:
+        """Switch the operating mode."""
+        self.mode = mode
+
+    def stage(self, number: int) -> int:
+        """Value of one stage (1-based)."""
+        return (self.state >> (number - 1)) & 1
+
+    def stages(self) -> Tuple[int, ...]:
+        """Current stage values, input side first."""
+        return tuple(self.stage(i) for i in range(1, self.width + 1))
+
+    def feedback(self) -> int:
+        """XOR of the tapped stages (the LFSR feedback bit)."""
+        bit = 0
+        for tap in self.taps:
+            bit ^= self.stage(tap)
+        return bit
+
+    def clock(self, z_word: int = 0, scan_in: int = 0) -> int:
+        """One clock in the current mode; returns the scan-out bit.
+
+        ``z_word`` packs the parallel inputs Z1..Zn (bit i-1 = Z_i).
+        """
+        scan_out = self.stage(self.width)
+        if self.mode is BilboMode.SYSTEM:
+            self.state = z_word & self.mask
+        elif self.mode is BilboMode.RESET:
+            self.state = 0
+        elif self.mode is BilboMode.SHIFT:
+            self.state = ((self.state << 1) | (scan_in & 1)) & self.mask
+        elif self.mode is BilboMode.LFSR:
+            first = self.feedback()
+            shifted = ((self.state << 1) | first) & self.mask
+            self.state = shifted ^ (z_word & self.mask)
+        return scan_out
+
+    def scan_out_all(self) -> List[int]:
+        """Shift the whole signature out (mode 00), LSB-stage last."""
+        self.set_mode(BilboMode.SHIFT)
+        return [self.clock(scan_in=0) for _ in range(self.width)]
+
+    def load(self, bits: Sequence[int]) -> None:
+        """Shift a full register state in."""
+        self.set_mode(BilboMode.SHIFT)
+        for bit in reversed(list(bits)):
+            self.clock(scan_in=bit)
+
+
+@dataclass
+class SelfTestSession:
+    """Result of one BILBO self-test pass over a network."""
+
+    network: str
+    patterns_applied: int
+    signature: int
+    golden_signature: int
+
+    @property
+    def passed(self) -> bool:
+        """True when the observed value matches the reference."""
+        return self.signature == self.golden_signature
+
+
+class BilboPair:
+    """The Figs. 20-21 arrangement: BILBO1 -> CLN1 -> BILBO2 -> CLN2 -> BILBO1.
+
+    ``network1`` maps BILBO1's outputs to BILBO2's inputs; ``network2``
+    maps BILBO2's outputs back to BILBO1's inputs.  Networks are plain
+    combinational circuits whose PIs/POs are matched positionally to
+    register stages.
+    """
+
+    def __init__(
+        self,
+        network1: Circuit,
+        network2: Circuit,
+        width1: Optional[int] = None,
+        width2: Optional[int] = None,
+    ) -> None:
+        self.network1 = network1
+        self.network2 = network2
+        self.sim1 = LogicSimulator(network1)
+        self.sim2 = LogicSimulator(network2)
+        w1 = width1 if width1 is not None else len(network1.inputs)
+        w2 = width2 if width2 is not None else len(network2.outputs)
+        self.bilbo1 = BilboRegister(w1)
+        self.bilbo2 = BilboRegister(max(w2, len(network1.outputs)))
+        self._fault_force: Dict[str, Tuple[str, int]] = {}
+
+    # -- fault injection hooks (for the benchmarks) ----------------------
+    def inject_fault(self, network: str, net: str, value: int) -> None:
+        """Inject a fault for subsequent runs."""
+        self._fault_force[network] = (net, value)
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault."""
+        self._fault_force.clear()
+
+    def _run_network(self, which: str, input_bits: Sequence[int]) -> List[int]:
+        network = self.network1 if which == "n1" else self.network2
+        sim = self.sim1 if which == "n1" else self.sim2
+        assignment = {
+            net: (input_bits[i] if i < len(input_bits) else 0)
+            for i, net in enumerate(network.inputs)
+        }
+        values = self._run_with_force(sim, network, assignment, which)
+        return [values[net] for net in network.outputs]
+
+    def _run_with_force(self, sim, network, assignment, which) -> Dict[str, int]:
+        force = self._fault_force.get(which)
+        if force is None:
+            return sim.run(assignment)
+        from ..netlist.gates import evaluate
+
+        net_values = {}
+        for net in sim.free_nets:
+            net_values[net] = assignment.get(net, 0)
+        if force[0] in net_values:
+            net_values[force[0]] = force[1]
+        for gate in network.topological_order():
+            value = evaluate(gate.kind, tuple(net_values[n] for n in gate.inputs))
+            if gate.output == force[0]:
+                value = force[1]
+            net_values[gate.output] = value
+        return net_values
+
+    # -- the self-test protocol ------------------------------------------
+    def test_network1(self, patterns: int, seed: int = 1) -> int:
+        """BILBO1 as PRPG, BILBO2 as MISR; returns BILBO2's signature."""
+        self.bilbo1.state = seed & self.bilbo1.mask
+        self.bilbo1.set_mode(BilboMode.LFSR)  # Z held at 0: PRPG
+        self.bilbo2.state = 0
+        self.bilbo2.set_mode(BilboMode.LFSR)
+        for _ in range(patterns):
+            stimulus = self.bilbo1.stages()
+            response = self._run_network("n1", stimulus)
+            z_word = 0
+            for i, bit in enumerate(response):
+                if bit:
+                    z_word |= 1 << i
+            self.bilbo2.clock(z_word=z_word)
+            self.bilbo1.clock(z_word=0)
+        return self.bilbo2.state
+
+    def test_network2(self, patterns: int, seed: int = 1) -> int:
+        """Roles reversed (Fig. 21): BILBO2 generates, BILBO1 compacts."""
+        self.bilbo2.state = seed & self.bilbo2.mask
+        self.bilbo2.set_mode(BilboMode.LFSR)
+        self.bilbo1.state = 0
+        self.bilbo1.set_mode(BilboMode.LFSR)
+        for _ in range(patterns):
+            stimulus = self.bilbo2.stages()
+            response = self._run_network("n2", stimulus)
+            z_word = 0
+            for i, bit in enumerate(response):
+                if bit:
+                    z_word |= 1 << i
+            self.bilbo1.clock(z_word=z_word)
+            self.bilbo2.clock(z_word=0)
+        return self.bilbo1.state
+
+    def self_test(
+        self, patterns: int, golden: Optional[Tuple[int, int]] = None, seed: int = 1
+    ) -> Tuple[SelfTestSession, SelfTestSession]:
+        """Full two-phase self-test; golden signatures computed on the
+        fault-free pair when not supplied."""
+        if golden is None:
+            saved = dict(self._fault_force)
+            self._fault_force = {}
+            golden = (
+                self.test_network1(patterns, seed),
+                self.test_network2(patterns, seed),
+            )
+            self._fault_force = saved
+        sig1 = self.test_network1(patterns, seed)
+        sig2 = self.test_network2(patterns, seed)
+        return (
+            SelfTestSession(self.network1.name, patterns, sig1, golden[0]),
+            SelfTestSession(self.network2.name, patterns, sig2, golden[1]),
+        )
+
+
+def bilbo_netlist(width: int, poly: Optional[int] = None) -> Circuit:
+    """Gate-level BILBO register (Fig. 19(a)).
+
+    Inputs: ``B1``, ``B2``, ``SIN``, ``Z1..Zn``; outputs ``Q1..Qn`` and
+    ``SOUT``.  Mode decoding per latch is AND-OR logic; the flip-flops
+    are the system latches.  The behavioral :class:`BilboRegister` and
+    this netlist agree clock-for-clock (asserted in the test suite).
+    """
+    c = Circuit(f"bilbo{width}")
+    c.add_input("B1")
+    c.add_input("B2")
+    c.add_input("SIN")
+    for i in range(1, width + 1):
+        c.add_input(f"Z{i}")
+    c.not_("B1", "B1N")
+    c.not_("B2", "B2N")
+    c.and_(["B1", "B2"], "M_SYS")
+    c.and_(["B1N", "B2N"], "M_SHIFT")
+    c.and_(["B1", "B2N"], "M_LFSR")
+    actual_poly = poly if poly is not None else primitive_polynomial(width)
+    taps = taps_from_polynomial(actual_poly)
+    tap_nets = [f"Q{t}" for t in taps]
+    if len(tap_nets) == 1:
+        c.buf(tap_nets[0], "FB")
+    else:
+        c.xor(tap_nets, "FB")
+    for i in range(1, width + 1):
+        previous = "SIN" if i == 1 else f"Q{i - 1}"
+        lfsr_src = "FB" if i == 1 else f"Q{i - 1}"
+        c.xor([lfsr_src, f"Z{i}"], f"LX{i}")
+        c.and_(["M_SYS", f"Z{i}"], f"T_SYS{i}")
+        c.and_(["M_SHIFT", previous], f"T_SH{i}")
+        c.and_(["M_LFSR", f"LX{i}"], f"T_LF{i}")
+        c.or_([f"T_SYS{i}", f"T_SH{i}", f"T_LF{i}"], f"D{i}")
+        c.dff(f"D{i}", f"Q{i}", name=f"L{i}")
+        c.add_output(f"Q{i}")
+    c.buf(f"Q{width}", "SOUT")
+    c.add_output("SOUT")
+    c.validate()
+    return c

@@ -1,0 +1,127 @@
+"""Random-pattern testability theory (§V-A and Fig. 22).
+
+The quantitative backbone of BILBO-style self-test:
+
+* a fault's **detection probability** ``p`` is the fraction of the
+  input space that detects it (computable exactly for small cones);
+* the expected pseudo-random **test length** to catch it with
+  confidence ``c`` is ``ln(1-c) / ln(1-p)``;
+* a PLA product term of fan-in ``k`` is activated by a random pattern
+  with probability ``2**-k`` — at ``k = 20`` that is the paper's
+  "1/2**20", which is why "there are some known networks which are not
+  susceptible to random patterns";
+* random logic with fan-in <= 4 "can do quite well" — the benchmark
+  quantifies both halves of that sentence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from ..faults.stuck_at import Fault
+from ..atpg.boolean_difference import detecting_minterms
+from ..circuits.pla import Pla
+
+
+def detection_probability(circuit: Circuit, fault: Fault) -> float:
+    """Exact fraction of input patterns detecting the fault."""
+    minterms = detecting_minterms(circuit, fault)
+    return len(minterms) / float(1 << len(circuit.inputs))
+
+
+def detection_profile(
+    circuit: Circuit, faults: Sequence[Fault]
+) -> Dict[Fault, float]:
+    """Detection probability per fault — the testability fingerprint."""
+    return {fault: detection_probability(circuit, fault) for fault in faults}
+
+
+def expected_random_test_length(p: float, confidence: float = 0.95) -> float:
+    """Patterns needed to detect a fault of probability ``p``.
+
+    Solves ``1 - (1-p)**N >= confidence`` — the random-testing planning
+    equation (Shedletsky [66]).
+    """
+    if not 0 < p <= 1:
+        return math.inf
+    if p == 1.0:
+        return 1.0
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    return math.log(1.0 - confidence) / math.log(1.0 - p)
+
+
+def escape_probability(p: float, patterns: int) -> float:
+    """Chance a fault of detection probability ``p`` survives N patterns."""
+    if p <= 0:
+        return 1.0
+    return (1.0 - p) ** patterns
+
+
+def profile_test_length(
+    profile: Dict[Fault, float], confidence: float = 0.95
+) -> float:
+    """Patterns needed for the *hardest* fault (the sizing rule)."""
+    hardest = min((p for p in profile.values() if p > 0), default=0.0)
+    if hardest == 0:
+        return math.inf
+    return expected_random_test_length(hardest, confidence)
+
+
+def pla_term_activation_probability(pla: Pla) -> List[float]:
+    """Per-product-term random activation probability: ``2**-fanin``."""
+    return [term.detection_probability() for term in pla.terms]
+
+
+def pla_random_resistance(pla: Pla, confidence: float = 0.95) -> float:
+    """Patterns needed to activate every product term once (expected).
+
+    The Fig. 22 argument in one number: grows like ``2**max_fanin``.
+    """
+    worst = min(
+        (term.detection_probability() for term in pla.terms), default=1.0
+    )
+    return expected_random_test_length(worst, confidence)
+
+
+@dataclass
+class RandomTestPrediction:
+    """Predicted vs measured random-test behaviour of a circuit."""
+
+    circuit_name: str
+    hardest_fault: Optional[Fault]
+    hardest_probability: float
+    predicted_length_95: float
+    measured_coverage: Optional[float] = None
+    measured_patterns: Optional[int] = None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            f"{self.circuit_name}: hardest fault p={self.hardest_probability:.2e}",
+            f"predicted N(95%)={self.predicted_length_95:.0f}",
+        ]
+        if self.measured_coverage is not None:
+            parts.append(
+                f"measured {self.measured_coverage:.1%} with "
+                f"{self.measured_patterns} patterns"
+            )
+        return ", ".join(parts)
+
+
+def predict_random_testability(
+    circuit: Circuit, faults: Sequence[Fault], confidence: float = 0.95
+) -> RandomTestPrediction:
+    """Exact hardest-fault analysis for a (small) combinational circuit."""
+    profile = detection_profile(circuit, faults)
+    detectable = {f: p for f, p in profile.items() if p > 0}
+    if not detectable:
+        return RandomTestPrediction(circuit.name, None, 0.0, math.inf)
+    hardest = min(detectable, key=lambda f: detectable[f])
+    p = detectable[hardest]
+    return RandomTestPrediction(
+        circuit.name, hardest, p, expected_random_test_length(p, confidence)
+    )

@@ -1,0 +1,135 @@
+"""Weighted random pattern optimization (Schnurmann et al. [95], §IV-A).
+
+"The weighted random test pattern generation": instead of a fair coin
+per input, bias each input's 1-probability so that random-resistant
+structures (deep AND/OR cones) see their hard values more often.
+
+Two weight sources are implemented:
+
+* :func:`structural_weights` — a SCOAP-driven heuristic: an input
+  feeding logic that is much harder to set to 1 than to 0 gets a
+  1-probability above one half, and vice versa;
+* :func:`detection_weights` — an exact (small circuits only) method
+  that maximizes the minimum fault detection probability via coordinate
+  ascent on the per-input probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..faults.stuck_at import Fault
+from ..testability.scoap import analyze
+
+
+def structural_weights(
+    circuit: Circuit, strength: float = 0.35
+) -> Dict[str, float]:
+    """Per-input 1-probabilities from the controllability imbalance.
+
+    For each input, compare the average cc1 vs cc0 of the nets in its
+    fanout cone: a cone that is expensive to drive to 1 wants its
+    inputs biased toward 1.  ``strength`` bounds how far from 0.5 the
+    weights move.
+    """
+    report = analyze(circuit)
+    weights: Dict[str, float] = {}
+    for net in circuit.inputs:
+        cone = circuit.output_cone(net)
+        cc1 = [
+            report.measures[n].cc1
+            for n in cone
+            if report.measures[n].cc1 != math.inf
+        ]
+        cc0 = [
+            report.measures[n].cc0
+            for n in cone
+            if report.measures[n].cc0 != math.inf
+        ]
+        if not cc1 or not cc0:
+            weights[net] = 0.5
+            continue
+        hard1 = sum(cc1) / len(cc1)
+        hard0 = sum(cc0) / len(cc0)
+        # Imbalance in [-1, 1]: positive means 1 is harder to reach.
+        imbalance = (hard1 - hard0) / max(hard1 + hard0, 1e-9)
+        weights[net] = min(0.95, max(0.05, 0.5 + strength * 2 * imbalance))
+    return weights
+
+
+def detection_weights(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    iterations: int = 3,
+    grid: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+) -> Dict[str, float]:
+    """Coordinate-ascent weights maximizing the worst fault's detection
+    probability (exact, via the exhaustive detecting-minterm sets).
+
+    Only feasible for small input counts; used to calibrate and test
+    the structural heuristic.
+    """
+    from ..atpg.boolean_difference import detecting_minterms
+
+    inputs = list(circuit.inputs)
+    n = len(inputs)
+    minterm_sets = {
+        fault: detecting_minterms(circuit, fault) for fault in faults
+    }
+    minterm_sets = {f: ms for f, ms in minterm_sets.items() if ms}
+
+    def worst_probability(weights: Dict[str, float]) -> float:
+        """Worst probability."""
+        worst = 1.0
+        for minterms in minterm_sets.values():
+            probability = 0.0
+            for minterm in minterms:
+                p = 1.0
+                for position, net in enumerate(inputs):
+                    bit = (minterm >> position) & 1
+                    p *= weights[net] if bit else 1.0 - weights[net]
+                probability += p
+            worst = min(worst, probability)
+        return worst
+
+    weights = {net: 0.5 for net in inputs}
+    for _ in range(iterations):
+        for net in inputs:
+            best_value, best_score = weights[net], worst_probability(weights)
+            for candidate in grid:
+                weights[net] = candidate
+                score = worst_probability(weights)
+                if score > best_score:
+                    best_value, best_score = candidate, score
+            weights[net] = best_value
+    return weights
+
+
+def expected_coverage_gain(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    weights: Dict[str, float],
+    patterns: int,
+) -> float:
+    """Predicted detected-fraction after N weighted patterns (exact)."""
+    from ..atpg.boolean_difference import detecting_minterms
+
+    inputs = list(circuit.inputs)
+    detected_expectation = 0.0
+    total = 0
+    for fault in faults:
+        minterms = detecting_minterms(circuit, fault)
+        if not minterms:
+            continue
+        total += 1
+        probability = 0.0
+        for minterm in minterms:
+            p = 1.0
+            for position, net in enumerate(inputs):
+                bit = (minterm >> position) & 1
+                p *= weights[net] if bit else 1.0 - weights[net]
+            probability += p
+        detected_expectation += 1.0 - (1.0 - probability) ** patterns
+    return detected_expectation / max(1, total)

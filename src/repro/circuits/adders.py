@@ -1,0 +1,118 @@
+"""Adder netlists: the workhorse datapath circuits for scaling studies.
+
+The ripple-carry adder gives a linear-size family with a long sensitized
+path (good for D-algorithm exercise); the carry-lookahead adder gives a
+wide, shallow, reconvergent family (good for stressing fault collapse and
+random-pattern analysis).
+"""
+
+from __future__ import annotations
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+
+def full_adder() -> Circuit:
+    """One-bit full adder: SUM and COUT from A, B, CIN."""
+    c = Circuit("full_adder")
+    a, b, ci = c.add_inputs(["A", "B", "CIN"])
+    c.xor([a, b], "AXB")
+    c.xor(["AXB", ci], "SUM")
+    c.and_([a, b], "AB")
+    c.and_(["AXB", ci], "PC")
+    c.or_(["AB", "PC"], "COUT")
+    c.add_output("SUM")
+    c.add_output("COUT")
+    return c
+
+
+def ripple_carry_adder(width: int) -> Circuit:
+    """``width``-bit ripple-carry adder with carry in and carry out."""
+    if width < 1:
+        raise ValueError("adder width must be >= 1")
+    c = Circuit(f"rca{width}")
+    a_bits = [c.add_input(f"A{i}") for i in range(width)]
+    b_bits = [c.add_input(f"B{i}") for i in range(width)]
+    carry = c.add_input("CIN")
+    for i in range(width):
+        axb = f"AXB{i}"
+        c.xor([a_bits[i], b_bits[i]], axb)
+        c.xor([axb, carry], f"S{i}")
+        c.add_output(f"S{i}")
+        c.and_([a_bits[i], b_bits[i]], f"G{i}")
+        c.and_([axb, carry], f"P{i}")
+        next_carry = f"C{i + 1}"
+        c.or_([f"G{i}", f"P{i}"], next_carry)
+        carry = next_carry
+    c.buf(carry, "COUT")
+    c.add_output("COUT")
+    return c
+
+
+def carry_lookahead_adder(width: int) -> Circuit:
+    """``width``-bit single-level carry-lookahead adder.
+
+    Carries are flattened: ``c_{i+1} = g_i + p_i g_{i-1} + ... + p..p c_0``,
+    which creates heavy reconvergent fanout from the low-order inputs —
+    the connectivity effect the paper's footnote 1 blames for the
+    N^3 test-generation cost.
+    """
+    if width < 1:
+        raise ValueError("adder width must be >= 1")
+    c = Circuit(f"cla{width}")
+    a_bits = [c.add_input(f"A{i}") for i in range(width)]
+    b_bits = [c.add_input(f"B{i}") for i in range(width)]
+    cin = c.add_input("CIN")
+    for i in range(width):
+        c.and_([a_bits[i], b_bits[i]], f"G{i}")
+        c.xor([a_bits[i], b_bits[i]], f"P{i}")
+    carries = [cin]
+    for i in range(width):
+        terms = []
+        # g_j propagated through p_{j+1}..p_i
+        for j in range(i, -1, -1):
+            literals = [f"G{j}"] + [f"P{k}" for k in range(j + 1, i + 1)]
+            if len(literals) == 1:
+                terms.append(literals[0])
+            else:
+                term = f"T{i}_{j}"
+                c.and_(literals, term)
+                terms.append(term)
+        # carry-in propagated through p_0..p_i
+        cin_literals = [cin] + [f"P{k}" for k in range(i + 1)]
+        cin_term = f"T{i}_cin"
+        c.and_(cin_literals, cin_term)
+        terms.append(cin_term)
+        next_carry = f"C{i + 1}"
+        c.or_(terms, next_carry)
+        carries.append(next_carry)
+    for i in range(width):
+        c.xor([f"P{i}", carries[i]], f"S{i}")
+        c.add_output(f"S{i}")
+    c.buf(carries[width], "COUT")
+    c.add_output("COUT")
+    return c
+
+
+def subtractor(width: int) -> Circuit:
+    """``A - B`` via two's complement: invert B, add with carry-in 1."""
+    c = Circuit(f"sub{width}")
+    a_bits = [c.add_input(f"A{i}") for i in range(width)]
+    b_bits = [c.add_input(f"B{i}") for i in range(width)]
+    c.add_gate(GateType.CONST1, [], "ONE")
+    carry = "ONE"
+    for i in range(width):
+        nb = f"NB{i}"
+        c.not_(b_bits[i], nb)
+        axb = f"AXB{i}"
+        c.xor([a_bits[i], nb], axb)
+        c.xor([axb, carry], f"D{i}")
+        c.add_output(f"D{i}")
+        c.and_([a_bits[i], nb], f"G{i}")
+        c.and_([axb, carry], f"P{i}")
+        next_carry = f"C{i + 1}"
+        c.or_([f"G{i}", f"P{i}"], next_carry)
+        carry = next_carry
+    c.buf(carry, "BOUT")
+    c.add_output("BOUT")
+    return c

@@ -1,0 +1,200 @@
+"""Gate-level SN74181 4-bit ALU / function generator.
+
+The 74181 is the paper's canonical "real network": Savir's syndrome work
+quotes it (§V-B, "SN74181, etc."), and McCluskey's Autonomous Testing
+partitions it by *sensitized partitioning* (Figs. 33-34).  The netlist
+here follows the device's documented AND-OR-INVERT bit-slice structure:
+
+* Four identical slices ``N1`` (one per bit) compute two intermediate
+  rails from ``A_i``, ``B_i`` and the function-select lines::
+
+      L_i = NOR(A_i, S0·B_i, S1·~B_i)          (the paper's "L_i outputs")
+      H_i = NOR(S2·A_i·~B_i, S3·A_i·B_i)       (the paper's "H_i outputs")
+
+* A combine network ``N2`` forms the sum/function outputs
+  ``F_i = L_i XOR H_i XOR c_i`` around an internal carry chain with
+  generate ``g_i = NOT(H_i)`` and propagate ``p_i = NOT(L_i)``; mode
+  ``M`` forces every internal carry to 1, collapsing the XOR into the
+  pure logic functions.
+
+Pin conventions match the active-high data sheet: the carry input ``CN``
+and carry output ``CN4`` are active-low (``CN = 0`` injects a carry),
+``PBAR``/``GBAR`` are the active-low group propagate/generate, and
+``AEQB`` is the open-collector equality flag (all ``F_i`` high).
+
+The paper's sensitized-partitioning facts hold structurally: with
+``S2 = S3 = 0`` every ``H_i`` is pinned to 1 (non-controlling), exposing
+all ``L_i``; with ``S0 = S1 = 1`` every ``L_i`` is pinned to 0, exposing
+all ``H_i`` (Fig. 34).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..netlist.circuit import Circuit
+
+#: Input pin names in canonical order.
+INPUT_PINS = (
+    "A0", "A1", "A2", "A3",
+    "B0", "B1", "B2", "B3",
+    "S0", "S1", "S2", "S3",
+    "M", "CN",
+)
+
+#: Output pin names in canonical order.
+OUTPUT_PINS = ("F0", "F1", "F2", "F3", "CN4", "PBAR", "GBAR", "AEQB")
+
+#: Nets of the per-bit slice subnetworks N1 (paper Figs. 33-34).
+SLICE_OUTPUTS = ("L0", "L1", "L2", "L3", "H0", "H1", "H2", "H3")
+
+
+def alu74181() -> Circuit:
+    """Build the gate-level SN74181 netlist (61 gates, 14 PI, 8 PO)."""
+    c = Circuit("alu74181")
+    for pin in INPUT_PINS:
+        c.add_input(pin)
+
+    # --- N1: four identical bit slices ------------------------------
+    for i in range(4):
+        a, b = f"A{i}", f"B{i}"
+        nb = f"NB{i}"
+        c.not_(b, nb)
+        c.and_(["S0", b], f"LT0_{i}")
+        c.and_(["S1", nb], f"LT1_{i}")
+        c.nor([a, f"LT0_{i}", f"LT1_{i}"], f"L{i}")
+        c.and_(["S2", a, nb], f"HT0_{i}")
+        c.and_(["S3", a, b], f"HT1_{i}")
+        c.nor([f"HT0_{i}", f"HT1_{i}"], f"H{i}")
+
+    # --- N2: carry chain, function outputs, group signals -----------
+    for i in range(4):
+        c.not_(f"L{i}", f"P{i}")  # propagate
+        c.not_(f"H{i}", f"G{i}")  # generate
+
+    # Internal true-carry rail; M = 1 (logic mode) forces carries to 1.
+    c.not_("CN", "C0RAW")  # CN is active-low: CN = 0 means carry in
+    c.or_(["M", "C0RAW"], "IC0")
+    for i in range(3):
+        c.and_([f"P{i}", f"IC{i}"], f"PC{i}")
+        c.or_(["M", f"G{i}", f"PC{i}"], f"IC{i + 1}")
+
+    for i in range(4):
+        c.xor([f"L{i}", f"H{i}"], f"HS{i}")
+        c.xor([f"HS{i}", f"IC{i}"], f"F{i}")
+        c.add_output(f"F{i}")
+
+    # Ripple/group carry out (active-low pin), computed without the M
+    # forcing so it reflects the arithmetic lookahead.
+    c.and_(["P3", "IC3"], "PC3X")
+    c.or_(["G3", "PC3X"], "C4")
+    c.not_("C4", "CN4")
+    c.add_output("CN4")
+
+    # Group propagate/generate, active low.
+    c.nand(["P0", "P1", "P2", "P3"], "PBAR")
+    c.add_output("PBAR")
+    c.and_(["P3", "G2"], "GG2")
+    c.and_(["P3", "P2", "G1"], "GG1")
+    c.and_(["P3", "P2", "P1", "G0"], "GG0")
+    c.nor(["G3", "GG2", "GG1", "GG0"], "GBAR")
+    c.add_output("GBAR")
+
+    c.and_(["F0", "F1", "F2", "F3"], "AEQB")
+    c.add_output("AEQB")
+    return c
+
+
+# ----------------------------------------------------------------------
+# Independent behavioral reference (from the data sheet function table)
+# ----------------------------------------------------------------------
+
+def _logic_ops() -> List:
+    """Active-high logic-mode function table, indexed by S3S2S1S0."""
+    mask = 0xF
+    return [
+        lambda a, b: ~a & mask,                # 0000: NOT A
+        lambda a, b: ~(a | b) & mask,          # 0001: NOR
+        lambda a, b: (~a & b) & mask,          # 0010: ~A AND B
+        lambda a, b: 0,                        # 0011: logical 0
+        lambda a, b: ~(a & b) & mask,          # 0100: NAND
+        lambda a, b: ~b & mask,                # 0101: NOT B
+        lambda a, b: (a ^ b) & mask,           # 0110: XOR
+        lambda a, b: (a & ~b) & mask,          # 0111: A AND ~B
+        lambda a, b: (~a | b) & mask,          # 1000: ~A OR B
+        lambda a, b: ~(a ^ b) & mask,          # 1001: XNOR
+        lambda a, b: b,                        # 1010: B
+        lambda a, b: a & b,                    # 1011: AND
+        lambda a, b: mask,                     # 1100: logical 1
+        lambda a, b: (a | ~b) & mask,          # 1101: A OR ~B
+        lambda a, b: a | b,                    # 1110: OR
+        lambda a, b: a,                        # 1111: A
+    ]
+
+
+def _arith_ops() -> List:
+    """Arithmetic-mode (M=0) operand sums, indexed by S3S2S1S0.
+
+    Each entry returns an integer whose 4-bit truncation is F when
+    ``CN = 1`` (no carry); ``CN = 0`` adds one.
+    """
+    mask = 0xF
+    return [
+        lambda a, b: a,                                  # 0000: A
+        lambda a, b: a | b,                              # 0001: A OR B
+        lambda a, b: a | (~b & mask),                    # 0010: A OR ~B
+        lambda a, b: mask,                               # 0011: minus 1
+        lambda a, b: a + (a & ~b & mask),                # 0100
+        lambda a, b: (a | b) + (a & ~b & mask),          # 0101
+        lambda a, b: a + (~b & mask),                    # 0110: A - B - 1
+        lambda a, b: (a & ~b & mask) + mask,             # 0111
+        lambda a, b: a + (a & b),                        # 1000
+        lambda a, b: a + b,                              # 1001: A plus B
+        lambda a, b: (a | (~b & mask)) + (a & b),        # 1010
+        lambda a, b: (a & b) + mask,                     # 1011
+        lambda a, b: a + a,                              # 1100: A plus A
+        lambda a, b: (a | b) + a,                        # 1101
+        lambda a, b: (a | (~b & mask)) + a,              # 1110
+        lambda a, b: a + mask,                           # 1111: A minus 1
+    ]
+
+
+_LOGIC_OPS = _logic_ops()
+_ARITH_OPS = _arith_ops()
+
+
+def reference_alu(a: int, b: int, s: int, m: int, cn: int) -> Dict[str, int]:
+    """Behavioral SN74181 from the data sheet table.
+
+    Returns a dict with ``F`` (4-bit int) and ``AEQB``; in arithmetic
+    mode also ``CN4`` (active-low carry out).  Inputs: ``a``, ``b`` are
+    4-bit operands, ``s`` the 4-bit select (S3S2S1S0), ``m`` the mode
+    (1 = logic), ``cn`` the active-low carry-in pin value.
+    """
+    if not (0 <= a <= 15 and 0 <= b <= 15 and 0 <= s <= 15):
+        raise ValueError("a, b, s must be 4-bit values")
+    result: Dict[str, int] = {}
+    if m:
+        f = _LOGIC_OPS[s](a, b)
+        result["F"] = f
+    else:
+        total = _ARITH_OPS[s](a, b) + (0 if cn else 1)
+        result["F"] = total & 0xF
+        result["CN4"] = 0 if total > 0xF else 1
+    result["AEQB"] = 1 if result["F"] == 0xF else 0
+    return result
+
+
+def pin_assignment(a: int, b: int, s: int, m: int, cn: int) -> Dict[str, int]:
+    """Expand packed operands into per-pin input values for the netlist."""
+    pins: Dict[str, int] = {"M": m & 1, "CN": cn & 1}
+    for i in range(4):
+        pins[f"A{i}"] = (a >> i) & 1
+        pins[f"B{i}"] = (b >> i) & 1
+        pins[f"S{i}"] = (s >> i) & 1
+    return pins
+
+
+def pack_f(outputs: Dict[str, int]) -> int:
+    """Pack netlist output pins F0..F3 back into a 4-bit int."""
+    return sum((outputs[f"F{i}"] & 1) << i for i in range(4))

@@ -1,0 +1,157 @@
+"""Small classic circuits used throughout the tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+
+def c17() -> Circuit:
+    """The ISCAS-85 c17 benchmark: 6 NAND gates, 5 inputs, 2 outputs."""
+    c = Circuit("c17")
+    for net in ("G1", "G2", "G3", "G6", "G7"):
+        c.add_input(net)
+    c.nand(["G1", "G3"], "G10")
+    c.nand(["G3", "G6"], "G11")
+    c.nand(["G2", "G11"], "G16")
+    c.nand(["G11", "G7"], "G19")
+    c.nand(["G10", "G16"], "G22")
+    c.nand(["G16", "G19"], "G23")
+    c.add_output("G22")
+    c.add_output("G23")
+    return c
+
+
+def and_gate(fanin: int = 2) -> Circuit:
+    """The paper's Fig. 1 device under test: a single AND gate."""
+    c = Circuit(f"and{fanin}")
+    nets = [c.add_input(chr(ord("A") + i)) for i in range(fanin)]
+    c.and_(nets, "Y")
+    c.add_output("Y")
+    return c
+
+
+def inverter_chain(length: int) -> Circuit:
+    """A chain of inverters; the simplest deep circuit."""
+    c = Circuit(f"invchain{length}")
+    previous = c.add_input("IN")
+    for i in range(length):
+        out = f"N{i}"
+        c.not_(previous, out)
+        previous = out
+    c.add_output(previous)
+    return c
+
+
+def parity_tree(width: int) -> Circuit:
+    """Balanced XOR tree computing the parity of ``width`` inputs.
+
+    Parity trees are the classic random-pattern-friendly circuit: every
+    input change flips the output, so any pattern detects half the faults.
+    """
+    if width < 2:
+        raise ValueError("parity tree needs at least 2 inputs")
+    c = Circuit(f"parity{width}")
+    layer = [c.add_input(f"I{i}") for i in range(width)]
+    counter = 0
+    while len(layer) > 1:
+        next_layer: List[str] = []
+        for i in range(0, len(layer) - 1, 2):
+            out = f"X{counter}"
+            counter += 1
+            c.xor([layer[i], layer[i + 1]], out)
+            next_layer.append(out)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+    c.buf(layer[0], "PARITY")
+    c.add_output("PARITY")
+    return c
+
+
+def majority3() -> Circuit:
+    """Three-input majority voter (carry function of a full adder)."""
+    c = Circuit("majority3")
+    a, b, ci = c.add_inputs(["A", "B", "C"])
+    c.and_([a, b], "AB")
+    c.and_([a, ci], "AC")
+    c.and_([b, ci], "BC")
+    c.or_(["AB", "AC", "BC"], "MAJ")
+    c.add_output("MAJ")
+    return c
+
+
+def mux(select_bits: int) -> Circuit:
+    """A ``2**select_bits``-to-1 multiplexer built from AND-OR logic."""
+    n = 1 << select_bits
+    c = Circuit(f"mux{n}")
+    selects = [c.add_input(f"S{i}") for i in range(select_bits)]
+    datas = [c.add_input(f"D{i}") for i in range(n)]
+    select_bars = []
+    for i, sel in enumerate(selects):
+        bar = f"SB{i}"
+        c.not_(sel, bar)
+        select_bars.append(bar)
+    terms = []
+    for value in range(n):
+        literals = [datas[value]]
+        for bit in range(select_bits):
+            literals.append(
+                selects[bit] if (value >> bit) & 1 else select_bars[bit]
+            )
+        term = f"T{value}"
+        c.and_(literals, term)
+        terms.append(term)
+    c.or_(terms, "Y")
+    c.add_output("Y")
+    return c
+
+
+def decoder(select_bits: int, with_enable: bool = False) -> Circuit:
+    """An N-to-2^N decoder; the paper's §III-B test-point controller.
+
+    With ``with_enable`` the decoder models the dual-mode pin trick:
+    one pin selects "system operation" vs "gate the N inputs to a
+    decoder" whose ``2**N`` outputs force hard-to-reach nets.
+    """
+    n = 1 << select_bits
+    c = Circuit(f"decoder{select_bits}to{n}")
+    selects = [c.add_input(f"S{i}") for i in range(select_bits)]
+    enable = c.add_input("EN") if with_enable else None
+    select_bars = []
+    for i, sel in enumerate(selects):
+        bar = f"SB{i}"
+        c.not_(sel, bar)
+        select_bars.append(bar)
+    for value in range(n):
+        literals = []
+        for bit in range(select_bits):
+            literals.append(
+                selects[bit] if (value >> bit) & 1 else select_bars[bit]
+            )
+        if enable is not None:
+            literals.append(enable)
+        out = f"Y{value}"
+        c.and_(literals, out)
+        c.add_output(out)
+    return c
+
+
+def comparator(width: int) -> Circuit:
+    """Equality comparator: ``EQ = 1`` iff ``A == B`` bitwise."""
+    c = Circuit(f"cmp{width}")
+    eq_bits = []
+    for i in range(width):
+        a = c.add_input(f"A{i}")
+        b = c.add_input(f"B{i}")
+        bit = f"E{i}"
+        c.xnor([a, b], bit)
+        eq_bits.append(bit)
+    if len(eq_bits) == 1:
+        c.buf(eq_bits[0], "EQ")
+    else:
+        c.and_(eq_bits, "EQ")
+    c.add_output("EQ")
+    return c

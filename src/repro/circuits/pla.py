@@ -1,0 +1,182 @@
+"""Programmable Logic Array model (paper Fig. 22).
+
+A PLA is an AND plane (product terms over input literals) feeding an OR
+plane (sums of products).  The paper singles PLAs out as the known
+random-pattern-resistant structure: a 20-input product term is exercised
+by a random pattern with probability ``2**-20``, so BILBO-style random
+testing fails (Section V-A).
+
+:class:`Pla` is a symbolic description; :func:`Pla.to_circuit` lowers it
+to the standard two-level gate netlist so every engine in the toolkit
+(fault simulation, ATPG, syndrome analysis) can run on it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class ProductTerm:
+    """One AND-plane row: a cube mapping input index -> required literal.
+
+    ``literals`` maps input position to ``1`` (true literal) or ``0``
+    (complemented literal); inputs absent from the map are don't-cares.
+    """
+
+    literals: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def from_dict(literals: Dict[int, int]) -> "ProductTerm":
+        """From dict."""
+        return ProductTerm(tuple(sorted(literals.items())))
+
+    @property
+    def fanin(self) -> int:
+        """Number of programmed literals in this term."""
+        return len(self.literals)
+
+    def evaluate(self, input_bits: Sequence[int]) -> int:
+        """Evaluate for one input vector."""
+        for index, polarity in self.literals:
+            if input_bits[index] != polarity:
+                return 0
+        return 1
+
+    def detection_probability(self) -> float:
+        """Probability a uniform random pattern activates this term."""
+        return 0.5 ** self.fanin
+
+
+@dataclass
+class Pla:
+    """A PLA: named inputs, product terms, and OR-plane connections."""
+
+    name: str
+    num_inputs: int
+    terms: List[ProductTerm] = field(default_factory=list)
+    outputs: List[List[int]] = field(default_factory=list)  # term indices
+
+    def add_term(self, literals: Dict[int, int]) -> int:
+        """Add a product term; returns its index for OR-plane wiring."""
+        for index in literals:
+            if not 0 <= index < self.num_inputs:
+                raise ValueError(f"literal index {index} out of range")
+        self.terms.append(ProductTerm.from_dict(literals))
+        return len(self.terms) - 1
+
+    def add_output(self, term_indices: Sequence[int]) -> int:
+        """Add an OR-plane output summing the given product terms."""
+        for index in term_indices:
+            if not 0 <= index < len(self.terms):
+                raise ValueError(f"term index {index} out of range")
+        self.outputs.append(list(term_indices))
+        return len(self.outputs) - 1
+
+    @property
+    def max_term_fanin(self) -> int:
+        """Max term fanin."""
+        return max((t.fanin for t in self.terms), default=0)
+
+    def evaluate(self, input_bits: Sequence[int]) -> List[int]:
+        """Evaluate for one input vector."""
+        term_values = [t.evaluate(input_bits) for t in self.terms]
+        return [
+            1 if any(term_values[i] for i in indices) else 0
+            for indices in self.outputs
+        ]
+
+    def to_circuit(self) -> Circuit:
+        """Lower to a two-level AND-OR netlist with explicit inverters."""
+        c = Circuit(self.name)
+        inputs = [c.add_input(f"I{i}") for i in range(self.num_inputs)]
+        inverted: Dict[int, str] = {}
+        for index in sorted(
+            {i for term in self.terms for i, pol in term.literals if pol == 0}
+        ):
+            bar = f"NI{index}"
+            c.not_(inputs[index], bar)
+            inverted[index] = bar
+        from ..netlist.gates import GateType
+
+        for t_index, term in enumerate(self.terms):
+            literals = [
+                inputs[i] if polarity else inverted[i]
+                for i, polarity in term.literals
+            ]
+            out = f"P{t_index}"
+            if not literals:
+                # A term with no programmed literals is always on (the
+                # fully-grown fault case).
+                c.add_gate(GateType.CONST1, [], out)
+            elif len(literals) == 1:
+                c.buf(literals[0], out)
+            else:
+                c.and_(literals, out)
+        for o_index, indices in enumerate(self.outputs):
+            nets = [f"P{i}" for i in indices]
+            out = f"O{o_index}"
+            if not nets:
+                # An output with no connected terms is constant 0 (the
+                # fully-disappeared fault case).
+                c.add_gate(GateType.CONST0, [], out)
+            elif len(nets) == 1:
+                c.buf(nets[0], out)
+            else:
+                c.or_(nets, out)
+            c.add_output(out)
+        return c
+
+
+def wide_and_pla(fanin: int) -> Pla:
+    """Single product term of the given fan-in: the paper's worst case."""
+    pla = Pla(f"pla_and{fanin}", fanin)
+    term = pla.add_term({i: 1 for i in range(fanin)})
+    pla.add_output([term])
+    return pla
+
+
+def random_pla(
+    num_inputs: int,
+    num_terms: int,
+    num_outputs: int,
+    term_fanin: int,
+    seed: int = 0,
+) -> Pla:
+    """Random PLA with fixed per-term fan-in, for sweep experiments."""
+    rng = random.Random(seed)
+    pla = Pla(f"pla_r{num_inputs}x{num_terms}", num_inputs)
+    for _ in range(num_terms):
+        indices = rng.sample(range(num_inputs), min(term_fanin, num_inputs))
+        pla.add_term({i: rng.randint(0, 1) for i in indices})
+    for _ in range(num_outputs):
+        count = rng.randint(1, max(1, num_terms // 2))
+        pla.add_output(rng.sample(range(num_terms), count))
+    return pla
+
+
+def bcd_to_seven_segment() -> Pla:
+    """A realistic PLA: BCD digit to 7-segment decoder (segments a-g)."""
+    # Segment truth per digit 0-9 (a, b, c, d, e, f, g).
+    segments = {
+        "a": [0, 2, 3, 5, 6, 7, 8, 9],
+        "b": [0, 1, 2, 3, 4, 7, 8, 9],
+        "c": [0, 1, 3, 4, 5, 6, 7, 8, 9],
+        "d": [0, 2, 3, 5, 6, 8, 9],
+        "e": [0, 2, 6, 8],
+        "f": [0, 4, 5, 6, 8, 9],
+        "g": [2, 3, 4, 5, 6, 8, 9],
+    }
+    pla = Pla("bcd7seg", 4)
+    term_for_digit = {}
+    for digit in range(10):
+        term_for_digit[digit] = pla.add_term(
+            {bit: (digit >> bit) & 1 for bit in range(4)}
+        )
+    for name in "abcdefg":
+        pla.add_output([term_for_digit[d] for d in segments[name]])
+    return pla

@@ -1,0 +1,231 @@
+"""Embedded RAM model and memory test algorithms.
+
+§IV-A notes that "it is not practical to implement RAM with SRL
+memory, so additional procedures are required to handle embedded RAM
+circuitry" [20], and reference [59] (Hayes) covers pattern-sensitive
+faults in RAMs.  This module supplies the substrate: a word-organized
+RAM with injectable memory faults, plus the march tests that became
+the standard "additional procedure":
+
+* **MATS+** — detects all stuck-at cells (and address decoder faults
+  in the simple model);
+* **March C-** — additionally detects idempotent coupling faults.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MemFaultKind(enum.Enum):
+    """MemFaultKind: see the module docstring for context."""
+    CELL_SA0 = "cell stuck-at-0"
+    CELL_SA1 = "cell stuck-at-1"
+    COUPLING_UP = "coupling: aggressor rise sets victim"
+    COUPLING_DOWN = "coupling: aggressor fall clears victim"
+    ADDRESS_ALIAS = "address decoder: two addresses share a cell"
+
+
+@dataclass(frozen=True)
+class MemoryFault:
+    """MemoryFault: see the module docstring for context."""
+    kind: MemFaultKind
+    address: int               # victim cell address
+    bit: int = 0               # victim bit position
+    aggressor: Optional[int] = None  # coupling/alias partner address
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identifier."""
+        extra = f" (aggr {self.aggressor})" if self.aggressor is not None else ""
+        return f"{self.kind.value} @ {self.address}.{self.bit}{extra}"
+
+
+class Ram:
+    """Word-organized RAM with fault injection.
+
+    ``read``/``write`` model the access port an embedded macro exposes;
+    faults perturb behaviour exactly as their model dictates.
+    """
+
+    def __init__(self, words: int, width: int) -> None:
+        if words < 2 or width < 1:
+            raise ValueError("need at least 2 words and 1 bit")
+        self.words = words
+        self.width = width
+        self._mask = (1 << width) - 1
+        self._cells: List[int] = [0] * words
+        self._faults: List[MemoryFault] = []
+
+    # -- fault control -----------------------------------------------------
+    def inject(self, fault: MemoryFault) -> None:
+        """Add a memory fault for subsequent accesses."""
+        if not (0 <= fault.address < self.words and 0 <= fault.bit < self.width):
+            raise ValueError("fault site out of range")
+        if fault.kind is MemFaultKind.ADDRESS_ALIAS and fault.aggressor is None:
+            raise ValueError("address alias needs an aggressor address")
+        self._faults.append(fault)
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault."""
+        self._faults.clear()
+
+    # -- access with fault semantics ----------------------------------------
+    def _resolve_address(self, address: int) -> int:
+        for fault in self._faults:
+            if (
+                fault.kind is MemFaultKind.ADDRESS_ALIAS
+                and address == fault.aggressor
+            ):
+                return fault.address
+        return address
+
+    def write(self, address: int, value: int) -> None:
+        """Write a word, honouring injected fault semantics."""
+        if not 0 <= address < self.words:
+            raise IndexError(f"address {address} out of range")
+        target = self._resolve_address(address)
+        old = self._cells[target]
+        new = value & self._mask
+        self._cells[target] = new
+        # Coupling faults: transitions on the aggressor disturb victims.
+        for fault in self._faults:
+            if fault.aggressor != target:
+                continue
+            if fault.kind is MemFaultKind.COUPLING_UP:
+                rose = (~old & new) & self._mask
+                if rose:  # any rising bit in the aggressor word
+                    self._cells[fault.address] |= 1 << fault.bit
+            elif fault.kind is MemFaultKind.COUPLING_DOWN:
+                fell = (old & ~new) & self._mask
+                if fell:
+                    self._cells[fault.address] &= ~(1 << fault.bit)
+        self._apply_stuck(target)
+
+    def _apply_stuck(self, address: int) -> None:
+        for fault in self._faults:
+            if fault.address != address:
+                continue
+            if fault.kind is MemFaultKind.CELL_SA0:
+                self._cells[address] &= ~(1 << fault.bit)
+            elif fault.kind is MemFaultKind.CELL_SA1:
+                self._cells[address] |= 1 << fault.bit
+
+    def read(self, address: int) -> int:
+        """Read a word, honouring injected fault semantics."""
+        if not 0 <= address < self.words:
+            raise IndexError(f"address {address} out of range")
+        target = self._resolve_address(address)
+        self._apply_stuck(target)
+        return self._cells[target]
+
+
+@dataclass
+class MarchResult:
+    """Outcome of a march test run."""
+
+    algorithm: str
+    passed: bool
+    operations: int
+    first_failure: Optional[Tuple[int, str]] = None  # (address, phase)
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else f"FAIL{self.first_failure}"
+        return f"{self.algorithm}: {verdict} in {self.operations} ops"
+
+
+def _march(ram: Ram, algorithm: str, phases) -> MarchResult:
+    """Run a march description: phases of (direction, ops) where ops are
+    ("r", expected) / ("w", value) pairs over the address space."""
+    operations = 0
+    all_ones = (1 << ram.width) - 1
+
+    def expand(value):
+        """Broadcast a 0/1 to the full word width."""
+        return all_ones if value else 0
+
+    for phase_index, (direction, ops) in enumerate(phases):
+        addresses = range(ram.words) if direction >= 0 else range(
+            ram.words - 1, -1, -1
+        )
+        for address in addresses:
+            for op, value in ops:
+                operations += 1
+                if op == "w":
+                    ram.write(address, expand(value))
+                else:
+                    got = ram.read(address)
+                    if got != expand(value):
+                        return MarchResult(
+                            algorithm,
+                            False,
+                            operations,
+                            (address, f"phase{phase_index}"),
+                        )
+    return MarchResult(algorithm, True, operations)
+
+
+def mats_plus(ram: Ram) -> MarchResult:
+    """MATS+: {⇕(w0); ⇑(r0, w1); ⇓(r1, w0)} — all stuck cells."""
+    return _march(
+        ram,
+        "MATS+",
+        [
+            (+1, [("w", 0)]),
+            (+1, [("r", 0), ("w", 1)]),
+            (-1, [("r", 1), ("w", 0)]),
+        ],
+    )
+
+
+def march_c_minus(ram: Ram) -> MarchResult:
+    """March C-: {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}.
+
+    Detects stuck-at, address decoder, and idempotent coupling faults.
+    """
+    return _march(
+        ram,
+        "March C-",
+        [
+            (+1, [("w", 0)]),
+            (+1, [("r", 0), ("w", 1)]),
+            (+1, [("r", 1), ("w", 0)]),
+            (-1, [("r", 0), ("w", 1)]),
+            (-1, [("r", 1), ("w", 0)]),
+            (+1, [("r", 0)]),
+        ],
+    )
+
+
+def march_coverage(
+    words: int, width: int, algorithm, fault_list: List[MemoryFault]
+) -> Tuple[int, int]:
+    """(detected, total) for an algorithm over a fault list."""
+    detected = 0
+    for fault in fault_list:
+        ram = Ram(words, width)
+        ram.inject(fault)
+        if not algorithm(ram).passed:
+            detected += 1
+    return detected, len(fault_list)
+
+
+def standard_fault_list(words: int, width: int) -> List[MemoryFault]:
+    """A representative injectable fault set for coverage studies."""
+    faults: List[MemoryFault] = []
+    for address in range(words):
+        for bit in range(width):
+            faults.append(MemoryFault(MemFaultKind.CELL_SA0, address, bit))
+            faults.append(MemoryFault(MemFaultKind.CELL_SA1, address, bit))
+    for victim in range(0, words, max(1, words // 4)):
+        aggressor = (victim + 1) % words
+        faults.append(
+            MemoryFault(MemFaultKind.COUPLING_UP, victim, 0, aggressor)
+        )
+        faults.append(
+            MemoryFault(MemFaultKind.COUPLING_DOWN, victim, 0, aggressor)
+        )
+    faults.append(MemoryFault(MemFaultKind.ADDRESS_ALIAS, 0, 0, words - 1))
+    return faults

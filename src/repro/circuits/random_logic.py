@@ -1,0 +1,123 @@
+"""Seeded random circuit generators for scaling studies.
+
+Equation (1) of the paper claims test generation plus fault simulation
+run time grows like ``K * N**3`` (fault simulation alone like ``N**2``).
+Regenerating that curve needs a *family* of circuits of increasing gate
+count with comparable structure; these generators provide it,
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+_COMBINATIONAL_KINDS = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+)
+
+
+def random_combinational(
+    num_inputs: int,
+    num_gates: int,
+    seed: int = 0,
+    max_fanin: int = 4,
+    num_outputs: Optional[int] = None,
+    kinds: Sequence[GateType] = _COMBINATIONAL_KINDS,
+) -> Circuit:
+    """Random DAG of combinational gates with bounded fan-in.
+
+    Every gate draws its inputs from earlier nets, guaranteeing
+    acyclicity.  Nets left unread become primary outputs (plus extra
+    sampled outputs up to ``num_outputs``), so no logic is dangling.
+    """
+    if num_inputs < 2:
+        raise ValueError("need at least 2 inputs")
+    rng = random.Random(seed)
+    c = Circuit(f"rand_i{num_inputs}_g{num_gates}_s{seed}")
+    nets: List[str] = [c.add_input(f"I{i}") for i in range(num_inputs)]
+    read = set()
+    for g in range(num_gates):
+        kind = rng.choice(kinds)
+        if kind is GateType.NOT:
+            fanin = 1
+        else:
+            fanin = rng.randint(max(2, kind.min_inputs), min(max_fanin, len(nets)))
+        sources = rng.sample(nets, fanin)
+        out = f"N{g}"
+        c.add_gate(kind, sources, out)
+        read.update(sources)
+        nets.append(out)
+    dangling = [n for n in nets if n not in read and not c.is_input(n)]
+    for net in dangling:
+        c.add_output(net)
+    if num_outputs is not None and len(dangling) < num_outputs:
+        candidates = [
+            n for n in nets if n not in dangling and not c.is_input(n)
+        ]
+        extra = rng.sample(
+            candidates, min(num_outputs - len(dangling), len(candidates))
+        )
+        for net in extra:
+            c.add_output(net)
+    if not c.outputs:
+        c.add_output(nets[-1])
+    return c
+
+
+def random_sequential(
+    num_inputs: int,
+    num_gates: int,
+    num_flip_flops: int,
+    seed: int = 0,
+    max_fanin: int = 4,
+) -> Circuit:
+    """Random synchronous sequential circuit (Huffman model).
+
+    Flip-flop outputs join the primary inputs as sources for a random
+    combinational cloud; flip-flop data inputs are drawn from the cloud.
+    This is the "general sequential machine" of the paper's Fig. 9,
+    pre-scan: the circuit every structured technique exists to tame.
+    """
+    if num_flip_flops < 1:
+        raise ValueError("need at least 1 flip-flop")
+    rng = random.Random(seed)
+    c = Circuit(f"seq_i{num_inputs}_g{num_gates}_f{num_flip_flops}_s{seed}")
+    sources: List[str] = [c.add_input(f"I{i}") for i in range(num_inputs)]
+    ff_outputs = [f"Q{i}" for i in range(num_flip_flops)]
+    # Gate inputs may reference Q nets before the DFFs are added; the
+    # netlist defers connectivity validation until validate().
+    nets = sources + ff_outputs
+    read = set()
+    gate_nets: List[str] = []
+    for g in range(num_gates):
+        kind = rng.choice(_COMBINATIONAL_KINDS)
+        fanin = 1 if kind is GateType.NOT else rng.randint(
+            2, min(max_fanin, len(nets))
+        )
+        chosen = rng.sample(nets, fanin)
+        out = f"N{g}"
+        c.add_gate(kind, chosen, out)
+        read.update(chosen)
+        nets.append(out)
+        gate_nets.append(out)
+    for i in range(num_flip_flops):
+        data = rng.choice(gate_nets)
+        c.dff(data, ff_outputs[i], name=f"FF{i}")
+        read.add(data)
+    dangling = [n for n in gate_nets if n not in read]
+    for net in dangling:
+        c.add_output(net)
+    if not c.outputs:
+        c.add_output(gate_nets[-1])
+    c.validate()
+    return c

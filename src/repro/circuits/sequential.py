@@ -1,0 +1,132 @@
+"""Sequential demonstration machines: counters, shift registers, FSMs.
+
+These are the circuits the structured DFT techniques (Section IV) get
+applied to in the examples and benchmarks.  All follow the synchronous
+Huffman model with ``DFF`` storage; scan insertion transforms them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+
+def binary_counter(width: int) -> Circuit:
+    """Synchronous binary up-counter with ENABLE input and Q outputs.
+
+    Next state: ``Q + EN`` (ripple increment).  Deep sequential state
+    makes it a classic hard target for sequential ATPG: reaching count
+    ``2**width - 1`` takes that many clocks — scan reaches it in
+    ``width`` shifts.
+    """
+    c = Circuit(f"counter{width}")
+    enable = c.add_input("EN")
+    carry = enable
+    for i in range(width):
+        q = f"Q{i}"
+        d = f"D{i}"
+        c.xor([q, carry], d)
+        c.dff(d, q, name=f"FF{i}")
+        c.add_output(q)
+        if i < width - 1:
+            next_carry = f"CY{i}"
+            c.and_([q, carry], next_carry)
+            carry = next_carry
+    return c
+
+
+def shift_register(length: int) -> Circuit:
+    """Serial-in serial-out shift register of DFFs."""
+    c = Circuit(f"shiftreg{length}")
+    previous = c.add_input("SIN")
+    for i in range(length):
+        q = f"Q{i}"
+        c.dff(previous, q, name=f"FF{i}")
+        previous = q
+    c.add_output(previous)
+    return c
+
+
+def johnson_counter(width: int) -> Circuit:
+    """Johnson (twisted-ring) counter: feedback is the inverted tail."""
+    c = Circuit(f"johnson{width}")
+    c.not_(f"Q{width - 1}", "FB")
+    previous = "FB"
+    for i in range(width):
+        q = f"Q{i}"
+        c.dff(previous, q, name=f"FF{i}")
+        c.add_output(q)
+        previous = q
+    c.validate()
+    return c
+
+
+def sequence_detector() -> Circuit:
+    """Mealy FSM detecting the serial input pattern ``101``.
+
+    States (one-hot in two DFFs as a 2-bit code): S0 = idle, S1 = saw
+    ``1``, S2 = saw ``10``; output DETECT pulses when ``101`` completes.
+    """
+    c = Circuit("detect101")
+    x = c.add_input("X")
+    c.not_(x, "NX")
+    c.not_("Q0", "NQ0")
+    c.not_("Q1", "NQ1")
+    # State code: (Q1,Q0) = 00 idle, 01 saw1, 10 saw10.
+    # next Q0 (saw1): any 1 means the newest char starts/extends a match.
+    c.buf(x, "D0")
+    # next Q1 (saw10): a 0 right after saw1.
+    c.and_(["NQ1", "Q0"], "SAW1")
+    c.and_(["SAW1", "NX"], "D1")
+    c.dff("D0", "Q0", name="FF0")
+    c.dff("D1", "Q1", name="FF1")
+    # DETECT = saw10 & X (Mealy output: 101 just completed).
+    c.and_(["Q1", "NQ0"], "SAW10")
+    c.and_(["SAW10", "X"], "DETECT")
+    c.add_output("DETECT")
+    return c
+
+
+def lfsr_circuit(taps: List[int], length: int) -> Circuit:
+    """An LFSR *as a netlist* (not the behavioral model in repro.lfsr).
+
+    Fibonacci style: stage 0 is fed by the XOR of the tapped stages.
+    Used by the BIST benches to show a BILBO built from real gates
+    matches the behavioral LFSR model bit-for-bit.
+    """
+    if not taps or max(taps) > length or min(taps) < 1:
+        raise ValueError("taps must be stage numbers in 1..length")
+    c = Circuit(f"lfsr{length}")
+    stage_nets = [f"Q{i}" for i in range(1, length + 1)]
+    tap_nets = [stage_nets[t - 1] for t in taps]
+    if len(tap_nets) == 1:
+        c.buf(tap_nets[0], "FB")
+    else:
+        c.xor(tap_nets, "FB")
+    previous = "FB"
+    for i, q in enumerate(stage_nets):
+        c.dff(previous, q, name=f"FF{i + 1}")
+        c.add_output(q)
+        previous = q
+    c.validate()
+    return c
+
+
+def oscillator_driven_block(width: int = 3) -> Circuit:
+    """A free-running-clock victim for the degating demo (paper Fig. 3).
+
+    ``OSC`` models the oscillator output; it clocks nothing here (the
+    netlist is clockless) but drives logic the tester cannot
+    synchronize to.  The degating transform in :mod:`repro.adhoc`
+    inserts the pseudo-clock path.
+    """
+    c = Circuit("osc_block")
+    osc = c.add_input("OSC")
+    data = [c.add_input(f"D{i}") for i in range(width)]
+    for i, net in enumerate(data):
+        gated = f"G{i}"
+        c.and_([osc, net], gated)
+        c.add_output(gated)
+    return c

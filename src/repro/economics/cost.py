@@ -1,0 +1,141 @@
+"""The economics of testing (paper §I-B, §I-C and Eq. (1)).
+
+Every argument in the paper reduces to money or time:
+
+* the **rule of tens** — a fault caught at chip level costs $0.30; the
+  same fault costs 10x more at each packaging level ($3 board, $30
+  system, $300 field);
+* **Eq. (1)** — ``T = K * N**3`` computer run time for test generation
+  plus fault simulation (``N**2`` for fault simulation alone);
+* **exhaustive testing** — ``2**(N+M)`` patterns; the paper's example
+  (N=25, M=50) needs 3.8e22 patterns ≈ a billion years at 1 µs each;
+* **technique overheads** — gate, pin, and delay costs of each DFT
+  discipline, tabulated from the paper's quoted ranges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: The paper's cost escalation: packaging level -> dollars per fault.
+RULE_OF_TENS: Dict[str, float] = {
+    "chip": 0.30,
+    "board": 3.00,
+    "system": 30.00,
+    "field": 300.00,
+}
+
+LEVELS: Tuple[str, ...] = ("chip", "board", "system", "field")
+
+
+def cost_of_fault(level: str) -> float:
+    """Dollars to find one fault at the given packaging level."""
+    try:
+        return RULE_OF_TENS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown level {level!r}; expected one of {LEVELS}"
+        ) from None
+
+
+def escalation_factor(from_level: str, to_level: str) -> float:
+    """Cost multiplier for letting a fault escape between levels."""
+    return cost_of_fault(to_level) / cost_of_fault(from_level)
+
+
+def early_detection_savings(faults: int, caught_at: str, would_reach: str) -> float:
+    """Dollars saved by catching ``faults`` early instead of late."""
+    return faults * (cost_of_fault(would_reach) - cost_of_fault(caught_at))
+
+
+@dataclass
+class RuntimeModel:
+    """Eq. (1): ``T = K * N**exponent`` seconds of CPU.
+
+    The paper uses exponent 3 for the full ATPG+fsim job and notes 2
+    for fault simulation alone (footnote 1 debates the exact value —
+    the scaling benchmark *measures* it on this repo's engines).
+    """
+
+    k: float = 1.0
+    exponent: float = 3.0
+
+    def runtime(self, gates: int) -> float:
+        """Predicted seconds of CPU for a gate count."""
+        return self.k * gates ** self.exponent
+
+    def relative_cost(self, gates_before: int, gates_after: int) -> float:
+        """Runtime ratio after a gate-count change (e.g. partitioning)."""
+        return self.runtime(gates_after) / self.runtime(gates_before)
+
+
+def fit_power_law(sizes: Sequence[float], times: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``T = K * N**e`` in log space; returns (K, e).
+
+    Used by the Eq. (1) benchmark to measure the exponent of the actual
+    engines and compare with the paper's claimed 3 (or 2).
+    """
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ValueError("need at least two (size, time) points")
+    logs = [(math.log(n), math.log(t)) for n, t in zip(sizes, times) if t > 0]
+    n = len(logs)
+    sum_x = sum(x for x, _ in logs)
+    sum_y = sum(y for _, y in logs)
+    sum_xx = sum(x * x for x, _ in logs)
+    sum_xy = sum(x * y for x, y in logs)
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        raise ValueError("degenerate fit")
+    exponent = (n * sum_xy - sum_x * sum_y) / denominator
+    log_k = (sum_y - exponent * sum_x) / n
+    return math.exp(log_k), exponent
+
+
+def partition_speedup(parts: int, exponent: float = 3.0) -> float:
+    """Run-time reduction from splitting a network into equal parts.
+
+    The paper's §III-A arithmetic: halving a board "would reduce the
+    test generation and fault simulation tasks by 8 for two boards"
+    (each half costs (N/2)^3, two halves cost 2*(N/2)^3 = N^3/4; the
+    paper quotes the per-partition factor 2^3 = 8).
+    """
+    return float(parts) ** exponent
+
+
+def exhaustive_pattern_count(inputs: int, latches: int = 0) -> int:
+    """Minimum complete functional test size: ``2**(N+M)`` (§I-B)."""
+    return 2 ** (inputs + latches)
+
+
+def exhaustive_test_time_seconds(
+    inputs: int, latches: int = 0, seconds_per_pattern: float = 1e-6
+) -> float:
+    """Wall-clock for an exhaustive functional test at a given rate."""
+    return exhaustive_pattern_count(inputs, latches) * seconds_per_pattern
+
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+def exhaustive_test_time_years(
+    inputs: int, latches: int = 0, seconds_per_pattern: float = 1e-6
+) -> float:
+    """The paper's headline: N=25, M=50 at 1 µs → over a billion years."""
+    return exhaustive_test_time_seconds(inputs, latches, seconds_per_pattern) / SECONDS_PER_YEAR
+
+
+def stuck_at_fault_count(gates: int, inputs_per_gate: int = 2) -> int:
+    """Uncollapsed single stuck-at faults: 2 lines * (1 output + k inputs).
+
+    The paper: "for a given logic network with 1000 two-input logic
+    gates, the maximum number of single stuck-at faults which can be
+    assumed is 6000."
+    """
+    return gates * 2 * (1 + inputs_per_gate)
+
+
+def multiple_fault_space(nets: int) -> float:
+    """``3**N`` good/SA0/SA1 combinations (§I-A's 5e47 for N=100)."""
+    return 3.0 ** nets

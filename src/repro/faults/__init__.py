@@ -1,0 +1,59 @@
+"""Fault models: single stuck-at, collapsing, bridging, CMOS stuck-open."""
+
+from .stuck_at import (
+    Fault,
+    SiteKind,
+    stuck_at_0,
+    stuck_at_1,
+    all_faults,
+    fault_universe_size,
+    multiple_fault_combinations,
+)
+from .collapse import (
+    equivalence_classes,
+    collapse_faults,
+    collapse_ratio,
+    dominance_collapse,
+    checkpoint_faults,
+)
+from .bridging import (
+    BridgeKind,
+    BridgingFault,
+    apply_bridging_fault,
+    random_bridges,
+)
+from .cmos import (
+    CmosGate,
+    Transistor,
+    Network,
+    cmos_nand2,
+    cmos_nor2,
+    find_two_pattern_test,
+    single_pattern_detects,
+)
+
+__all__ = [
+    "Fault",
+    "SiteKind",
+    "stuck_at_0",
+    "stuck_at_1",
+    "all_faults",
+    "fault_universe_size",
+    "multiple_fault_combinations",
+    "equivalence_classes",
+    "collapse_faults",
+    "collapse_ratio",
+    "dominance_collapse",
+    "checkpoint_faults",
+    "BridgeKind",
+    "BridgingFault",
+    "apply_bridging_fault",
+    "random_bridges",
+    "CmosGate",
+    "Transistor",
+    "Network",
+    "cmos_nand2",
+    "cmos_nor2",
+    "find_two_pattern_test",
+    "single_pattern_detects",
+]

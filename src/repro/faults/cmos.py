@@ -1,0 +1,200 @@
+"""CMOS stuck-open faults: combinational gates turning sequential (§I-A).
+
+The paper warns: "there are a number of faults [in CMOS] which could
+change a combinational network into a sequential network.  Therefore,
+the combinational patterns are no longer effective in testing the
+network in all cases."
+
+This module models a static CMOS gate at the switch level: a pull-up
+network of PMOS switches and a pull-down network of NMOS switches.
+A **stuck-open** transistor breaks its branch; for some inputs neither
+network conducts, the output floats, and the node *retains its previous
+value* — memory, i.e. sequential behaviour.  Detecting such a fault
+needs a two-pattern test: an initializing pattern that sets the node,
+then a pattern whose good response differs from the retained value.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+
+class Network(enum.Enum):
+    """Network: see the module docstring for context."""
+    PULL_UP = "pmos"
+    PULL_DOWN = "nmos"
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One switch: conducts when its gate input matches its polarity.
+
+    NMOS conducts on 1; PMOS conducts on 0.
+    """
+
+    name: str
+    input_name: str
+    network: Network
+
+    def conducts(self, input_bits: Dict[str, int]) -> bool:
+        """True when this switch conducts for the given inputs."""
+        bit = input_bits[self.input_name]
+        return bit == 1 if self.network is Network.PULL_DOWN else bit == 0
+
+
+class CmosGate:
+    """A static CMOS gate as series/parallel switch networks.
+
+    Each network is a list of *branches*; a branch is a series chain of
+    transistors, and branches are in parallel.  The pull-down network
+    connects the output to ground, the pull-up to VDD.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        pull_down_branches: Sequence[Sequence[Transistor]],
+        pull_up_branches: Sequence[Sequence[Transistor]],
+    ) -> None:
+        self.name = name
+        self.inputs = list(inputs)
+        self.pull_down = [list(branch) for branch in pull_down_branches]
+        self.pull_up = [list(branch) for branch in pull_up_branches]
+        self.stuck_open: FrozenSet[str] = frozenset()
+        self._previous: Optional[int] = None
+
+    # -- fault control -------------------------------------------------
+    def inject_stuck_open(self, transistor_name: str) -> None:
+        """Inject stuck open."""
+        names = {t.name for branch in self.pull_down + self.pull_up for t in branch}
+        if transistor_name not in names:
+            raise KeyError(f"no transistor named {transistor_name!r}")
+        self.stuck_open = self.stuck_open | {transistor_name}
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault."""
+        self.stuck_open = frozenset()
+        self._previous = None
+
+    def all_transistors(self) -> List[Transistor]:
+        """All transistors."""
+        return [t for branch in self.pull_down + self.pull_up for t in branch]
+
+    # -- evaluation ----------------------------------------------------
+    def _network_conducts(
+        self, branches: Sequence[Sequence[Transistor]], bits: Dict[str, int]
+    ) -> bool:
+        for branch in branches:
+            if all(
+                t.conducts(bits) and t.name not in self.stuck_open
+                for t in branch
+            ):
+                return True
+        return False
+
+    def evaluate(self, input_bits: Dict[str, int]) -> Optional[int]:
+        """Output value; ``None`` means floating with no prior value.
+
+        When neither network conducts (possible only with a fault in a
+        correctly-designed complementary gate) the output keeps its
+        previous value — the sequential behaviour the paper warns about.
+        """
+        down = self._network_conducts(self.pull_down, input_bits)
+        up = self._network_conducts(self.pull_up, input_bits)
+        if down and up:
+            raise ValueError(f"{self.name}: VDD-GND fight (should not happen)")
+        if down:
+            value: Optional[int] = 0
+        elif up:
+            value = 1
+        else:
+            value = self._previous  # charge retention: memory!
+        self._previous = value
+        return value
+
+    def is_combinational_under_fault(self) -> bool:
+        """False when some input leaves the faulted output floating."""
+        for bits in itertools.product((0, 1), repeat=len(self.inputs)):
+            assignment = dict(zip(self.inputs, bits))
+            down = self._network_conducts(self.pull_down, assignment)
+            up = self._network_conducts(self.pull_up, assignment)
+            if not down and not up:
+                return False
+        return True
+
+
+def cmos_nand2(name: str = "nand2") -> CmosGate:
+    """Two-input CMOS NAND: series NMOS pull-down, parallel PMOS pull-up."""
+    a_n = Transistor(f"{name}.NA", "A", Network.PULL_DOWN)
+    b_n = Transistor(f"{name}.NB", "B", Network.PULL_DOWN)
+    a_p = Transistor(f"{name}.PA", "A", Network.PULL_UP)
+    b_p = Transistor(f"{name}.PB", "B", Network.PULL_UP)
+    return CmosGate(name, ["A", "B"], [[a_n, b_n]], [[a_p], [b_p]])
+
+
+def cmos_nor2(name: str = "nor2") -> CmosGate:
+    """Two-input CMOS NOR: parallel NMOS pull-down, series PMOS pull-up."""
+    a_n = Transistor(f"{name}.NA", "A", Network.PULL_DOWN)
+    b_n = Transistor(f"{name}.NB", "B", Network.PULL_DOWN)
+    a_p = Transistor(f"{name}.PA", "A", Network.PULL_UP)
+    b_p = Transistor(f"{name}.PB", "B", Network.PULL_UP)
+    return CmosGate(name, ["A", "B"], [[a_n], [b_n]], [[a_p, b_p]])
+
+
+def find_two_pattern_test(
+    gate: CmosGate, transistor_name: str
+) -> Optional[Tuple[Dict[str, int], Dict[str, int]]]:
+    """Search for an (init, detect) pattern pair for a stuck-open fault.
+
+    Returns the first pair where, after applying ``init`` then
+    ``detect``, the faulty gate's output differs from the good gate's
+    response to ``detect`` — or ``None`` when no single-pair test
+    exists (e.g. the fault is redundant).
+    """
+    good = _copy_gate(gate)
+    n = len(gate.inputs)
+    patterns = [
+        dict(zip(gate.inputs, bits))
+        for bits in itertools.product((0, 1), repeat=n)
+    ]
+    for init in patterns:
+        for detect in patterns:
+            faulty = _copy_gate(gate)
+            faulty.inject_stuck_open(transistor_name)
+            faulty.evaluate(init)
+            faulty_out = faulty.evaluate(detect)
+            good._previous = None
+            good.evaluate(init)
+            good_out = good.evaluate(detect)
+            if faulty_out is not None and good_out is not None and faulty_out != good_out:
+                return init, detect
+    return None
+
+
+def single_pattern_detects(gate: CmosGate, transistor_name: str) -> bool:
+    """Would any *single* (state-free) pattern expose the stuck-open fault?
+
+    Because the faulty output floats to the retained value, a lone
+    pattern applied to a gate in an unknown state yields an unknown
+    comparison — this returns False for genuine stuck-opens, which is
+    exactly why combinational test sets are "no longer effective".
+    """
+    for bits in itertools.product((0, 1), repeat=len(gate.inputs)):
+        assignment = dict(zip(gate.inputs, bits))
+        faulty = _copy_gate(gate)
+        faulty.inject_stuck_open(transistor_name)
+        faulty_out = faulty.evaluate(assignment)
+        good = _copy_gate(gate)
+        good_out = good.evaluate(assignment)
+        if faulty_out is not None and faulty_out != good_out:
+            return True
+    return False
+
+
+def _copy_gate(gate: CmosGate) -> CmosGate:
+    duplicate = CmosGate(gate.name, gate.inputs, gate.pull_down, gate.pull_up)
+    return duplicate

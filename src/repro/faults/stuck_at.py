@@ -1,0 +1,113 @@
+"""The single Stuck-At fault model (paper §I-A).
+
+A fault fixes one *line* to logic 0 or 1.  Lines are either a gate
+output net (a **stem**) or one gate's view of an input net (a
+**branch**); on a fanout stem the branches are distinct fault sites —
+a stuck branch leaves the other readers of the net healthy.
+
+The universe enumerated here matches the paper's arithmetic: a circuit
+of 1000 two-input gates has 6000 single stuck-at faults (2 per output
+line + 2 per input pin), before collapsing brings the number to be
+simulated down to "about 3000".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+
+
+class SiteKind(enum.Enum):
+    """SiteKind: see the module docstring for context."""
+    STEM = "stem"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One single stuck-at fault.
+
+    ``net`` is the affected net.  For a branch fault, ``gate`` and
+    ``pin`` identify which reader's input line is stuck; for a stem
+    fault both are ``None`` and the net itself (the driver's output or
+    the primary input) is stuck.
+    """
+
+    net: str
+    value: int  # 0 => stuck-at-0, 1 => stuck-at-1
+    gate: Optional[str] = None
+    pin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+        if (self.gate is None) != (self.pin is None):
+            raise ValueError("branch faults need both gate and pin")
+
+    @property
+    def kind(self) -> SiteKind:
+        """Whether this is a stem or branch fault site."""
+        return SiteKind.STEM if self.gate is None else SiteKind.BRANCH
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identifier."""
+        if self.gate is None:
+            return f"{self.net}/SA{self.value}"
+        return f"{self.gate}.in{self.pin}({self.net})/SA{self.value}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def stuck_at_0(net: str) -> Fault:
+    """Stuck at 0."""
+    return Fault(net, 0)
+
+
+def stuck_at_1(net: str) -> Fault:
+    """Stuck at 1."""
+    return Fault(net, 1)
+
+
+def all_faults(circuit: Circuit, include_flip_flops: bool = True) -> List[Fault]:
+    """Enumerate the complete uncollapsed single stuck-at universe.
+
+    Two faults per primary input stem, per gate output stem, and per
+    gate input branch.  Constant generators get output faults only.
+    """
+    faults: List[Fault] = []
+    for net in circuit.inputs:
+        faults.append(Fault(net, 0))
+        faults.append(Fault(net, 1))
+    for gate in circuit.gates:
+        if gate.kind is GateType.DFF and not include_flip_flops:
+            continue
+        faults.append(Fault(gate.output, 0))
+        faults.append(Fault(gate.output, 1))
+        for pin, net in enumerate(gate.inputs):
+            faults.append(Fault(net, 0, gate=gate.name, pin=pin))
+            faults.append(Fault(net, 1, gate=gate.name, pin=pin))
+    return faults
+
+
+def fault_universe_size(circuit: Circuit) -> int:
+    """Size of the uncollapsed fault universe (cheap, no enumeration)."""
+    total = 2 * len(circuit.inputs)
+    for gate in circuit.gates:
+        total += 2 + 2 * gate.fanin
+    return total
+
+
+def multiple_fault_combinations(num_nets: int) -> int:
+    """All good/SA0/SA1 combinations over N nets: ``3**N - 1`` faulty.
+
+    The paper's §I-A argument: a 100-net network has ~5e47 multiple
+    fault combinations, which is why industry clings to the *single*
+    stuck-at assumption.
+    """
+    return 3 ** num_nets - 1

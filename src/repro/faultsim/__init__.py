@@ -1,0 +1,26 @@
+"""Fault simulators: serial, parallel-pattern, parallel-fault, deductive,
+sequential (concurrent-style), plus coverage reporting."""
+
+from .expand import expand_branches, fault_site_net
+from .coverage import CoverageReport, merge_reports
+from .serial import SerialFaultSimulator
+from .parallel_pattern import FaultSimulator, fault_coverage
+from .parallel_fault import ParallelFaultSimulator
+from .deductive import DeductiveFaultSimulator
+from .sequential import SequentialFaultSimulator
+from .diagnosis import FaultDictionary, DiagnosisResult
+
+__all__ = [
+    "FaultDictionary",
+    "DiagnosisResult",
+    "expand_branches",
+    "fault_site_net",
+    "CoverageReport",
+    "merge_reports",
+    "SerialFaultSimulator",
+    "FaultSimulator",
+    "fault_coverage",
+    "ParallelFaultSimulator",
+    "DeductiveFaultSimulator",
+    "SequentialFaultSimulator",
+]

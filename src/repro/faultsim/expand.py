@@ -1,0 +1,57 @@
+"""Fanout-branch expansion: make every fault site a forceable net.
+
+Stem faults are easy to inject (force one net); branch faults affect a
+single reader's view of a net.  The uniform trick: insert an explicit
+BUF on every gate-input pin whose net has fanout greater than one.  In
+the expanded circuit every fault in the original maps to a stem force,
+so one injection mechanism serves all simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+from ..faults.stuck_at import Fault
+
+BranchMap = Dict[Tuple[str, int], str]
+
+
+def expand_branches(circuit: Circuit) -> Tuple[Circuit, BranchMap]:
+    """Insert BUFs on fanout branches; returns (expanded, branch map).
+
+    ``branch_map[(gate_name, pin)]`` names the expanded circuit's net
+    carrying that branch.  Pins on single-fanout nets are not expanded
+    (their branch faults are equivalent to the stem fault).
+    """
+    expanded = Circuit(f"{circuit.name}__expanded")
+    for net in circuit.inputs:
+        expanded.add_input(net)
+
+    multi_fanout = {
+        net for net in circuit.nets() if circuit.fanout_count(net) > 1
+    }
+    branch_map: BranchMap = {}
+    for gate in circuit.gates:
+        new_inputs = []
+        for pin, net in enumerate(gate.inputs):
+            if net in multi_fanout:
+                branch_net = f"{gate.name}__in{pin}"
+                expanded.buf(net, branch_net, name=branch_net)
+                branch_map[(gate.name, pin)] = branch_net
+                new_inputs.append(branch_net)
+            else:
+                new_inputs.append(net)
+        expanded.add_gate(gate.kind, new_inputs, gate.output, gate.name)
+    for net in circuit.outputs:
+        expanded.add_output(net)
+    expanded.validate()
+    return expanded, branch_map
+
+
+def fault_site_net(fault: Fault, branch_map: BranchMap) -> str:
+    """Net to force in the expanded circuit for the given fault."""
+    if fault.gate is None:
+        return fault.net
+    return branch_map.get((fault.gate, fault.pin), fault.net)

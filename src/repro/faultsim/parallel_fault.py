@@ -1,0 +1,141 @@
+"""Parallel-fault single-pattern fault simulation (refs [102], [104]).
+
+The historical dual of PPSF: one pattern at a time, but a machine word
+carries one bit per *faulty machine* (bit 0 is the good machine).
+Fault injection is a per-net mask applied as values propagate.  This is
+the technique Chiang et al. compared against deductive simulation in
+1974; it is implemented both for completeness and as an independent
+cross-check of the PPSF engine in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gates import GateType
+from ..faults.stuck_at import Fault, all_faults
+from ..faults.collapse import collapse_faults
+from .expand import expand_branches, fault_site_net
+from .coverage import CoverageReport
+
+Pattern = Mapping[str, int]
+
+
+class ParallelFaultSimulator:
+    """Single-pattern simulator packing the good + faulty machines bitwise."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Optional[Sequence[Fault]] = None,
+        collapse: bool = True,
+    ) -> None:
+        if not circuit.is_combinational:
+            raise NetlistError("ParallelFaultSimulator is combinational")
+        self.circuit = circuit
+        if faults is None:
+            faults = collapse_faults(circuit) if collapse else all_faults(circuit)
+        self.faults = list(faults)
+        self.expanded, self._branch_map = expand_branches(circuit)
+        self._order = self.expanded.topological_order()
+        # Machine 0 = good; machine j (1-based) = fault j-1.
+        self._machine_count = len(self.faults) + 1
+        self._mask = (1 << self._machine_count) - 1
+        # Per-net injection masks: bits to force to the stuck value.
+        self._force_one: Dict[str, int] = {}
+        self._force_zero: Dict[str, int] = {}
+        for index, fault in enumerate(self.faults):
+            site = fault_site_net(fault, self._branch_map)
+            bit = 1 << (index + 1)
+            if fault.value:
+                self._force_one[site] = self._force_one.get(site, 0) | bit
+            else:
+                self._force_zero[site] = self._force_zero.get(site, 0) | bit
+
+    def _inject(self, net: str, word: int) -> int:
+        ones = self._force_one.get(net)
+        if ones:
+            word |= ones
+        zeros = self._force_zero.get(net)
+        if zeros:
+            word &= ~zeros
+        return word
+
+    def simulate_pattern(self, pattern: Pattern) -> List[Fault]:
+        """Simulate one pattern across all machines; returns detected faults."""
+        mask = self._mask
+        words: Dict[str, int] = {}
+        for net in self.expanded.inputs:
+            broadcast = mask if pattern.get(net, 0) else 0
+            words[net] = self._inject(net, broadcast)
+        for gate in self._order:
+            words[gate.output] = self._inject(
+                gate.output, _eval(gate.kind, gate.inputs, words, mask)
+            )
+        detected_bits = 0
+        for net in self.circuit.outputs:
+            word = words[net]
+            good = -(word & 1) & mask  # broadcast machine 0's bit
+            detected_bits |= (word ^ good) & mask
+        detected_bits >>= 1  # strip the good machine
+        result = []
+        index = 0
+        while detected_bits:
+            if detected_bits & 1:
+                result.append(self.faults[index])
+            detected_bits >>= 1
+            index += 1
+        return result
+
+    def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
+        """Run and collect the results."""
+        report = CoverageReport(self.circuit.name, len(patterns), list(self.faults))
+        for index, pattern in enumerate(patterns):
+            for fault in self.simulate_pattern(pattern):
+                report.first_detection.setdefault(fault, index)
+        return report
+
+
+def _eval(
+    kind: GateType, input_nets: Sequence[str], words: Mapping[str, int], mask: int
+) -> int:
+    if kind is GateType.AND:
+        result = mask
+        for net in input_nets:
+            result &= words[net]
+        return result
+    if kind is GateType.NAND:
+        result = mask
+        for net in input_nets:
+            result &= words[net]
+        return result ^ mask
+    if kind is GateType.OR:
+        result = 0
+        for net in input_nets:
+            result |= words[net]
+        return result
+    if kind is GateType.NOR:
+        result = 0
+        for net in input_nets:
+            result |= words[net]
+        return result ^ mask
+    if kind is GateType.XOR:
+        result = 0
+        for net in input_nets:
+            result ^= words[net]
+        return result
+    if kind is GateType.XNOR:
+        result = 0
+        for net in input_nets:
+            result ^= words[net]
+        return result ^ mask
+    if kind is GateType.NOT:
+        return words[input_nets[0]] ^ mask
+    if kind is GateType.BUF:
+        return words[input_nets[0]]
+    if kind is GateType.CONST0:
+        return 0
+    if kind is GateType.CONST1:
+        return mask
+    raise NetlistError(f"cannot evaluate gate type {kind}")

@@ -1,0 +1,143 @@
+"""Sequential fault simulation with concurrent-style divergence tracking.
+
+For an *unscanned* sequential machine, a fault's effect can lodge in the
+state and surface many cycles later — the very difficulty (§I-B, §IV)
+that motivates scan design.  This engine:
+
+* simulates the good machine once over the input sequence;
+* per fault, simulates a faulty machine **only while it diverges**:
+  starting from the good state trace, a faulty machine is advanced
+  cycle-by-cycle from the first cycle its injected value matters, and
+  is merged back (dropped) whenever its state re-converges with the
+  good machine's — the bookkeeping insight of concurrent fault
+  simulation (Ulrich & Baker [112], [113]) in serial form.
+
+Three-valued: a fault counts as detected only when good and faulty
+primary outputs are *definitely* different (no X involved).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit
+from ..faults.stuck_at import Fault, all_faults
+from ..faults.collapse import collapse_faults
+from .expand import expand_branches, fault_site_net
+from .coverage import CoverageReport
+
+Pattern = Mapping[str, int]
+
+
+class SequentialFaultSimulator:
+    """Fault simulator for DFF-based sequential circuits."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Optional[Sequence[Fault]] = None,
+        collapse: bool = True,
+    ) -> None:
+        self.circuit = circuit
+        if faults is None:
+            faults = collapse_faults(circuit) if collapse else all_faults(circuit)
+        self.faults = list(faults)
+        self.expanded, self._branch_map = expand_branches(circuit)
+        self._order = self.expanded.topological_order()
+        self._flops = self.expanded.flip_flops
+        self._outputs = self.expanded.outputs
+
+    # -- low-level evaluation with optional forced net ------------------
+    def _settle(
+        self,
+        inputs: Pattern,
+        state: Mapping[str, int],
+        force_net: Optional[str] = None,
+        force_value: int = 0,
+    ) -> Dict[str, int]:
+        from ..netlist.gates import evaluate
+
+        net_values: Dict[str, int] = {}
+        for net in self.expanded.inputs:
+            net_values[net] = inputs.get(net, V.X)
+        for flop in self._flops:
+            net_values[flop.output] = state.get(flop.output, V.X)
+        if force_net is not None and force_net in net_values:
+            net_values[force_net] = force_value
+        for gate in self._order:
+            value = evaluate(gate.kind, tuple(net_values[n] for n in gate.inputs))
+            if force_net == gate.output:
+                value = force_value
+            net_values[gate.output] = value
+        return net_values
+
+    def _next_state(self, net_values: Mapping[str, int]) -> Dict[str, int]:
+        return {
+            flop.output: net_values[flop.inputs[0]] for flop in self._flops
+        }
+
+    # -- good machine ---------------------------------------------------
+    def good_trace(
+        self,
+        sequence: Sequence[Pattern],
+        initial_state: Optional[Mapping[str, int]] = None,
+    ) -> Tuple[List[Dict[str, int]], List[Dict[str, int]]]:
+        """States before each cycle and PO values at each cycle."""
+        state: Dict[str, int] = {
+            flop.output: V.X for flop in self._flops
+        }
+        if initial_state:
+            state.update(initial_state)
+        states = []
+        outputs = []
+        for vector in sequence:
+            states.append(dict(state))
+            net_values = self._settle(vector, state)
+            outputs.append({net: net_values[net] for net in self._outputs})
+            state = self._next_state(net_values)
+        return states, outputs
+
+    # -- per-fault simulation with divergence tracking -------------------
+    def run(
+        self,
+        sequence: Sequence[Pattern],
+        initial_state: Optional[Mapping[str, int]] = None,
+    ) -> CoverageReport:
+        """Run and collect the results."""
+        report = CoverageReport(self.circuit.name, len(sequence), list(self.faults))
+        good_states, good_outputs = self.good_trace(sequence, initial_state)
+        for fault in self.faults:
+            index = self._first_detection(
+                fault, sequence, good_states, good_outputs
+            )
+            if index is not None:
+                report.first_detection[fault] = index
+        return report
+
+    def _first_detection(
+        self,
+        fault: Fault,
+        sequence: Sequence[Pattern],
+        good_states: List[Dict[str, int]],
+        good_outputs: List[Dict[str, int]],
+    ) -> Optional[int]:
+        site = fault_site_net(fault, self._branch_map)
+        forced = V.ONE if fault.value else V.ZERO
+        state: Optional[Dict[str, int]] = None  # None => converged with good
+        for cycle, vector in enumerate(sequence):
+            current_state = good_states[cycle] if state is None else state
+            net_values = self._settle(vector, current_state, site, forced)
+            for net in self._outputs:
+                good_value = good_outputs[cycle][net]
+                faulty_value = net_values[net]
+                if (
+                    good_value in (V.ZERO, V.ONE)
+                    and faulty_value in (V.ZERO, V.ONE)
+                    and good_value != faulty_value
+                ):
+                    return cycle
+            state = self._next_state(net_values)
+            if cycle + 1 < len(good_states) and state == good_states[cycle + 1]:
+                state = None  # re-converged: ride the good trace again
+        return None

@@ -1,0 +1,83 @@
+"""Serial fault simulation: the naive baseline.
+
+One fault, one pattern, one full-circuit pass at a time — literally the
+paper's "3001 good machine simulations" (§I-B).  It exists as the
+reference implementation (trivially correct) and as the baseline the
+Eq. (1) runtime-scaling benchmark measures against the packed engines.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..faults.stuck_at import Fault, all_faults
+from ..faults.collapse import collapse_faults
+from ..sim.logic import LogicSimulator
+from .expand import expand_branches, fault_site_net
+from .coverage import CoverageReport
+
+Pattern = Mapping[str, int]
+
+
+class SerialFaultSimulator:
+    """Fault-serial, pattern-serial simulator (reference implementation)."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Optional[Sequence[Fault]] = None,
+        collapse: bool = True,
+    ) -> None:
+        if not circuit.is_combinational:
+            raise NetlistError("SerialFaultSimulator is combinational")
+        self.circuit = circuit
+        if faults is None:
+            faults = collapse_faults(circuit) if collapse else all_faults(circuit)
+        self.faults = list(faults)
+        self.expanded, self._branch_map = expand_branches(circuit)
+        self._order = self.expanded.topological_order()
+
+    def _evaluate(
+        self, pattern: Pattern, force_net: Optional[str], force_value: int
+    ) -> dict:
+        from ..netlist.gates import evaluate_bool
+
+        net_values = {}
+        for net in self.expanded.inputs:
+            net_values[net] = pattern.get(net, 0)
+        if force_net is not None and force_net in net_values:
+            net_values[force_net] = force_value
+        for gate in self._order:
+            value = evaluate_bool(
+                gate.kind, tuple(net_values[n] for n in gate.inputs)
+            )
+            if force_net == gate.output:
+                value = force_value
+            net_values[gate.output] = value
+        return net_values
+
+    def detects(self, pattern: Pattern, fault: Fault) -> bool:
+        """Does one pattern detect one fault (reference semantics)?"""
+        site = fault_site_net(fault, self._branch_map)
+        good = self._evaluate(pattern, None, 0)
+        faulty = self._evaluate(pattern, site, fault.value)
+        return any(
+            good[net] != faulty[net] for net in self.circuit.outputs
+        )
+
+    def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
+        """Run and collect the results."""
+        report = CoverageReport(self.circuit.name, len(patterns), list(self.faults))
+        remaining = list(self.faults)
+        for index, pattern in enumerate(patterns):
+            if not remaining:
+                break
+            still = []
+            for fault in remaining:
+                if self.detects(pattern, fault):
+                    report.first_detection[fault] = index
+                else:
+                    still.append(fault)
+            remaining = still
+        return report

@@ -1,0 +1,51 @@
+"""LFSRs, GF(2) polynomials, signature registers, aliasing theory."""
+
+from .polynomials import (
+    PRIMITIVE_POLYNOMIALS,
+    degree,
+    poly_mul,
+    poly_mod,
+    poly_divmod,
+    poly_mulmod,
+    poly_powmod,
+    poly_gcd,
+    is_irreducible,
+    is_primitive,
+    primitive_polynomial,
+    taps_from_polynomial,
+    polynomial_from_taps,
+)
+from .lfsr import Lfsr, GaloisLfsr, pseudo_random_patterns
+from .signature import (
+    SignatureRegister,
+    Misr,
+    stream_residue,
+    aliasing_probability,
+    detection_probability,
+    measure_aliasing,
+)
+
+__all__ = [
+    "PRIMITIVE_POLYNOMIALS",
+    "degree",
+    "poly_mul",
+    "poly_mod",
+    "poly_divmod",
+    "poly_mulmod",
+    "poly_powmod",
+    "poly_gcd",
+    "is_irreducible",
+    "is_primitive",
+    "primitive_polynomial",
+    "taps_from_polynomial",
+    "polynomial_from_taps",
+    "Lfsr",
+    "GaloisLfsr",
+    "pseudo_random_patterns",
+    "SignatureRegister",
+    "Misr",
+    "stream_residue",
+    "aliasing_probability",
+    "detection_probability",
+    "measure_aliasing",
+]

@@ -1,0 +1,178 @@
+"""Behavioral linear feedback shift registers (paper Fig. 7).
+
+Two canonical forms:
+
+* :class:`Lfsr` — **Fibonacci** (external-XOR): the tapped stage
+  outputs are XORed into the first stage; this is the form drawn in the
+  paper's Fig. 7 (Q2 ⊕ Q3 feeds Q1, everything shifts right).
+* :class:`GaloisLfsr` — internal-XOR; same sequence properties, and
+  the state *is* a running polynomial remainder, which makes the
+  signature-as-residue theorem (§III-D) directly visible.
+
+With a primitive characteristic polynomial both forms cycle through all
+``2**n - 1`` nonzero states (maximal length) — the "counting
+capabilities" the paper's figure tabulates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .polynomials import (
+    degree,
+    polynomial_from_taps,
+    primitive_polynomial,
+    taps_from_polynomial,
+)
+
+
+class Lfsr:
+    """Fibonacci LFSR with stages numbered 1..n (stage 1 receives feedback).
+
+    ``taps`` are stage numbers whose outputs are XORed into stage 1 —
+    the paper's 3-bit example is ``Lfsr(taps=(2, 3))``.
+    """
+
+    def __init__(
+        self,
+        taps: Sequence[int],
+        length: Optional[int] = None,
+        state: int = 0b1,
+    ) -> None:
+        if not taps:
+            raise ValueError("an LFSR needs at least one tap")
+        self.length = length if length is not None else max(taps)
+        if max(taps) > self.length or min(taps) < 1:
+            raise ValueError("taps must be stage numbers within the register")
+        self.taps = tuple(sorted(taps))
+        self.state = state & self.mask
+
+    @classmethod
+    def maximal(cls, length: int, state: int = 0b1) -> "Lfsr":
+        """A maximal-length LFSR from the primitive polynomial table."""
+        poly = primitive_polynomial(length)
+        return cls(taps_from_polynomial(poly), length, state)
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the register width."""
+        return (1 << self.length) - 1
+
+    @property
+    def characteristic_polynomial(self) -> int:
+        """Characteristic polynomial implied by the tap set."""
+        return polynomial_from_taps(list(self.taps), self.length)
+
+    def stage(self, number: int) -> int:
+        """Current value of stage ``number`` (1-based, 1 = input side)."""
+        if not 1 <= number <= self.length:
+            raise IndexError(f"no stage {number}")
+        return (self.state >> (number - 1)) & 1
+
+    def stages(self) -> Tuple[int, ...]:
+        """All stage values (Q1, Q2, ..., Qn)."""
+        return tuple(self.stage(i) for i in range(1, self.length + 1))
+
+    def feedback_bit(self) -> int:
+        """XOR of the tapped stages (next stage-1 input)."""
+        bit = 0
+        for tap in self.taps:
+            bit ^= self.stage(tap)
+        return bit
+
+    def step(self) -> int:
+        """One shift; returns the bit leaving stage ``n``."""
+        out = self.stage(self.length)
+        feedback = self.feedback_bit()
+        self.state = ((self.state << 1) | feedback) & self.mask
+        return out
+
+    def run(self, cycles: int) -> List[int]:
+        """Shift ``cycles`` times; returns the output bit stream."""
+        return [self.step() for _ in range(cycles)]
+
+    def sequence_of_states(self, cycles: int) -> List[Tuple[int, ...]]:
+        """State snapshots (like the table in the paper's Fig. 7)."""
+        snapshots = [self.stages()]
+        for _ in range(cycles):
+            self.step()
+            snapshots.append(self.stages())
+        return snapshots
+
+    def period(self, max_steps: Optional[int] = None) -> int:
+        """Cycle length from the current state (0 for the stuck state)."""
+        if self.state == 0:
+            return 0
+        start = self.state
+        limit = max_steps if max_steps is not None else (1 << self.length)
+        for count in range(1, limit + 1):
+            self.step()
+            if self.state == start:
+                return count
+        raise RuntimeError("period exceeds max_steps")
+
+    def is_maximal_length(self) -> bool:
+        """True when the register cycles through all 2^n - 1 states."""
+        saved = self.state
+        if saved == 0:
+            self.state = 1
+        period = self.period()
+        self.state = saved
+        return period == (1 << self.length) - 1
+
+
+class GaloisLfsr:
+    """Galois (internal-XOR) LFSR defined by its characteristic polynomial."""
+
+    def __init__(self, poly: int, state: int = 0b1) -> None:
+        self.poly = poly
+        self.length = degree(poly)
+        if self.length < 1:
+            raise ValueError("polynomial degree must be >= 1")
+        self.state = state & self.mask
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the register width."""
+        return (1 << self.length) - 1
+
+    def step(self) -> int:
+        """One shift; returns the bit that left the register."""
+        out = (self.state >> (self.length - 1)) & 1
+        self.state = (self.state << 1) & self.mask
+        if out:
+            self.state ^= self.poly & self.mask
+        return out
+
+    def run(self, cycles: int) -> List[int]:
+        """Run and collect the results."""
+        return [self.step() for _ in range(cycles)]
+
+    def period(self) -> int:
+        """Cycle length from the current state."""
+        if self.state == 0:
+            return 0
+        start = self.state
+        for count in range(1, (1 << self.length) + 1):
+            self.step()
+            if self.state == start:
+                return count
+        raise RuntimeError("unreachable")
+
+
+def pseudo_random_patterns(
+    length: int, count: int, width: int, seed_state: int = 1
+) -> List[List[int]]:
+    """``count`` pseudo-random ``width``-bit patterns from a maximal LFSR.
+
+    This is the PN-sequence source a BILBO register becomes when its
+    inputs are held fixed (§V-A): successive register states, truncated
+    to ``width`` bits.
+    """
+    lfsr = Lfsr.maximal(length, state=seed_state)
+    patterns = []
+    for _ in range(count):
+        state = lfsr.stages()
+        patterns.append(list(state[:width]))
+        lfsr.step()
+    return patterns

@@ -1,0 +1,189 @@
+"""Polynomial arithmetic over GF(2) and primitive polynomial tables.
+
+Signature analysis is "the remainder of the data stream after division
+by an irreducible polynomial" (§III-D); maximal-length LFSRs need
+*primitive* polynomials, which the paper says designers obtain "by
+consulting tables [8]" (Peterson & Weldon).  This module is that
+consultation: a verified table for common degrees plus the machinery
+(irreducibility and primitivity tests) to check or extend it.
+
+A polynomial is an int: bit ``i`` is the coefficient of ``x**i``;
+e.g. ``x**3 + x + 1`` is ``0b1011`` = 11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+#: Primitive polynomials (Peterson & Weldon table conventions), one per
+#: degree.  Bit i = coefficient of x^i.
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    1: 0b11,                 # x + 1
+    2: 0b111,                # x^2 + x + 1
+    3: 0b1011,               # x^3 + x + 1
+    4: 0b10011,              # x^4 + x + 1
+    5: 0b100101,             # x^5 + x^2 + 1
+    6: 0b1000011,            # x^6 + x + 1
+    7: 0b10000011,           # x^7 + x + 1
+    8: 0b100011101,          # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,         # x^9 + x^4 + 1
+    10: 0b10000001001,       # x^10 + x^3 + 1
+    11: 0b100000000101,      # x^11 + x^2 + 1
+    12: 0b1000001010011,     # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,    # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,   # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+    17: 0b100000000000001001,  # x^17 + x^3 + 1
+    18: 0b1000000000010000001,  # x^18 + x^7 + 1
+    19: 0b10000000000000100111,  # x^19 + x^5 + x^2 + x + 1
+    20: 0b100000000000000001001,  # x^20 + x^3 + 1
+    24: 0b1000000000000000010000111,  # x^24 + x^7 + x^2 + x + 1
+    32: 0b100000000010000000000000000000111,  # x^32+x^22+x^2+x+1
+}
+
+
+def degree(poly: int) -> int:
+    """Degree of a GF(2) polynomial (−1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less multiplication over GF(2)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod(a: int, modulus: int) -> int:
+    """Remainder of ``a`` divided by ``modulus`` over GF(2)."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    d = degree(modulus)
+    while degree(a) >= d:
+        a ^= modulus << (degree(a) - d)
+    return a
+
+
+def poly_divmod(a: int, modulus: int) -> tuple:
+    """(quotient, remainder) of GF(2) polynomial division."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    d = degree(modulus)
+    quotient = 0
+    while degree(a) >= d:
+        shift = degree(a) - d
+        quotient |= 1 << shift
+        a ^= modulus << shift
+    return quotient, a
+
+
+def poly_mulmod(a: int, b: int, modulus: int) -> int:
+    """(a * b) mod modulus over GF(2)."""
+    return poly_mod(poly_mul(a, b), modulus)
+
+
+def poly_powmod(base: int, exponent: int, modulus: int) -> int:
+    """base**exponent mod modulus over GF(2), square-and-multiply."""
+    result = 1
+    base = poly_mod(base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = poly_mulmod(result, base, modulus)
+        base = poly_mulmod(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """GCD of two GF(2) polynomials."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test over GF(2)."""
+    n = degree(poly)
+    if n <= 0:
+        return False
+    if n == 1:
+        return True
+    if not poly & 1:
+        return False  # divisible by x
+    x = 0b10
+    # x^(2^n) == x (mod poly), and for each prime p | n,
+    # gcd(x^(2^(n/p)) - x, poly) == 1.
+    for p in _prime_factors(n):
+        h = poly_powmod(x, 1 << (n // p), poly) ^ x
+        if poly_gcd(h, poly) != 1:
+            return False
+    return poly_powmod(x, 1 << n, poly) == x
+
+
+def is_primitive(poly: int) -> bool:
+    """True when ``x`` generates the full multiplicative group mod poly."""
+    n = degree(poly)
+    if not is_irreducible(poly):
+        return False
+    order = (1 << n) - 1
+    x = 0b10
+    if poly_powmod(x, order, poly) != 1:
+        return False
+    for p in _prime_factors(order):
+        if poly_powmod(x, order // p, poly) == 1:
+            return False
+    return True
+
+
+def primitive_polynomial(n: int) -> int:
+    """Look up (or search for) a primitive polynomial of degree ``n``."""
+    if n in PRIMITIVE_POLYNOMIALS:
+        return PRIMITIVE_POLYNOMIALS[n]
+    for candidate in range((1 << n) + 1, 1 << (n + 1), 2):
+        if is_primitive(candidate):
+            return candidate
+    raise ValueError(f"no primitive polynomial of degree {n} found")
+
+
+def taps_from_polynomial(poly: int) -> List[int]:
+    """Stage numbers to XOR for a Fibonacci LFSR with this polynomial.
+
+    For ``p(x) = x^n + c_{n-1} x^{n-1} + ... + c_1 x + 1``, the feedback
+    into stage 1 is the XOR of stages ``i`` where ``c_{n-i} = 1`` plus
+    stage ``n`` (reciprocal-tap convention: stage i holds the bit that
+    will exit after n - i more shifts).
+    """
+    n = degree(poly)
+    taps = []
+    for i in range(1, n + 1):
+        if (poly >> (n - i)) & 1:
+            taps.append(i)
+    return taps
+
+
+def polynomial_from_taps(taps: List[int], n: int) -> int:
+    """Inverse of :func:`taps_from_polynomial`."""
+    poly = 1 << n
+    for tap in taps:
+        poly |= 1 << (n - tap)
+    return poly
+
+
+def _prime_factors(value: int) -> List[int]:
+    factors = []
+    candidate = 2
+    remaining = value
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            factors.append(candidate)
+            while remaining % candidate == 0:
+                remaining //= candidate
+        candidate += 1 if candidate == 2 else 2
+    if remaining > 1:
+        factors.append(remaining)
+    return factors

@@ -1,0 +1,51 @@
+"""Gate-level netlist substrate: values, gates, circuits, bench I/O."""
+
+from .values import (
+    ZERO,
+    ONE,
+    X,
+    D,
+    DBAR,
+    VALUES,
+    value_name,
+    value_from_name,
+    v_and,
+    v_or,
+    v_xor,
+    v_not,
+    good_value,
+    faulty_value,
+    has_fault_effect,
+)
+from .gates import Gate, GateType, evaluate, evaluate_bool
+from .circuit import Circuit, CircuitStats, NetlistError
+from .bench import parse_bench, load_bench, write_bench, save_bench
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "D",
+    "DBAR",
+    "VALUES",
+    "value_name",
+    "value_from_name",
+    "v_and",
+    "v_or",
+    "v_xor",
+    "v_not",
+    "good_value",
+    "faulty_value",
+    "has_fault_effect",
+    "Gate",
+    "GateType",
+    "evaluate",
+    "evaluate_bool",
+    "Circuit",
+    "CircuitStats",
+    "NetlistError",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "save_bench",
+]

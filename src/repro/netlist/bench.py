@@ -1,0 +1,104 @@
+"""Reader/writer for the ISCAS-85/89 ``.bench`` netlist format.
+
+The bench format is the lingua franca of the test-generation literature
+that grew out of the era this paper surveys::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = DFF(G10)
+
+Gate names equal their output net names, which matches the convention of
+:meth:`repro.netlist.circuit.Circuit.add_gate`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from .circuit import Circuit, NetlistError
+from .gates import GateType
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[^\s=]+)\s*=\s*(?P<kind>[A-Za-z01]+)\s*\(\s*(?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<dir>INPUT|OUTPUT)\s*\(\s*(?P<net>[^)\s]+)\s*\)\s*$")
+
+_KIND_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse bench-format ``text`` into a :class:`Circuit`."""
+    circuit = Circuit(name)
+    pending_outputs: List[str] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            if io_match.group("dir") == "INPUT":
+                circuit.add_input(io_match.group("net"))
+            else:
+                pending_outputs.append(io_match.group("net"))
+            continue
+        gate_match = _LINE_RE.match(line)
+        if gate_match:
+            kind_name = gate_match.group("kind").upper()
+            kind = _KIND_ALIASES.get(kind_name)
+            if kind is None:
+                raise NetlistError(
+                    f"line {line_number}: unknown gate type {kind_name!r}"
+                )
+            args = [a.strip() for a in gate_match.group("args").split(",") if a.strip()]
+            circuit.add_gate(kind, args, gate_match.group("out"))
+            continue
+        raise NetlistError(f"line {line_number}: cannot parse {raw!r}")
+    for net in pending_outputs:
+        circuit.add_output(net)
+    circuit.validate()
+    return circuit
+
+
+def load_bench(path: str, name: str = "") -> Circuit:
+    """Load a ``.bench`` file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    return parse_bench(text, name or path)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit back to bench format."""
+    lines: List[str] = [f"# {circuit.name}"]
+    for net in circuit.inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({net})")
+    for gate in circuit.topological_order():
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.kind.value}({args})")
+    for flop in circuit.flip_flops:
+        lines.append(f"{flop.output} = DFF({flop.inputs[0]})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    with open(path, "w") as handle:
+        handle.write(write_bench(circuit))

@@ -1,0 +1,207 @@
+"""Gate primitives for the netlist model.
+
+The paper's techniques are all defined over simple gate-level networks:
+AND/OR/NAND/NOR/XOR/XNOR/NOT/BUF combinational primitives plus clocked
+storage (D flip-flops in Scan Path, shift-register latches in LSSD,
+addressable latches in Random-Access Scan).  The core netlist keeps a
+single generic ``DFF`` storage primitive; the scan disciplines in
+:mod:`repro.scan` refine it into their specific latch structures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from . import values as V
+
+
+class GateType(enum.Enum):
+    """Primitive gate types understood by every engine in the toolkit."""
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    DFF = "DFF"
+
+    @property
+    def is_sequential(self) -> bool:
+        """Is sequential."""
+        return self is GateType.DFF
+
+    @property
+    def is_inverting(self) -> bool:
+        """True for gates whose output inverts the reduced input term."""
+        return self in _INVERTING
+
+    @property
+    def min_inputs(self) -> int:
+        """Min inputs."""
+        return _MIN_INPUTS[self]
+
+    @property
+    def max_inputs(self) -> int:
+        """Maximum input count (a large sentinel for unbounded gates)."""
+        return _MAX_INPUTS[self]
+
+
+_INVERTING = {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+
+_UNBOUNDED = 1 << 30
+
+_MIN_INPUTS = {
+    GateType.AND: 1,
+    GateType.NAND: 1,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.DFF: 1,
+}
+
+_MAX_INPUTS = {
+    GateType.AND: _UNBOUNDED,
+    GateType.NAND: _UNBOUNDED,
+    GateType.OR: _UNBOUNDED,
+    GateType.NOR: _UNBOUNDED,
+    GateType.XOR: _UNBOUNDED,
+    GateType.XNOR: _UNBOUNDED,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.DFF: 1,
+}
+
+# Controlling value c and inversion i per gate type, in the classic
+# (c, i) characterization: output = (any input == c) ? c^i : (~c)^i.
+# XOR-family and constants have no controlling value (None).
+CONTROLLING_VALUE = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+INVERSION_PARITY = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 0,
+    GateType.NOR: 1,
+    GateType.XOR: 0,
+    GateType.XNOR: 1,
+    GateType.NOT: 1,
+    GateType.BUF: 0,
+    GateType.DFF: 0,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: a named primitive driving exactly one net.
+
+    ``inputs`` are net names in pin order; ``output`` is the driven net.
+    The gate's name doubles as a stable identity for fault bookkeeping
+    (faults are named ``<gate>/<pin>/SA<v>``).
+    """
+
+    name: str
+    kind: GateType
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        n = len(self.inputs)
+        if n < self.kind.min_inputs or n > self.kind.max_inputs:
+            raise ValueError(
+                f"gate {self.name}: {self.kind.value} cannot take {n} input(s)"
+            )
+
+    @property
+    def fanin(self) -> int:
+        """Number of input pins."""
+        return len(self.inputs)
+
+
+def evaluate(kind: GateType, input_values: Tuple[int, ...]) -> int:
+    """Evaluate a combinational gate in the five-valued calculus.
+
+    ``DFF`` is rejected here: storage elements are handled by the
+    sequential simulators, which decide when a flip-flop samples.
+    """
+    if kind is GateType.AND:
+        return V.v_and_all(input_values)
+    if kind is GateType.NAND:
+        return V.v_not(V.v_and_all(input_values))
+    if kind is GateType.OR:
+        return V.v_or_all(input_values)
+    if kind is GateType.NOR:
+        return V.v_not(V.v_or_all(input_values))
+    if kind is GateType.XOR:
+        return V.v_xor_all(input_values)
+    if kind is GateType.XNOR:
+        return V.v_not(V.v_xor_all(input_values))
+    if kind is GateType.NOT:
+        return V.v_not(input_values[0])
+    if kind is GateType.BUF:
+        return input_values[0]
+    if kind is GateType.CONST0:
+        return V.ZERO
+    if kind is GateType.CONST1:
+        return V.ONE
+    raise ValueError(f"cannot combinationally evaluate gate type {kind}")
+
+
+def evaluate_bool(kind: GateType, input_bits: Tuple[int, ...]) -> int:
+    """Evaluate a combinational gate over plain 0/1 ints (fast path)."""
+    if kind is GateType.AND:
+        result = 1
+        for bit in input_bits:
+            result &= bit
+        return result
+    if kind is GateType.NAND:
+        result = 1
+        for bit in input_bits:
+            result &= bit
+        return result ^ 1
+    if kind is GateType.OR:
+        result = 0
+        for bit in input_bits:
+            result |= bit
+        return result
+    if kind is GateType.NOR:
+        result = 0
+        for bit in input_bits:
+            result |= bit
+        return result ^ 1
+    if kind is GateType.XOR:
+        result = 0
+        for bit in input_bits:
+            result ^= bit
+        return result
+    if kind is GateType.XNOR:
+        result = 0
+        for bit in input_bits:
+            result ^= bit
+        return result ^ 1
+    if kind is GateType.NOT:
+        return input_bits[0] ^ 1
+    if kind is GateType.BUF:
+        return input_bits[0]
+    if kind is GateType.CONST0:
+        return 0
+    if kind is GateType.CONST1:
+        return 1
+    raise ValueError(f"cannot combinationally evaluate gate type {kind}")

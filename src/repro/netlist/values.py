@@ -1,0 +1,198 @@
+"""Logic value systems used throughout the toolkit.
+
+Three value systems appear in the paper's world:
+
+* **Two-valued** Boolean logic (plain ``0``/``1`` ints) — used by the
+  pattern-packed simulators where a Python int carries one bit per pattern.
+* **Three-valued** logic (``0``, ``1``, ``X``) — used when a net may be
+  unknown, e.g. before a sequential machine is initialized (Section II of
+  the paper discusses predictability: CLEAR/PRESET test points exist
+  precisely to remove ``X`` states).
+* **Five-valued D-calculus** (``0``, ``1``, ``X``, ``D``, ``D'``) — Roth's
+  calculus [93], the backbone of the D-algorithm and PODEM.  ``D`` means
+  "1 in the good machine, 0 in the faulty machine"; ``DBAR`` the reverse.
+
+The five-valued system subsumes the other two, so a single algebra is
+implemented here and shared by all the reasoning engines.  Values are small
+ints; gate functions are dense lookup tables, which keeps the inner loops of
+the ATPG engines cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+# Five-valued encoding.  Each value is a (good-machine, faulty-machine) pair
+# of three-valued components; X3 marks "unknown" in a component.
+ZERO = 0
+ONE = 1
+X = 2
+D = 3  # good = 1, faulty = 0
+DBAR = 4  # good = 0, faulty = 1
+
+VALUES = (ZERO, ONE, X, D, DBAR)
+
+_NAMES = {ZERO: "0", ONE: "1", X: "X", D: "D", DBAR: "D'"}
+_FROM_NAME = {"0": ZERO, "1": ONE, "X": X, "x": X, "D": D, "D'": DBAR, "DBAR": DBAR}
+
+# Three-valued component encoding used internally to build the tables.
+_C0, _C1, _CX = 0, 1, 2
+
+# (good, faulty) components per five-valued value.
+_COMPONENTS = {
+    ZERO: (_C0, _C0),
+    ONE: (_C1, _C1),
+    X: (_CX, _CX),
+    D: (_C1, _C0),
+    DBAR: (_C0, _C1),
+}
+
+_FROM_COMPONENTS = {comps: val for val, comps in _COMPONENTS.items()}
+
+
+def value_name(value: int) -> str:
+    """Render a five-valued logic value as its conventional name."""
+    return _NAMES[value]
+
+
+def value_from_name(name: str) -> int:
+    """Parse ``"0"``, ``"1"``, ``"X"``, ``"D"`` or ``"D'"`` into a value."""
+    try:
+        return _FROM_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown logic value name: {name!r}") from None
+
+
+def _and3(a: int, b: int) -> int:
+    if a == _C0 or b == _C0:
+        return _C0
+    if a == _CX or b == _CX:
+        return _CX
+    return _C1
+
+
+def _or3(a: int, b: int) -> int:
+    if a == _C1 or b == _C1:
+        return _C1
+    if a == _CX or b == _CX:
+        return _CX
+    return _C0
+
+
+def _not3(a: int) -> int:
+    if a == _CX:
+        return _CX
+    return _C1 - a
+
+
+def _xor3(a: int, b: int) -> int:
+    if a == _CX or b == _CX:
+        return _CX
+    return a ^ b
+
+
+def _lift2(op3, a: int, b: int) -> int:
+    ag, af = _COMPONENTS[a]
+    bg, bf = _COMPONENTS[b]
+    pair = (op3(ag, bg), op3(af, bf))
+    # Pairs with one unknown component (e.g. X AND D = (X, 0)) collapse
+    # to X: the classic conservatism of the 5-valued calculus (a 9-valued
+    # calculus would keep them distinct).
+    if pair not in _FROM_COMPONENTS:
+        return X
+    return _FROM_COMPONENTS[pair]
+
+
+def _build_table2(op3) -> Tuple[Tuple[int, ...], ...]:
+    return tuple(
+        tuple(_lift2(op3, a, b) for b in VALUES) for a in VALUES
+    )
+
+
+AND_TABLE = _build_table2(_and3)
+OR_TABLE = _build_table2(_or3)
+XOR_TABLE = _build_table2(_xor3)
+NOT_TABLE = tuple(
+    _FROM_COMPONENTS[(_not3(_COMPONENTS[a][0]), _not3(_COMPONENTS[a][1]))]
+    for a in VALUES
+)
+
+
+def v_and(a: int, b: int) -> int:
+    """Five-valued AND."""
+    return AND_TABLE[a][b]
+
+
+def v_or(a: int, b: int) -> int:
+    """Five-valued OR."""
+    return OR_TABLE[a][b]
+
+
+def v_xor(a: int, b: int) -> int:
+    """Five-valued XOR."""
+    return XOR_TABLE[a][b]
+
+
+def v_not(a: int) -> int:
+    """Five-valued NOT."""
+    return NOT_TABLE[a]
+
+
+def v_and_all(values: Iterable[int]) -> int:
+    """Five-valued AND reduced over an iterable of values."""
+    result = ONE
+    for value in values:
+        result = AND_TABLE[result][value]
+        if result == ZERO:
+            return ZERO
+    return result
+
+
+def v_or_all(values: Iterable[int]) -> int:
+    """Five-valued OR reduced over an iterable of values."""
+    result = ZERO
+    for value in values:
+        result = OR_TABLE[result][value]
+        if result == ONE:
+            return ONE
+    return result
+
+
+def v_xor_all(values: Iterable[int]) -> int:
+    """Five-valued XOR reduced over an iterable of values."""
+    result = ZERO
+    for value in values:
+        result = XOR_TABLE[result][value]
+    return result
+
+
+def is_known(value: int) -> bool:
+    """True when the value carries no unknown component (not ``X``)."""
+    return value != X
+
+
+def has_fault_effect(value: int) -> bool:
+    """True when good and faulty machines differ (``D`` or ``D'``)."""
+    return value == D or value == DBAR
+
+
+def good_value(value: int) -> int:
+    """Good-machine component of a five-valued value (``0``/``1``/``X``)."""
+    comp = _COMPONENTS[value][0]
+    return X if comp == _CX else comp
+
+
+def faulty_value(value: int) -> int:
+    """Faulty-machine component of a five-valued value (``0``/``1``/``X``)."""
+    comp = _COMPONENTS[value][1]
+    return X if comp == _CX else comp
+
+
+def invert(value: int) -> int:
+    """Alias for :func:`v_not`; reads better in fault-propagation code."""
+    return NOT_TABLE[value]
+
+
+def from_bool(bit: bool) -> int:
+    """Map a Python bool onto ``ZERO``/``ONE``."""
+    return ONE if bit else ZERO

@@ -1,0 +1,59 @@
+"""Structured DFT: scan chains, LSSD, Scan Path, Scan/Set, Random-Access Scan."""
+
+from .srl import srl_netlist, SrlCell, SrlRegister
+from .chain import (
+    ScanDesign,
+    ScanTester,
+    ScanTestRecord,
+    insert_scan,
+    SCAN_IN,
+    SCAN_ENABLE,
+    SCAN_OUT,
+)
+from .flow import FullScanResult, full_scan_flow, schedule_scan_tests
+from .lssd import LssdDesign, RuleViolation, check_lssd_rules
+from .scan_path import (
+    raceless_dff_netlist,
+    ScanPathCard,
+    CardScanConfiguration,
+    backtrace_partition,
+    partition_sizes,
+)
+from .scan_set import ScanSetLogic, choose_sample_points
+from .hierarchy import ChainSegment, ScanHierarchy
+from .random_access import (
+    AddressableLatch,
+    RandomAccessScanDesign,
+    addressable_latch_netlist,
+)
+
+__all__ = [
+    "ChainSegment",
+    "ScanHierarchy",
+    "srl_netlist",
+    "SrlCell",
+    "SrlRegister",
+    "ScanDesign",
+    "ScanTester",
+    "ScanTestRecord",
+    "insert_scan",
+    "SCAN_IN",
+    "SCAN_ENABLE",
+    "SCAN_OUT",
+    "FullScanResult",
+    "full_scan_flow",
+    "schedule_scan_tests",
+    "LssdDesign",
+    "RuleViolation",
+    "check_lssd_rules",
+    "raceless_dff_netlist",
+    "ScanPathCard",
+    "CardScanConfiguration",
+    "backtrace_partition",
+    "partition_sizes",
+    "ScanSetLogic",
+    "choose_sample_points",
+    "AddressableLatch",
+    "RandomAccessScanDesign",
+    "addressable_latch_netlist",
+]

@@ -1,0 +1,221 @@
+"""Generic scan-chain insertion and test application (paper Fig. 9).
+
+``insert_scan`` rewrites a sequential netlist so every flip-flop's data
+input is multiplexed between system data and the previous element of a
+shift chain — the structural move shared by every scan discipline.
+:class:`ScanTester` then drives the *transformed netlist itself*
+(shift, capture, unload are real simulated clock cycles), so scan-based
+coverage claims in the benchmarks are end-to-end measurements, not
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit, NetlistError
+from ..sim.sequential import SequentialSimulator
+
+SCAN_IN = "SCAN_IN"
+SCAN_ENABLE = "SCAN_EN"
+SCAN_OUT = "SCAN_OUT"
+
+
+@dataclass
+class ScanDesign:
+    """A netlist with an inserted scan chain plus its bookkeeping."""
+
+    circuit: Circuit
+    original: Circuit
+    chain: List[str]  # flip-flop *output* nets, scan-in side first
+    scan_in: str = SCAN_IN
+    scan_enable: str = SCAN_ENABLE
+    scan_out: str = SCAN_OUT
+    style: str = "mux"
+
+    @property
+    def chain_length(self) -> int:
+        """Chain length."""
+        return len(self.chain)
+
+    @property
+    def system_inputs(self) -> List[str]:
+        """Primary inputs excluding the scan controls."""
+        return [
+            net
+            for net in self.circuit.inputs
+            if net not in (self.scan_in, self.scan_enable)
+        ]
+
+    def gate_overhead(self) -> float:
+        """Gate overhead."""
+        base = len(self.original)
+        return (len(self.circuit) - base) / base if base else 0.0
+
+    def extra_pins(self) -> int:
+        """Extra pins."""
+        return 3  # SCAN_IN, SCAN_EN, SCAN_OUT
+
+
+def insert_scan(
+    circuit: Circuit,
+    chain_order: Optional[Sequence[str]] = None,
+    style: str = "mux",
+) -> ScanDesign:
+    """Thread every flip-flop into a scan chain.
+
+    ``chain_order`` lists flip-flop gate names from the scan-in side;
+    default is declaration order.  The multiplexer is synthesized from
+    AND/OR/NOT so the result stays a plain gate netlist.
+    """
+    flops = circuit.flip_flops
+    if not flops:
+        raise NetlistError("no flip-flops to scan")
+    by_name = {flop.name: flop for flop in flops}
+    if chain_order is None:
+        chain_order = [flop.name for flop in flops]
+    if sorted(chain_order) != sorted(by_name):
+        raise NetlistError("chain_order must list every flip-flop exactly once")
+
+    scanned = Circuit(f"{circuit.name}_scan")
+    for net in circuit.inputs:
+        scanned.add_input(net)
+    scanned.add_input(SCAN_IN)
+    scanned.add_input(SCAN_ENABLE)
+    scanned.not_(SCAN_ENABLE, "__sen_b")
+
+    for gate in circuit.gates:
+        if gate.kind.is_sequential:
+            continue
+        scanned.add_gate(gate.kind, gate.inputs, gate.output, gate.name)
+
+    previous = SCAN_IN
+    chain_nets: List[str] = []
+    for name in chain_order:
+        flop = by_name[name]
+        data = flop.inputs[0]
+        sys_term = f"__{name}_sys"
+        scan_term = f"__{name}_scan"
+        mux_net = f"__{name}_d"
+        scanned.and_([data, "__sen_b"], sys_term)
+        scanned.and_([previous, SCAN_ENABLE], scan_term)
+        scanned.or_([sys_term, scan_term], mux_net)
+        scanned.dff(mux_net, flop.output, name=name)
+        chain_nets.append(flop.output)
+        previous = flop.output
+
+    scanned.buf(previous, SCAN_OUT)
+    for net in circuit.outputs:
+        scanned.add_output(net)
+    scanned.add_output(SCAN_OUT)
+    scanned.validate()
+    return ScanDesign(scanned, circuit, chain_nets, style=style)
+
+
+@dataclass
+class ScanTestRecord:
+    """One applied scan test: what went in, what came out."""
+
+    pattern_index: int
+    pi_values: Dict[str, int]
+    loaded_state: Dict[str, int]
+    observed_outputs: Dict[str, int]
+    unloaded_state: Dict[str, int]
+    clocks_used: int
+
+
+class ScanTester:
+    """Drives a :class:`ScanDesign` through real shift/capture cycles."""
+
+    def __init__(self, design: ScanDesign, fill: int = 0) -> None:
+        self.design = design
+        self.sim = SequentialSimulator(design.circuit)
+        self.fill = fill
+        self.total_clocks = 0
+
+    def _idle_pis(self) -> Dict[str, int]:
+        return {net: self.fill for net in self.design.system_inputs}
+
+    def shift(self, bit: int) -> int:
+        """One scan-shift clock; returns the bit appearing at SCAN_OUT."""
+        inputs = self._idle_pis()
+        inputs[self.design.scan_in] = bit
+        inputs[self.design.scan_enable] = 1
+        outputs = self.sim.step(inputs)
+        self.total_clocks += 1
+        return outputs[self.design.scan_out]
+
+    def load_state(self, state: Mapping[str, int]) -> None:
+        """Shift a full chain state in (keys are FF output nets)."""
+        order = self.design.chain
+        bits = [state.get(net, self.fill) for net in order]
+        # The bit for the deepest element (last in chain) enters first.
+        for bit in reversed(bits):
+            self.shift(bit)
+
+    def unload_state(self) -> Dict[str, int]:
+        """Shift the chain out; returns {ff output net: captured bit}.
+
+        ``SequentialSimulator.step`` reports outputs *before* the state
+        update, so each shift() returns the chain's last element as it
+        was prior to that clock: observed[i] is the element originally
+        at position ``len - 1 - i``.
+        """
+        order = self.design.chain
+        observed = [self.shift(self.fill) for _ in range(len(order))]
+        return {
+            order[len(order) - 1 - i]: bit for i, bit in enumerate(observed)
+        }
+
+    def capture(self, pi_values: Mapping[str, int]) -> Dict[str, int]:
+        """One system clock with scan disabled; returns PO values."""
+        inputs = dict(self._idle_pis())
+        inputs.update(pi_values)
+        inputs[self.design.scan_enable] = 0
+        inputs[self.design.scan_in] = self.fill
+        outputs = self.sim.step(inputs)
+        self.total_clocks += 1
+        return outputs
+
+    def observe_outputs(self, pi_values: Mapping[str, int]) -> Dict[str, int]:
+        """Combinational PO observation without clocking."""
+        inputs = dict(self._idle_pis())
+        inputs.update(pi_values)
+        inputs[self.design.scan_enable] = 0
+        inputs[self.design.scan_in] = self.fill
+        net_values = self.sim.evaluate(inputs)
+        return {net: net_values[net] for net in self.design.circuit.outputs}
+
+    def apply_test(
+        self, pattern: Mapping[str, int], index: int = 0
+    ) -> ScanTestRecord:
+        """Full scan protocol for one combinational-core pattern.
+
+        ``pattern`` assigns the core's free nets: original PIs plus
+        flip-flop output nets (PPIs).  Protocol: load state, set PIs,
+        observe POs, capture, unload.
+        """
+        clocks_before = self.total_clocks
+        state = {
+            net: pattern.get(net, self.fill) for net in self.design.chain
+        }
+        self.load_state(state)
+        pis = {
+            net: pattern.get(net, self.fill)
+            for net in self.design.system_inputs
+        }
+        observed = self.observe_outputs(pis)
+        self.capture(pis)
+        unloaded = self.unload_state()
+        return ScanTestRecord(
+            pattern_index=index,
+            pi_values=pis,
+            loaded_state=state,
+            observed_outputs=observed,
+            unloaded_state=unloaded,
+            clocks_used=self.total_clocks - clocks_before,
+        )
+
+

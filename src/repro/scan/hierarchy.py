@@ -1,0 +1,134 @@
+"""Hierarchical scan threading (paper Fig. 11).
+
+"Each module could be an SRL or, one level up, a board containing
+threaded IC's, etc.  Each level of packaging requires the same four
+additional lines to implement the shift register scan feature."
+
+:class:`ScanHierarchy` threads chip-level chains into a board chain
+(and board chains into a system chain): one scan-in, one scan-out, and
+a position catalog so "system tests become (ideally) simple
+concatenations of subsystem tests."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import values as V
+from .chain import ScanDesign, ScanTester
+
+
+@dataclass
+class ChainSegment:
+    """One packaged component's slice of the top-level chain."""
+
+    name: str
+    design: ScanDesign
+    offset: int  # bit position of this segment's first element
+
+    @property
+    def length(self) -> int:
+        """Number of chain elements in this segment."""
+        return self.design.chain_length
+
+
+class ScanHierarchy:
+    """Chips threaded into one board-level scan chain.
+
+    The board chain is the concatenation of the chip chains in
+    threading order; :meth:`catalog` is the position map the paper
+    says makes aggregates testable; load/unload operate on the whole
+    chain but address state by (chip, net).
+    """
+
+    def __init__(self, name: str = "board") -> None:
+        self.name = name
+        self.segments: List[ChainSegment] = []
+        self._testers: Dict[str, ScanTester] = {}
+
+    def thread(self, name: str, design: ScanDesign) -> ChainSegment:
+        """Append a chip's chain to the board chain."""
+        offset = self.total_chain_length
+        segment = ChainSegment(name, design, offset)
+        self.segments.append(segment)
+        self._testers[name] = ScanTester(design)
+        return segment
+
+    @property
+    def total_chain_length(self) -> int:
+        """Sum of all threaded segments' lengths."""
+        return sum(segment.length for segment in self.segments)
+
+    @property
+    def extra_lines_per_level(self) -> int:
+        """The paper's constant: four lines at every packaging level."""
+        return 4
+
+    def catalog(self) -> List[Tuple[int, str, str]]:
+        """(board-chain position, chip, state net) for every element."""
+        entries = []
+        for segment in self.segments:
+            for index, net in enumerate(segment.design.chain):
+                entries.append((segment.offset + index, segment.name, net))
+        return entries
+
+    # -- whole-chain operations ------------------------------------------
+    def shift(self, bit: int) -> int:
+        """One board-level shift: bit enters chip 0; chip i's scan-out
+        feeds chip i+1's scan-in; the last chip's bit exits."""
+        carry = bit
+        for segment in self.segments:
+            carry = self._testers[segment.name].shift(carry)
+        return carry
+
+    def load_board_state(self, state: Mapping[Tuple[str, str], int]) -> None:
+        """Shift a full board state in; keys are (chip, state net)."""
+        bits: List[int] = []
+        for segment in self.segments:
+            for net in segment.design.chain:
+                bits.append(state.get((segment.name, net), 0))
+        for bit in reversed(bits):
+            self.shift(bit)
+
+    def unload_board_state(self) -> Dict[Tuple[str, str], int]:
+        """Shift the whole board chain out; keys are (chip, net)."""
+        observed = [self.shift(0) for _ in range(self.total_chain_length)]
+        observed.reverse()  # first bit out was the deepest element
+        result: Dict[Tuple[str, str], int] = {}
+        position = 0
+        for segment in self.segments:
+            for net in segment.design.chain:
+                result[(segment.name, net)] = observed[position]
+                position += 1
+        return result
+
+    def capture_all(self, pi_values_per_chip: Mapping[str, Mapping[str, int]]) -> None:
+        """One system capture clock on every chip simultaneously."""
+        for segment in self.segments:
+            tester = self._testers[segment.name]
+            tester.capture(pi_values_per_chip.get(segment.name, {}))
+
+    def concatenated_test(
+        self,
+        per_chip_patterns: Mapping[str, Mapping[str, int]],
+    ) -> Dict[Tuple[str, str], int]:
+        """'System tests become simple concatenations of subsystem
+        tests': load every chip's PPI slice, capture everywhere, unload.
+
+        ``per_chip_patterns[chip]`` is a combinational-core pattern for
+        that chip.  Returns the captured next-state bits per element.
+        """
+        load: Dict[Tuple[str, str], int] = {}
+        pis: Dict[str, Dict[str, int]] = {}
+        for segment in self.segments:
+            pattern = per_chip_patterns.get(segment.name, {})
+            for net in segment.design.chain:
+                load[(segment.name, net)] = pattern.get(net, 0)
+            pis[segment.name] = {
+                net: pattern.get(net, 0)
+                for net in segment.design.system_inputs
+            }
+        self.load_board_state(load)
+        self.capture_all(pis)
+        return self.unload_board_state()

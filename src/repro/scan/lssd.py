@@ -1,0 +1,198 @@
+"""Level-Sensitive Scan Design (paper §IV-A; Eichelberger & Williams).
+
+LSSD is two disciplines in one:
+
+* **level-sensitive** operation — all storage is in polarity-hold
+  latches clocked by non-overlapping phases, so correct behaviour
+  depends only on clock levels (no edges, no races);
+* **scan** — every latch is an SRL threaded into a shift register.
+
+:class:`LssdDesign` models a two-clock LSSD subsystem (Fig. 12): a
+combinational network, a bank of SRLs holding the state, system clocks
+C1/B, scan clocks A/B, and the four scan pins per package level.
+:func:`check_lssd_rules` audits a netlist + clock declaration against
+the published design rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+from ..sim.logic import LogicSimulator
+from ..economics.overhead import lssd_overhead, OverheadEstimate
+from .srl import SrlCell, SrlRegister
+
+
+@dataclass
+class RuleViolation:
+    """RuleViolation: see the module docstring for context."""
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.detail}"
+
+
+def check_lssd_rules(
+    circuit: Circuit,
+    clock_inputs: Sequence[str] = (),
+) -> List[RuleViolation]:
+    """Audit a netlist against the core LSSD design rules.
+
+    Checked rules (Williams & Eichelberger [18], [19]):
+
+    1. All internal storage is in shift-register latches (here: every
+       ``DFF`` is assumed SRL-convertible; *latch loops in random
+       logic* — combinational cycles — are violations).
+    2. Latch clocks must be controllable from primary inputs: every
+       declared clock must be a primary input.
+    3. Clock signals may not feed latch *data* logic (no clocks mixed
+       into the data path).
+    4. No clock may be gated by a latch output (clocks must stay
+       primary-input-controlled).
+    """
+    violations: List[RuleViolation] = []
+    if circuit.has_combinational_cycles:
+        violations.append(
+            RuleViolation(
+                "LSSD-1",
+                "combinational feedback loops act as unscanned storage: "
+                + ", ".join(circuit.cyclic_gates[:5]),
+            )
+        )
+    for clock in clock_inputs:
+        if not circuit.is_input(clock):
+            violations.append(
+                RuleViolation(
+                    "LSSD-2", f"clock {clock!r} is not a primary input"
+                )
+            )
+    clock_set = set(clock_inputs)
+    if clock_set:
+        for gate in circuit.gates:
+            if gate.kind is GateType.DFF:
+                continue
+            touched = clock_set.intersection(gate.inputs)
+            if not touched:
+                continue
+            # A clock reaching ordinary logic whose output feeds a DFF
+            # data cone violates rule 3.
+            for flop in circuit.flip_flops:
+                if gate.output in circuit.input_cone(flop.inputs[0]):
+                    violations.append(
+                        RuleViolation(
+                            "LSSD-3",
+                            f"clock(s) {sorted(touched)} reach data logic "
+                            f"{gate.name!r} feeding latch {flop.name!r}",
+                        )
+                    )
+                    break
+    return violations
+
+
+class LssdDesign:
+    """A two-clock LSSD subsystem: combinational network + SRL bank.
+
+    Built from a plain sequential netlist: each DFF becomes an SRL whose
+    D is the old flip-flop data net, whose L2 drives the old output
+    net.  Clocking follows Fig. 12: a system step is C (L1 samples the
+    combinational network) then B (L2 updates); a scan step is A then B.
+    """
+
+    def __init__(
+        self, circuit: Circuit, chain_order: Optional[Sequence[str]] = None
+    ) -> None:
+        self.original = circuit
+        self.core = circuit.combinational_core()
+        self._core_sim = LogicSimulator(self.core)
+        flops = {flop.name: flop for flop in circuit.flip_flops}
+        if chain_order is None:
+            chain_order = [flop.name for flop in circuit.flip_flops]
+        if sorted(chain_order) != sorted(flops):
+            raise ValueError("chain_order must cover every flip-flop")
+        self.chain_order = list(chain_order)
+        self.register = SrlRegister(
+            [SrlCell(name) for name in self.chain_order]
+        )
+        self._data_nets = [flops[name].inputs[0] for name in self.chain_order]
+        self._state_nets = [flops[name].output for name in self.chain_order]
+
+    # -- pins -----------------------------------------------------------
+    @property
+    def scan_pins(self) -> Tuple[str, str, str, str]:
+        """The four per-package scan lines: scan-in, scan-out, A, B."""
+        return ("SCAN_IN", "SCAN_OUT", "A_CLK", "B_CLK")
+
+    @property
+    def chain_length(self) -> int:
+        """Chain length."""
+        return len(self.register)
+
+    # -- operation --------------------------------------------------------
+    def _settle(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        assignment = dict(inputs)
+        for net, cell in zip(self._state_nets, self.register.cells):
+            assignment[net] = cell.l2
+        return self._core_sim.run(assignment)
+
+    def outputs(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Primary output values for the given inputs (no clocking)."""
+        net_values = self._settle(inputs)
+        return {net: net_values[net] for net in self.original.outputs}
+
+    def system_step(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """One C/B system clock: combinational settle, then latch."""
+        net_values = self._settle(inputs)
+        data = [net_values[net] for net in self._data_nets]
+        self.register.system_clock(data)
+        return {net: net_values[net] for net in self.original.outputs}
+
+    def scan_shift(self, bit: int) -> int:
+        """One A/B scan step; returns the bit leaving SCAN_OUT."""
+        return self.register.shift(bit)
+
+    def scan_load(self, state: Mapping[str, int]) -> None:
+        """Scan load."""
+        bits = [state.get(net, V.ZERO) for net in self._state_nets]
+        self.register.load(bits)
+
+    def scan_unload(self) -> Dict[str, int]:
+        """Scan unload."""
+        bits = self.register.unload()
+        return dict(zip(self._state_nets, bits))
+
+    def state(self) -> Dict[str, int]:
+        """Current L2 values keyed by state net."""
+        return dict(zip(self._state_nets, self.register.state()))
+
+    # -- economics --------------------------------------------------------
+    def overhead(self, l2_reuse_fraction: float = 0.0) -> OverheadEstimate:
+        """LSSD overhead estimate at a given L2 reuse level."""
+        return lssd_overhead(
+            num_latches=self.chain_length,
+            base_gates=len(self.original),
+            l2_reuse_fraction=l2_reuse_fraction,
+        )
+
+    def apply_core_test(
+        self, pattern: Mapping[str, int], fill: int = 0
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """LSSD test protocol for one combinational-core pattern.
+
+        Load the SRLs, apply PIs, read POs, pulse C/B once to capture
+        the PPOs, and unload.  Returns (observed PO values, unloaded
+        next-state bits keyed by state net).
+        """
+        self.scan_load(
+            {net: pattern.get(net, fill) for net in self._state_nets}
+        )
+        pis = {
+            net: pattern.get(net, fill) for net in self.original.inputs
+        }
+        observed = self.system_step(pis)
+        unloaded = self.scan_unload()
+        return observed, unloaded

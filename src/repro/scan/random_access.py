@@ -1,0 +1,181 @@
+"""Fujitsu's Random-Access Scan (paper §IV-D, Figs. 16-18).
+
+No shift registers: every latch is individually *addressable* through
+X/Y decoders, like a RAM cell.  A latch is read at SDO or written via
+SDI + scan clock when (and only when) its X and Y address lines are
+both selected.  Observation-only taps cost one gate each.
+
+Two latch flavors from the paper:
+
+* polarity-hold addressable latch (Fig. 16) — scan clock writes SDI;
+* set/reset addressable latch (Fig. 17) — a global CLEAR plus
+  per-address PRESET pulses establish the state.
+
+The model tracks the paper's overhead accounting: 3-4 gates per
+latch, 10-20 pins (6 with serial addressing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit, NetlistError
+from ..sim.sequential import SequentialSimulator
+from ..economics.overhead import random_access_scan_overhead, OverheadEstimate
+
+
+@dataclass
+class AddressableLatch:
+    """One latch plus its (x, y) address in the scan grid."""
+
+    name: str
+    state_net: str
+    x: int
+    y: int
+    kind: str = "polarity-hold"  # or "set-reset"
+
+
+class RandomAccessScanDesign:
+    """A sequential netlist whose flip-flops sit behind an X/Y grid.
+
+    Functionally wraps :class:`SequentialSimulator`: system clocks step
+    the machine; scan operations read or write one addressed latch at a
+    time, exactly the paper's access model.
+    """
+
+    def __init__(self, circuit: Circuit, latch_kind: str = "polarity-hold") -> None:
+        flops = circuit.flip_flops
+        if not flops:
+            raise NetlistError("no flip-flops to address")
+        self.circuit = circuit
+        self.sim = SequentialSimulator(circuit)
+        side = max(1, math.ceil(math.sqrt(len(flops))))
+        self.latches: List[AddressableLatch] = []
+        self._by_address: Dict[Tuple[int, int], AddressableLatch] = {}
+        self._by_net: Dict[str, AddressableLatch] = {}
+        for index, flop in enumerate(flops):
+            latch = AddressableLatch(
+                flop.name, flop.output, index % side, index // side, latch_kind
+            )
+            self.latches.append(latch)
+            self._by_address[(latch.x, latch.y)] = latch
+            self._by_net[latch.state_net] = latch
+        self.side = side
+        self.observation_points: List[str] = []
+        self.scan_operations = 0
+
+    # -- addressing -------------------------------------------------------
+    @property
+    def address_bits(self) -> int:
+        """Address bits."""
+        return 2 * max(1, math.ceil(math.log2(max(self.side, 2))))
+
+    def latch_at(self, x: int, y: int) -> AddressableLatch:
+        """Latch at."""
+        try:
+            return self._by_address[(x, y)]
+        except KeyError:
+            raise KeyError(f"no latch at address ({x}, {y})") from None
+
+    # -- scan operations ----------------------------------------------------
+    def read_latch(self, x: int, y: int) -> int:
+        """SDO: observe one addressed latch without disturbing anything."""
+        self.scan_operations += 1
+        return self.sim.state[self.latch_at(x, y).state_net]
+
+    def write_latch(self, x: int, y: int, value: int) -> None:
+        """SDI + scan clock: set one addressed latch."""
+        self.scan_operations += 1
+        self.sim.set_state({self.latch_at(x, y).state_net: value})
+
+    def clear_all(self) -> None:
+        """The Fig. 17 CLEAR line: every set/reset latch to 0."""
+        self.sim.reset(V.ZERO)
+        self.scan_operations += 1
+
+    def preset(self, addresses: Sequence[Tuple[int, int]]) -> None:
+        """Fig. 17 protocol: CLEAR, then per-address PRESET pulses."""
+        self.clear_all()
+        for x, y in addresses:
+            self.write_latch(x, y, V.ONE)
+
+    def load_full_state(self, state: Mapping[str, int]) -> int:
+        """Address every latch in turn; returns scan operations used.
+
+        Contrast with a shift register: cost is one operation per
+        latch *written*, not per chain position — sparse states are
+        cheap, which is Random-Access Scan's edge.
+        """
+        used = 0
+        for net, value in state.items():
+            latch = self._by_net[net]
+            self.write_latch(latch.x, latch.y, value)
+            used += 1
+        return used
+
+    def read_full_state(self) -> Dict[str, int]:
+        """Read full state."""
+        return {
+            latch.state_net: self.read_latch(latch.x, latch.y)
+            for latch in self.latches
+        }
+
+    # -- observation-only taps ----------------------------------------------
+    def add_observation_point(self, net: str) -> None:
+        """One extra gate + one address: observe any combinational net."""
+        if net not in self.circuit:
+            raise NetlistError(f"net {net!r} not in circuit")
+        self.observation_points.append(net)
+
+    def observe_point(self, inputs: Mapping[str, int], net: str) -> int:
+        """Observe point."""
+        if net not in self.observation_points:
+            raise KeyError(f"{net!r} is not an observation point")
+        self.scan_operations += 1
+        return self.sim.evaluate(inputs)[net]
+
+    # -- system operation -----------------------------------------------------
+    def system_step(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """System step."""
+        return self.sim.step(inputs)
+
+    # -- economics ---------------------------------------------------------------
+    def overhead(self, serial_addressing: bool = False) -> OverheadEstimate:
+        """Gate/pin overhead estimate for this configuration."""
+        estimate = random_access_scan_overhead(
+            len(self.latches), serial_addressing=serial_addressing
+        )
+        estimate.extra_gates += len(self.observation_points)
+        return estimate
+
+
+def addressable_latch_netlist(kind: str = "polarity-hold") -> Circuit:
+    """Gate-level addressable latch (Figs. 16/17) for timing studies.
+
+    Inputs: DATA, CK (system clock), SDI, SCK (scan clock), XADR, YADR;
+    outputs Q and SDO.  Contains latch feedback, so event-sim only.
+    """
+    c = Circuit(f"ras_latch_{kind}")
+    for pin in ("DATA", "CK", "SDI", "SCK", "XADR", "YADR"):
+        c.add_input(pin)
+    c.and_(["XADR", "YADR"], "SEL")
+    c.and_(["SEL", "SCK"], "SCLK")
+    c.not_("DATA", "DATAN")
+    c.not_("SDI", "SDIN")
+    # System port (CK) and scan port (SCLK) both set/reset the latch.
+    c.nand(["DATA", "CK"], "S1")
+    c.nand(["SDI", "SCLK"], "S2")
+    c.and_(["S1", "S2"], "SBAR")
+    c.nand(["DATAN", "CK"], "R1")
+    c.nand(["SDIN", "SCLK"], "R2")
+    c.and_(["R1", "R2"], "RBAR")
+    c.nand(["SBAR", "QN"], "Q")
+    c.nand(["RBAR", "Q"], "QN")
+    # Scan data out: the latch value gated by its address.
+    c.and_(["Q", "SEL"], "SDO")
+    c.add_output("Q")
+    c.add_output("SDO")
+    return c

@@ -1,0 +1,117 @@
+"""Sperry-Univac Scan/Set logic (paper §IV-C, Fig. 15).
+
+Unlike LSSD/Scan Path, the shift register here is *not* in the system
+data path: a shadow register of up to 64 bits **samples** chosen
+internal nets in one clock (scan function) and can **drive** chosen
+control points (set function).  System latches need not all be covered
+— so test generation is not fully combinational, merely easier — and
+the sample can be taken mid-operation without disturbing the machine
+("a snapshot of the sequential machine").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit, NetlistError
+from ..sim.sequential import SequentialSimulator
+
+
+@dataclass
+class ScanSetLogic:
+    """A bit-serial Scan/Set register attached to a sequential design.
+
+    ``sample_nets`` are observation taps (scan function); ``set_points``
+    maps circuit primary inputs to register bit positions (set
+    function) — modeling the funneling of register bits into system
+    control lines.
+    """
+
+    circuit: Circuit
+    sample_nets: List[str]
+    set_points: Dict[str, int] = field(default_factory=dict)
+    register_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if len(self.sample_nets) > self.register_bits:
+            raise NetlistError(
+                f"{len(self.sample_nets)} sample points exceed the "
+                f"{self.register_bits}-bit register"
+            )
+        for net in self.sample_nets:
+            if net not in self.circuit:
+                raise NetlistError(f"sample net {net!r} not in circuit")
+        for net in self.set_points:
+            if not self.circuit.is_input(net):
+                raise NetlistError(
+                    f"set point {net!r} must be a primary input "
+                    "(the set function drives system control lines)"
+                )
+        self.register: List[int] = [V.ZERO] * self.register_bits
+
+    # -- scan function ---------------------------------------------------
+    def sample(self, simulator: SequentialSimulator, inputs: Mapping[str, int]) -> List[int]:
+        """Single-clock parallel load of the sample nets (no disturbance).
+
+        The system state is untouched: this is the §IV-C advantage —
+        "the scan function can occur during system operation."
+        """
+        net_values = simulator.evaluate(inputs)
+        snapshot = [net_values[net] for net in self.sample_nets]
+        for index, value in enumerate(snapshot):
+            self.register[index] = value
+        return snapshot
+
+    def shift_out(self) -> List[int]:
+        """Serially unload the register (destructive read)."""
+        bits = list(self.register)
+        self.register = [V.ZERO] * self.register_bits
+        return bits
+
+    # -- set function ------------------------------------------------------
+    def load_register(self, bits: Sequence[int]) -> None:
+        """Load register."""
+        if len(bits) > self.register_bits:
+            raise ValueError("too many bits for the register")
+        for index, bit in enumerate(bits):
+            self.register[index] = bit
+
+    def set_values(self) -> Dict[str, int]:
+        """Input overrides funneled from the register's set bits."""
+        return {
+            net: self.register[position]
+            for net, position in self.set_points.items()
+        }
+
+    # -- testability effect -------------------------------------------------
+    def observability_gain(self) -> int:
+        """How many internal nets became directly observable."""
+        already = set(self.circuit.outputs)
+        return len([n for n in self.sample_nets if n not in already])
+
+
+def choose_sample_points(
+    circuit: Circuit, count: int, measures=None
+) -> List[str]:
+    """Pick the hardest-to-observe nets as Scan/Set samples.
+
+    Uses SCOAP observability when available; ties broken by logic depth
+    (deep nets are the natural candidates the paper's designers chose).
+    """
+    from ..testability.scoap import analyze
+
+    report = measures if measures is not None else analyze(circuit)
+    candidates = [
+        net
+        for net in circuit.nets()
+        if net not in circuit.outputs and not circuit.is_input(net)
+    ]
+    candidates.sort(
+        key=lambda net: (
+            -(report.measures[net].co if report.measures[net].co != float("inf") else 1e9),
+            net,
+        )
+    )
+    return candidates[:count]

@@ -1,0 +1,149 @@
+"""The LSSD shift-register latch (SRL), Fig. 10 of the paper.
+
+An SRL is a polarity-hold L1 latch with *two* clocked data ports —
+(D, C) for system data and (I, A) for scan data — feeding an L2 latch
+clocked by B.  Scanning threads I to the previous SRL's L2 and pulses
+A/B two-phase; system operation pulses C (and B where the L2 output is
+used).  Level-sensitive: behaviour depends only on clock *levels* held
+long enough, never on edges or relative skews.
+
+Two models are provided:
+
+* :func:`srl_netlist` — the AND-INVERT gate implementation of
+  Fig. 10(b), cross-coupled NANDs and all, for event-driven timing
+  experiments (clock-anomaly immunity is *demonstrated*, not assumed);
+* :class:`SrlCell` / :class:`SrlRegister` — behavioral models used by
+  the LSSD design layer, where per-gate timing no longer matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit
+
+
+def srl_netlist(name: str = "srl") -> Circuit:
+    """Gate-level SRL: inputs D, C, I, A, B; outputs L1, L2.
+
+    The L1 latch is a two-port set/reset NAND structure; L2 is a
+    single-port polarity-hold latch.  Contains combinational feedback
+    (the cross-coupled NANDs), so only the event simulator can run it.
+    """
+    c = Circuit(name)
+    for pin in ("D", "C", "I", "A", "B"):
+        c.add_input(pin)
+    # L1: set when D·C or I·A; reset when ~D·C or ~I·A.
+    c.not_("D", "ND")
+    c.not_("I", "NI")
+    c.nand(["D", "C"], "S1")
+    c.nand(["I", "A"], "S2")
+    c.and_(["S1", "S2"], "SBAR")  # active-low set
+    c.nand(["ND", "C"], "R1")
+    c.nand(["NI", "A"], "R2")
+    c.and_(["R1", "R2"], "RBAR")  # active-low reset
+    c.nand(["SBAR", "L1N"], "L1")
+    c.nand(["RBAR", "L1"], "L1N")
+    # L2: polarity-hold latch on clock B.
+    c.not_("L1", "NL1")
+    c.nand(["L1", "B"], "S3")
+    c.nand(["NL1", "B"], "R3")
+    c.nand(["S3", "L2N"], "L2")
+    c.nand(["R3", "L2"], "L2N")
+    c.add_output("L1")
+    c.add_output("L2")
+    return c
+
+
+class SrlCell:
+    """Behavioral SRL: three-valued L1/L2 with explicit clock methods."""
+
+    def __init__(self, name: str = "srl") -> None:
+        self.name = name
+        self.l1: int = V.X
+        self.l2: int = V.X
+
+    def clock_c(self, data: int) -> None:
+        """System clock C: L1 samples the system data input D."""
+        self.l1 = data
+
+    def clock_a(self, scan_data: int) -> None:
+        """Scan clock A: L1 samples the scan input I."""
+        self.l1 = scan_data
+
+    def clock_b(self) -> None:
+        """Clock B: L2 samples L1."""
+        self.l2 = self.l1
+
+    def __repr__(self) -> str:
+        return f"SrlCell({self.name}, L1={self.l1}, L2={self.l2})"
+
+
+@dataclass
+class SrlRegister:
+    """A chain of SRLs threaded I -> previous L2 (paper Fig. 11).
+
+    ``shift`` performs one two-phase A/B scan step; ``system_clock``
+    performs a C/B system step from supplied data values.
+    """
+
+    cells: List[SrlCell] = field(default_factory=list)
+
+    @classmethod
+    def of_length(cls, length: int, prefix: str = "srl") -> "SrlRegister":
+        """Of length."""
+        return cls([SrlCell(f"{prefix}{i}") for i in range(length)])
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def scan_out(self) -> int:
+        """The last SRL's L2 — the chain's scan output."""
+        return self.cells[-1].l2 if self.cells else V.X
+
+    def shift(self, scan_in: int) -> int:
+        """One A/B scan step: returns the bit leaving the chain.
+
+        Phase A loads every L1 from the previous cell's L2 (the chain
+        input for the first cell); phase B moves every L1 to its L2.
+        Order matters exactly as in hardware: all A's sample old L2
+        values before any B updates them.
+        """
+        out = self.scan_out
+        sources = [scan_in] + [cell.l2 for cell in self.cells[:-1]]
+        for cell, source in zip(self.cells, sources):
+            cell.clock_a(source)
+        for cell in self.cells:
+            cell.clock_b()
+        return out
+
+    def load(self, bits: Sequence[int]) -> None:
+        """Shift a full state in (bits[i] destined for cell i)."""
+        if len(bits) != len(self.cells):
+            raise ValueError("bit count must equal chain length")
+        for bit in reversed(list(bits)):
+            self.shift(bit)
+
+    def unload(self) -> List[int]:
+        """Shift the full state out (destructive); returns cell order."""
+        observed = []
+        for _ in range(len(self.cells)):
+            observed.append(self.shift(V.ZERO))
+        observed.reverse()
+        return observed
+
+    def system_clock(self, data: Sequence[int]) -> None:
+        """C then B: capture system data into L1s, update L2s."""
+        if len(data) != len(self.cells):
+            raise ValueError("data width must equal register length")
+        for cell, value in zip(self.cells, data):
+            cell.clock_c(value)
+        for cell in self.cells:
+            cell.clock_b()
+
+    def state(self) -> List[int]:
+        """Current L2 values, chain order."""
+        return [cell.l2 for cell in self.cells]

@@ -1,0 +1,15 @@
+"""Simulation engines: levelized, pattern-packed, sequential, event-driven."""
+
+from .logic import LogicSimulator, exhaustive_truth_table
+from .packed import PackedPatternSet, PackedSimulator
+from .sequential import SequentialSimulator
+from .event import EventSimulator
+
+__all__ = [
+    "LogicSimulator",
+    "exhaustive_truth_table",
+    "PackedPatternSet",
+    "PackedSimulator",
+    "SequentialSimulator",
+    "EventSimulator",
+]

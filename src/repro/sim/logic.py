@@ -1,0 +1,98 @@
+"""Levelized logic simulation in the three/five-valued calculus.
+
+This is the "compiled code Boolean simulation" of the paper's Section
+IV-A (refs [2], [74], [106], [107]): gates are evaluated once each, in
+topological order, so a full-circuit evaluation costs exactly one pass.
+The simulator accepts five-valued inputs, which lets the same engine
+serve ordinary good-machine simulation (0/1), unknown-state analysis
+(X), and D-calculus checks from the ATPG engines (D/D').
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gates import GateType, evaluate
+
+
+class LogicSimulator:
+    """Single-pattern, five-valued, levelized simulator.
+
+    For sequential circuits, flip-flop *outputs* are free variables: the
+    caller supplies them alongside primary inputs (the combinational-core
+    view).  Flip-flop *data* values appear in the result like any other
+    net, ready to be latched by a sequential wrapper.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._order = circuit.topological_order()
+        self._free = list(circuit.inputs) + [
+            flop.output for flop in circuit.flip_flops
+        ]
+
+    @property
+    def free_nets(self) -> Sequence[str]:
+        """Nets the caller must (or may) assign: PIs then FF outputs."""
+        return tuple(self._free)
+
+    def run(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate every net from an input assignment.
+
+        Unassigned free nets default to ``X``.  Returns a dict covering
+        every net in the circuit.
+        """
+        net_values: Dict[str, int] = {}
+        for net in self._free:
+            net_values[net] = assignment.get(net, V.X)
+        for net, value in assignment.items():
+            if net not in net_values:
+                raise NetlistError(
+                    f"{net!r} is not a primary input or flip-flop output"
+                )
+        for gate in self._order:
+            inputs = tuple(net_values[n] for n in gate.inputs)
+            net_values[gate.output] = evaluate(gate.kind, inputs)
+        return net_values
+
+    def outputs(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate and project onto the primary outputs."""
+        net_values = self.run(assignment)
+        return {net: net_values[net] for net in self.circuit.outputs}
+
+    def run_pattern(self, bits: Sequence[int]) -> Dict[str, int]:
+        """Convenience: positional 0/1 pattern over the free nets."""
+        if len(bits) != len(self._free):
+            raise ValueError(
+                f"pattern length {len(bits)} != {len(self._free)} free nets"
+            )
+        return self.run(dict(zip(self._free, bits)))
+
+    def output_vector(self, assignment: Mapping[str, int]) -> tuple:
+        """Primary output values as a tuple, in declaration order."""
+        net_values = self.run(assignment)
+        return tuple(net_values[n] for n in self.circuit.outputs)
+
+
+def exhaustive_truth_table(circuit: Circuit) -> Dict[int, tuple]:
+    """Full functional table of a combinational circuit.
+
+    Keys are input minterm indices (input 0 = LSB); values are tuples of
+    output bits.  This is the "complete functional test" of Section I-B
+    — exponential by nature, usable only for small cones, which is
+    precisely the paper's point.
+    """
+    if not circuit.is_combinational:
+        raise NetlistError("exhaustive table requires a combinational circuit")
+    sim = LogicSimulator(circuit)
+    inputs = circuit.inputs
+    table: Dict[int, tuple] = {}
+    for minterm in range(1 << len(inputs)):
+        assignment = {
+            net: (minterm >> position) & 1
+            for position, net in enumerate(inputs)
+        }
+        table[minterm] = sim.output_vector(assignment)
+    return table

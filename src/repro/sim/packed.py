@@ -1,0 +1,179 @@
+"""Pattern-packed (bit-parallel) two-valued simulation.
+
+The classic "parallel simulation" trick (refs [102], [104]): a machine
+word carries one bit per *pattern*, so a single pass of bitwise gate
+operations simulates the whole pattern set at once.  Python ints are
+arbitrary-precision, so the word width is the pattern count — hundreds
+of patterns per pass — which is what makes the fault simulators and the
+syndrome/Walsh exhaustive engines tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gates import GateType
+
+
+class PackedPatternSet:
+    """A set of input patterns packed net-wise into integers.
+
+    ``words[net]`` has bit ``i`` equal to pattern ``i``'s value on that
+    net.  ``count`` is the number of patterns (the active word width).
+    """
+
+    def __init__(self, nets: Sequence[str], count: int = 0) -> None:
+        self.nets = list(nets)
+        self.count = count
+        self.words: Dict[str, int] = {net: 0 for net in nets}
+
+    @classmethod
+    def from_patterns(
+        cls, nets: Sequence[str], patterns: Sequence[Mapping[str, int]]
+    ) -> "PackedPatternSet":
+        """From patterns."""
+        packed = cls(nets, len(patterns))
+        for index, pattern in enumerate(patterns):
+            bit = 1 << index
+            for net in nets:
+                if pattern.get(net, 0):
+                    packed.words[net] |= bit
+        return packed
+
+    @classmethod
+    def exhaustive(cls, nets: Sequence[str]) -> "PackedPatternSet":
+        """All ``2**len(nets)`` minterms; net ``i`` gets the canonical
+        counting word so pattern ``m`` assigns bit ``(m >> i) & 1``."""
+        n = len(nets)
+        count = 1 << n
+        packed = cls(nets, count)
+        for position, net in enumerate(nets):
+            # Canonical counting pattern: blocks of 2^position zeros then
+            # 2^position ones, repeated.  Built with one bigint multiply:
+            # repeat unit U across the word via (2^count-1)/(2^period-1).
+            block = (1 << (1 << position)) - 1  # 2^position ones
+            period = 1 << (position + 1)
+            unit = block << (1 << position)
+            repetitions = ((1 << count) - 1) // ((1 << period) - 1)
+            packed.words[net] = unit * repetitions
+        return packed
+
+    def add_pattern(self, pattern: Mapping[str, int]) -> int:
+        """Append a pattern; returns its index."""
+        index = self.count
+        bit = 1 << index
+        for net in self.nets:
+            if pattern.get(net, 0):
+                self.words[net] |= bit
+        self.count += 1
+        return index
+
+    def pattern(self, index: int) -> Dict[str, int]:
+        """Recover pattern ``index`` as a net -> bit mapping."""
+        return {net: (self.words[net] >> index) & 1 for net in self.nets}
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the register width."""
+        return (1 << self.count) - 1
+
+
+class PackedSimulator:
+    """Bit-parallel two-valued simulator over a combinational circuit.
+
+    The workhorse of the fault simulators: :meth:`run` evaluates every
+    net for every packed pattern in one topological pass, optionally
+    with one stuck-at fault injected (a net forced to all-0s/all-1s
+    *after* its driver evaluates — gate-input faults are handled by the
+    fault simulator via fanout-branch modeling).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        if not circuit.is_combinational:
+            raise NetlistError(
+                "PackedSimulator needs a combinational circuit; "
+                "use Circuit.combinational_core() or a sequential simulator"
+            )
+        self.circuit = circuit
+        self._order = circuit.topological_order()
+        self._inputs = circuit.inputs
+
+    def run(
+        self,
+        packed: PackedPatternSet,
+        force: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate all nets for all patterns.
+
+        ``force`` maps net names to full-word override values (applied
+        after the net is computed) — the mechanism used for stuck-at
+        injection: ``{net: 0}`` for S-A-0, ``{net: mask}`` for S-A-1.
+        """
+        mask = packed.mask
+        words: Dict[str, int] = {}
+        for net in self._inputs:
+            value = packed.words.get(net, 0)
+            words[net] = value
+        if force:
+            for net, value in force.items():
+                if net in words:
+                    words[net] = value & mask
+        for gate in self._order:
+            words[gate.output] = _evaluate_packed(gate.kind, gate.inputs, words, mask)
+            if force is not None and gate.output in force:
+                words[gate.output] = force[gate.output] & mask
+        return words
+
+    def output_words(
+        self,
+        packed: PackedPatternSet,
+        force: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Output words."""
+        words = self.run(packed, force)
+        return {net: words[net] for net in self.circuit.outputs}
+
+
+def _evaluate_packed(
+    kind: GateType, input_nets: Sequence[str], words: Mapping[str, int], mask: int
+) -> int:
+    if kind is GateType.AND:
+        result = mask
+        for net in input_nets:
+            result &= words[net]
+        return result
+    if kind is GateType.NAND:
+        result = mask
+        for net in input_nets:
+            result &= words[net]
+        return result ^ mask
+    if kind is GateType.OR:
+        result = 0
+        for net in input_nets:
+            result |= words[net]
+        return result
+    if kind is GateType.NOR:
+        result = 0
+        for net in input_nets:
+            result |= words[net]
+        return result ^ mask
+    if kind is GateType.XOR:
+        result = 0
+        for net in input_nets:
+            result ^= words[net]
+        return result
+    if kind is GateType.XNOR:
+        result = 0
+        for net in input_nets:
+            result ^= words[net]
+        return result ^ mask
+    if kind is GateType.NOT:
+        return words[input_nets[0]] ^ mask
+    if kind is GateType.BUF:
+        return words[input_nets[0]]
+    if kind is GateType.CONST0:
+        return 0
+    if kind is GateType.CONST1:
+        return mask
+    raise NetlistError(f"cannot pack-evaluate gate type {kind}")

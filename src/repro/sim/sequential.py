@@ -1,0 +1,79 @@
+"""Clocked simulation of sequential circuits.
+
+Implements the synchronous (single-clock Huffman) model: on each
+:meth:`SequentialSimulator.step`, the combinational cloud settles, then
+every flip-flop samples its data input simultaneously.  State starts as
+all-``X`` — the *predictability* problem of Section III-B: without a
+CLEAR/PRESET test point or scan, a tester cannot know the initial state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit
+from .logic import LogicSimulator
+
+
+class SequentialSimulator:
+    """Cycle-accurate three-valued simulator for DFF-based circuits."""
+
+    def __init__(self, circuit: Circuit, initial_state: Optional[Mapping[str, int]] = None) -> None:
+        self.circuit = circuit
+        self._logic = LogicSimulator(circuit)
+        self._flops = circuit.flip_flops
+        self.state: Dict[str, int] = {
+            flop.output: V.X for flop in self._flops
+        }
+        if initial_state:
+            self.set_state(initial_state)
+        self.cycle = 0
+
+    def set_state(self, state: Mapping[str, int]) -> None:
+        """Force flip-flop outputs (e.g. after a scan load or CLEAR)."""
+        for net, value in state.items():
+            if net not in self.state:
+                raise KeyError(f"{net!r} is not a flip-flop output")
+            self.state[net] = value
+
+    def reset(self, value: int = V.ZERO) -> None:
+        """Model a global CLEAR/PRESET test point (Section III-B)."""
+        for net in self.state:
+            self.state[net] = value
+
+    def randomize_state(self, rng) -> None:
+        """Power-up into an arbitrary definite state."""
+        for net in self.state:
+            self.state[net] = rng.choice((V.ZERO, V.ONE))
+
+    @property
+    def is_initialized(self) -> bool:
+        """True once no flip-flop holds ``X``."""
+        return all(value != V.X for value in self.state.values())
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Settle the combinational logic without clocking (no state change)."""
+        assignment = dict(inputs)
+        assignment.update(self.state)
+        return self._logic.run(assignment)
+
+    def step(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Apply inputs, settle, clock all flip-flops; return PO values."""
+        net_values = self.evaluate(inputs)
+        next_state = {
+            flop.output: net_values[flop.inputs[0]] for flop in self._flops
+        }
+        self.state.update(next_state)
+        self.cycle += 1
+        return {net: net_values[net] for net in self.circuit.outputs}
+
+    def run_sequence(
+        self, input_sequence: Sequence[Mapping[str, int]]
+    ) -> List[Dict[str, int]]:
+        """Clock through a sequence of input vectors; returns PO history."""
+        return [self.step(vector) for vector in input_sequence]
+
+    def state_vector(self) -> Dict[str, int]:
+        """State vector."""
+        return dict(self.state)

@@ -1,0 +1,19 @@
+"""Testability measures: SCOAP-style controllability/observability and
+initialization (synchronizing-sequence) analysis."""
+
+from .scoap import NetMeasures, TestabilityReport, analyze, INF
+from .initialization import (
+    InitializationResult,
+    cycles_to_initialize,
+    find_initialization_sequence,
+)
+
+__all__ = [
+    "NetMeasures",
+    "TestabilityReport",
+    "analyze",
+    "INF",
+    "InitializationResult",
+    "cycles_to_initialize",
+    "find_initialization_sequence",
+]

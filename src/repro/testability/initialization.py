@@ -1,0 +1,103 @@
+"""Initialization (synchronizing) sequence search — §III-B's
+predictability problem, solved constructively.
+
+"A CLEAR or PRESET function for all memory elements can be used.  Thus
+the sequential machine can be put into a known state with very few
+patterns."  Without such a test point, the tester must *find* an input
+sequence that drives every flip-flop to a known value from the all-X
+power-up state — if one exists at all.  This module searches for one
+by breadth-first exploration of the three-valued state space; machines
+like the reset-less binary counter are *proven* uninitializable (their
+X's are closed under every input).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist import values as V
+from ..netlist.circuit import Circuit
+from ..sim.logic import LogicSimulator
+
+
+@dataclass
+class InitializationResult:
+    """Outcome of the synchronizing-sequence search."""
+
+    sequence: Optional[List[Dict[str, int]]]  # None if not found
+    explored_states: int
+    exhausted: bool  # True when the whole reachable X-space was searched
+
+    @property
+    def initializable(self) -> Optional[bool]:
+        """True/False when decided; None when the search hit its bound."""
+        if self.sequence is not None:
+            return True
+        return False if self.exhausted else None
+
+    @property
+    def length(self) -> Optional[int]:
+        """Length of the found sequence, or None."""
+        return None if self.sequence is None else len(self.sequence)
+
+
+def find_initialization_sequence(
+    circuit: Circuit,
+    max_length: int = 16,
+    max_states: int = 20000,
+) -> InitializationResult:
+    """BFS for the shortest input sequence leaving no flip-flop at X.
+
+    The three-valued simulation semantics make this conservative: a
+    sequence found here initializes the machine from *any* power-up
+    state.  ``exhausted`` is True when the reachable three-valued state
+    space was fully explored without success — a proof (within the
+    pessimism of 3-valued simulation) that no synchronizing sequence
+    exists.
+    """
+    flops = circuit.flip_flops
+    if not flops:
+        return InitializationResult([], 1, True)
+    logic = LogicSimulator(circuit)
+    state_nets = [flop.output for flop in flops]
+    data_nets = [flop.inputs[0] for flop in flops]
+    inputs = list(circuit.inputs)
+    input_vectors = [
+        dict(zip(inputs, bits))
+        for bits in itertools.product((0, 1), repeat=len(inputs))
+    ]
+
+    start = tuple(V.X for _ in flops)
+    frontier: List[Tuple[Tuple[int, ...], List[Dict[str, int]]]] = [(start, [])]
+    seen = {start}
+    explored = 0
+    while frontier:
+        next_frontier: List[Tuple[Tuple[int, ...], List[Dict[str, int]]]] = []
+        for state, path in frontier:
+            if len(path) >= max_length:
+                return InitializationResult(None, explored, False)
+            for vector in input_vectors:
+                assignment = dict(vector)
+                assignment.update(dict(zip(state_nets, state)))
+                values = logic.run(assignment)
+                next_state = tuple(values[net] for net in data_nets)
+                explored += 1
+                if explored > max_states:
+                    return InitializationResult(None, explored, False)
+                if all(v != V.X for v in next_state):
+                    return InitializationResult(
+                        path + [vector], explored, True
+                    )
+                if next_state not in seen:
+                    seen.add(next_state)
+                    next_frontier.append((next_state, path + [vector]))
+        frontier = next_frontier
+    # Reachable X-space exhausted with no fully-known successor.
+    return InitializationResult(None, explored, True)
+
+
+def cycles_to_initialize(circuit: Circuit, max_length: int = 16) -> Optional[int]:
+    """Shortest synchronizing-sequence length, or None."""
+    return find_initialization_sequence(circuit, max_length).length

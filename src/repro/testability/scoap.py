@@ -1,0 +1,274 @@
+"""SCOAP-style controllability/observability analysis (Goldstein [70]).
+
+Section II of the paper: "a number of programs have been written which
+essentially give analytic measures of controllability and observability
+for different nets" — designers run them, find the hard nets, and then
+pick techniques (test points, scan) to fix them.  This is that program.
+
+Per net the analysis produces six numbers:
+
+* ``cc0``/``cc1`` — combinational controllability: how many line
+  assignments are needed to drive the net to 0/1 (primary inputs = 1);
+* ``sc0``/``sc1`` — sequential controllability: how many *clock
+  cycles* of state manipulation are implied (DFFs add one);
+* ``co``/``so`` — combinational/sequential observability of the net at
+  some primary output.
+
+Feedback through flip-flops is handled by fixed-point relaxation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gates import Gate, GateType
+
+INF = math.inf
+
+
+@dataclass
+class NetMeasures:
+    """The six SCOAP numbers for one net."""
+
+    cc0: float = INF
+    cc1: float = INF
+    sc0: float = INF
+    sc1: float = INF
+    co: float = INF
+    so: float = INF
+
+    @property
+    def controllability(self) -> float:
+        """Worst-case combinational controllability."""
+        return max(self.cc0, self.cc1)
+
+    @property
+    def testability(self) -> float:
+        """Scalar difficulty: worst controllability plus observability."""
+        return self.controllability + self.co
+
+
+@dataclass
+class TestabilityReport:
+    """TestabilityReport: see the module docstring for context."""
+    circuit_name: str
+    measures: Dict[str, NetMeasures]
+
+    def hardest_to_control(self, count: int = 10) -> List[Tuple[str, float]]:
+        """Hardest to control."""
+        ranked = sorted(
+            ((net, m.controllability) for net, m in self.measures.items()),
+            key=lambda item: -item[1],
+        )
+        return ranked[:count]
+
+    def hardest_to_observe(self, count: int = 10) -> List[Tuple[str, float]]:
+        """Hardest to observe."""
+        ranked = sorted(
+            ((net, m.co) for net, m in self.measures.items()),
+            key=lambda item: -item[1],
+        )
+        return ranked[:count]
+
+    def mean_controllability(self) -> float:
+        """Mean controllability."""
+        finite = [
+            m.controllability
+            for m in self.measures.values()
+            if m.controllability < INF
+        ]
+        return sum(finite) / len(finite) if finite else INF
+
+    def mean_observability(self) -> float:
+        """Mean observability."""
+        finite = [m.co for m in self.measures.values() if m.co < INF]
+        return sum(finite) / len(finite) if finite else INF
+
+    def uncontrollable_nets(self) -> List[str]:
+        """Uncontrollable nets."""
+        return [n for n, m in self.measures.items() if m.controllability == INF]
+
+    def unobservable_nets(self) -> List[str]:
+        """Unobservable nets."""
+        return [n for n, m in self.measures.items() if m.co == INF]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.circuit_name}: mean CC {self.mean_controllability():.1f}, "
+            f"mean CO {self.mean_observability():.1f}, "
+            f"{len(self.uncontrollable_nets())} uncontrollable, "
+            f"{len(self.unobservable_nets())} unobservable"
+        )
+
+
+def _controllability_of_gate(
+    gate: Gate, get: Dict[str, NetMeasures]
+) -> Tuple[float, float, float, float]:
+    """(cc0, cc1, sc0, sc1) of the gate output from its input measures."""
+    kind = gate.kind
+    ins = [get[n] for n in gate.inputs]
+
+    def all1():  # every input must be 1
+        """All1."""
+        return (
+            sum(m.cc1 for m in ins) + 1,
+            sum(m.sc1 for m in ins),
+        )
+
+    def all0():
+        """All0."""
+        return (
+            sum(m.cc0 for m in ins) + 1,
+            sum(m.sc0 for m in ins),
+        )
+
+    def any0():  # cheapest single 0
+        """Any0."""
+        return (
+            min(m.cc0 for m in ins) + 1,
+            min(m.sc0 for m in ins),
+        )
+
+    def any1():
+        """Any1."""
+        return (
+            min(m.cc1 for m in ins) + 1,
+            min(m.sc1 for m in ins),
+        )
+
+    if kind is GateType.AND:
+        (cc1, sc1), (cc0, sc0) = all1(), any0()
+    elif kind is GateType.NAND:
+        (cc0, sc0), (cc1, sc1) = all1(), any0()
+    elif kind is GateType.OR:
+        (cc0, sc0), (cc1, sc1) = all0(), any1()
+    elif kind is GateType.NOR:
+        (cc1, sc1), (cc0, sc0) = all0(), any1()
+    elif kind is GateType.NOT:
+        cc0, sc0 = ins[0].cc1 + 1, ins[0].sc1
+        cc1, sc1 = ins[0].cc0 + 1, ins[0].sc0
+    elif kind is GateType.BUF:
+        cc0, sc0 = ins[0].cc0 + 1, ins[0].sc0
+        cc1, sc1 = ins[0].cc1 + 1, ins[0].sc1
+    elif kind in (GateType.XOR, GateType.XNOR):
+        # Cheapest input combination of each parity.
+        even, odd = _parity_costs(ins)
+        if kind is GateType.XOR:
+            (cc0, sc0), (cc1, sc1) = even, odd
+        else:
+            (cc1, sc1), (cc0, sc0) = even, odd
+        cc0, cc1 = cc0 + 1, cc1 + 1
+    elif kind is GateType.CONST0:
+        cc0, sc0, cc1, sc1 = 1, 0, INF, INF
+    elif kind is GateType.CONST1:
+        cc1, sc1, cc0, sc0 = 1, 0, INF, INF
+    elif kind is GateType.DFF:
+        # Loading a flip-flop costs its data controllability plus one
+        # clock cycle of sequential depth.
+        cc0, sc0 = ins[0].cc0 + 1, ins[0].sc0 + 1
+        cc1, sc1 = ins[0].cc1 + 1, ins[0].sc1 + 1
+    else:
+        raise ValueError(f"no SCOAP rule for {kind}")
+    return cc0, cc1, sc0, sc1
+
+
+def _parity_costs(ins: Sequence[NetMeasures]):
+    """Cheapest (cc, sc) costs for even and odd input parity."""
+    even = (0.0, 0.0)
+    odd = (INF, INF)
+    for m in ins:
+        new_even = min(
+            (even[0] + m.cc0, even[1] + m.sc0),
+            (odd[0] + m.cc1, odd[1] + m.sc1),
+        )
+        new_odd = min(
+            (even[0] + m.cc1, even[1] + m.sc1),
+            (odd[0] + m.cc0, odd[1] + m.sc0),
+        )
+        even, odd = new_even, new_odd
+    return even, odd
+
+
+def analyze(circuit: Circuit, max_iterations: int = 100) -> TestabilityReport:
+    """Compute all six SCOAP measures for every net."""
+    measures: Dict[str, NetMeasures] = {
+        net: NetMeasures() for net in circuit.nets()
+    }
+    for net in circuit.inputs:
+        measures[net] = NetMeasures(cc0=1, cc1=1, sc0=0, sc1=0)
+
+    gates = list(circuit.gates)
+    # Controllability: relax to fixed point (loops through DFFs converge
+    # because costs only decrease and are bounded below).
+    for _ in range(max_iterations):
+        changed = False
+        for gate in gates:
+            cc0, cc1, sc0, sc1 = _controllability_of_gate(gate, measures)
+            m = measures[gate.output]
+            if (cc0, cc1, sc0, sc1) != (m.cc0, m.cc1, m.sc0, m.sc1):
+                if cc0 < m.cc0 or cc1 < m.cc1 or sc0 < m.sc0 or sc1 < m.sc1:
+                    m.cc0, m.cc1 = min(m.cc0, cc0), min(m.cc1, cc1)
+                    m.sc0, m.sc1 = min(m.sc0, sc0), min(m.sc1, sc1)
+                    changed = True
+                elif m.cc0 == INF and cc0 < INF:
+                    m.cc0, m.cc1, m.sc0, m.sc1 = cc0, cc1, sc0, sc1
+                    changed = True
+        if not changed:
+            break
+
+    # Observability: primary outputs are free; walk backwards.
+    for net in circuit.outputs:
+        m = measures[net]
+        m.co, m.so = 0, 0
+    for _ in range(max_iterations):
+        changed = False
+        for gate in gates:
+            out = measures[gate.output]
+            if out.co == INF and gate.kind is not GateType.DFF:
+                continue
+            for pin, net in enumerate(gate.inputs):
+                co, so = _pin_observability(gate, pin, measures)
+                m = measures[net]
+                if co < m.co:
+                    m.co = co
+                    changed = True
+                if so < m.so:
+                    m.so = so
+                    changed = True
+        if not changed:
+            break
+    return TestabilityReport(circuit.name, measures)
+
+
+def _pin_observability(
+    gate: Gate, pin: int, measures: Dict[str, NetMeasures]
+) -> Tuple[float, float]:
+    """Observability of one gate-input pin given the output's."""
+    kind = gate.kind
+    out = measures[gate.output]
+    others = [m for index, m in enumerate(
+        measures[n] for n in gate.inputs
+    ) if index != pin]
+    if kind in (GateType.AND, GateType.NAND):
+        co = out.co + sum(m.cc1 for m in others) + 1
+        so = out.so + sum(m.sc1 for m in others)
+    elif kind in (GateType.OR, GateType.NOR):
+        co = out.co + sum(m.cc0 for m in others) + 1
+        so = out.so + sum(m.sc0 for m in others)
+    elif kind in (GateType.NOT, GateType.BUF):
+        co = out.co + 1
+        so = out.so
+    elif kind in (GateType.XOR, GateType.XNOR):
+        co = out.co + sum(min(m.cc0, m.cc1) for m in others) + 1
+        so = out.so + sum(min(m.sc0, m.sc1) for m in others)
+    elif kind is GateType.DFF:
+        # Observing a flip-flop's data costs one clock cycle.
+        co = out.co + 1
+        so = out.so + 1
+    else:
+        co, so = INF, INF
+    return co, so

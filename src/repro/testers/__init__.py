@@ -1,0 +1,18 @@
+"""Tester models: stored-pattern ATE, syndrome counter, Walsh counter."""
+
+from .ate import TestOutcome, StoredPatternTester, SyndromeTester, WalshTester
+from .compact import (
+    TransitionCountTester,
+    transition_count,
+    compact_method_comparison,
+)
+
+__all__ = [
+    "TransitionCountTester",
+    "transition_count",
+    "compact_method_comparison",
+    "TestOutcome",
+    "StoredPatternTester",
+    "SyndromeTester",
+    "WalshTester",
+]

@@ -1,0 +1,171 @@
+"""Automatic test equipment (ATE) models.
+
+The paper's techniques all terminate at a piece of test equipment:
+a stored-pattern tester (edge-connector testing), the Signature
+Analysis tool of Fig. 8, the Syndrome counter of Fig. 23, or the Walsh
+up/down counter of Fig. 25.  These models close every flow end-to-end:
+a device model goes in, a PASS/FAIL (and a bill for tester time) comes
+out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from ..sim.logic import LogicSimulator
+from ..sim.packed import PackedPatternSet, PackedSimulator
+from ..lfsr.signature import SignatureRegister
+from ..lfsr.polynomials import primitive_polynomial
+
+Pattern = Mapping[str, int]
+
+
+@dataclass
+class TestOutcome:
+    """Verdict of one tester session."""
+
+    passed: bool
+    patterns_applied: int
+    first_failure: Optional[int] = None
+    failing_outputs: List[str] = field(default_factory=list)
+    tester_seconds: float = 0.0
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else f"FAIL@{self.first_failure}"
+        return f"{verdict} after {self.patterns_applied} patterns"
+
+
+class StoredPatternTester:
+    """Classic ATE: stored stimulus/response pairs at a fixed rate."""
+
+    def __init__(self, seconds_per_pattern: float = 1e-6) -> None:
+        self.seconds_per_pattern = seconds_per_pattern
+
+    def characterize(
+        self, good_device: Circuit, patterns: Sequence[Pattern]
+    ) -> List[Dict[str, int]]:
+        """Record expected responses from a known-good device."""
+        sim = LogicSimulator(good_device)
+        return [sim.outputs(dict(p)) for p in patterns]
+
+    def test(
+        self,
+        device: Circuit,
+        patterns: Sequence[Pattern],
+        expected: Sequence[Mapping[str, int]],
+        stop_on_fail: bool = True,
+    ) -> TestOutcome:
+        """Apply the pattern set and compare against expectations."""
+        sim = LogicSimulator(device)
+        applied = 0
+        for index, (pattern, want) in enumerate(zip(patterns, expected)):
+            applied += 1
+            got = sim.outputs(dict(pattern))
+            bad = [net for net in want if got.get(net) != want[net]]
+            if bad:
+                return TestOutcome(
+                    passed=False,
+                    patterns_applied=applied,
+                    first_failure=index,
+                    failing_outputs=bad,
+                    tester_seconds=applied * self.seconds_per_pattern,
+                )
+            if not stop_on_fail:
+                continue
+        return TestOutcome(
+            passed=True,
+            patterns_applied=applied,
+            tester_seconds=applied * self.seconds_per_pattern,
+        )
+
+
+class SyndromeTester:
+    """The Fig. 23 structure: pattern generator + ones counter + compare.
+
+    Applies all ``2**n`` patterns and counts 1's per output; PASS when
+    every count matches the reference.  Test data volume: one integer
+    per output, which is the technique's whole selling point.
+    """
+
+    def __init__(self) -> None:
+        self.reference: Dict[str, int] = {}
+
+    def characterize(self, good_device: Circuit) -> Dict[str, int]:
+        """Record expected responses from a known-good device."""
+        sim = PackedSimulator(good_device)
+        packed = PackedPatternSet.exhaustive(list(good_device.inputs))
+        words = sim.run(packed)
+        self.reference = {
+            net: bin(words[net]).count("1") for net in good_device.outputs
+        }
+        return dict(self.reference)
+
+    def test(self, device: Circuit) -> TestOutcome:
+        """Apply the pattern set and compare against expectations."""
+        if not self.reference:
+            raise RuntimeError("characterize a good device first")
+        sim = PackedSimulator(device)
+        packed = PackedPatternSet.exhaustive(list(device.inputs))
+        words = sim.run(packed)
+        counts = {
+            net: bin(words[net]).count("1") for net in device.outputs
+        }
+        bad = [net for net, want in self.reference.items() if counts.get(net) != want]
+        return TestOutcome(
+            passed=not bad,
+            patterns_applied=packed.count,
+            failing_outputs=bad,
+            first_failure=None if not bad else 0,
+        )
+
+
+class WalshTester:
+    """The Fig. 25 tester: driving counter, parity ``p``, up/down counter.
+
+    Two passes of the driving counter measure ``C_all`` then ``C_0``:
+    in the ``C_all`` pass the response counter counts up when the
+    output agrees with the counter parity and down otherwise; in the
+    ``C_0`` pass parity is ignored.
+    """
+
+    def __init__(self) -> None:
+        self.reference: Dict[str, Tuple[int, int]] = {}
+
+    @staticmethod
+    def _measure(device: Circuit, output: str) -> Tuple[int, int]:
+        sim = PackedSimulator(device)
+        packed = PackedPatternSet.exhaustive(list(device.inputs))
+        words = sim.run(packed)
+        f_word = words[output]
+        parity = 0
+        for net in device.inputs:
+            parity ^= packed.words[net]
+        total = packed.count
+        c0 = 2 * bin(f_word).count("1") - total
+        c_all = 2 * bin((parity ^ f_word) & packed.mask).count("1") - total
+        return c0, c_all
+
+    def characterize(self, good_device: Circuit) -> Dict[str, Tuple[int, int]]:
+        """Record expected responses from a known-good device."""
+        self.reference = {
+            net: self._measure(good_device, net) for net in good_device.outputs
+        }
+        return dict(self.reference)
+
+    def test(self, device: Circuit) -> TestOutcome:
+        """Apply the pattern set and compare against expectations."""
+        if not self.reference:
+            raise RuntimeError("characterize a good device first")
+        bad = []
+        patterns = 2 * (1 << len(device.inputs))  # two counter passes
+        for net, want in self.reference.items():
+            if self._measure(device, net) != want:
+                bad.append(net)
+        return TestOutcome(
+            passed=not bad,
+            patterns_applied=patterns,
+            failing_outputs=bad,
+            first_failure=None if not bad else 0,
+        )

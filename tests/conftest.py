@@ -1,0 +1,44 @@
+"""Shared fixtures: small circuits and exhaustive pattern helpers."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    c17,
+    and_gate,
+    majority3,
+    parity_tree,
+    full_adder,
+    ripple_carry_adder,
+    alu74181,
+)
+
+
+@pytest.fixture
+def c17_circuit():
+    return c17()
+
+
+@pytest.fixture
+def majority():
+    return majority3()
+
+
+@pytest.fixture
+def adder4():
+    return ripple_carry_adder(4)
+
+
+@pytest.fixture
+def alu():
+    return alu74181()
+
+
+def exhaustive(circuit):
+    """All input patterns of a combinational circuit as dicts."""
+    inputs = circuit.inputs
+    return [
+        dict(zip(inputs, bits))
+        for bits in itertools.product((0, 1), repeat=len(inputs))
+    ]

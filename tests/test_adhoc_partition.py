@@ -1,0 +1,156 @@
+"""Ad hoc partitioning tests: degating, oscillator, mechanical splits."""
+
+import itertools
+
+import pytest
+
+from repro.adhoc import (
+    DegatedDesign,
+    degate_oscillator,
+    insert_degating,
+    mechanical_partition,
+)
+from repro.circuits import c17, oscillator_driven_block, ripple_carry_adder
+from repro.netlist import NetlistError
+from repro.sim import LogicSimulator
+
+
+class TestDegating:
+    def test_normal_mode_transparent(self):
+        circuit = c17()
+        design = insert_degating(circuit, ["G11", "G16"])
+        original = LogicSimulator(circuit)
+        degated = LogicSimulator(design.circuit)
+        for bits in itertools.product((0, 1), repeat=5):
+            pattern = dict(zip(circuit.inputs, bits))
+            test_pattern = dict(
+                pattern, DEGATE=1, CTRL_G11=0, CTRL_G16=0
+            )
+            assert degated.outputs(test_pattern) == original.outputs(pattern)
+
+    def test_degate_mode_injects_control(self):
+        circuit = c17()
+        design = insert_degating(circuit, ["G11"])
+        sim = LogicSimulator(design.circuit)
+        # DEGATE=0: G16 = NAND(G2, CTRL) regardless of G3/G6.
+        for g2, ctrl in itertools.product((0, 1), repeat=2):
+            pattern = {
+                "G1": 0, "G2": g2, "G3": 1, "G6": 1, "G7": 0,
+                "DEGATE": 0, "CTRL_G11": ctrl,
+            }
+            values = sim.run(pattern)
+            assert values["G16"] == 1 - (g2 & ctrl)
+
+    def test_controllability_gain_on_deep_net(self):
+        """Degating caps a deep net's controllability at a small constant
+        (the tester drives it directly), however hard it was before."""
+        from repro.testability import analyze
+
+        from repro.circuits import wide_and_pla
+
+        circuit = wide_and_pla(12).to_circuit()
+        hard_net = "P0"  # 12-input AND: cc1 = 13
+        before = analyze(circuit).measures[hard_net].controllability
+        design = insert_degating(circuit, [hard_net])
+        after = analyze(design.circuit).measures[
+            f"__{hard_net}_degated"
+        ].controllability
+        assert before > 10
+        assert after <= 6
+        assert after < before
+
+    def test_pin_and_gate_accounting(self):
+        design = insert_degating(c17(), ["G11", "G16"])
+        assert design.extra_pins == 3  # DEGATE + 2 controls
+        assert design.extra_gates == 7  # NOT + 3 gates per net
+
+    def test_pi_degating_rejected(self):
+        with pytest.raises(NetlistError):
+            insert_degating(c17(), ["G1"])
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(NetlistError):
+            insert_degating(c17(), ["nope"])
+
+
+class TestOscillatorDegate:
+    def test_pseudo_clock_takes_over(self):
+        circuit = oscillator_driven_block(2)
+        design = degate_oscillator(circuit, "OSC")
+        sim = LogicSimulator(design.circuit)
+        # Degated: outputs follow PSEUDO_CLK & D, ignoring OSC.
+        for osc in (0, 1):
+            values = sim.run(
+                {
+                    "OSC": osc, "D0": 1, "D1": 1,
+                    "OSC_DEGATE": 0, "PSEUDO_CLK": 1,
+                }
+            )
+            assert values["G0"] == 1 and values["G1"] == 1
+
+    def test_normal_mode_follows_oscillator(self):
+        circuit = oscillator_driven_block(1)
+        design = degate_oscillator(circuit, "OSC")
+        sim = LogicSimulator(design.circuit)
+        for osc in (0, 1):
+            values = sim.run(
+                {"OSC": osc, "D0": 1, "OSC_DEGATE": 1, "PSEUDO_CLK": 0}
+            )
+            assert values["G0"] == osc
+
+    def test_requires_pi_oscillator(self):
+        with pytest.raises(NetlistError):
+            degate_oscillator(c17(), "G11")
+
+
+class TestMechanicalPartition:
+    def test_pieces_cover_all_gates(self):
+        circuit = ripple_carry_adder(8)
+        plan = mechanical_partition(circuit, 3)
+        total = sum(len(p) for p in plan.pieces)
+        assert total == len(circuit)
+
+    def test_pieces_are_valid_circuits(self):
+        plan = mechanical_partition(ripple_carry_adder(8), 4)
+        for piece in plan.pieces:
+            piece.validate()
+
+    def test_pieces_compose_to_original_function(self):
+        """Simulating the pieces in order reproduces the whole."""
+        circuit = ripple_carry_adder(4)
+        plan = mechanical_partition(circuit, 2)
+        whole = LogicSimulator(circuit)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(30):
+            pattern = {net: rng.randint(0, 1) for net in circuit.inputs}
+            expected = whole.run(pattern)
+            known = dict(pattern)
+            for piece in plan.pieces:
+                sim = LogicSimulator(piece)
+                values = sim.run(
+                    {net: known[net] for net in piece.inputs}
+                )
+                for net in piece.outputs:
+                    known[net] = values[net]
+            for po in circuit.outputs:
+                assert known[po] == expected[po]
+
+    def test_cost_gain_cubic(self):
+        """§III-A: two equal halves -> task reduced ~4x total (8x per
+        half) under the cubic model."""
+        plan = mechanical_partition(ripple_carry_adder(16), 2)
+        gain = plan.cost_model_gain(exponent=3.0)
+        assert 3.0 < gain <= 4.1
+
+    def test_jumper_pins_counted(self):
+        plan = mechanical_partition(ripple_carry_adder(8), 2)
+        assert plan.extra_pins == 2 * len(plan.jumper_nets)
+        assert plan.jumper_nets
+
+    def test_single_part_is_identity(self):
+        circuit = c17()
+        plan = mechanical_partition(circuit, 1)
+        assert len(plan.pieces) == 1
+        assert plan.jumper_nets == []

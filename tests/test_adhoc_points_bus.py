@@ -1,0 +1,292 @@
+"""Test points, bus architecture, and bed-of-nails tests (§III-B/C)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.adhoc import (
+    add_clear_line,
+    add_control_points,
+    add_observation_points,
+    Board,
+    BedOfNailsTester,
+    BusBoard,
+    BusModule,
+    BusPort,
+    BusValue,
+    decoder_control_points,
+    select_test_points,
+)
+from repro.circuits import (
+    binary_counter,
+    c17,
+    full_adder,
+    ripple_carry_adder,
+)
+from repro.netlist import Circuit, NetlistError, values as V
+from repro.sim import LogicSimulator, SequentialSimulator
+
+
+class TestObservationPoints:
+    def test_internal_net_becomes_po(self):
+        instrumented = add_observation_points(c17(), ["G11"])
+        assert "TP_G11" in instrumented.outputs
+        sim = LogicSimulator(instrumented)
+        values = sim.run({n: 0 for n in c17().inputs})
+        assert values["TP_G11"] == values["G11"]
+
+    def test_coverage_gain_from_observation(self):
+        """Observation points push fault coverage of a fixed random set up."""
+        from repro.faults import collapse_faults
+        from repro.faultsim import FaultSimulator
+        from repro.atpg import random_patterns
+
+        circuit = ripple_carry_adder(6)
+        patterns = random_patterns(circuit, 8, seed=3)
+        base_faults = collapse_faults(circuit)
+        before = FaultSimulator(circuit, faults=base_faults).run(patterns)
+        instrumented = add_observation_points(
+            circuit, [f"AXB{i}" for i in range(6)]
+        )
+        after = FaultSimulator(instrumented, faults=base_faults).run(patterns)
+        assert after.coverage >= before.coverage
+
+
+class TestControlPoints:
+    def test_system_mode_transparent(self):
+        circuit = c17()
+        plan = add_control_points(circuit, ["G16"])
+        original = LogicSimulator(circuit)
+        modified = LogicSimulator(plan.circuit)
+        for bits in itertools.product((0, 1), repeat=5):
+            pattern = dict(zip(circuit.inputs, bits))
+            augmented = dict(pattern, TEST_MODE=0, CP_G16=0)
+            assert modified.outputs(augmented) == original.outputs(pattern)
+
+    def test_test_mode_forces_value(self):
+        plan = add_control_points(c17(), ["G16"])
+        sim = LogicSimulator(plan.circuit)
+        values = sim.run(
+            {"G1": 1, "G2": 1, "G3": 1, "G6": 1, "G7": 1,
+             "TEST_MODE": 1, "CP_G16": 1}
+        )
+        assert values["__G16_cp"] == 1
+
+    def test_pin_accounting(self):
+        plan = add_control_points(c17(), ["G16", "G11"])
+        assert plan.extra_pins == 3
+
+
+class TestClearLine:
+    def test_clear_forces_known_state(self):
+        circuit = binary_counter(4)
+        cleared = add_clear_line(circuit)
+        sim = SequentialSimulator(cleared)
+        assert not sim.is_initialized
+        sim.step({"EN": 0, "CLEAR": 1})
+        assert sim.is_initialized
+        assert all(v == 0 for v in sim.state.values())
+
+    def test_normal_operation_preserved(self):
+        circuit = binary_counter(3)
+        cleared = add_clear_line(circuit)
+        sim = SequentialSimulator(cleared)
+        sim.step({"EN": 0, "CLEAR": 1})
+        for expected in (1, 2, 3):
+            sim.step({"EN": 1, "CLEAR": 0})
+            got = sum(
+                (1 if sim.state[f"Q{i}"] == 1 else 0) << i for i in range(3)
+            )
+            assert got == expected
+
+    def test_combinational_rejected(self):
+        with pytest.raises(NetlistError):
+            add_clear_line(c17())
+
+
+class TestDecoderControlPoints:
+    def test_selected_net_forced_one(self):
+        plan = decoder_control_points(c17(), ["G11", "G16"])
+        sim = LogicSimulator(plan.circuit)
+        pattern = {n: 0 for n in c17().inputs}
+        values = sim.run(
+            dict(pattern, TEST_MODE=1, TSEL0=1)  # index 1 -> G16
+        )
+        assert values["__G16_forced"] == 1
+
+    def test_system_mode_transparent(self):
+        circuit = c17()
+        plan = decoder_control_points(circuit, ["G11"])
+        original = LogicSimulator(circuit)
+        modified = LogicSimulator(plan.circuit)
+        for bits in itertools.product((0, 1), repeat=5):
+            pattern = dict(zip(circuit.inputs, bits))
+            augmented = dict(pattern, TEST_MODE=0, TSEL0=0)
+            assert modified.outputs(augmented) == original.outputs(pattern)
+
+
+class TestSelection:
+    def test_budgets_respected(self):
+        circuit = ripple_carry_adder(6)
+        observe, control = select_test_points(circuit, 3, 2)
+        assert len(observe) == 3 and len(control) == 2
+
+    def test_no_pis_or_pos_selected(self):
+        circuit = ripple_carry_adder(4)
+        observe, control = select_test_points(circuit, 5, 5)
+        for net in observe + control:
+            assert not circuit.is_input(net)
+            assert net not in circuit.outputs
+
+
+def _make_bus_board():
+    board = BusBoard("micro")
+    board.add_bus("DATA", 4)
+    rom = BusModule(
+        "rom",
+        full_adder(),  # stand-in logic
+        [BusPort("DATA", ["SUM", "COUT", "SUM", "COUT"])],
+    )
+    ram = BusModule(
+        "ram",
+        full_adder(),
+        [BusPort("DATA", ["COUT", "SUM", "COUT", "SUM"])],
+    )
+    board.add_module(rom)
+    board.add_module(ram)
+    return board
+
+
+class TestBusBoard:
+    def test_conflict_detected(self):
+        board = _make_bus_board()
+        outputs = {
+            "rom": {"SUM": 1, "COUT": 0},
+            "ram": {"SUM": 0, "COUT": 0},
+        }
+        resolved = board.resolve_bus("DATA", outputs)
+        assert BusValue.CONFLICT in resolved
+
+    def test_isolation_gives_single_driver(self):
+        board = _make_bus_board()
+        board.isolate("rom")
+        outputs = {
+            "rom": {"SUM": 1, "COUT": 0},
+            "ram": {"SUM": 0, "COUT": 1},
+        }
+        resolved = board.resolve_bus("DATA", outputs)
+        assert resolved == [1, 0, 1, 0]
+
+    def test_floating_when_all_disabled(self):
+        board = _make_bus_board()
+        for module in board.modules:
+            board.set_enable(module, "DATA", False)
+        resolved = board.resolve_bus("DATA", {})
+        assert all(v is BusValue.FLOATING for v in resolved)
+
+    def test_external_drive(self):
+        board = _make_bus_board()
+        for module in board.modules:
+            board.set_enable(module, "DATA", False)
+        resolved = board.resolve_bus("DATA", {}, external_drive=[1, 0, 1, 1])
+        assert resolved == [1, 0, 1, 1]
+
+    def test_stuck_line_wins(self):
+        board = _make_bus_board()
+        board.inject_stuck_line("DATA", 2, 0)
+        board.isolate("rom")
+        resolved = board.resolve_bus(
+            "DATA", {"rom": {"SUM": 1, "COUT": 1}}
+        )
+        assert resolved[2] == 0
+
+    def test_stuck_bus_implicates_everyone(self):
+        """§III-C: 'any module or the bus trace itself may be the
+        culprit'."""
+        board = _make_bus_board()
+        suspects = board.suspects_for_stuck_line("DATA")
+        assert suspects == ["ram", "rom", "<bus trace>"]
+
+    def test_module_isolation_test(self):
+        board = _make_bus_board()
+        patterns = [
+            {"A": a, "B": b, "CIN": c}
+            for a, b, c in itertools.product((0, 1), repeat=3)
+        ]
+        responses = board.test_module_in_isolation("rom", patterns)
+        for pattern, response in zip(patterns, responses):
+            total = pattern["A"] + pattern["B"] + pattern["CIN"]
+            assert response["SUM"] == total & 1
+            assert response["COUT"] == total >> 1
+
+
+class TestBedOfNails:
+    def _board(self):
+        board = Board("two_chip")
+        adder = full_adder()
+        board.circuit.add_inputs(["X0", "X1", "X2"])
+        board.place("u1", adder, {"A": "X0", "B": "X1", "CIN": "X2"})
+        board.place(
+            "u2", adder,
+            {"A": "u1.SUM", "B": "u1.COUT", "CIN": "X0"},
+        )
+        board.expose_outputs("u2")
+        return board
+
+    def test_nails_cover_every_net(self):
+        board = self._board()
+        tester = BedOfNailsTester(board)
+        assert tester.nail_count == len(board.circuit.nets())
+
+    def test_in_circuit_test_each_chip_fully(self):
+        """Drive/sense nails test every chip independently to 100%."""
+        board = self._board()
+        tester = BedOfNailsTester(board)
+        for module in ("u1", "u2"):
+            inputs = board.modules[module].input_nets
+            patterns = [
+                dict(zip(inputs, bits))
+                for bits in itertools.product((0, 1), repeat=3)
+            ]
+            report = tester.in_circuit_test(module, patterns)
+            assert report.coverage == 1.0
+
+    def test_edge_test_sees_less_than_ict(self):
+        """Edge-connector test of the composed board detects fewer of
+        u1's faults than in-circuit testing u1 directly."""
+        from repro.faults import all_faults
+        from repro.faultsim import FaultSimulator
+
+        board = self._board()
+        module = board.modules["u1"]
+        faults = [
+            f
+            for f in all_faults(board.circuit)
+            if f.gate in module.gate_names
+        ]
+        patterns = [
+            {"X0": a, "X1": b, "X2": c}
+            for a, b, c in itertools.product((0, 1), repeat=3)
+        ]
+        edge = FaultSimulator(board.circuit, faults=faults).run(patterns)
+        tester = BedOfNailsTester(board)
+        ict_patterns = [
+            dict(zip(module.input_nets, bits))
+            for bits in itertools.product((0, 1), repeat=3)
+        ]
+        ict = tester.in_circuit_test("u1", ict_patterns, faults=faults)
+        assert ict.coverage >= edge.coverage
+
+    def test_contact_failures_block_testing(self):
+        board = self._board()
+        tester = BedOfNailsTester(board, contact_failure_rate=1.0, seed=0)
+        with pytest.raises(NetlistError):
+            tester.in_circuit_test("u1", [])
+
+    def test_overdrive_accounting(self):
+        board = self._board()
+        tester = BedOfNailsTester(board)
+        inputs = board.modules["u1"].input_nets
+        tester.in_circuit_test("u1", [dict.fromkeys(inputs, 0)] * 4)
+        assert tester.overdrive_events == 4 * len(inputs)

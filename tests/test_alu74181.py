@@ -1,0 +1,167 @@
+"""SN74181 netlist verification against the data-sheet reference model."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    INPUT_PINS,
+    OUTPUT_PINS,
+    SLICE_OUTPUTS,
+    alu74181,
+    pack_f,
+    pin_assignment,
+    reference_alu,
+)
+from repro.sim import LogicSimulator
+
+
+@pytest.fixture(scope="module")
+def alu():
+    return alu74181()
+
+
+@pytest.fixture(scope="module")
+def sim(alu):
+    return LogicSimulator(alu)
+
+
+class TestStructure:
+    def test_pins(self, alu):
+        assert set(alu.inputs) == set(INPUT_PINS)
+        assert set(alu.outputs) == set(OUTPUT_PINS)
+
+    def test_slice_nets_exist(self, alu):
+        for net in SLICE_OUTPUTS:
+            assert net in alu
+
+    def test_size(self, alu):
+        # 4 slices x 7 gates + carry chain + group outputs: ~60 gates.
+        assert 50 <= len(alu) <= 75
+
+
+class TestFunctionExhaustive:
+    """All 16384 input combinations against the behavioral model."""
+
+    def test_exhaustive_match(self, sim):
+        for a, b in itertools.product(range(16), range(16)):
+            for s in range(16):
+                for m, cn in ((0, 0), (0, 1), (1, 0), (1, 1)):
+                    out = sim.run(pin_assignment(a, b, s, m, cn))
+                    ref = reference_alu(a, b, s, m, cn)
+                    assert pack_f(out) == ref["F"], (a, b, s, m, cn)
+                    assert out["AEQB"] == ref["AEQB"]
+                    if not m:
+                        assert out["CN4"] == ref["CN4"]
+
+
+class TestNamedOperations:
+    def test_addition(self, sim):
+        out = sim.run(pin_assignment(a=9, b=5, s=0b1001, m=0, cn=1))
+        assert pack_f(out) == (9 + 5) & 0xF
+        assert out["CN4"] == 1  # no carry generated
+
+    def test_addition_with_carry_out(self, sim):
+        out = sim.run(pin_assignment(a=12, b=7, s=0b1001, m=0, cn=1))
+        assert pack_f(out) == (12 + 7) & 0xF
+        assert out["CN4"] == 0  # active-low carry asserted
+
+    def test_addition_plus_one(self, sim):
+        out = sim.run(pin_assignment(a=3, b=4, s=0b1001, m=0, cn=0))
+        assert pack_f(out) == 8
+
+    def test_subtraction(self, sim):
+        # A minus B: S=0110 with CN=0 (borrow convention).
+        out = sim.run(pin_assignment(a=9, b=4, s=0b0110, m=0, cn=0))
+        assert pack_f(out) == 5
+
+    def test_a_equals_b_flag(self, sim):
+        out = sim.run(pin_assignment(a=7, b=7, s=0b0110, m=0, cn=0))
+        # A - B = 0 wraps to all-ones F? No: A-B with cn=0 gives 0; the
+        # AEQB flag rides F=1111, which is A-B-1 (cn=1).
+        out = sim.run(pin_assignment(a=7, b=7, s=0b0110, m=0, cn=1))
+        assert out["AEQB"] == 1
+
+    def test_logic_xor(self, sim):
+        out = sim.run(pin_assignment(a=0b1100, b=0b1010, s=0b0110, m=1, cn=1))
+        assert pack_f(out) == 0b0110
+
+    def test_logic_nand(self, sim):
+        out = sim.run(pin_assignment(a=0b1100, b=0b1010, s=0b0100, m=1, cn=0))
+        assert pack_f(out) == (~(0b1100 & 0b1010)) & 0xF
+
+    def test_logic_not_a(self, sim):
+        out = sim.run(pin_assignment(a=0b0101, b=0, s=0b0000, m=1, cn=1))
+        assert pack_f(out) == 0b1010
+
+    def test_logic_constant_one(self, sim):
+        out = sim.run(pin_assignment(a=0, b=0, s=0b1100, m=1, cn=1))
+        assert pack_f(out) == 0xF
+
+
+class TestSensitizedStructure:
+    """The Figs. 33-34 facts the autonomous-testing plan relies on."""
+
+    def test_s2_s3_low_pins_h_to_one(self, sim):
+        rng = random.Random(0)
+        for _ in range(40):
+            pins = pin_assignment(
+                rng.randrange(16), rng.randrange(16),
+                rng.randrange(4),  # only S0/S1 vary
+                rng.randint(0, 1), rng.randint(0, 1),
+            )
+            values = sim.run(pins)
+            for i in range(4):
+                assert values[f"H{i}"] == 1
+
+    def test_s0_s1_high_pins_l_to_zero(self, sim):
+        rng = random.Random(1)
+        for _ in range(40):
+            s = 0b0011 | (rng.randrange(4) << 2)
+            pins = pin_assignment(
+                rng.randrange(16), rng.randrange(16), s,
+                rng.randint(0, 1), rng.randint(0, 1),
+            )
+            values = sim.run(pins)
+            for i in range(4):
+                assert values[f"L{i}"] == 0
+
+    def test_logic_mode_exposes_l_at_f(self, sim):
+        """With S2=S3=0 and M=1: H_i = 1 so F_i = (L_i ^ 1) ^ 1 = L_i."""
+        rng = random.Random(2)
+        for _ in range(40):
+            pins = pin_assignment(
+                rng.randrange(16), rng.randrange(16),
+                rng.randrange(4), 1, 1,
+            )
+            values = sim.run(pins)
+            for i in range(4):
+                assert values[f"F{i}"] == values[f"L{i}"]
+
+    def test_logic_mode_exposes_h_at_f(self, sim):
+        """With S0=S1=1 and M=1: L_i = 0 so F_i = NOT(H_i)."""
+        rng = random.Random(3)
+        for _ in range(40):
+            s = 0b0011 | (rng.randrange(4) << 2)
+            pins = pin_assignment(
+                rng.randrange(16), rng.randrange(16), s, 1, 1,
+            )
+            values = sim.run(pins)
+            for i in range(4):
+                assert values[f"F{i}"] == 1 - values[f"H{i}"]
+
+
+class TestReferenceModel:
+    def test_reference_rejects_bad_operands(self):
+        with pytest.raises(ValueError):
+            reference_alu(16, 0, 0, 0, 1)
+
+    def test_arith_carry_flag(self):
+        ref = reference_alu(15, 1, 0b1001, 0, 1)
+        assert ref["F"] == 0
+        assert ref["CN4"] == 0
+
+    def test_minus_one(self):
+        ref = reference_alu(5, 3, 0b0011, 0, 1)
+        assert ref["F"] == 0xF

@@ -1,0 +1,50 @@
+"""Direct tests for small API helpers not covered elsewhere."""
+
+import pytest
+
+from repro.economics import (
+    SECONDS_PER_YEAR,
+    exhaustive_test_time_seconds,
+    exhaustive_test_time_years,
+)
+from repro.lfsr import poly_mod, poly_mul, poly_mulmod
+from repro.netlist import values as V
+from repro.netlist.values import is_known
+
+
+class TestValueHelpers:
+    def test_is_known(self):
+        assert is_known(V.ZERO)
+        assert is_known(V.ONE)
+        assert is_known(V.D)  # D carries definite values in both machines
+        assert is_known(V.DBAR)
+        assert not is_known(V.X)
+
+    def test_invert_alias(self):
+        from repro.netlist.values import invert
+
+        assert invert(V.D) == V.DBAR
+        assert invert(V.ZERO) == V.ONE
+
+
+class TestPolyMulmod:
+    def test_matches_mul_then_mod(self):
+        a, b, m = 0b1101, 0b1011, 0b10011
+        assert poly_mulmod(a, b, m) == poly_mod(poly_mul(a, b), m)
+
+    def test_result_degree_bounded(self):
+        m = 0b100011101  # degree 8
+        result = poly_mulmod(0xFF, 0xAB, m)
+        assert result < (1 << 8)
+
+
+class TestTimeHelpers:
+    def test_seconds_and_years_consistent(self):
+        seconds = exhaustive_test_time_seconds(20, 10, 1e-6)
+        years = exhaustive_test_time_years(20, 10, 1e-6)
+        assert years == pytest.approx(seconds / SECONDS_PER_YEAR)
+
+    def test_rate_scales_linearly(self):
+        slow = exhaustive_test_time_seconds(10, 0, 1e-3)
+        fast = exhaustive_test_time_seconds(10, 0, 1e-6)
+        assert slow / fast == pytest.approx(1000.0)

@@ -1,0 +1,168 @@
+"""Autonomous testing tests (§V-D, Figs. 26-34)."""
+
+import pytest
+
+from repro.bist import (
+    LfsrModuleMode,
+    ReconfigurableLfsrModule,
+    SubnetworkPartition,
+    multiplexer_partition,
+    run_autonomous_test,
+    sensitized_partitions_74181,
+    sensitized_partitions_74181_compact,
+)
+from repro.circuits import alu74181, c17, ripple_carry_adder
+from repro.faults import collapse_faults
+from repro.sim import LogicSimulator
+
+
+class TestReconfigurableModule:
+    def test_normal_mode_is_register(self):
+        module = ReconfigurableLfsrModule(3)
+        module.set_mode(LfsrModuleMode.NORMAL)
+        module.clock(0b101)
+        assert module.state == 0b101
+
+    def test_generator_mode_cycles_maximally(self):
+        module = ReconfigurableLfsrModule(3)
+        module.state = 1
+        module.set_mode(LfsrModuleMode.GENERATOR)
+        states = set()
+        for _ in range(7):
+            module.clock()
+            states.add(module.state)
+        assert len(states) == 7
+
+    def test_signature_mode_compacts(self):
+        a = ReconfigurableLfsrModule(3)
+        a.set_mode(LfsrModuleMode.SIGNATURE)
+        b = ReconfigurableLfsrModule(3)
+        b.set_mode(LfsrModuleMode.SIGNATURE)
+        for word in (1, 2, 3):
+            a.clock(word)
+        for word in (1, 2, 2):
+            b.clock(word)
+        assert a.state != b.state
+
+    def test_output_bits(self):
+        module = ReconfigurableLfsrModule(3)
+        module.set_mode(LfsrModuleMode.NORMAL)
+        module.clock(0b110)
+        assert module.output_bits() == [0, 1, 1]
+
+
+class TestPartitionObjects:
+    def test_pattern_expansion(self):
+        partition = SubnetworkPartition(
+            "p", support=["a", "b"], held={"c": 1}, observed=["z"]
+        )
+        patterns = partition.patterns()
+        assert len(patterns) == 4
+        assert all(p["c"] == 1 for p in patterns)
+        assert {(p["a"], p["b"]) for p in patterns} == {
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        }
+
+    def test_pattern_count(self):
+        partition = SubnetworkPartition("p", ["a", "b", "c"], {}, [])
+        assert partition.pattern_count == 8
+
+
+class TestMultiplexerPartitioning:
+    def test_transparent_when_unselected(self):
+        circuit = c17()
+        modified, partitions = multiplexer_partition(
+            circuit, [["G1", "G2"], ["G3", "G6", "G7"]]
+        )
+        original = LogicSimulator(circuit)
+        instrumented = LogicSimulator(modified)
+        import itertools
+
+        for bits in itertools.product((0, 1), repeat=5):
+            pattern = dict(zip(circuit.inputs, bits))
+            augmented = dict(pattern, TSEL0=0, TSEL1=0, GEN0=0, GEN1=0, GEN2=0)
+            assert instrumented.outputs(augmented) == original.outputs(pattern)
+
+    def test_selected_group_driven_by_generator(self):
+        circuit = c17()
+        modified, partitions = multiplexer_partition(circuit, [["G1", "G2"]])
+        sim = LogicSimulator(modified)
+        values = sim.run(
+            {
+                "G1": 0, "G2": 0, "G3": 1, "G6": 1, "G7": 0,
+                "TSEL0": 1, "GEN0": 1, "GEN1": 1,
+            }
+        )
+        assert values["__G1_mux"] == 1
+        assert values["__G2_mux"] == 1
+
+    def test_gate_overhead_warning(self):
+        """§V-D: 'a significant gate overhead' — measure it."""
+        circuit = c17()
+        modified, _ = multiplexer_partition(
+            circuit, [["G1", "G2"], ["G3", "G6"]]
+        )
+        assert len(modified) - len(circuit) >= 3 * 4  # 3 gates per muxed PI
+
+    def test_autonomous_run_coverage(self):
+        circuit = c17()
+        modified, partitions = multiplexer_partition(
+            circuit, [["G1", "G2", "G3", "G6", "G7"]]
+        )
+        result = run_autonomous_test(modified, partitions)
+        # Exhaustive over the bus exercises the whole original cone.
+        assert result.coverage.coverage > 0.5
+
+
+class TestSensitizedPartitioning74181:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_autonomous_test(alu74181(), sensitized_partitions_74181())
+
+    def test_far_fewer_than_exhaustive(self, result):
+        """§V-D: 'far fewer than 2^n input patterns can be applied'."""
+        assert result.total_patterns < result.exhaustive_patterns / 4
+
+    def test_full_stuck_at_coverage(self, result):
+        assert result.coverage.coverage == 1.0
+
+    def test_three_partitions(self, result):
+        names = [p.name for p in result.partitions]
+        assert "N1-L-outputs" in names
+        assert "N1-H-outputs" in names
+
+    def test_l_partition_holds_s23_low(self):
+        partitions = sensitized_partitions_74181()
+        l_part = next(p for p in partitions if p.name == "N1-L-outputs")
+        assert l_part.held["S2"] == 0 and l_part.held["S3"] == 0
+
+    def test_h_partition_holds_s01_high(self):
+        partitions = sensitized_partitions_74181()
+        h_part = next(p for p in partitions if p.name == "N1-H-outputs")
+        assert h_part.held["S0"] == 1 and h_part.held["S1"] == 1
+
+    def test_compact_plan_is_32_patterns(self):
+        compact = sensitized_partitions_74181_compact()
+        total = sum(p.pattern_count for p in compact)
+        assert total == 32
+
+    def test_compact_plan_covers_slices(self):
+        """32 matched-operand patterns fully test the L/H slice logic."""
+        alu = alu74181()
+        faults = [
+            f
+            for f in collapse_faults(alu)
+            if any(
+                f.net.startswith(prefix)
+                for prefix in ("L", "H", "NB", "LT", "HT", "A", "B")
+            )
+            and not f.net.startswith("AEQB")
+        ]
+        result = run_autonomous_test(
+            alu, sensitized_partitions_74181_compact(), faults=faults
+        )
+        assert result.coverage.coverage > 0.9
+
+    def test_summary_format(self, result):
+        text = result.summary()
+        assert "partitions" in text and "coverage" in text

@@ -1,0 +1,83 @@
+"""Bench-format parser/writer round-trip tests."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import NetlistError, parse_bench, write_bench
+from repro.sim import LogicSimulator
+from repro.circuits import c17, binary_counter
+
+C17_BENCH = """
+# c17 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+class TestParse:
+    def test_parse_c17_matches_builtin(self):
+        parsed = parse_bench(C17_BENCH, "c17")
+        builtin = c17()
+        sim_a = LogicSimulator(parsed)
+        sim_b = LogicSimulator(builtin)
+        for bits in itertools.product((0, 1), repeat=5):
+            pattern = dict(zip(builtin.inputs, bits))
+            assert sim_a.outputs(pattern) == sim_b.outputs(pattern)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hello\n\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)  # trailing\n"
+        c = parse_bench(text)
+        assert c.inputs == ("a",)
+
+    def test_aliases(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(z)\nb = INV(a)\nz = BUFF(b)\n")
+        assert len(c) == 2
+
+    def test_dff_parsing(self):
+        c = parse_bench("INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n")
+        assert len(c.flip_flops) == 1
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench("what even is this")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [c17, lambda: binary_counter(4)])
+    def test_write_then_parse_preserves_function(self, factory):
+        original = factory()
+        text = write_bench(original)
+        parsed = parse_bench(text, original.name)
+        assert sorted(parsed.inputs) == sorted(original.inputs)
+        assert sorted(parsed.outputs) == sorted(original.outputs)
+        assert len(parsed) == len(original)
+        if original.is_combinational:
+            sim_a = LogicSimulator(original)
+            sim_b = LogicSimulator(parsed)
+            for bits in itertools.product((0, 1), repeat=len(original.inputs)):
+                pattern = dict(zip(original.inputs, bits))
+                assert sim_a.outputs(pattern) == sim_b.outputs(pattern)
+
+    def test_save_load(self, tmp_path):
+        from repro.netlist import load_bench, save_bench
+
+        path = tmp_path / "c17.bench"
+        save_bench(c17(), str(path))
+        loaded = load_bench(str(path), "c17")
+        assert len(loaded) == 6

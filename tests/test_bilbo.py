@@ -1,0 +1,173 @@
+"""BILBO register and self-test tests (§V-A, Figs. 19-21)."""
+
+import random
+
+import pytest
+
+from repro.bist import BilboMode, BilboPair, BilboRegister, bilbo_netlist
+from repro.circuits import c17, parity_tree, ripple_carry_adder
+from repro.lfsr import Lfsr
+from repro.netlist import values as V
+from repro.sim import SequentialSimulator
+
+
+class TestModes:
+    def test_system_mode_loads_z(self):
+        register = BilboRegister(8)
+        register.set_mode(BilboMode.SYSTEM)
+        register.clock(z_word=0b10110001)
+        assert register.state == 0b10110001
+
+    def test_reset_mode(self):
+        register = BilboRegister(8)
+        register.state = 0xFF
+        register.set_mode(BilboMode.RESET)
+        register.clock()
+        assert register.state == 0
+
+    def test_shift_mode_is_scan_path(self):
+        register = BilboRegister(4)
+        register.set_mode(BilboMode.SHIFT)
+        for bit in (1, 0, 1, 1):
+            register.clock(scan_in=bit)
+        assert register.stages() == (1, 1, 0, 1)  # first bit deepest
+
+    def test_scan_out_all(self):
+        register = BilboRegister(4)
+        register.set_mode(BilboMode.SHIFT)
+        register.load([1, 0, 0, 1])
+        assert register.stages() == (1, 0, 0, 1)
+        assert register.scan_out_all() == [1, 0, 0, 1]
+
+    def test_lfsr_mode_with_constant_inputs_is_prpg(self):
+        """§V-A: Z held fixed -> maximal-length pseudo-random patterns."""
+        register = BilboRegister(5)
+        register.state = 1
+        register.set_mode(BilboMode.LFSR)
+        seen = set()
+        for _ in range(31):
+            seen.add(register.state)
+            register.clock(z_word=0)
+        assert len(seen) == 31  # all nonzero states: maximal length
+
+    def test_lfsr_mode_matches_behavioral_lfsr(self):
+        register = BilboRegister(5)
+        register.state = 1
+        register.set_mode(BilboMode.LFSR)
+        reference = Lfsr.maximal(5, state=1)
+        for _ in range(20):
+            register.clock(z_word=0)
+            reference.step()
+            assert register.state == reference.state
+
+    def test_misr_mode_compacts(self):
+        a = BilboRegister(8)
+        a.set_mode(BilboMode.LFSR)
+        b = BilboRegister(8)
+        b.set_mode(BilboMode.LFSR)
+        a.clock(z_word=0x55)
+        b.clock(z_word=0x56)
+        assert a.state != b.state
+
+
+class TestNetlistAgreement:
+    """The gate-level BILBO must track the behavioral model exactly."""
+
+    @pytest.mark.parametrize(
+        "mode,b1,b2",
+        [
+            (BilboMode.SYSTEM, 1, 1),
+            (BilboMode.SHIFT, 0, 0),
+            (BilboMode.LFSR, 1, 0),
+            (BilboMode.RESET, 0, 1),
+        ],
+    )
+    def test_clock_for_clock(self, mode, b1, b2):
+        width = 4
+        behavioral = BilboRegister(width)
+        netlist = bilbo_netlist(width)
+        sim = SequentialSimulator(netlist)
+        # Align initial state.
+        start = 0b1011
+        behavioral.state = start
+        sim.set_state(
+            {f"Q{i}": (start >> (i - 1)) & 1 for i in range(1, width + 1)}
+        )
+        behavioral.set_mode(mode)
+        rng = random.Random(0)
+        for _ in range(12):
+            z = rng.getrandbits(width)
+            scan_in = rng.randint(0, 1)
+            behavioral.clock(z_word=z, scan_in=scan_in)
+            inputs = {"B1": b1, "B2": b2, "SIN": scan_in}
+            for i in range(1, width + 1):
+                inputs[f"Z{i}"] = (z >> (i - 1)) & 1
+            sim.step(inputs)
+            got = sum(
+                (1 if sim.state[f"Q{i}"] == 1 else 0) << (i - 1)
+                for i in range(1, width + 1)
+            )
+            assert got == behavioral.state, mode
+
+
+class TestSelfTest:
+    def _pair(self):
+        return BilboPair(ripple_carry_adder(3), c17())
+
+    def test_fault_free_passes(self):
+        pair = self._pair()
+        session1, session2 = pair.self_test(200)
+        assert session1.passed and session2.passed
+
+    def test_deterministic_signatures(self):
+        a = self._pair()
+        b = self._pair()
+        assert a.test_network1(100) == b.test_network1(100)
+
+    def test_fault_in_network1_fails_phase1_only(self):
+        pair = self._pair()
+        pair.inject_fault("n1", "AXB1", 1)
+        session1, session2 = pair.self_test(200)
+        assert not session1.passed
+        assert session2.passed  # localization between the two networks
+
+    def test_fault_in_network2_fails_phase2_only(self):
+        pair = self._pair()
+        pair.inject_fault("n2", "G16", 0)
+        session1, session2 = pair.self_test(200)
+        assert session1.passed
+        assert not session2.passed
+
+    @pytest.mark.parametrize(
+        "misr_width,minimum_rate",
+        [
+            (4, 0.80),   # narrow MISR: ~2^-4 aliasing shows up
+            (16, 0.99),  # the paper's 16-bit recommendation: near-perfect
+        ],
+    )
+    def test_detection_rate_vs_misr_width(self, misr_width, minimum_rate):
+        """§III-D/§V-A: detection rate tracks signature width."""
+        from repro.faults import collapse_faults
+
+        network = ripple_carry_adder(3)
+        faults = [f for f in collapse_faults(network) if f.gate is None]
+        detected = 0
+        for fault in faults:
+            pair = BilboPair(
+                ripple_carry_adder(3), c17(), width2=misr_width
+            )
+            golden = (pair.test_network1(150), pair.test_network2(150))
+            pair.inject_fault("n1", fault.net, fault.value)
+            session1, _ = pair.self_test(150, golden=golden)
+            if not session1.passed:
+                detected += 1
+        assert detected / len(faults) >= minimum_rate
+
+    def test_pattern_count_drives_coverage(self):
+        """More PN patterns, no fewer detections (monotone in practice)."""
+        pair = self._pair()
+        pair.inject_fault("n1", "PC0", 1)
+        short = pair.self_test(4)
+        long = pair.self_test(300)
+        if not short[0].passed:
+            assert not long[0].passed

@@ -1,0 +1,128 @@
+"""Bridging-fault and CMOS stuck-open model tests (§I-A)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import c17, ripple_carry_adder
+from repro.faults import (
+    BridgeKind,
+    BridgingFault,
+    apply_bridging_fault,
+    cmos_nand2,
+    cmos_nor2,
+    find_two_pattern_test,
+    random_bridges,
+    single_pattern_detects,
+)
+from repro.sim import LogicSimulator
+
+
+class TestBridgingFaults:
+    def test_same_net_rejected(self):
+        with pytest.raises(ValueError):
+            BridgingFault("a", "a", BridgeKind.WIRED_AND)
+
+    def test_wired_and_semantics(self):
+        circuit = c17()
+        fault = BridgingFault("G10", "G19", BridgeKind.WIRED_AND)
+        faulty = apply_bridging_fault(circuit, fault)
+        faulty.validate()
+        sim_good = LogicSimulator(circuit)
+        sim_bad = LogicSimulator(faulty)
+        diffs = 0
+        for bits in itertools.product((0, 1), repeat=5):
+            pattern = dict(zip(circuit.inputs, bits))
+            good_values = sim_good.run(pattern)
+            bad_out = sim_bad.outputs(pattern)
+            wired = good_values["G10"] & good_values["G19"]
+            # When the wired value equals both nets' values, outputs match.
+            if good_values["G10"] == good_values["G19"]:
+                assert bad_out == sim_good.outputs(pattern)
+            if bad_out != sim_good.outputs(pattern):
+                diffs += 1
+        assert diffs > 0  # this bridge is detectable
+
+    def test_feedback_bridge_rejected(self):
+        circuit = c17()
+        fault = BridgingFault("G11", "G16", BridgeKind.WIRED_OR)
+        with pytest.raises(ValueError):
+            apply_bridging_fault(circuit, fault)
+
+    def test_random_bridges_never_feedback(self):
+        circuit = ripple_carry_adder(4)
+        for bridge in random_bridges(circuit, 25, seed=3):
+            # must not raise
+            apply_bridging_fault(circuit, bridge)
+
+    def test_stuck_at_tests_catch_most_bridges(self):
+        """The §I-A observation: high stuck-at coverage covers bridges."""
+        from repro.atpg import generate_tests
+
+        circuit = ripple_carry_adder(4)
+        tests = generate_tests(circuit, random_phase=16).patterns
+        sim_good = LogicSimulator(circuit)
+        expected = [sim_good.outputs(p) for p in tests]
+        caught = 0
+        bridges = random_bridges(circuit, 30, seed=1)
+        for bridge in bridges:
+            faulty = apply_bridging_fault(circuit, bridge)
+            sim_bad = LogicSimulator(faulty)
+            if any(
+                sim_bad.outputs(p) != want for p, want in zip(tests, expected)
+            ):
+                caught += 1
+        assert caught / len(bridges) >= 0.8  # "high 90s" needs big samples
+
+
+class TestCmosStuckOpen:
+    @pytest.mark.parametrize("factory", [cmos_nand2, cmos_nor2])
+    def test_fault_free_truth_table(self, factory):
+        gate = factory()
+        want = {
+            "nand2": lambda a, b: 1 - (a & b),
+            "nor2": lambda a, b: 1 - (a | b),
+        }[gate.name]
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert gate.evaluate({"A": a, "B": b}) == want(a, b)
+
+    def test_fault_free_is_combinational(self):
+        assert cmos_nand2().is_combinational_under_fault()
+
+    @pytest.mark.parametrize("transistor", ["NA", "NB", "PA", "PB"])
+    def test_stuck_open_turns_sequential(self, transistor):
+        """The paper's §I-A warning, literally."""
+        gate = cmos_nand2("g")
+        gate.inject_stuck_open(f"g.{transistor}")
+        assert not gate.is_combinational_under_fault()
+
+    def test_floating_output_retains_value(self):
+        gate = cmos_nand2("g")
+        gate.inject_stuck_open("g.PA")  # pull-up through A broken
+        gate.evaluate({"A": 1, "B": 1})  # output driven 0 (pull-down)
+        # A=0, B=1: good machine pulls up via PA; faulty floats -> keeps 0.
+        assert gate.evaluate({"A": 0, "B": 1}) == 0
+
+    @pytest.mark.parametrize("transistor", ["NA", "NB", "PA", "PB"])
+    def test_two_pattern_test_exists(self, transistor):
+        gate = cmos_nand2("g")
+        pair = find_two_pattern_test(gate, f"g.{transistor}")
+        assert pair is not None
+        init, detect = pair
+        faulty = cmos_nand2("g")
+        faulty.inject_stuck_open(f"g.{transistor}")
+        faulty.evaluate(init)
+        good = cmos_nand2("g")
+        good.evaluate(init)
+        assert faulty.evaluate(detect) != good.evaluate(detect)
+
+    @pytest.mark.parametrize("transistor", ["PA", "PB", "NA", "NB"])
+    def test_single_patterns_insufficient(self, transistor):
+        """No state-free single pattern exposes a stuck-open: this is
+        why 'the combinational patterns are no longer effective'."""
+        gate = cmos_nand2("g")
+        assert not single_pattern_detects(gate, f"g.{transistor}")
+
+    def test_unknown_transistor_rejected(self):
+        with pytest.raises(KeyError):
+            cmos_nand2().inject_stuck_open("nope")

@@ -1,0 +1,166 @@
+"""Circuit container tests: construction, analysis, cones, cores."""
+
+import pytest
+
+from repro.netlist import Circuit, GateType, NetlistError
+from repro.circuits import c17, binary_counter
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+
+    def test_multiple_drivers_rejected(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        c.and_(["a", "b"], "z")
+        with pytest.raises(NetlistError):
+            c.or_(["a", "b"], "z")
+
+    def test_driving_an_input_rejected(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        with pytest.raises(NetlistError):
+            c.and_(["a", "b"], "a")
+
+    def test_duplicate_gate_name_rejected(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        c.and_(["a", "b"], "z", name="g")
+        with pytest.raises(NetlistError):
+            c.or_(["a", "b"], "y", name="g")
+
+    def test_dangling_net_caught_by_validate(self):
+        c = Circuit()
+        c.add_input("a")
+        c.and_(["a", "ghost"], "z")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_undriven_output_caught(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("nowhere")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_gate_name_defaults_to_output(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        gate = c.and_(["a", "b"], "z")
+        assert gate.name == "z"
+        assert c.gate("z") is gate
+
+
+class TestAnalysis:
+    def test_c17_stats(self):
+        stats = c17().stats()
+        assert stats.num_gates == 6
+        assert stats.num_inputs == 5
+        assert stats.num_outputs == 2
+        assert stats.max_level == 3
+        assert stats.num_flip_flops == 0
+
+    def test_levels(self):
+        c = c17()
+        assert c.level_of("G1") == 0
+        assert c.level_of("G10") == 1
+        assert c.level_of("G22") == 3
+
+    def test_topological_order_respects_dependencies(self):
+        c = c17()
+        order = [g.name for g in c.topological_order()]
+        assert order.index("G11") < order.index("G16")
+        assert order.index("G16") < order.index("G23")
+
+    def test_fanout(self):
+        c = c17()
+        readers = {g.name for g in c.fanout_of("G11")}
+        assert readers == {"G16", "G19"}
+        assert c.is_fanout_stem("G11")
+        assert not c.is_fanout_stem("G10")
+
+    def test_output_counts_as_fanout(self):
+        c = c17()
+        assert c.fanout_count("G22") == 1
+
+    def test_cycle_detection(self):
+        c = Circuit()
+        c.add_input("a")
+        c.nand(["a", "q"], "qb")
+        c.nand(["qb", "a"], "q")
+        c.add_output("q")
+        assert c.has_combinational_cycles
+        with pytest.raises(NetlistError):
+            c.topological_order()
+
+    def test_mutation_invalidates_caches(self):
+        c = c17()
+        assert c.depth() == 3
+        c.not_("G22", "G24")
+        c.add_output("G24")
+        assert c.depth() == 4
+
+
+class TestCones:
+    def test_input_cone(self):
+        c = c17()
+        cone = c.input_cone("G22")
+        assert "G1" in cone and "G10" in cone and "G16" in cone
+        assert "G19" not in cone  # feeds only G23
+
+    def test_cone_inputs(self):
+        c = c17()
+        assert c.cone_inputs("G22") == ["G1", "G2", "G3", "G6"]
+
+    def test_output_cone(self):
+        c = c17()
+        cone = c.output_cone("G11")
+        assert {"G16", "G19", "G22", "G23"} <= cone
+
+    def test_extract_cone_is_standalone(self):
+        c = c17()
+        sub = c.extract_cone("G22")
+        sub.validate()
+        assert sub.outputs == ("G22",)
+        assert set(sub.inputs) == {"G1", "G2", "G3", "G6"}
+
+    def test_cone_stops_at_flip_flops(self):
+        counter = binary_counter(4)
+        cone = counter.input_cone("D1")
+        assert "Q0" in cone  # FF output is a cone source
+        assert "D0" not in cone  # logic behind the FF is not
+
+
+class TestCombinationalCore:
+    def test_core_exposes_ppis_and_ppos(self):
+        counter = binary_counter(3)
+        core = counter.combinational_core()
+        assert core.is_combinational
+        for q in ("Q0", "Q1", "Q2"):
+            assert core.is_input(q)
+        for d in ("D0", "D1", "D2"):
+            assert d in core.outputs
+
+    def test_pseudo_lists(self):
+        counter = binary_counter(3)
+        assert counter.pseudo_inputs() == ["Q0", "Q1", "Q2"]
+        assert counter.pseudo_outputs() == ["D0", "D1", "D2"]
+
+
+class TestCopyRename:
+    def test_copy_is_deep_enough(self):
+        c = c17()
+        dup = c.copy()
+        dup.not_("G22", "NEW")
+        assert not c.has_gate("NEW")
+
+    def test_renamed_prefixes_everything(self):
+        c = c17()
+        renamed = c.renamed("u1_")
+        assert "u1_G1" in renamed.inputs
+        assert renamed.has_gate("u1_G22")
+        renamed.validate()

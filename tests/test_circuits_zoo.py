@@ -1,0 +1,305 @@
+"""Functional verification of the circuit zoo against reference models."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    and_gate,
+    bcd_to_seven_segment,
+    binary_counter,
+    c17,
+    carry_lookahead_adder,
+    comparator,
+    decoder,
+    full_adder,
+    inverter_chain,
+    johnson_counter,
+    lfsr_circuit,
+    majority3,
+    mux,
+    parity_tree,
+    random_combinational,
+    random_pla,
+    random_sequential,
+    ripple_carry_adder,
+    sequence_detector,
+    shift_register,
+    subtractor,
+    wide_and_pla,
+)
+from repro.netlist import values as V
+from repro.sim import LogicSimulator, SequentialSimulator
+
+
+def truth(circuit, pattern):
+    return LogicSimulator(circuit).outputs(pattern)
+
+
+class TestBasicCircuits:
+    def test_and_gate(self):
+        c = and_gate(3)
+        sim = LogicSimulator(c)
+        for bits in itertools.product((0, 1), repeat=3):
+            out = sim.outputs(dict(zip(c.inputs, bits)))
+            assert out["Y"] == (bits[0] & bits[1] & bits[2])
+
+    def test_inverter_chain_parity(self):
+        even = inverter_chain(4)
+        odd = inverter_chain(5)
+        assert truth(even, {"IN": 1})[even.outputs[0]] == 1
+        assert truth(odd, {"IN": 1})[odd.outputs[0]] == 0
+
+    @pytest.mark.parametrize("width", [2, 3, 5, 8])
+    def test_parity_tree(self, width):
+        c = parity_tree(width)
+        sim = LogicSimulator(c)
+        rng = random.Random(width)
+        for _ in range(20):
+            bits = [rng.randint(0, 1) for _ in range(width)]
+            out = sim.outputs(dict(zip(c.inputs, bits)))
+            assert out["PARITY"] == sum(bits) % 2
+
+    def test_majority(self):
+        c = majority3()
+        sim = LogicSimulator(c)
+        for bits in itertools.product((0, 1), repeat=3):
+            expected = 1 if sum(bits) >= 2 else 0
+            assert sim.outputs(dict(zip(c.inputs, bits)))["MAJ"] == expected
+
+    @pytest.mark.parametrize("select_bits", [1, 2, 3])
+    def test_mux(self, select_bits):
+        c = mux(select_bits)
+        sim = LogicSimulator(c)
+        n = 1 << select_bits
+        rng = random.Random(select_bits)
+        for _ in range(30):
+            sel = rng.randrange(n)
+            data = [rng.randint(0, 1) for _ in range(n)]
+            pattern = {f"S{i}": (sel >> i) & 1 for i in range(select_bits)}
+            pattern.update({f"D{i}": data[i] for i in range(n)})
+            assert sim.outputs(pattern)["Y"] == data[sel]
+
+    @pytest.mark.parametrize("select_bits", [1, 2, 3])
+    def test_decoder_one_hot(self, select_bits):
+        c = decoder(select_bits)
+        sim = LogicSimulator(c)
+        n = 1 << select_bits
+        for sel in range(n):
+            pattern = {f"S{i}": (sel >> i) & 1 for i in range(select_bits)}
+            out = sim.outputs(pattern)
+            assert [out[f"Y{v}"] for v in range(n)] == [
+                1 if v == sel else 0 for v in range(n)
+            ]
+
+    def test_decoder_enable(self):
+        c = decoder(2, with_enable=True)
+        sim = LogicSimulator(c)
+        out = sim.outputs({"S0": 1, "S1": 0, "EN": 0})
+        assert all(v == 0 for v in out.values())
+
+    @pytest.mark.parametrize("width", [1, 3, 4])
+    def test_comparator(self, width):
+        c = comparator(width)
+        sim = LogicSimulator(c)
+        rng = random.Random(width)
+        for _ in range(30):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            pattern = {}
+            for i in range(width):
+                pattern[f"A{i}"] = (a >> i) & 1
+                pattern[f"B{i}"] = (b >> i) & 1
+            assert sim.outputs(pattern)["EQ"] == (1 if a == b else 0)
+
+
+class TestAdders:
+    def test_full_adder_exhaustive(self):
+        c = full_adder()
+        sim = LogicSimulator(c)
+        for a, b, ci in itertools.product((0, 1), repeat=3):
+            out = sim.outputs({"A": a, "B": b, "CIN": ci})
+            total = a + b + ci
+            assert out["SUM"] == total & 1
+            assert out["COUT"] == total >> 1
+
+    @pytest.mark.parametrize("width", [1, 4, 8])
+    def test_ripple_adder(self, width):
+        c = ripple_carry_adder(width)
+        sim = LogicSimulator(c)
+        rng = random.Random(width)
+        for _ in range(50):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            ci = rng.randint(0, 1)
+            pattern = {"CIN": ci}
+            for i in range(width):
+                pattern[f"A{i}"] = (a >> i) & 1
+                pattern[f"B{i}"] = (b >> i) & 1
+            out = sim.outputs(pattern)
+            total = a + b + ci
+            got = sum(out[f"S{i}"] << i for i in range(width))
+            assert got == total & ((1 << width) - 1)
+            assert out["COUT"] == total >> width
+
+    @pytest.mark.parametrize("width", [2, 4, 6])
+    def test_cla_matches_ripple(self, width):
+        cla = carry_lookahead_adder(width)
+        rca = ripple_carry_adder(width)
+        sim_a, sim_b = LogicSimulator(cla), LogicSimulator(rca)
+        rng = random.Random(99)
+        for _ in range(60):
+            pattern = {net: rng.randint(0, 1) for net in rca.inputs}
+            out_a = sim_a.outputs(pattern)
+            out_b = sim_b.outputs(pattern)
+            for i in range(width):
+                assert out_a[f"S{i}"] == out_b[f"S{i}"]
+            assert out_a["COUT"] == out_b["COUT"]
+
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_subtractor(self, width):
+        c = subtractor(width)
+        sim = LogicSimulator(c)
+        mask = (1 << width) - 1
+        for a in range(1 << width):
+            for b in range(1 << width):
+                pattern = {}
+                for i in range(width):
+                    pattern[f"A{i}"] = (a >> i) & 1
+                    pattern[f"B{i}"] = (b >> i) & 1
+                out = sim.outputs(pattern)
+                got = sum(out[f"D{i}"] << i for i in range(width))
+                assert got == (a - b) & mask
+                assert out["BOUT"] == (1 if a >= b else 0)
+
+
+class TestPlas:
+    def test_wide_and(self):
+        pla = wide_and_pla(5)
+        c = pla.to_circuit()
+        sim = LogicSimulator(c)
+        all_ones = {f"I{i}": 1 for i in range(5)}
+        assert sim.outputs(all_ones)["O0"] == 1
+        one_zero = dict(all_ones, I3=0)
+        assert sim.outputs(one_zero)["O0"] == 0
+
+    def test_pla_evaluate_matches_circuit(self):
+        pla = random_pla(6, 8, 3, 3, seed=7)
+        c = pla.to_circuit()
+        sim = LogicSimulator(c)
+        rng = random.Random(7)
+        for _ in range(64):
+            bits = [rng.randint(0, 1) for _ in range(6)]
+            want = pla.evaluate(bits)
+            got = sim.outputs({f"I{i}": bits[i] for i in range(6)})
+            assert [got[f"O{j}"] for j in range(3)] == want
+
+    def test_bcd_seven_segment_digits(self):
+        pla = bcd_to_seven_segment()
+        c = pla.to_circuit()
+        sim = LogicSimulator(c)
+        # Digit 8 lights every segment; digit 1 lights only b and c.
+        eight = sim.outputs({f"I{i}": (8 >> i) & 1 for i in range(4)})
+        assert all(eight[f"O{j}"] == 1 for j in range(7))
+        one = sim.outputs({f"I{i}": (1 >> i) & 1 for i in range(4)})
+        lit = [j for j in range(7) if one[f"O{j}"] == 1]
+        assert lit == [1, 2]  # segments b, c
+
+    def test_max_term_fanin(self):
+        assert wide_and_pla(20).max_term_fanin == 20
+
+
+class TestGenerators:
+    def test_random_combinational_deterministic(self):
+        a = random_combinational(8, 50, seed=3)
+        b = random_combinational(8, 50, seed=3)
+        assert [g.name for g in a.gates] == [g.name for g in b.gates]
+        a.validate()
+
+    def test_random_combinational_no_dangling(self):
+        c = random_combinational(6, 40, seed=1)
+        read = set()
+        for gate in c.gates:
+            read.update(gate.inputs)
+        for gate in c.gates:
+            assert gate.output in read or gate.output in c.outputs
+
+    def test_random_sequential_valid(self):
+        c = random_sequential(5, 60, 8, seed=2)
+        c.validate()
+        assert len(c.flip_flops) == 8
+        core = c.combinational_core()
+        core.validate()
+
+    def test_fanin_bound_respected(self):
+        c = random_combinational(8, 80, seed=5, max_fanin=3)
+        assert all(g.fanin <= 3 for g in c.gates)
+
+
+class TestSequentialCircuits:
+    def test_counter_counts(self):
+        c = binary_counter(4)
+        sim = SequentialSimulator(c)
+        sim.reset(V.ZERO)
+        for expected in range(1, 20):
+            sim.step({"EN": 1})
+            got = sum(
+                (1 if sim.state[f"Q{i}"] == 1 else 0) << i for i in range(4)
+            )
+            assert got == expected % 16
+
+    def test_counter_enable_holds(self):
+        c = binary_counter(3)
+        sim = SequentialSimulator(c)
+        sim.reset(V.ZERO)
+        sim.step({"EN": 1})
+        sim.step({"EN": 0})
+        assert sim.state["Q0"] == 1
+
+    def test_shift_register_delay(self):
+        c = shift_register(3)
+        sim = SequentialSimulator(c)
+        sim.reset(V.ZERO)
+        seen = []
+        stream = [1, 0, 1, 1, 0, 0, 1]
+        for bit in stream:
+            out = sim.step({"SIN": bit})
+            seen.append(out[c.outputs[0]])
+        assert seen[3:] == stream[:4]
+
+    def test_johnson_counter_period(self):
+        width = 4
+        c = johnson_counter(width)
+        sim = SequentialSimulator(c)
+        sim.reset(V.ZERO)
+        states = []
+        for _ in range(2 * width):
+            sim.step({})
+            states.append(tuple(sim.state[f"Q{i}"] for i in range(width)))
+        assert len(set(states)) == 2 * width  # full Johnson ring
+
+    def test_sequence_detector_101(self):
+        c = sequence_detector()
+        sim = SequentialSimulator(c)
+        sim.reset(V.ZERO)
+        stream = [1, 0, 1, 0, 1, 1, 0, 1]
+        detections = []
+        for bit in stream:
+            out = sim.step({"X": bit})
+            detections.append(out["DETECT"])
+        # 101 completes at indices 2, 4, 7
+        assert [i for i, d in enumerate(detections) if d == 1] == [2, 4, 7]
+
+    def test_lfsr_circuit_matches_behavioral(self):
+        from repro.lfsr import Lfsr
+
+        c = lfsr_circuit([2, 3], 3)
+        sim = SequentialSimulator(c)
+        sim.set_state({"Q1": 1, "Q2": 0, "Q3": 0})
+        model = Lfsr(taps=(2, 3), state=0b001)
+        for _ in range(10):
+            sim.step({})
+            model.step()
+            got = tuple(sim.state[f"Q{i}"] for i in (1, 2, 3))
+            assert got == model.stages()

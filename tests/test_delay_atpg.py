@@ -1,0 +1,93 @@
+"""Transition-fault (delay test) generation and simulation tests."""
+
+import pytest
+
+from repro.atpg import (
+    Edge,
+    TransitionFault,
+    TransitionFaultSimulator,
+    TransitionTestGenerator,
+    all_transition_faults,
+    generate_transition_tests,
+)
+from repro.circuits import and_gate, c17, majority3, ripple_carry_adder
+from repro.netlist import NetlistError
+
+
+class TestModel:
+    def test_fault_naming(self):
+        fault = TransitionFault("n", Edge.RISE)
+        assert "slow-to-rise" in fault.name
+
+    def test_initial_and_frozen_values(self):
+        rise = TransitionFault("n", Edge.RISE)
+        assert rise.initial_value == 0
+        assert rise.frozen_value == 0  # behaves as SA0 during V2
+        fall = TransitionFault("n", Edge.FALL)
+        assert fall.initial_value == 1
+        assert fall.frozen_value == 1
+
+    def test_universe_size(self):
+        circuit = c17()
+        assert len(all_transition_faults(circuit)) == 2 * len(circuit.nets())
+
+
+class TestGeneration:
+    @pytest.mark.parametrize(
+        "factory", [c17, majority3, lambda: ripple_carry_adder(3)]
+    )
+    def test_every_generated_pair_detects_its_fault(self, factory):
+        circuit = factory()
+        simulator = TransitionFaultSimulator(circuit)
+        tests, untestable = generate_transition_tests(circuit)
+        assert tests  # plenty of testable transitions
+        for test in tests:
+            assert simulator.detects(test.v1, test.v2, test.fault), (
+                test.fault.name
+            )
+
+    def test_and_gate_pair_shape(self):
+        """Slow-to-rise on the AND output: V1 keeps Y at 0, V2 is the
+        all-ones pattern that should raise it."""
+        circuit = and_gate(2)
+        generator = TransitionTestGenerator(circuit)
+        test = generator.generate(TransitionFault("Y", Edge.RISE))
+        assert test is not None
+        assert (test.v1["A"] & test.v1["B"]) == 0  # Y low initially
+        assert test.v2 == {"A": 1, "B": 1}
+
+    def test_v1_must_differ_from_v2_at_site(self):
+        circuit = c17()
+        simulator = TransitionFaultSimulator(circuit)
+        fault = TransitionFault("G11", Edge.RISE)
+        # A same-value pair launches no transition: not a test.
+        pattern = {"G1": 1, "G2": 1, "G3": 1, "G6": 1, "G7": 1}
+        assert not simulator.detects(pattern, pattern, fault)
+
+    def test_sequential_rejected(self):
+        from repro.circuits import binary_counter
+
+        with pytest.raises(NetlistError):
+            TransitionTestGenerator(binary_counter(2))
+
+
+class TestSimulation:
+    def test_run_coverage_counts(self):
+        circuit = majority3()
+        tests, untestable = generate_transition_tests(circuit)
+        simulator = TransitionFaultSimulator(circuit)
+        report = simulator.run([(t.v1, t.v2) for t in tests])
+        # Every generated fault is covered by its own pair (often more).
+        assert len(report.first_detection) >= len(
+            {t.fault.net for t in tests}
+        )
+
+    def test_stuck_at_tests_are_not_automatically_delay_tests(self):
+        """A single repeated pattern detects stuck-at faults but can
+        never detect a transition fault (no launch)."""
+        circuit = c17()
+        simulator = TransitionFaultSimulator(circuit)
+        pattern = {"G1": 0, "G2": 1, "G3": 1, "G6": 1, "G7": 0}
+        pairs = [(pattern, pattern)]
+        report = simulator.run(pairs)
+        assert len(report.first_detection) == 0

@@ -1,0 +1,222 @@
+"""Fault dictionaries, embedded RAM march tests, and hierarchical scan."""
+
+import itertools
+
+import pytest
+
+from repro.atpg import generate_tests
+from repro.circuits import (
+    MemFaultKind,
+    MemoryFault,
+    Ram,
+    binary_counter,
+    c17,
+    march_c_minus,
+    march_coverage,
+    mats_plus,
+    ripple_carry_adder,
+    sequence_detector,
+    standard_fault_list,
+)
+from repro.faults import Fault, collapse_faults, equivalence_classes
+from repro.faultsim import FaultDictionary, FaultSimulator
+from repro.scan import ScanHierarchy, insert_scan
+from repro.sim import LogicSimulator
+
+
+class TestFaultDictionary:
+    def _dictionary(self):
+        circuit = c17()
+        patterns = generate_tests(circuit, random_phase=8, seed=1).patterns
+        return circuit, FaultDictionary(circuit, patterns)
+
+    def _responses_with_fault(self, circuit, dictionary, fault):
+        """Simulate a defective device answering the tester."""
+        from repro.faultsim.expand import expand_branches, fault_site_net
+        from repro.sim.packed import PackedPatternSet, PackedSimulator
+
+        expanded, branch_map = expand_branches(circuit)
+        sim = PackedSimulator(expanded)
+        packed = PackedPatternSet.from_patterns(
+            list(circuit.inputs), dictionary.patterns
+        )
+        site = fault_site_net(fault, branch_map)
+        forced = packed.mask if fault.value else 0
+        words = sim.run(packed, force={site: forced})
+        return [
+            {net: (words[net] >> i) & 1 for net in circuit.outputs}
+            for i in range(len(dictionary.patterns))
+        ]
+
+    def test_good_device_diagnoses_clean(self):
+        circuit, dictionary = self._dictionary()
+        result = dictionary.diagnose(dictionary.good_responses())
+        assert result.observed_failures == 0
+        # The empty signature matches only faults the set never detects;
+        # on c17 with 100% coverage that is nothing.
+        assert result.exact == []
+
+    def test_injected_fault_is_diagnosed(self):
+        circuit, dictionary = self._dictionary()
+        for fault in dictionary.faults[:10]:
+            responses = self._responses_with_fault(circuit, dictionary, fault)
+            result = dictionary.diagnose(responses)
+            assert result.resolved
+            assert any(
+                candidate == fault
+                or _same_class(circuit, candidate, fault)
+                for candidate in result.exact
+            )
+
+    def test_equivalent_faults_share_signatures(self):
+        circuit, dictionary = self._dictionary()
+        groups = dictionary.indistinguishable_groups()
+        classes = {
+            fault: index
+            for index, cls in enumerate(equivalence_classes(circuit))
+            for fault in cls
+        }
+        # Collapsed representatives should mostly be distinguishable;
+        # any group that exists is legitimate (diagnosis resolution < 1).
+        resolution = dictionary.diagnostic_resolution()
+        assert 0.0 < resolution <= 1.0
+
+    def test_nearest_fallback(self):
+        circuit, dictionary = self._dictionary()
+        # Corrupt a response pattern in a way matching no single fault:
+        # flip both outputs on every pattern.
+        responses = [
+            {net: 1 - value for net, value in row.items()}
+            for row in dictionary.good_responses()
+        ]
+        result = dictionary.diagnose(responses)
+        if not result.exact:
+            assert result.nearest  # best-effort candidates offered
+
+
+def _same_class(circuit, a, b):
+    for cls in equivalence_classes(circuit):
+        if a in cls and b in cls:
+            return True
+    return False
+
+
+class TestRam:
+    def test_fault_free_read_write(self):
+        ram = Ram(8, 4)
+        ram.write(3, 0b1010)
+        assert ram.read(3) == 0b1010
+        assert ram.read(4) == 0
+
+    def test_address_bounds(self):
+        ram = Ram(4, 2)
+        with pytest.raises(IndexError):
+            ram.read(4)
+        with pytest.raises(IndexError):
+            ram.write(-1, 0)
+
+    def test_cell_stuck(self):
+        ram = Ram(4, 4)
+        ram.inject(MemoryFault(MemFaultKind.CELL_SA0, 2, 1))
+        ram.write(2, 0b1111)
+        assert ram.read(2) == 0b1101
+
+    def test_coupling_fault(self):
+        ram = Ram(4, 2)
+        ram.inject(MemoryFault(MemFaultKind.COUPLING_UP, 0, 0, aggressor=1))
+        ram.write(0, 0)
+        ram.write(1, 0)
+        ram.write(1, 0b11)  # rising aggressor sets victim bit 0
+        assert ram.read(0) & 1 == 1
+
+    def test_address_alias(self):
+        ram = Ram(8, 4)
+        ram.inject(
+            MemoryFault(MemFaultKind.ADDRESS_ALIAS, 0, 0, aggressor=7)
+        )
+        ram.write(7, 0b0101)
+        assert ram.read(0) == 0b0101  # both addresses hit cell 0
+
+
+class TestMarchTests:
+    def test_good_ram_passes_both(self):
+        assert mats_plus(Ram(16, 4)).passed
+        assert march_c_minus(Ram(16, 4)).passed
+
+    def test_mats_plus_catches_all_stuck_cells(self):
+        faults = [
+            f
+            for f in standard_fault_list(8, 2)
+            if f.kind in (MemFaultKind.CELL_SA0, MemFaultKind.CELL_SA1)
+        ]
+        detected, total = march_coverage(8, 2, mats_plus, faults)
+        assert detected == total
+
+    def test_march_c_catches_coupling_that_mats_misses(self):
+        faults = [
+            f
+            for f in standard_fault_list(8, 2)
+            if f.kind in (MemFaultKind.COUPLING_UP, MemFaultKind.COUPLING_DOWN)
+        ]
+        mats_detected, total = march_coverage(8, 2, mats_plus, faults)
+        march_detected, _ = march_coverage(8, 2, march_c_minus, faults)
+        assert march_detected == total
+        assert march_detected >= mats_detected
+
+    def test_operation_counts(self):
+        # MATS+: 5N operations; March C-: 10N.
+        result = mats_plus(Ram(16, 1))
+        assert result.operations == 5 * 16
+        result = march_c_minus(Ram(16, 1))
+        assert result.operations == 10 * 16
+
+    def test_alias_detected(self):
+        ram = Ram(8, 2)
+        ram.inject(MemoryFault(MemFaultKind.ADDRESS_ALIAS, 0, 0, aggressor=7))
+        assert not march_c_minus(ram).passed
+
+
+class TestScanHierarchy:
+    def _board(self):
+        hierarchy = ScanHierarchy("board")
+        hierarchy.thread("chipA", insert_scan(binary_counter(3)))
+        hierarchy.thread("chipB", insert_scan(sequence_detector()))
+        return hierarchy
+
+    def test_catalog_positions(self):
+        hierarchy = self._board()
+        catalog = hierarchy.catalog()
+        assert len(catalog) == hierarchy.total_chain_length == 5
+        positions = [entry[0] for entry in catalog]
+        assert positions == sorted(positions)
+        assert catalog[0][1] == "chipA"
+        assert catalog[-1][1] == "chipB"
+
+    def test_board_load_unload_round_trip(self):
+        hierarchy = self._board()
+        state = {
+            ("chipA", "Q0"): 1,
+            ("chipA", "Q1"): 0,
+            ("chipA", "Q2"): 1,
+            ("chipB", "Q0"): 1,
+            ("chipB", "Q1"): 0,
+        }
+        hierarchy.load_board_state(state)
+        assert hierarchy.unload_board_state() == state
+
+    def test_concatenated_test(self):
+        """One board transaction tests both chips at once."""
+        hierarchy = self._board()
+        captured = hierarchy.concatenated_test(
+            {
+                "chipA": {"EN": 1, "Q0": 1, "Q1": 1, "Q2": 0},  # 3 -> 4
+                "chipB": {"X": 1, "Q0": 0, "Q1": 1},  # saw10 + 1 -> saw1
+            }
+        )
+        assert captured[("chipA", "Q0")] == 0
+        assert captured[("chipA", "Q1")] == 0
+        assert captured[("chipA", "Q2")] == 1
+        assert captured[("chipB", "Q0")] == 1
+
+    def test_four_lines_per_level(self):
+        assert self._board().extra_lines_per_level == 4

@@ -1,0 +1,165 @@
+"""Economics model tests: rule of tens, Eq. (1), exhaustive cost."""
+
+import math
+
+import pytest
+
+from repro.economics import (
+    RULE_OF_TENS,
+    RuntimeModel,
+    bilbo_overhead,
+    cost_of_fault,
+    escalation_factor,
+    exhaustive_pattern_count,
+    exhaustive_test_time_years,
+    fit_power_law,
+    lssd_overhead,
+    measured_gate_overhead,
+    multiple_fault_space,
+    partition_speedup,
+    random_access_scan_overhead,
+    scan_path_overhead,
+    scan_set_overhead,
+    stuck_at_fault_count,
+    early_detection_savings,
+    bilbo_test_data_volume,
+    scan_test_data_volume,
+)
+
+
+class TestRuleOfTens:
+    def test_paper_dollar_figures(self):
+        assert cost_of_fault("chip") == pytest.approx(0.30)
+        assert cost_of_fault("board") == pytest.approx(3.00)
+        assert cost_of_fault("system") == pytest.approx(30.00)
+        assert cost_of_fault("field") == pytest.approx(300.00)
+
+    def test_each_level_is_10x(self):
+        levels = ["chip", "board", "system", "field"]
+        for a, b in zip(levels, levels[1:]):
+            assert escalation_factor(a, b) == pytest.approx(10.0)
+
+    def test_chip_to_field_is_1000x(self):
+        assert escalation_factor("chip", "field") == pytest.approx(1000.0)
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            cost_of_fault("warehouse")
+
+    def test_early_detection_savings(self):
+        assert early_detection_savings(100, "chip", "field") == pytest.approx(
+            100 * 299.70
+        )
+
+
+class TestRuntimeModel:
+    def test_cubic_law(self):
+        model = RuntimeModel(k=2.0, exponent=3.0)
+        assert model.runtime(10) == pytest.approx(2000.0)
+
+    def test_doubling_gates_is_8x(self):
+        model = RuntimeModel()
+        assert model.relative_cost(100, 200) == pytest.approx(8.0)
+
+    def test_partition_speedup_paper_figure(self):
+        """§III-A: dividing a network in half reduces the task 'by 8'."""
+        assert partition_speedup(2) == pytest.approx(8.0)
+
+    def test_fit_power_law_recovers_exponent(self):
+        model = RuntimeModel(k=0.5, exponent=2.7)
+        sizes = [100, 200, 400, 800]
+        times = [model.runtime(n) for n in sizes]
+        k, e = fit_power_law(sizes, times)
+        assert e == pytest.approx(2.7, abs=1e-9)
+        assert k == pytest.approx(0.5, rel=1e-9)
+
+    def test_fit_needs_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [1.0])
+
+
+class TestExhaustiveCost:
+    def test_pattern_count(self):
+        assert exhaustive_pattern_count(25, 50) == 2**75
+
+    def test_paper_billion_years(self):
+        """§I-B: N=25, M=50 at 1 us/pattern -> over a billion years."""
+        years = exhaustive_test_time_years(25, 50, 1e-6)
+        assert years > 1e9
+
+    def test_small_circuit_is_fast(self):
+        assert exhaustive_test_time_years(20, 0, 1e-6) < 1e-6
+
+    def test_stuck_at_fault_count_paper(self):
+        """§I-B: 1000 two-input gates -> 6000 faults."""
+        assert stuck_at_fault_count(1000, 2) == 6000
+
+    def test_multiple_fault_space(self):
+        assert multiple_fault_space(100) == pytest.approx(3.0**100)
+
+
+class TestOverheads:
+    def test_lssd_range_matches_paper(self):
+        """§IV-A: overhead 4-20%, governed by L2 reuse."""
+        base_gates = 2000
+        latches = 100
+        worst = lssd_overhead(latches, base_gates, l2_reuse_fraction=0.0)
+        best = lssd_overhead(latches, base_gates, l2_reuse_fraction=0.85)
+        worst_frac = worst.gate_overhead_fraction(base_gates)
+        best_frac = best.gate_overhead_fraction(base_gates)
+        assert 0.2 <= worst_frac <= 0.4
+        assert best_frac < worst_frac
+        assert best_frac <= 0.20
+
+    def test_lssd_pins(self):
+        assert lssd_overhead(10, 100).extra_pins == 4
+
+    def test_reuse_fraction_validated(self):
+        with pytest.raises(ValueError):
+            lssd_overhead(10, 100, l2_reuse_fraction=1.5)
+
+    def test_ras_pins_range(self):
+        many = random_access_scan_overhead(256)
+        assert 10 <= many.extra_pins <= 20
+        serial = random_access_scan_overhead(256, serial_addressing=True)
+        assert serial.extra_pins == 6
+
+    def test_ras_gates_per_latch(self):
+        """§IV-D: 'overhead ... is about three to four gates per
+        storage element'."""
+        estimate = random_access_scan_overhead(100)
+        per_latch = (estimate.extra_gates - 0) / 100
+        assert 3 <= per_latch <= 5  # decoder amortized over 100 latches
+
+    def test_bilbo_delay_penalty(self):
+        assert bilbo_overhead(8, 100).extra_delay_gates > 0
+
+    def test_scan_set_system_latches_untouched(self):
+        estimate = scan_set_overhead(num_sample_points=32)
+        assert "untouched" in estimate.notes
+
+    def test_measured_overhead(self):
+        from repro.circuits import binary_counter
+        from repro.scan import insert_scan
+
+        original = binary_counter(6)
+        design = insert_scan(original)
+        measured = measured_gate_overhead(original, design.circuit)
+        assert measured > 0
+
+
+class TestDataVolume:
+    def test_scan_volume_scales_with_chain(self):
+        small = scan_test_data_volume(100, 10, 8, 8)
+        large = scan_test_data_volume(100, 100, 8, 8)
+        assert large > small
+
+    def test_bilbo_reduction_factor_100(self):
+        """§V-A: '100 patterns between scan-outs' -> ~100x reduction."""
+        patterns = 1000
+        chain = 32
+        scan = scan_test_data_volume(patterns, chain, 0, 0)
+        bilbo = bilbo_test_data_volume(
+            num_sessions=patterns // 100, patterns_per_session=100, chain_length=chain
+        )
+        assert scan / bilbo == pytest.approx(100.0)

@@ -1,0 +1,124 @@
+"""Edge-path tests: partial event processing, divergence re-convergence,
+bench round-trips on odd netlists, and boundary conditions."""
+
+import pytest
+
+from repro.circuits import c17, shift_register
+from repro.faults import Fault
+from repro.faultsim import SequentialFaultSimulator
+from repro.netlist import Circuit, GateType, NetlistError, parse_bench, write_bench
+from repro.netlist import values as V
+from repro.sim import EventSimulator, SequentialSimulator
+
+
+class TestEventSimulatorBoundaries:
+    def test_run_until_processes_partially(self):
+        c = Circuit()
+        c.add_input("a")
+        c.not_("a", "n1")
+        c.not_("n1", "n2")
+        c.add_output("n2")
+        event = EventSimulator(c, default_delay=5)
+        event.drive({"a": 0})
+        event.run(until=5)
+        assert event.values["n1"] == V.ONE
+        assert event.values["n2"] == V.X  # second gate still pending
+        event.run()
+        assert event.values["n2"] == V.ZERO
+
+    def test_redundant_events_ignored(self):
+        c = Circuit()
+        c.add_input("a")
+        c.buf("a", "z")
+        c.add_output("z")
+        event = EventSimulator(c)
+        event.settle({"a": 1})
+        history_before = len(event.transitions_on("z"))
+        event.settle({"a": 1})  # same value: no new transitions
+        assert len(event.transitions_on("z")) == history_before
+
+    def test_custom_gate_delay_used(self):
+        c = Circuit()
+        c.add_input("a")
+        c.not_("a", "slow")
+        c.add_output("slow")
+        event = EventSimulator(c, delays={"slow": 7})
+        event.drive({"a": 1})
+        last = event.run()
+        assert last == 7
+
+
+class TestDivergenceTracking:
+    def test_fault_effect_that_reconverges_is_not_detected_late(self):
+        """A fault whose state effect washes out must not be falsely
+        reported detected after re-convergence."""
+        # Shift register: a stuck first stage diverges only while the
+        # stream disagrees with the stuck value.
+        circuit = shift_register(2)
+        fault = Fault("Q0", 1)  # stuck at 1
+        simulator = SequentialFaultSimulator(circuit, faults=[fault])
+        # Feed all-ones: faulty and good machines agree completely.
+        report = simulator.run(
+            [{"SIN": 1}] * 6, initial_state={"Q0": 1, "Q1": 1}
+        )
+        assert fault not in report.first_detection
+
+    def test_detection_after_divergence_window(self):
+        circuit = shift_register(2)
+        fault = Fault("Q0", 1)
+        simulator = SequentialFaultSimulator(circuit, faults=[fault])
+        # A zero enters at cycle 2; the stuck stage corrupts it.
+        sequence = [{"SIN": 1}, {"SIN": 1}, {"SIN": 0}, {"SIN": 1}, {"SIN": 1}]
+        report = simulator.run(
+            sequence, initial_state={"Q0": 1, "Q1": 1}
+        )
+        assert report.first_detection[fault] == 4  # 0 due at Q1's output
+
+
+class TestBenchFormatOddities:
+    def test_cyclic_netlist_refuses_serialization(self):
+        c = Circuit()
+        c.add_input("a")
+        c.nand(["a", "q"], "qb")
+        c.nand(["qb", "a"], "q")
+        c.add_output("q")
+        with pytest.raises(NetlistError):
+            write_bench(c)
+
+    def test_const_gates_round_trip(self):
+        c = Circuit("consty")
+        c.add_input("a")
+        c.add_gate(GateType.CONST1, [], "one")
+        c.and_(["a", "one"], "z")
+        c.add_output("z")
+        text = write_bench(c)
+        parsed = parse_bench(text, "consty")
+        from repro.sim import LogicSimulator
+
+        assert LogicSimulator(parsed).outputs({"a": 1})["z"] == 1
+
+    def test_whitespace_tolerance(self):
+        text = "INPUT( a )\nOUTPUT(z)\nz  =  NOT(  a  )\n"
+        # Net names keep interior fidelity; whitespace around tokens ok.
+        parsed = parse_bench(text.replace("( a )", "(a)"))
+        assert parsed.inputs == ("a",)
+
+
+class TestSequentialSimulatorBoundaries:
+    def test_step_counts_cycles(self):
+        sim = SequentialSimulator(shift_register(2))
+        sim.reset(V.ZERO)
+        for _ in range(5):
+            sim.step({"SIN": 1})
+        assert sim.cycle == 5
+
+    def test_initial_state_constructor_arg(self):
+        sim = SequentialSimulator(
+            shift_register(2), initial_state={"Q0": 1, "Q1": 0}
+        )
+        assert sim.state["Q0"] == 1
+
+    def test_evaluate_rejects_nothing_extra(self):
+        sim = SequentialSimulator(shift_register(2))
+        values = sim.evaluate({"SIN": 1})
+        assert values["SIN"] == 1

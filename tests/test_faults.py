@@ -1,0 +1,151 @@
+"""Fault model tests: universe arithmetic, collapsing, checkpoints."""
+
+import pytest
+
+from repro.circuits import and_gate, c17, inverter_chain, random_combinational
+from repro.faults import (
+    Fault,
+    SiteKind,
+    all_faults,
+    checkpoint_faults,
+    collapse_faults,
+    collapse_ratio,
+    dominance_collapse,
+    equivalence_classes,
+    fault_universe_size,
+    multiple_fault_combinations,
+    stuck_at_0,
+    stuck_at_1,
+)
+from repro.netlist import Circuit
+
+
+class TestFaultObjects:
+    def test_names(self):
+        assert stuck_at_0("n").name == "n/SA0"
+        assert Fault("n", 1, gate="g", pin=2).name == "g.in2(n)/SA1"
+
+    def test_kind(self):
+        assert stuck_at_1("n").kind is SiteKind.STEM
+        assert Fault("n", 0, gate="g", pin=0).kind is SiteKind.BRANCH
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("n", 2)
+
+    def test_partial_branch_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("n", 0, gate="g")
+
+    def test_hashable(self):
+        assert len({stuck_at_0("n"), stuck_at_0("n"), stuck_at_1("n")}) == 2
+
+
+class TestUniverseArithmetic:
+    def test_papers_6000_for_1000_two_input_gates(self):
+        """§I-B: 1000 two-input gates -> 6000 stuck-at faults."""
+        circuit = Circuit("big")
+        previous_a, previous_b = "I0", "I1"
+        circuit.add_inputs(["I0", "I1"])
+        for index in range(1000):
+            out = f"N{index}"
+            circuit.nand([previous_a, previous_b], out)
+            previous_a, previous_b = previous_b, out
+        # 2 per PI + per gate 2 (output) + 4 (two input pins)
+        assert fault_universe_size(circuit) == 2 * 2 + 1000 * 6
+
+    def test_enumeration_matches_size(self):
+        circuit = random_combinational(6, 30, seed=0)
+        assert len(all_faults(circuit)) == fault_universe_size(circuit)
+
+    def test_multiple_fault_space_100_nets(self):
+        """§I-A: 100 nets -> about 5e47 multiple-fault combinations."""
+        count = multiple_fault_combinations(100)
+        assert 5.0e47 < count < 5.5e47  # the paper rounds to "5 x 10^47"
+
+    def test_and_gate_universe(self):
+        c = and_gate(2)
+        # 2 PIs x2 + output x2 + 2 input pins x2 = 10
+        assert fault_universe_size(c) == 10
+
+
+class TestEquivalence:
+    def test_c17_collapsed_count_is_textbook_22(self):
+        assert len(collapse_faults(c17())) == 22
+
+    def test_classes_partition_universe(self):
+        circuit = c17()
+        classes = equivalence_classes(circuit)
+        members = [f for cls in classes for f in cls]
+        assert len(members) == len(set(members)) == len(all_faults(circuit))
+
+    def test_and_gate_classes(self):
+        c = and_gate(2)
+        classes = equivalence_classes(c)
+        # AND: out SA0 ≡ in SA0s (with single-fanout PIs folded in):
+        # {A/SA0, B/SA0, Y/SA0, in0/SA0, in1/SA0}; each input SA1 pairs
+        # with its PI stem; Y/SA1 stands alone.
+        sizes = sorted(len(cls) for cls in classes)
+        assert sizes == [1, 2, 2, 5]
+
+    def test_inverter_chain_collapses_to_two_classes(self):
+        c = inverter_chain(6)
+        c_classes = equivalence_classes(c)
+        # NOT chains alternate SA0/SA1 but stay equivalent end-to-end.
+        assert len(c_classes) == 2
+
+    def test_collapse_ratio_below_one(self):
+        circuit = random_combinational(6, 40, seed=1)
+        assert 0 < collapse_ratio(circuit) < 1
+
+    def test_ratio_near_paper_half_for_nand_network(self):
+        """§I-B: ~6000 -> 'about 3000': ratio near 0.5 for NAND logic."""
+        circuit = random_combinational(
+            8, 300, seed=2, max_fanin=2,
+            kinds=(
+                __import__("repro.netlist.gates", fromlist=["GateType"]).GateType.NAND,
+            ),
+        )
+        ratio = collapse_ratio(circuit)
+        assert 0.35 < ratio < 0.65
+
+
+class TestDominance:
+    def test_dominance_no_bigger_than_equivalence(self):
+        circuit = c17()
+        assert len(dominance_collapse(circuit)) <= len(collapse_faults(circuit))
+
+    def test_dominance_set_still_complete(self):
+        """A test set detecting all dominance-collapsed faults detects
+        the full universe (verified by fault simulation)."""
+        from repro.atpg import generate_tests
+        from repro.faultsim import FaultSimulator
+
+        circuit = c17()
+        reduced = dominance_collapse(circuit)
+        result = generate_tests(circuit, faults=reduced, random_phase=0)
+        assert result.coverage == 1.0
+        full = FaultSimulator(circuit, faults=all_faults(circuit))
+        report = full.run(result.patterns)
+        assert report.coverage == 1.0
+
+
+class TestCheckpoints:
+    def test_checkpoints_are_pis_plus_fanout_branches(self):
+        circuit = c17()
+        cps = checkpoint_faults(circuit)
+        nets = {f.net for f in cps}
+        # PIs: G1,G2,G3,G6,G7 + fanout stems G11, G16 (branches)
+        assert {"G1", "G2", "G3", "G6", "G7", "G11", "G16"} == nets
+
+    def test_checkpoint_theorem_on_c17(self):
+        """Tests detecting all checkpoint faults detect all faults."""
+        from repro.atpg import generate_tests
+        from repro.faultsim import FaultSimulator
+
+        circuit = c17()
+        cps = checkpoint_faults(circuit)
+        result = generate_tests(circuit, faults=cps, random_phase=0)
+        assert result.coverage == 1.0
+        full = FaultSimulator(circuit, faults=all_faults(circuit))
+        assert full.run(result.patterns).coverage == 1.0

@@ -1,0 +1,89 @@
+"""Gate primitive tests: evaluation, arity checking, metadata."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import values as V
+from repro.netlist.gates import (
+    CONTROLLING_VALUE,
+    Gate,
+    GateType,
+    evaluate,
+    evaluate_bool,
+)
+
+TWO_INPUT_TRUTH = {
+    GateType.AND: lambda a, b: a & b,
+    GateType.NAND: lambda a, b: 1 - (a & b),
+    GateType.OR: lambda a, b: a | b,
+    GateType.NOR: lambda a, b: 1 - (a | b),
+    GateType.XOR: lambda a, b: a ^ b,
+    GateType.XNOR: lambda a, b: 1 - (a ^ b),
+}
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("kind", list(TWO_INPUT_TRUTH))
+    def test_two_input_truth_tables(self, kind):
+        truth = TWO_INPUT_TRUTH[kind]
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert evaluate(kind, (a, b)) == truth(a, b)
+            assert evaluate_bool(kind, (a, b)) == truth(a, b)
+
+    def test_not_buf(self):
+        assert evaluate(GateType.NOT, (V.ONE,)) == V.ZERO
+        assert evaluate(GateType.BUF, (V.ONE,)) == V.ONE
+        assert evaluate_bool(GateType.NOT, (0,)) == 1
+
+    def test_constants(self):
+        assert evaluate(GateType.CONST0, ()) == V.ZERO
+        assert evaluate(GateType.CONST1, ()) == V.ONE
+
+    def test_wide_gates(self):
+        assert evaluate(GateType.AND, (1, 1, 1, 1, 0)) == 0
+        assert evaluate(GateType.OR, (0, 0, 0, 1)) == 1
+        assert evaluate(GateType.XOR, (1, 1, 1)) == 1
+        assert evaluate_bool(GateType.NOR, (0, 0, 0)) == 1
+
+    def test_dff_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate(GateType.DFF, (V.ONE,))
+
+    def test_five_valued_gate_evaluation(self):
+        assert evaluate(GateType.NAND, (V.D, V.ONE)) == V.DBAR
+        assert evaluate(GateType.AND, (V.X, V.ZERO)) == V.ZERO
+
+
+class TestGateStructure:
+    def test_arity_enforced_not(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateType.NOT, ("a", "b"), "z")
+
+    def test_arity_enforced_xor_needs_two(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateType.XOR, ("a",), "z")
+
+    def test_const_takes_no_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateType.CONST0, ("a",), "z")
+        Gate("g", GateType.CONST0, (), "z")  # fine
+
+    def test_fanin(self):
+        gate = Gate("g", GateType.AND, ("a", "b", "c"), "z")
+        assert gate.fanin == 3
+
+    def test_sequential_flag(self):
+        assert GateType.DFF.is_sequential
+        assert not GateType.AND.is_sequential
+
+    def test_inverting_flag(self):
+        assert GateType.NAND.is_inverting
+        assert GateType.NOR.is_inverting
+        assert not GateType.AND.is_inverting
+        assert not GateType.XOR.is_inverting
+
+    def test_controlling_values(self):
+        assert CONTROLLING_VALUE[GateType.AND] == 0
+        assert CONTROLLING_VALUE[GateType.OR] == 1
+        assert GateType.XOR not in CONTROLLING_VALUE

@@ -1,0 +1,92 @@
+"""Synchronizing-sequence search tests (§III-B predictability)."""
+
+import pytest
+
+from repro.adhoc import add_clear_line
+from repro.circuits import (
+    binary_counter,
+    johnson_counter,
+    sequence_detector,
+    shift_register,
+)
+from repro.netlist import Circuit, values as V
+from repro.sim import SequentialSimulator
+from repro.testability import (
+    cycles_to_initialize,
+    find_initialization_sequence,
+)
+
+
+class TestInitializable:
+    def test_shift_register_initializes_in_length(self):
+        circuit = shift_register(4)
+        result = find_initialization_sequence(circuit)
+        assert result.initializable
+        assert result.length == 4  # fill the pipe
+
+    def test_sequence_detector_initializes_quickly(self):
+        result = find_initialization_sequence(sequence_detector())
+        assert result.initializable
+        assert result.length <= 2
+
+    def test_found_sequence_actually_works(self):
+        """Replay the sequence on the simulator from all-X."""
+        circuit = sequence_detector()
+        result = find_initialization_sequence(circuit)
+        sim = SequentialSimulator(circuit)
+        for vector in result.sequence:
+            sim.step(vector)
+        assert sim.is_initialized
+
+    def test_combinational_circuit_trivially_initialized(self):
+        from repro.circuits import c17
+
+        result = find_initialization_sequence(c17())
+        assert result.sequence == []
+
+    def test_clear_line_gives_one_cycle_initialization(self):
+        circuit = add_clear_line(binary_counter(4))
+        assert cycles_to_initialize(circuit) == 1
+
+
+class TestUninitializable:
+    def test_counter_without_reset_proven_uninitializable(self):
+        """The XOR feedback keeps X's alive under every input: the
+        BFS exhausts the reachable space and proves it."""
+        result = find_initialization_sequence(binary_counter(3))
+        assert result.sequence is None
+        assert result.exhausted
+        assert result.initializable is False
+
+    def test_johnson_counter_initializes(self):
+        """The inverted-tail feedback is a plain wire chain: feeding
+        any values around the ring washes the X's out."""
+        result = find_initialization_sequence(johnson_counter(3))
+        # Johnson counter has no inputs: the ring shifts X's forever.
+        # (Q0 <- NOT Q2: X stays X.)  Proven uninitializable too.
+        assert result.initializable is False
+
+    def test_search_bound_reported_honestly(self):
+        """A shift register needs 4 cycles; a length-2 bound must give
+        an undecided verdict, not a false negative."""
+        result = find_initialization_sequence(
+            shift_register(4), max_length=2
+        )
+        assert result.sequence is None
+        assert not result.exhausted
+        assert result.initializable is None
+
+
+class TestScanMakesEverythingInitializable:
+    def test_scan_chain_initializes_the_counter(self):
+        """The machine §III-B cannot initialize, scan can: shift in any
+        known state."""
+        from repro.scan import insert_scan
+
+        circuit = binary_counter(3)
+        bare = find_initialization_sequence(circuit)
+        assert bare.initializable is False
+        scanned = insert_scan(circuit).circuit
+        result = find_initialization_sequence(scanned)
+        assert result.initializable
+        assert result.length <= 3

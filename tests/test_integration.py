@@ -1,0 +1,173 @@
+"""Cross-package integration tests: the full workflows a user runs."""
+
+import random
+
+import pytest
+
+from repro.adhoc import add_clear_line
+from repro.atpg import generate_tests
+from repro.circuits import (
+    alu74181,
+    binary_counter,
+    random_sequential,
+    ripple_carry_adder,
+    sequence_detector,
+)
+from repro.faults import all_faults, collapse_faults
+from repro.faultsim import (
+    FaultDictionary,
+    FaultSimulator,
+    SequentialFaultSimulator,
+)
+from repro.scan import (
+    ScanHierarchy,
+    ScanTester,
+    full_scan_flow,
+    insert_scan,
+    schedule_scan_tests,
+)
+from repro.sim import SequentialSimulator
+from repro.testability import analyze, find_initialization_sequence
+
+
+class TestScheduleMatchesTester:
+    def test_schedule_replay_equals_tester_protocol(self):
+        """Driving the raw schedule through a fresh simulator must land
+        in the same states the ScanTester's structured calls produce."""
+        circuit = binary_counter(3)
+        design = insert_scan(circuit)
+        patterns = [
+            {"EN": 1, "Q0": 1, "Q1": 0, "Q2": 1},
+            {"EN": 0, "Q0": 0, "Q1": 1, "Q2": 0},
+        ]
+        schedule = schedule_scan_tests(design, patterns, flush=False)
+        replay = SequentialSimulator(design.circuit)
+        for vector in schedule:
+            replay.step(vector)
+
+        tester = ScanTester(design)
+        for index, pattern in enumerate(patterns):
+            tester.apply_test(pattern, index)
+        # After full application both flows end with a drained chain of
+        # equal content (the last capture shifted out, zeros shifted in).
+        assert replay.state_vector() == tester.sim.state_vector()
+
+
+class TestDiagnoseAfterAtpg:
+    def test_generated_tests_locate_injected_faults(self):
+        """ATPG -> dictionary -> inject -> diagnose, end to end."""
+        circuit = ripple_carry_adder(3)
+        result = generate_tests(circuit, random_phase=8, seed=5)
+        dictionary = FaultDictionary(circuit, result.patterns)
+        rng = random.Random(0)
+        from repro.faultsim.expand import expand_branches, fault_site_net
+        from repro.sim.packed import PackedPatternSet, PackedSimulator
+
+        expanded, branch_map = expand_branches(circuit)
+        sim = PackedSimulator(expanded)
+        packed = PackedPatternSet.from_patterns(
+            list(circuit.inputs), result.patterns
+        )
+        for fault in rng.sample(dictionary.faults, 8):
+            site = fault_site_net(fault, branch_map)
+            forced = packed.mask if fault.value else 0
+            words = sim.run(packed, force={site: forced})
+            responses = [
+                {net: (words[net] >> i) & 1 for net in circuit.outputs}
+                for i in range(len(result.patterns))
+            ]
+            verdict = dictionary.diagnose(responses)
+            assert verdict.resolved
+            # The real fault (or an equivalent) is in the callout.
+            signatures = {dictionary.entries[f] for f in verdict.exact}
+            assert dictionary.entries[fault] in signatures
+
+
+class TestBoardLevelFlow:
+    def test_two_chip_board_concatenated_scan_test(self):
+        """Fig. 11's promise executed: chip-level ATPG results applied
+        through one board-level chain in a single transaction each."""
+        chip_a = binary_counter(3)
+        chip_b = sequence_detector()
+        board = ScanHierarchy("board")
+        board.thread("a", insert_scan(chip_a))
+        board.thread("b", insert_scan(chip_b))
+
+        tests_a = generate_tests(chip_a.combinational_core(), random_phase=4, seed=1)
+        tests_b = generate_tests(chip_b.combinational_core(), random_phase=4, seed=1)
+        assert tests_a.testable_coverage == 1.0
+        assert tests_b.testable_coverage == 1.0
+
+        from repro.sim import LogicSimulator
+
+        core_a = LogicSimulator(chip_a.combinational_core())
+        core_b = LogicSimulator(chip_b.combinational_core())
+        for pattern_a, pattern_b in zip(tests_a.patterns, tests_b.patterns):
+            captured = board.concatenated_test({"a": pattern_a, "b": pattern_b})
+            expect_a = core_a.run(pattern_a)
+            expect_b = core_b.run(pattern_b)
+            for flop in chip_a.flip_flops:
+                assert captured[("a", flop.output)] == expect_a[flop.inputs[0]]
+            for flop in chip_b.flip_flops:
+                assert captured[("b", flop.output)] == expect_b[flop.inputs[0]]
+
+
+class TestDecisionWorkflow:
+    def test_analysis_drives_technique_choice(self):
+        """The §II workflow: measure, pick a fix, measure again."""
+        circuit = binary_counter(4)
+        report = analyze(circuit)
+        # Analysis flags uncontrollable state: predictability problem.
+        assert report.uncontrollable_nets()
+        verdict = find_initialization_sequence(circuit)
+        assert verdict.initializable is False
+        # Fix 1 (cheap): CLEAR test point restores predictability...
+        cleared = add_clear_line(circuit)
+        assert find_initialization_sequence(cleared).initializable
+        # Fix 2 (structured): scan restores full combinational access.
+        core_report = analyze(circuit.combinational_core())
+        assert core_report.uncontrollable_nets() == []
+
+    def test_scan_flow_on_random_machine(self):
+        """The whole pipeline holds up on a machine nobody designed."""
+        circuit = random_sequential(5, 80, 8, seed=42)
+        result = full_scan_flow(circuit, random_phase=16, seed=0, verify=False)
+        assert result.core_tests.testable_coverage == 1.0
+        assert result.total_clocks == len(result.schedule)
+
+    def test_sequential_verification_of_scan_schedule_subset(self):
+        """Spot-check: the schedule detects a sampled fault set through
+        the pins of the scanned netlist."""
+        circuit = sequence_detector()
+        result = full_scan_flow(circuit, random_phase=16, seed=0, verify=False)
+        faults = [
+            f
+            for f in collapse_faults(result.design.circuit)
+            if "SCAN" not in f.name and "sen" not in f.name
+        ][:12]
+        simulator = SequentialFaultSimulator(
+            result.design.circuit, faults=faults
+        )
+        report = simulator.run(result.schedule)
+        assert report.coverage > 0.8
+
+
+class TestAlu74181FullStack:
+    def test_the_whole_toolkit_on_one_device(self):
+        """ATPG, fault sim, syndrome, Walsh inputs, autonomous — one
+        device, every §V technique, consistent answers."""
+        from repro.bist import (
+            SyndromeAnalyzer,
+            run_autonomous_test,
+            sensitized_partitions_74181,
+        )
+
+        alu = alu74181()
+        atpg = generate_tests(alu, random_phase=32, seed=0)
+        assert atpg.coverage == 1.0
+        autonomous = run_autonomous_test(alu, sensitized_partitions_74181())
+        assert autonomous.coverage.coverage == 1.0
+        # Deterministic set is far smaller; autonomous needs no storage.
+        assert len(atpg.patterns) < autonomous.total_patterns
+        syndrome = SyndromeAnalyzer(alu)
+        assert len(syndrome.untestable_faults()) == 8  # B-input symmetry

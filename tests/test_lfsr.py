@@ -1,0 +1,239 @@
+"""LFSR, polynomial, and signature-register tests (§III-D, Fig. 7)."""
+
+import random
+
+import pytest
+
+from repro.lfsr import (
+    PRIMITIVE_POLYNOMIALS,
+    GaloisLfsr,
+    Lfsr,
+    Misr,
+    SignatureRegister,
+    aliasing_probability,
+    degree,
+    detection_probability,
+    is_irreducible,
+    is_primitive,
+    measure_aliasing,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_powmod,
+    polynomial_from_taps,
+    primitive_polynomial,
+    pseudo_random_patterns,
+    stream_residue,
+    taps_from_polynomial,
+)
+
+
+class TestPolynomialArithmetic:
+    def test_degree(self):
+        assert degree(0b1011) == 3
+        assert degree(1) == 0
+        assert degree(0) == -1
+
+    def test_mul_known(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    def test_divmod_identity(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            a = rng.getrandbits(16)
+            m = rng.getrandbits(8) | 0x100
+            q, r = poly_divmod(a, m)
+            assert poly_mul(q, m) ^ r == a
+            assert degree(r) < degree(m)
+
+    def test_mod_consistent_with_divmod(self):
+        assert poly_mod(0b110101, 0b1011) == poly_divmod(0b110101, 0b1011)[1]
+
+    def test_gcd_of_multiples(self):
+        p = 0b1011  # irreducible: gcd of its multiples is a multiple of p
+        g = poly_gcd(poly_mul(p, 0b110), poly_mul(p, 0b101))
+        assert poly_mod(g, p) == 0
+
+    def test_powmod_small(self):
+        # x^3 mod (x^3+x+1) = x+1
+        assert poly_powmod(0b10, 3, 0b1011) == 0b011
+
+
+class TestPrimitivity:
+    def test_table_is_primitive(self):
+        for n, poly in PRIMITIVE_POLYNOMIALS.items():
+            assert degree(poly) == n
+            if n <= 20:
+                assert is_primitive(poly), n
+
+    def test_reducible_rejected(self):
+        # x^2 + 1 = (x+1)^2 is reducible
+        assert not is_irreducible(0b101)
+        assert not is_primitive(0b101)
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible, order 5 (not 15).
+        poly = 0b11111
+        assert is_irreducible(poly)
+        assert not is_primitive(poly)
+
+    def test_lookup_uncovered_degree_searches(self):
+        poly = primitive_polynomial(21)
+        assert degree(poly) == 21
+        assert is_primitive(poly)
+
+    def test_taps_round_trip(self):
+        for n in (3, 5, 8, 16):
+            poly = PRIMITIVE_POLYNOMIALS[n]
+            taps = taps_from_polynomial(poly)
+            assert polynomial_from_taps(taps, n) == poly
+
+
+class TestFibonacciLfsr:
+    def test_paper_fig7_sequence(self):
+        """The exact counting table of Fig. 7 (3-bit, Q2^Q3 -> Q1)."""
+        lfsr = Lfsr(taps=(2, 3), state=0b001)
+        states = lfsr.sequence_of_states(7)
+        assert states == [
+            (1, 0, 0),
+            (0, 1, 0),
+            (1, 0, 1),
+            (1, 1, 0),
+            (1, 1, 1),
+            (0, 1, 1),
+            (0, 0, 1),
+            (1, 0, 0),
+        ]
+
+    def test_maximal_period(self):
+        for n in (3, 4, 5, 7):
+            lfsr = Lfsr.maximal(n, state=1)
+            assert lfsr.period() == 2**n - 1
+
+    def test_zero_state_is_stuck(self):
+        lfsr = Lfsr(taps=(2, 3), state=0)
+        assert lfsr.period() == 0
+        lfsr.step()
+        assert lfsr.state == 0
+
+    def test_all_nonzero_states_visited(self):
+        lfsr = Lfsr.maximal(4, state=1)
+        seen = {lfsr.state}
+        for _ in range(14):
+            lfsr.step()
+            seen.add(lfsr.state)
+        assert seen == set(range(1, 16))
+
+    def test_is_maximal_length(self):
+        assert Lfsr(taps=(2, 3)).is_maximal_length()
+        assert not Lfsr(taps=(3,), length=3).is_maximal_length()
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(taps=())
+        with pytest.raises(ValueError):
+            Lfsr(taps=(5,), length=3)
+
+    def test_galois_same_period(self):
+        galois = GaloisLfsr(PRIMITIVE_POLYNOMIALS[5], state=1)
+        assert galois.period() == 31
+
+
+class TestSignatureRegister:
+    def test_signature_is_polynomial_residue(self):
+        rng = random.Random(1)
+        register = SignatureRegister(bits=8)
+        for _ in range(40):
+            bits = [rng.randint(0, 1) for _ in range(50)]
+            assert register.signature_of(bits) == stream_residue(
+                bits, register.poly
+            )
+
+    def test_linearity(self):
+        """sig(a XOR b) == sig(a) XOR sig(b): only XOR preserves this."""
+        rng = random.Random(2)
+        register = SignatureRegister(bits=16)
+        for _ in range(25):
+            a = [rng.randint(0, 1) for _ in range(64)]
+            b = [rng.randint(0, 1) for _ in range(64)]
+            xored = [x ^ y for x, y in zip(a, b)]
+            assert register.signature_of(xored) == (
+                register.signature_of(a) ^ register.signature_of(b)
+            )
+
+    def test_aliasing_iff_divisible_error(self):
+        register = SignatureRegister(bits=8)
+        poly = register.poly
+        # An error stream equal to the polynomial itself aliases.
+        error_bits = [(poly >> (8 - i)) & 1 for i in range(9)]
+        assert register.signature_of(error_bits) == 0
+
+    def test_single_bit_errors_always_detected(self):
+        register = SignatureRegister(bits=16)
+        good = [0] * 64
+        good_sig = register.signature_of(good)
+        for position in range(64):
+            bad = list(good)
+            bad[position] = 1
+            assert register.signature_of(bad) != good_sig
+
+
+class TestMisr:
+    def test_zero_stream_keeps_zero(self):
+        misr = Misr(8)
+        misr.absorb([0] * 50)
+        assert misr.signature == 0
+
+    def test_order_sensitivity(self):
+        a = Misr(8)
+        a.absorb([1, 2, 3])
+        b = Misr(8)
+        b.absorb([3, 2, 1])
+        assert a.signature != b.signature
+
+    def test_clock_bits_packing(self):
+        a = Misr(4)
+        a.clock_bits([1, 0, 1, 0])
+        b = Misr(4)
+        b.clock(0b0101)
+        assert a.signature == b.signature
+
+    def test_width_polynomial_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Misr(8, poly=PRIMITIVE_POLYNOMIALS[4])
+
+
+class TestAliasingTheory:
+    def test_exact_formula(self):
+        # L=n: only the polynomial itself could alias but it's length n+1
+        assert aliasing_probability(16, 16) == 0.0
+        value = aliasing_probability(50, 16)
+        assert abs(value - 2**-16) < 2**-20
+
+    def test_detection_probability_high(self):
+        """§III-D: 'with a 16-bit LFSR, the probability of detecting one
+        or more errors is extremely high'."""
+        assert detection_probability(100, 16) > 0.99998
+
+    def test_short_streams_never_alias(self):
+        assert aliasing_probability(8, 16) == 0.0
+
+    def test_monte_carlo_matches_theory(self):
+        rate = measure_aliasing(
+            PRIMITIVE_POLYNOMIALS[8], stream_length=24, trials=4000, seed=0
+        )
+        expected = aliasing_probability(24, 8)
+        assert abs(rate - expected) < 0.01
+
+
+class TestPseudoRandomPatterns:
+    def test_patterns_deterministic(self):
+        a = pseudo_random_patterns(8, 20, 5, seed_state=3)
+        b = pseudo_random_patterns(8, 20, 5, seed_state=3)
+        assert a == b
+
+    def test_width_truncation(self):
+        patterns = pseudo_random_patterns(8, 10, 5)
+        assert all(len(p) == 5 for p in patterns)

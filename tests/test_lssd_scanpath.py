@@ -1,0 +1,232 @@
+"""LSSD and Scan Path discipline tests (§IV-A, §IV-B)."""
+
+import pytest
+
+from repro.circuits import binary_counter, c17, sequence_detector
+from repro.netlist import Circuit, values as V
+from repro.scan import (
+    CardScanConfiguration,
+    LssdDesign,
+    SrlCell,
+    SrlRegister,
+    backtrace_partition,
+    check_lssd_rules,
+    partition_sizes,
+    raceless_dff_netlist,
+    srl_netlist,
+)
+from repro.sim import EventSimulator
+
+
+class TestSrlCell:
+    def test_system_clocking(self):
+        cell = SrlCell()
+        cell.clock_c(V.ONE)
+        assert cell.l1 == V.ONE
+        assert cell.l2 == V.X  # B not pulsed yet
+        cell.clock_b()
+        assert cell.l2 == V.ONE
+
+    def test_scan_clocking(self):
+        cell = SrlCell()
+        cell.clock_a(V.ZERO)
+        cell.clock_b()
+        assert cell.l2 == V.ZERO
+
+
+class TestSrlRegister:
+    def test_shift_moves_one_position(self):
+        register = SrlRegister.of_length(3)
+        register.load([V.ONE, V.ZERO, V.ONE])
+        assert register.state() == [V.ONE, V.ZERO, V.ONE]
+
+    def test_load_unload_round_trip(self):
+        register = SrlRegister.of_length(5)
+        bits = [V.ONE, V.ONE, V.ZERO, V.ONE, V.ZERO]
+        register.load(bits)
+        assert register.unload() == bits
+
+    def test_shift_returns_exiting_bit(self):
+        register = SrlRegister.of_length(2)
+        register.load([V.ONE, V.ZERO])
+        assert register.shift(V.ZERO) == V.ZERO  # old last L2
+        assert register.shift(V.ZERO) == V.ONE
+
+    def test_system_clock_width_checked(self):
+        register = SrlRegister.of_length(3)
+        with pytest.raises(ValueError):
+            register.system_clock([V.ONE])
+
+
+class TestSrlNetlist:
+    def test_level_sensitive_capture(self):
+        srl = srl_netlist()
+        event = EventSimulator(srl)
+        event.settle({"D": 1, "C": 0, "I": 0, "A": 0, "B": 0})
+        event.settle({"C": 1})
+        event.settle({"C": 0})
+        assert event.values["L1"] == 1
+        event.settle({"B": 1})
+        event.settle({"B": 0})
+        assert event.values["L2"] == 1
+
+    def test_hold_when_clocks_low(self):
+        srl = srl_netlist()
+        event = EventSimulator(srl)
+        event.settle({"D": 1, "C": 0, "I": 0, "A": 0, "B": 0})
+        event.settle({"C": 1})
+        event.settle({"C": 0})
+        event.settle({"D": 0})  # data changes while clock low
+        assert event.values["L1"] == 1  # latch holds
+
+    def test_scan_port_writes_l1(self):
+        srl = srl_netlist()
+        event = EventSimulator(srl)
+        event.settle({"D": 0, "C": 0, "I": 1, "A": 0, "B": 0})
+        event.settle({"A": 1})
+        event.settle({"A": 0})
+        assert event.values["L1"] == 1
+
+
+class TestLssdDesign:
+    def test_system_step_matches_original(self):
+        circuit = binary_counter(4)
+        design = LssdDesign(circuit)
+        design.scan_load({f"Q{i}": 0 for i in range(4)})
+        for expected in range(1, 10):
+            design.system_step({"EN": 1})
+            got = sum(
+                (1 if design.state()[f"Q{i}"] == 1 else 0) << i
+                for i in range(4)
+            )
+            assert got == expected
+
+    def test_scan_load_unload(self):
+        design = LssdDesign(binary_counter(4))
+        target = {"Q0": 1, "Q1": 1, "Q2": 0, "Q3": 1}
+        design.scan_load(target)
+        assert design.state() == target
+        assert design.scan_unload() == target
+
+    def test_apply_core_test(self):
+        design = LssdDesign(binary_counter(3))
+        observed, unloaded = design.apply_core_test(
+            {"EN": 1, "Q0": 1, "Q1": 1, "Q2": 0}
+        )
+        assert unloaded == {"Q0": 0, "Q1": 0, "Q2": 1}  # 3 + 1 = 4
+
+    def test_four_scan_pins(self):
+        design = LssdDesign(binary_counter(3))
+        assert len(design.scan_pins) == 4
+
+    def test_overhead_range(self):
+        design = LssdDesign(binary_counter(8))
+        worst = design.overhead(l2_reuse_fraction=0.0)
+        best = design.overhead(l2_reuse_fraction=0.85)
+        assert best.extra_gates < worst.extra_gates
+
+    def test_chain_order_validated(self):
+        with pytest.raises(ValueError):
+            LssdDesign(binary_counter(3), chain_order=["FF0"])
+
+
+class TestLssdRules:
+    def test_clean_flip_flop_design_passes(self):
+        assert check_lssd_rules(binary_counter(4)) == []
+
+    def test_latch_loop_flagged(self):
+        violations = check_lssd_rules(srl_netlist())
+        assert any(v.rule == "LSSD-1" for v in violations)
+
+    def test_non_pi_clock_flagged(self):
+        violations = check_lssd_rules(binary_counter(3), clock_inputs=["CLK"])
+        assert any(v.rule == "LSSD-2" for v in violations)
+
+    def test_clock_into_data_logic_flagged(self):
+        c = Circuit("gated")
+        c.add_inputs(["CLK", "D"])
+        c.and_(["CLK", "D"], "GD")  # clock mixed into data
+        c.dff("GD", "Q")
+        c.add_output("Q")
+        violations = check_lssd_rules(c, clock_inputs=["CLK"])
+        assert any(v.rule == "LSSD-3" for v in violations)
+
+    def test_violation_str(self):
+        violations = check_lssd_rules(binary_counter(3), clock_inputs=["X9"])
+        assert "LSSD-2" in str(violations[0])
+
+
+class TestRacelessDff:
+    def test_system_capture(self):
+        dff = raceless_dff_netlist()
+        event = EventSimulator(dff)
+        # C2 held 1 (scan blocked), C1 high = hold, C1 low = load L1.
+        event.settle({"SDATA": 1, "C1": 1, "TEST": 0, "C2": 1})
+        event.settle({"C1": 0})  # master samples
+        event.settle({"C1": 1})  # slave updates
+        assert event.values["Q"] == 1
+        assert event.values["QN"] == 0
+
+    def test_scan_capture(self):
+        dff = raceless_dff_netlist()
+        event = EventSimulator(dff)
+        event.settle({"SDATA": 0, "C1": 1, "TEST": 1, "C2": 1})
+        event.settle({"C2": 0})
+        event.settle({"C2": 1})
+        assert event.values["Q"] == 1
+
+    def test_data_change_while_holding_ignored(self):
+        dff = raceless_dff_netlist()
+        event = EventSimulator(dff)
+        event.settle({"SDATA": 1, "C1": 1, "TEST": 0, "C2": 1})
+        event.settle({"C1": 0})
+        event.settle({"C1": 1})
+        event.settle({"SDATA": 0})  # both clocks idle: must hold
+        assert event.values["Q"] == 1
+
+
+class TestCardConfiguration:
+    def test_selection(self):
+        config = CardScanConfiguration()
+        config.add_card(binary_counter(3), 0, 0)
+        config.add_card(binary_counter(4), 1, 0)
+        assert config.select(1, 0).name == "counter4"
+        assert config.select(9, 9) is None
+
+    def test_shared_output_gating(self):
+        config = CardScanConfiguration()
+        config.add_card(binary_counter(3), 0, 0)
+        config.add_card(binary_counter(4), 1, 0)
+        # Unselected cards gate to 0, so the wired-OR shows only card 2.
+        value = config.selected_scan_out(
+            1, 0, {"counter3": 1, "counter4": 0}
+        )
+        assert value == 0
+        value = config.selected_scan_out(
+            0, 0, {"counter3": 1, "counter4": 1}
+        )
+        assert value == 1
+
+    def test_total_chain_and_overhead(self):
+        config = CardScanConfiguration()
+        config.add_card(binary_counter(3), 0, 0)
+        config.add_card(binary_counter(5), 0, 1)
+        assert config.total_chain_length == 8
+        assert config.overhead().extra_gates > 0
+
+
+class TestNecPartitioning:
+    def test_backtrace_partition_is_ff_cone(self):
+        circuit = binary_counter(4)
+        partition = backtrace_partition(circuit, "FF2")
+        assert "D2" in partition
+        assert "Q2" in partition  # stops at FF outputs (sources)
+
+    def test_non_ff_rejected(self):
+        circuit = binary_counter(3)
+        with pytest.raises(ValueError):
+            backtrace_partition(circuit, "D1")
+
+    def test_partition_sizes_grow_along_carry_chain(self):
+        sizes = partition_sizes(binary_counter(6))
+        assert sizes["FF5"] > sizes["FF0"]

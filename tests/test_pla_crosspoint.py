@@ -1,0 +1,136 @@
+"""PLA crosspoint fault model tests (ref [84])."""
+
+import itertools
+
+import pytest
+
+from repro.atpg import (
+    CrosspointFault,
+    CrosspointKind,
+    CrosspointTestGenerator,
+    apply_crosspoint_fault,
+    enumerate_crosspoint_faults,
+    generate_crosspoint_tests,
+    generate_tests,
+)
+from repro.circuits import Pla, bcd_to_seven_segment, random_pla, wide_and_pla
+from repro.sim import LogicSimulator
+
+
+def tiny_pla() -> Pla:
+    """Two terms, two outputs: P0 = I0·~I1, P1 = I1·I2;
+    O0 = P0 + P1, O1 = P1."""
+    pla = Pla("tiny", 3)
+    t0 = pla.add_term({0: 1, 1: 0})
+    t1 = pla.add_term({1: 1, 2: 1})
+    pla.add_output([t0, t1])
+    pla.add_output([t1])
+    return pla
+
+
+class TestEnumeration:
+    def test_universe_composition(self):
+        pla = tiny_pla()
+        faults = enumerate_crosspoint_faults(pla)
+        by_kind = {}
+        for fault in faults:
+            by_kind.setdefault(fault.kind, []).append(fault)
+        # Growth: one per programmed literal (2 + 2).
+        assert len(by_kind[CrosspointKind.GROWTH]) == 4
+        # Shrinkage: 2 polarities per unprogrammed column (1 + 1 cols).
+        assert len(by_kind[CrosspointKind.SHRINKAGE]) == 4
+        # OR-plane: every (term, output) pair is one fault.
+        or_faults = len(by_kind[CrosspointKind.DISAPPEARANCE]) + len(
+            by_kind[CrosspointKind.APPEARANCE]
+        )
+        assert or_faults == 2 * 2
+
+    def test_names_readable(self):
+        fault = CrosspointFault(CrosspointKind.GROWTH, 0, 1, 0)
+        assert "growth" in fault.name and "~I1" in fault.name
+
+
+class TestFaultSemantics:
+    def test_growth_widens_term(self):
+        pla = tiny_pla()
+        fault = CrosspointFault(CrosspointKind.GROWTH, 0, 1, 0)  # lose ~I1
+        faulty = apply_crosspoint_fault(pla, fault)
+        # P0 becomes just I0: pattern I0=1, I1=1 now activates it.
+        assert faulty.evaluate([1, 1, 0])[0] == 1
+        assert pla.evaluate([1, 1, 0])[0] == 0
+
+    def test_shrinkage_narrows_term(self):
+        pla = tiny_pla()
+        fault = CrosspointFault(CrosspointKind.SHRINKAGE, 0, 2, 1)  # gain I2
+        faulty = apply_crosspoint_fault(pla, fault)
+        assert pla.evaluate([1, 0, 0])[0] == 1
+        assert faulty.evaluate([1, 0, 0])[0] == 0
+
+    def test_disappearance(self):
+        pla = tiny_pla()
+        fault = CrosspointFault(CrosspointKind.DISAPPEARANCE, 1, output=0)
+        faulty = apply_crosspoint_fault(pla, fault)
+        assert pla.evaluate([0, 1, 1])[0] == 1
+        assert faulty.evaluate([0, 1, 1])[0] == 0
+
+    def test_appearance(self):
+        pla = tiny_pla()
+        fault = CrosspointFault(CrosspointKind.APPEARANCE, 0, output=1)
+        faulty = apply_crosspoint_fault(pla, fault)
+        assert pla.evaluate([1, 0, 0])[1] == 0
+        assert faulty.evaluate([1, 0, 0])[1] == 1
+
+    def test_fully_grown_term_is_constant(self):
+        pla = Pla("one", 2)
+        t = pla.add_term({0: 1})
+        pla.add_output([t])
+        fault = CrosspointFault(CrosspointKind.GROWTH, 0, 0, 1)
+        circuit = apply_crosspoint_fault(pla, fault).to_circuit()
+        sim = LogicSimulator(circuit)
+        for bits in itertools.product((0, 1), repeat=2):
+            assert sim.outputs({"I0": bits[0], "I1": bits[1]})["O0"] == 1
+
+
+class TestGeneration:
+    def test_every_generated_pattern_detects(self):
+        pla = tiny_pla()
+        generator = CrosspointTestGenerator(pla)
+        for fault in enumerate_crosspoint_faults(pla):
+            pattern = generator.generate(fault)
+            if pattern is None:
+                continue
+            assert generator.detects(pattern, fault)
+
+    def test_compacted_set_covers_everything_detectable(self):
+        pla = bcd_to_seven_segment()
+        tests, redundant = generate_crosspoint_tests(pla)
+        generator = CrosspointTestGenerator(pla)
+        detected, missed, red2 = generator.run(tests)
+        assert missed == []
+        assert len(red2) == len(redundant)
+
+    def test_stuck_at_sets_miss_crosspoints(self):
+        """Ref [84]'s thesis: 100% stuck-at coverage is NOT 100%
+        crosspoint coverage on sparse PLAs."""
+        pla = random_pla(8, 6, 3, term_fanin=3, seed=5)
+        circuit = pla.to_circuit()
+        sa = generate_tests(circuit, random_phase=16, seed=0)
+        assert sa.testable_coverage == 1.0
+        generator = CrosspointTestGenerator(pla)
+        detected, missed, _ = generator.run(sa.patterns)
+        assert missed  # stuck-at blind spots exist
+        tests, _ = generate_crosspoint_tests(pla)
+        detected2, missed2, _ = generator.run(tests)
+        assert missed2 == []
+
+    def test_redundant_crosspoints_reported(self):
+        # A term connected to every output: appearance faults on it are
+        # impossible; engineered redundancy via duplicate outputs.
+        pla = Pla("dup", 2)
+        t = pla.add_term({0: 1, 1: 1})
+        pla.add_output([t])
+        pla.add_output([t])
+        tests, redundant = generate_crosspoint_tests(pla)
+        generator = CrosspointTestGenerator(pla)
+        _, missed, _ = generator.run(tests)
+        assert missed == []

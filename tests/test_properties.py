@@ -1,0 +1,287 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits import random_combinational
+from repro.faults import Fault, all_faults, collapse_faults, equivalence_classes
+from repro.faultsim import DeductiveFaultSimulator, FaultSimulator
+from repro.lfsr import (
+    GaloisLfsr,
+    Lfsr,
+    Misr,
+    SignatureRegister,
+    is_irreducible,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    primitive_polynomial,
+    stream_residue,
+)
+from repro.netlist import values as V
+from repro.sim import LogicSimulator, PackedPatternSet, PackedSimulator
+
+# ----------------------------------------------------------------------
+# GF(2) polynomial algebra
+# ----------------------------------------------------------------------
+
+polys = st.integers(min_value=1, max_value=(1 << 24) - 1)
+moduli = st.integers(min_value=2, max_value=(1 << 12) - 1)
+
+
+class TestPolynomialProperties:
+    @given(polys, polys)
+    def test_mul_commutative(self, a, b):
+        assert poly_mul(a, b) == poly_mul(b, a)
+
+    @given(polys, polys, polys)
+    def test_mul_associative(self, a, b, c):
+        assert poly_mul(poly_mul(a, b), c) == poly_mul(a, poly_mul(b, c))
+
+    @given(polys, polys, polys)
+    def test_mul_distributes_over_xor(self, a, b, c):
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    @given(polys, moduli)
+    def test_divmod_reconstructs(self, a, m):
+        q, r = poly_divmod(a, m)
+        assert poly_mul(q, m) ^ r == a
+
+    @given(polys, moduli)
+    def test_mod_idempotent(self, a, m):
+        assert poly_mod(poly_mod(a, m), m) == poly_mod(a, m)
+
+    @given(polys, polys)
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        assert poly_mod(a, g) == 0
+        assert poly_mod(b, g) == 0
+
+
+# ----------------------------------------------------------------------
+# LFSR / signature invariants
+# ----------------------------------------------------------------------
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=200)
+
+
+class TestSignatureProperties:
+    @given(bit_lists)
+    def test_signature_equals_residue(self, bits):
+        register = SignatureRegister(bits=12)
+        assert register.signature_of(bits) == stream_residue(bits, register.poly)
+
+    @given(bit_lists, bit_lists)
+    def test_linearity(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        register = SignatureRegister(bits=10)
+        xored = [x ^ y for x, y in zip(a, b)]
+        assert register.signature_of(xored) == (
+            register.signature_of(a) ^ register.signature_of(b)
+        )
+
+    @given(st.integers(2, 10), st.integers(1, 1000))
+    def test_lfsr_state_never_escapes_register(self, length, steps):
+        lfsr = Lfsr.maximal(length, state=1)
+        for _ in range(min(steps, 200)):
+            lfsr.step()
+            assert 0 < lfsr.state < (1 << length)
+
+    @given(st.integers(2, 12))
+    def test_maximal_lfsr_period(self, length):
+        lfsr = Lfsr.maximal(length, state=1)
+        assert lfsr.period() == (1 << length) - 1
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=60))
+    def test_misr_absorb_deterministic(self, words):
+        a = Misr(8)
+        b = Misr(8)
+        assert a.absorb(words) == b.absorb(words)
+
+    @given(st.integers(2, 16))
+    def test_primitive_polynomials_are_irreducible(self, degree):
+        assert is_irreducible(primitive_polynomial(degree))
+
+
+# ----------------------------------------------------------------------
+# Random circuits: simulator equivalences and fault invariants
+# ----------------------------------------------------------------------
+
+
+def _circuit(seed, gates=30, inputs=5):
+    return random_combinational(inputs, gates, seed=seed)
+
+
+@st.composite
+def circuit_and_patterns(draw):
+    seed = draw(st.integers(0, 1000))
+    circuit = _circuit(seed)
+    count = draw(st.integers(1, 16))
+    patterns = []
+    for index in range(count):
+        bits = draw(
+            st.lists(
+                st.integers(0, 1),
+                min_size=len(circuit.inputs),
+                max_size=len(circuit.inputs),
+            )
+        )
+        patterns.append(dict(zip(circuit.inputs, bits)))
+    return circuit, patterns
+
+
+class TestSimulatorEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(circuit_and_patterns())
+    def test_packed_equals_scalar(self, pair):
+        circuit, patterns = pair
+        scalar = LogicSimulator(circuit)
+        packed_sim = PackedSimulator(circuit)
+        packed = PackedPatternSet.from_patterns(list(circuit.inputs), patterns)
+        words = packed_sim.run(packed)
+        for index, pattern in enumerate(patterns):
+            expected = scalar.outputs(pattern)
+            for net in circuit.outputs:
+                assert (words[net] >> index) & 1 == expected[net]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500))
+    def test_de_morgan_rewrite_preserves_function(self, seed):
+        """Rewriting NAND(a,b) as NOT(AND(a,b)) preserves every output."""
+        from repro.netlist import Circuit, GateType
+
+        circuit = _circuit(seed, gates=20)
+        rewritten = Circuit(circuit.name + "_dm")
+        for pi in circuit.inputs:
+            rewritten.add_input(pi)
+        for gate in circuit.gates:
+            if gate.kind is GateType.NAND:
+                inner = f"__{gate.name}_and"
+                rewritten.and_(gate.inputs, inner)
+                rewritten.not_(inner, gate.output, name=gate.name)
+            elif gate.kind is GateType.NOR:
+                inner = f"__{gate.name}_or"
+                rewritten.or_(gate.inputs, inner)
+                rewritten.not_(inner, gate.output, name=gate.name)
+            else:
+                rewritten.add_gate(gate.kind, gate.inputs, gate.output, gate.name)
+        for po in circuit.outputs:
+            rewritten.add_output(po)
+        sim_a = LogicSimulator(circuit)
+        sim_b = LogicSimulator(rewritten)
+        for bits in itertools.islice(
+            itertools.product((0, 1), repeat=len(circuit.inputs)), 16
+        ):
+            pattern = dict(zip(circuit.inputs, bits))
+            assert sim_a.outputs(pattern) == sim_b.outputs(pattern)
+
+
+class TestFaultInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500))
+    def test_equivalence_classes_partition(self, seed):
+        circuit = _circuit(seed, gates=25)
+        classes = equivalence_classes(circuit)
+        members = [fault for cls in classes for fault in cls]
+        assert len(members) == len(set(members)) == len(all_faults(circuit))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 300))
+    def test_equivalent_faults_detected_together(self, seed):
+        """Every pattern detects either all or none of an equivalence
+        class — the defining property, checked by simulation."""
+        import random as rnd
+
+        circuit = _circuit(seed, gates=20)
+        classes = [cls for cls in equivalence_classes(circuit) if len(cls) > 1]
+        simulator = FaultSimulator(circuit, faults=all_faults(circuit))
+        rng = rnd.Random(seed)
+        patterns = [
+            {net: rng.randint(0, 1) for net in circuit.inputs}
+            for _ in range(12)
+        ]
+        for pattern in patterns:
+            detected = set(simulator.detected_faults(pattern))
+            for cls in classes:
+                in_class = [fault in detected for fault in cls]
+                assert all(in_class) or not any(in_class)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(circuit_and_patterns())
+    def test_deductive_equals_packed(self, pair):
+        circuit, patterns = pair
+        faults = all_faults(circuit)
+        a = FaultSimulator(circuit, faults=faults).run(
+            patterns, drop_detected=False
+        )
+        b = DeductiveFaultSimulator(circuit, faults=faults).run(patterns)
+        assert a.first_detection == b.first_detection
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 400))
+    def test_coverage_monotone_in_patterns(self, seed):
+        import random as rnd
+
+        circuit = _circuit(seed, gates=20)
+        rng = rnd.Random(seed)
+        patterns = [
+            {net: rng.randint(0, 1) for net in circuit.inputs}
+            for _ in range(20)
+        ]
+        simulator = FaultSimulator(circuit)
+        small = simulator.run(patterns[:5])
+        large = simulator.run(patterns)
+        assert set(small.first_detection) <= set(large.first_detection)
+
+
+class TestAtpgSoundnessProperty:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 200))
+    def test_podem_patterns_verified_by_fault_sim(self, seed):
+        """ATPG soundness: every PODEM cube, randomly filled, detects
+        its target fault under independent fault simulation."""
+        import random as rnd
+
+        from repro.atpg import PodemGenerator, fill_dont_cares
+
+        circuit = _circuit(seed, gates=18, inputs=4)
+        engine = PodemGenerator(circuit)
+        simulator = FaultSimulator(circuit, faults=collapse_faults(circuit))
+        rng = rnd.Random(seed)
+        for fault in simulator.faults[:20]:
+            result = engine.generate(fault)
+            if result.pattern is None:
+                continue
+            filled = fill_dont_cares(result.pattern, circuit.inputs, rng)
+            assert simulator.detects(filled, fault)
+
+
+class TestScanRoundTripProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(2, 8),
+        st.lists(st.integers(0, 1), min_size=8, max_size=8),
+    )
+    def test_chain_load_unload_identity(self, length, bits):
+        from repro.circuits import shift_register
+        from repro.scan import ScanTester, insert_scan
+
+        design = insert_scan(shift_register(length))
+        tester = ScanTester(design)
+        state = {
+            net: bits[i % len(bits)] for i, net in enumerate(design.chain)
+        }
+        tester.load_state(state)
+        assert tester.unload_state() == state
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=12))
+    def test_srl_register_round_trip(self, bits):
+        from repro.scan import SrlRegister
+
+        register = SrlRegister.of_length(len(bits))
+        register.load(bits)
+        assert register.unload() == bits

@@ -1,0 +1,123 @@
+"""Property-based tests over the extension modules."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.atpg.pla_crosspoint import (
+    apply_crosspoint_fault,
+    enumerate_crosspoint_faults,
+)
+from repro.atpg.timeframe import frame_net, unroll
+from repro.circuits import (
+    MemFaultKind,
+    MemoryFault,
+    Ram,
+    march_c_minus,
+    mats_plus,
+    random_pla,
+    random_sequential,
+)
+from repro.sim import LogicSimulator, SequentialSimulator
+from repro.netlist import values as V
+
+
+class TestRamProperties:
+    @given(
+        st.integers(2, 32),
+        st.integers(1, 8),
+        st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 255)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_fault_free_ram_is_a_dict(self, words, width, operations):
+        """Read-after-write semantics match a plain dict."""
+        ram = Ram(words, width)
+        model = {}
+        mask = (1 << width) - 1
+        for address, value in operations:
+            address %= words
+            ram.write(address, value)
+            model[address] = value & mask
+        for address, expected in model.items():
+            assert ram.read(address) == expected
+
+    @given(st.integers(2, 16), st.integers(1, 4))
+    def test_march_tests_pass_fault_free(self, words, width):
+        assert mats_plus(Ram(words, width)).passed
+        assert march_c_minus(Ram(words, width)).passed
+
+    @given(
+        st.integers(2, 16),
+        st.integers(1, 4),
+        st.data(),
+    )
+    def test_march_c_catches_any_stuck_cell(self, words, width, data):
+        address = data.draw(st.integers(0, words - 1))
+        bit = data.draw(st.integers(0, width - 1))
+        kind = data.draw(
+            st.sampled_from([MemFaultKind.CELL_SA0, MemFaultKind.CELL_SA1])
+        )
+        ram = Ram(words, width)
+        ram.inject(MemoryFault(kind, address, bit))
+        assert not march_c_minus(ram).passed
+
+
+class TestUnrollProperties:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 200), st.integers(1, 4), st.data())
+    def test_unrolled_array_equals_sequential_trajectory(
+        self, seed, frames, data
+    ):
+        circuit = random_sequential(3, 15, 3, seed=seed)
+        unrolled, frozen = unroll(circuit, frames)
+        # Random input stream and a random definite initial state.
+        stream = [
+            {
+                pi: data.draw(st.integers(0, 1), label=f"{pi}@{t}")
+                for pi in circuit.inputs
+            }
+            for t in range(frames)
+        ]
+        initial = {
+            q: data.draw(st.integers(0, 1), label=q)
+            for q in circuit.pseudo_inputs()
+        }
+        seq = SequentialSimulator(circuit)
+        seq.set_state(initial)
+        assignment = {frame_net(q, 0): v for q, v in initial.items()}
+        for t, vector in enumerate(stream):
+            for pi, value in vector.items():
+                assignment[frame_net(pi, t)] = value
+        flat = LogicSimulator(unrolled).run(assignment)
+        for t, vector in enumerate(stream):
+            outputs = seq.step(vector)
+            for po in circuit.outputs:
+                assert flat[frame_net(po, t)] == outputs[po]
+
+
+class TestCrosspointProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 300), st.data())
+    def test_faulty_pla_evaluate_matches_faulty_circuit(self, seed, data):
+        """Pla.evaluate and the gate lowering agree under any fault."""
+        pla = random_pla(5, 4, 2, term_fanin=2, seed=seed)
+        faults = enumerate_crosspoint_faults(pla)
+        fault = data.draw(st.sampled_from(faults))
+        faulty = apply_crosspoint_fault(pla, fault)
+        circuit = faulty.to_circuit()
+        sim = LogicSimulator(circuit)
+        for bits in itertools.product((0, 1), repeat=5):
+            want = faulty.evaluate(list(bits))
+            got = sim.outputs({f"I{i}": bits[i] for i in range(5)})
+            assert [got[f"O{j}"] for j in range(len(want))] == want
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 300))
+    def test_fault_universe_unique(self, seed):
+        pla = random_pla(5, 4, 2, term_fanin=2, seed=seed)
+        faults = enumerate_crosspoint_faults(pla)
+        assert len(faults) == len(set(faults))

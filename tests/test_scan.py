@@ -1,0 +1,177 @@
+"""Scan-chain insertion, tester protocol, and full-scan flow tests (§IV)."""
+
+import random
+
+import pytest
+
+from repro.circuits import (
+    binary_counter,
+    random_sequential,
+    sequence_detector,
+    shift_register,
+)
+from repro.netlist import NetlistError, values as V
+from repro.scan import (
+    ScanTester,
+    full_scan_flow,
+    insert_scan,
+    schedule_scan_tests,
+)
+from repro.sim import LogicSimulator, SequentialSimulator
+
+
+class TestInsertion:
+    def test_chain_covers_all_flops(self):
+        circuit = binary_counter(5)
+        design = insert_scan(circuit)
+        assert design.chain_length == 5
+        assert set(design.chain) == {f"Q{i}" for i in range(5)}
+
+    def test_scan_pins_added(self):
+        design = insert_scan(binary_counter(3))
+        assert "SCAN_IN" in design.circuit.inputs
+        assert "SCAN_EN" in design.circuit.inputs
+        assert "SCAN_OUT" in design.circuit.outputs
+        assert design.extra_pins() == 3
+
+    def test_functional_equivalence_in_system_mode(self):
+        """With SCAN_EN = 0 the scanned machine equals the original."""
+        circuit = sequence_detector()
+        design = insert_scan(circuit)
+        original = SequentialSimulator(circuit)
+        scanned = SequentialSimulator(design.circuit)
+        original.reset(V.ZERO)
+        scanned.reset(V.ZERO)
+        rng = random.Random(0)
+        for _ in range(40):
+            bit = rng.randint(0, 1)
+            out_a = original.step({"X": bit})
+            out_b = scanned.step({"X": bit, "SCAN_IN": 0, "SCAN_EN": 0})
+            assert out_a["DETECT"] == out_b["DETECT"]
+
+    def test_custom_chain_order(self):
+        circuit = binary_counter(3)
+        design = insert_scan(circuit, chain_order=["FF2", "FF0", "FF1"])
+        assert design.chain == ["Q2", "Q0", "Q1"]
+
+    def test_incomplete_chain_order_rejected(self):
+        with pytest.raises(NetlistError):
+            insert_scan(binary_counter(3), chain_order=["FF0"])
+
+    def test_combinational_rejected(self):
+        from repro.circuits import c17
+
+        with pytest.raises(NetlistError):
+            insert_scan(c17())
+
+    def test_gate_overhead_positive(self):
+        design = insert_scan(binary_counter(4))
+        assert design.gate_overhead() > 0
+
+
+class TestTesterProtocol:
+    def test_load_then_read_state(self):
+        design = insert_scan(binary_counter(4))
+        tester = ScanTester(design)
+        target = {"Q0": 1, "Q1": 0, "Q2": 1, "Q3": 1}
+        tester.load_state(target)
+        assert tester.sim.state_vector() == target
+
+    def test_unload_returns_captured_state(self):
+        design = insert_scan(binary_counter(4))
+        tester = ScanTester(design)
+        target = {"Q0": 0, "Q1": 1, "Q2": 1, "Q3": 0}
+        tester.load_state(target)
+        assert tester.unload_state() == target
+
+    def test_load_unload_round_trip_random(self):
+        design = insert_scan(random_sequential(4, 30, 6, seed=3))
+        tester = ScanTester(design)
+        rng = random.Random(1)
+        for _ in range(5):
+            target = {net: rng.randint(0, 1) for net in design.chain}
+            tester.load_state(target)
+            assert tester.unload_state() == target
+
+    def test_capture_applies_system_function(self):
+        circuit = binary_counter(3)
+        design = insert_scan(circuit)
+        tester = ScanTester(design)
+        tester.load_state({"Q0": 1, "Q1": 1, "Q2": 0})  # count = 3
+        tester.capture({"EN": 1})
+        assert tester.unload_state() == {"Q0": 0, "Q1": 0, "Q2": 1}  # 4
+
+    def test_apply_test_record(self):
+        circuit = binary_counter(3)
+        design = insert_scan(circuit)
+        tester = ScanTester(design)
+        record = tester.apply_test(
+            {"EN": 1, "Q0": 1, "Q1": 0, "Q2": 0}, index=7
+        )
+        assert record.pattern_index == 7
+        assert record.unloaded_state == {"Q0": 0, "Q1": 1, "Q2": 0}
+        assert record.clocks_used == 3 + 1 + 3  # load + capture + unload
+
+    def test_clock_accounting(self):
+        design = insert_scan(binary_counter(4))
+        tester = ScanTester(design)
+        tester.load_state({})
+        assert tester.total_clocks == 4
+
+
+class TestScheduling:
+    def test_schedule_length(self):
+        circuit = binary_counter(3)
+        design = insert_scan(circuit)
+        patterns = [{"EN": 1, "Q0": 1}] * 5
+        schedule = schedule_scan_tests(design, patterns, flush=False)
+        # 5 x (3 shifts + 1 capture) + 3 drain
+        assert len(schedule) == 5 * 4 + 3
+
+    def test_flush_prefix(self):
+        circuit = binary_counter(3)
+        design = insert_scan(circuit)
+        with_flush = schedule_scan_tests(design, [], flush=True)
+        without = schedule_scan_tests(design, [], flush=False)
+        assert len(with_flush) - len(without) == 2 * 3 + 4
+
+    def test_every_cycle_assigns_scan_pins(self):
+        design = insert_scan(binary_counter(3))
+        for vector in schedule_scan_tests(design, [{"EN": 1}]):
+            assert design.scan_enable in vector
+            assert design.scan_in in vector
+
+
+class TestFullScanFlow:
+    @pytest.mark.parametrize(
+        "factory", [sequence_detector, lambda: binary_counter(4)]
+    )
+    def test_flow_reaches_high_verified_coverage(self, factory):
+        result = full_scan_flow(factory(), random_phase=16, seed=1)
+        assert result.core_tests.testable_coverage == 1.0
+        # End-to-end sequential verification through the pins only:
+        assert result.scan_coverage.coverage > 0.85
+
+    def test_undetected_faults_are_scan_control_only(self):
+        """The faults the scan test misses must relate to the scan
+        circuitry's X-masked enable logic, not the system function."""
+        result = full_scan_flow(binary_counter(4), random_phase=16, seed=1)
+        for fault in result.scan_coverage.undetected:
+            assert "SCAN" in fault.name.upper() or "sen" in fault.name
+
+    def test_data_volume_accounted(self):
+        result = full_scan_flow(binary_counter(4), random_phase=8, seed=0)
+        assert result.data_volume_bits > 0
+        assert result.total_clocks == len(result.schedule)
+
+    def test_scan_beats_functional_test_on_deep_state(self):
+        """Reaching a deep counter state functionally needs 2^k clocks;
+        scan needs chain-length clocks."""
+        width = 6
+        circuit = binary_counter(width)
+        design = insert_scan(circuit)
+        tester = ScanTester(design)
+        deep_state = {f"Q{i}": 1 for i in range(width)}  # count = 63
+        tester.load_state(deep_state)
+        assert tester.total_clocks == width  # vs 63 functional clocks
+        assert tester.sim.state_vector() == deep_state

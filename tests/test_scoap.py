@@ -1,0 +1,94 @@
+"""SCOAP testability-measure tests (§II)."""
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    and_gate,
+    binary_counter,
+    c17,
+    inverter_chain,
+    parity_tree,
+    shift_register,
+)
+from repro.netlist import Circuit
+from repro.testability import INF, analyze
+
+
+class TestCombinational:
+    def test_primary_inputs_cost_one(self):
+        report = analyze(c17())
+        for net in ("G1", "G2", "G3"):
+            m = report.measures[net]
+            assert m.cc0 == 1 and m.cc1 == 1
+            assert m.sc0 == 0 and m.sc1 == 0
+
+    def test_and_gate_asymmetry(self):
+        report = analyze(and_gate(3))
+        m = report.measures["Y"]
+        # Setting Y=1 needs all three inputs (3 + 1); Y=0 needs one.
+        assert m.cc1 == 4
+        assert m.cc0 == 2
+
+    def test_primary_output_observability_zero(self):
+        report = analyze(c17())
+        assert report.measures["G22"].co == 0
+
+    def test_observability_through_and(self):
+        report = analyze(and_gate(3))
+        # Observing input A needs B=1, C=1 plus the gate: 1+1+1 = 3.
+        assert report.measures["A"].co == 3
+
+    def test_inverter_chain_depth_costs(self):
+        report = analyze(inverter_chain(5))
+        deep = report.measures[inverter_chain(5).outputs[0]]
+        assert deep.cc0 == 6 or deep.cc1 == 6  # 5 inverters + PI
+
+    def test_xor_controllability(self):
+        report = analyze(parity_tree(2))
+        m = report.measures["X0"]
+        # XOR 0: both equal (cheapest 1+1)+1; XOR 1: one different +1.
+        assert m.cc0 == 3 and m.cc1 == 3
+
+    def test_summary_runs(self):
+        assert "c17" in analyze(c17()).summary()
+
+
+class TestSequential:
+    def test_shift_register_sequential_depth(self):
+        report = analyze(shift_register(4))
+        # Each stage adds one clock of sequential controllability.
+        assert report.measures["Q0"].sc1 == 1
+        assert report.measures["Q3"].sc1 == 4
+
+    def test_counter_without_reset_is_uncontrollable(self):
+        """The §III-B predictability problem: XOR feedback + unknown
+        start = no way to reach a known state."""
+        report = analyze(binary_counter(3))
+        assert "Q0" in report.uncontrollable_nets()
+
+    def test_shift_register_fully_controllable(self):
+        report = analyze(shift_register(4))
+        assert report.uncontrollable_nets() == []
+
+    def test_hardest_lists_sorted(self):
+        report = analyze(c17())
+        hardest = report.hardest_to_control(3)
+        values = [v for _, v in hardest]
+        assert values == sorted(values, reverse=True)
+
+    def test_scan_fixes_controllability(self):
+        """Scan turns the uncontrollable counter into a controllable
+        core — measured, not asserted."""
+        counter = binary_counter(3)
+        before = analyze(counter)
+        core = counter.combinational_core()
+        after = analyze(core)
+        assert before.uncontrollable_nets()
+        assert after.uncontrollable_nets() == []
+
+    def test_observation_cost_through_ff(self):
+        report = analyze(shift_register(2))
+        # SIN is observed through two DFFs: so >= 2 sequential steps.
+        assert report.measures["SIN"].so == 2

@@ -1,0 +1,95 @@
+"""Levelized five-valued simulator tests."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import Circuit, NetlistError
+from repro.netlist import values as V
+from repro.sim import LogicSimulator, exhaustive_truth_table
+from repro.circuits import c17, binary_counter, majority3
+
+
+class TestBasics:
+    def test_c17_known_vector(self):
+        sim = LogicSimulator(c17())
+        out = sim.outputs({"G1": 0, "G2": 0, "G3": 0, "G6": 0, "G7": 0})
+        # All-NAND with zero inputs: G10=G11=1, G16=1, G19=1, G22=0, G23=0
+        assert out == {"G22": 0, "G23": 0}
+
+    def test_unassigned_inputs_default_x(self):
+        sim = LogicSimulator(c17())
+        values = sim.run({"G1": 0})
+        assert values["G10"] == V.ONE  # NAND with a 0 input
+        assert values["G11"] == V.X
+
+    def test_unknown_net_rejected(self):
+        sim = LogicSimulator(c17())
+        with pytest.raises(NetlistError):
+            sim.run({"NOPE": 1})
+
+    def test_internal_net_not_assignable(self):
+        sim = LogicSimulator(c17())
+        with pytest.raises(NetlistError):
+            sim.run({"G10": 1})
+
+    def test_run_pattern_positional(self):
+        sim = LogicSimulator(c17())
+        values = sim.run_pattern([0, 0, 0, 0, 0])
+        assert values["G22"] == 0
+
+    def test_run_pattern_length_checked(self):
+        sim = LogicSimulator(c17())
+        with pytest.raises(ValueError):
+            sim.run_pattern([0, 1])
+
+    def test_output_vector_order(self):
+        sim = LogicSimulator(c17())
+        vec = sim.output_vector({n: 0 for n in c17().inputs})
+        assert vec == (0, 0)
+
+
+class TestSequentialView:
+    def test_ff_outputs_are_free(self):
+        counter = binary_counter(3)
+        sim = LogicSimulator(counter)
+        assert set(sim.free_nets) == {"EN", "Q0", "Q1", "Q2"}
+
+    def test_next_state_computation(self):
+        counter = binary_counter(3)
+        sim = LogicSimulator(counter)
+        values = sim.run({"EN": 1, "Q0": 1, "Q1": 0, "Q2": 0})
+        # 1 + 1 = 2: D = 010
+        assert (values["D0"], values["D1"], values["D2"]) == (0, 1, 0)
+
+
+class TestControllingValueShortcuts:
+    def test_and_zero_dominates_x(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        c.and_(["a", "b"], "z")
+        c.add_output("z")
+        sim = LogicSimulator(c)
+        assert sim.outputs({"a": 0})["z"] == V.ZERO
+
+    def test_or_one_dominates_x(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        c.or_(["a", "b"], "z")
+        c.add_output("z")
+        sim = LogicSimulator(c)
+        assert sim.outputs({"b": 1})["z"] == V.ONE
+
+
+class TestExhaustiveTable:
+    def test_majority_table(self):
+        table = exhaustive_truth_table(majority3())
+        ones = [m for m, out in table.items() if out == (1,)]
+        assert sorted(ones) == [3, 5, 6, 7]  # minterms with >= 2 ones
+
+    def test_table_requires_combinational(self):
+        with pytest.raises(NetlistError):
+            exhaustive_truth_table(binary_counter(2))
+
+    def test_table_size(self):
+        assert len(exhaustive_truth_table(c17())) == 32

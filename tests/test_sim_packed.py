@@ -1,0 +1,109 @@
+"""Bit-parallel packed simulation tests: must agree with the scalar sim."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.netlist import Circuit, NetlistError
+from repro.sim import LogicSimulator, PackedPatternSet, PackedSimulator
+from repro.circuits import c17, ripple_carry_adder, parity_tree, binary_counter
+
+
+class TestPatternSet:
+    def test_from_patterns_round_trip(self):
+        nets = ["a", "b", "c"]
+        patterns = [
+            {"a": 1, "b": 0, "c": 1},
+            {"a": 0, "b": 0, "c": 0},
+            {"a": 1, "b": 1, "c": 0},
+        ]
+        packed = PackedPatternSet.from_patterns(nets, patterns)
+        assert packed.count == 3
+        for i, pattern in enumerate(patterns):
+            assert packed.pattern(i) == pattern
+
+    def test_add_pattern(self):
+        packed = PackedPatternSet(["x"])
+        index = packed.add_pattern({"x": 1})
+        assert index == 0
+        assert packed.pattern(0) == {"x": 1}
+
+    def test_exhaustive_is_counting_order(self):
+        packed = PackedPatternSet.exhaustive(["a", "b", "c"])
+        assert packed.count == 8
+        for minterm in range(8):
+            pattern = packed.pattern(minterm)
+            assert pattern == {
+                "a": minterm & 1,
+                "b": (minterm >> 1) & 1,
+                "c": (minterm >> 2) & 1,
+            }
+
+    def test_exhaustive_wide(self):
+        packed = PackedPatternSet.exhaustive([f"i{k}" for k in range(16)])
+        assert packed.count == 65536
+        assert packed.pattern(40000) == {
+            f"i{k}": (40000 >> k) & 1 for k in range(16)
+        }
+
+    def test_mask(self):
+        packed = PackedPatternSet.exhaustive(["a", "b"])
+        assert packed.mask == 0b1111
+
+
+class TestAgreementWithScalarSim:
+    @pytest.mark.parametrize(
+        "factory", [c17, lambda: ripple_carry_adder(4), lambda: parity_tree(6)]
+    )
+    def test_exhaustive_agreement(self, factory):
+        circuit = factory()
+        scalar = LogicSimulator(circuit)
+        packed_sim = PackedSimulator(circuit)
+        packed = PackedPatternSet.exhaustive(list(circuit.inputs))
+        words = packed_sim.run(packed)
+        for minterm in range(packed.count):
+            pattern = packed.pattern(minterm)
+            expected = scalar.outputs(pattern)
+            for net in circuit.outputs:
+                assert (words[net] >> minterm) & 1 == expected[net]
+
+    def test_random_pattern_agreement(self):
+        circuit = ripple_carry_adder(6)
+        rng = random.Random(0)
+        patterns = [
+            {net: rng.randint(0, 1) for net in circuit.inputs}
+            for _ in range(100)
+        ]
+        scalar = LogicSimulator(circuit)
+        packed_sim = PackedSimulator(circuit)
+        packed = PackedPatternSet.from_patterns(list(circuit.inputs), patterns)
+        words = packed_sim.run(packed)
+        for i, pattern in enumerate(patterns):
+            expected = scalar.outputs(pattern)
+            for net in circuit.outputs:
+                assert (words[net] >> i) & 1 == expected[net]
+
+
+class TestForcing:
+    def test_force_gate_output(self):
+        circuit = c17()
+        sim = PackedSimulator(circuit)
+        packed = PackedPatternSet.exhaustive(list(circuit.inputs))
+        stuck = sim.run(packed, force={"G11": 0})
+        # With G11 forced 0, G16 and G19 (NANDs reading it) are all-1.
+        assert stuck["G16"] == packed.mask
+        assert stuck["G19"] == packed.mask
+
+    def test_force_primary_input(self):
+        circuit = c17()
+        sim = PackedSimulator(circuit)
+        packed = PackedPatternSet.exhaustive(list(circuit.inputs))
+        forced = sim.run(packed, force={"G1": packed.mask})
+        good = sim.run(packed)
+        assert forced["G1"] == packed.mask
+        assert forced["G22"] != good["G22"]
+
+    def test_sequential_rejected(self):
+        with pytest.raises(NetlistError):
+            PackedSimulator(binary_counter(2))

@@ -1,0 +1,124 @@
+"""Sequential (clocked) and event-driven (timed) simulator tests."""
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.netlist import values as V
+from repro.sim import EventSimulator, SequentialSimulator
+from repro.circuits import binary_counter, shift_register
+from repro.scan import srl_netlist
+
+
+class TestSequentialSimulator:
+    def test_initial_state_is_x(self):
+        sim = SequentialSimulator(binary_counter(3))
+        assert all(v == V.X for v in sim.state.values())
+        assert not sim.is_initialized
+
+    def test_x_state_propagates_to_outputs(self):
+        sim = SequentialSimulator(binary_counter(3))
+        out = sim.step({"EN": 1})
+        assert out["Q0"] == V.X
+
+    def test_reset_initializes(self):
+        sim = SequentialSimulator(binary_counter(3))
+        sim.reset(V.ZERO)
+        assert sim.is_initialized
+
+    def test_set_state_partial(self):
+        sim = SequentialSimulator(binary_counter(3))
+        sim.set_state({"Q0": V.ONE})
+        assert sim.state["Q0"] == V.ONE
+        assert sim.state["Q1"] == V.X
+
+    def test_set_state_unknown_net_rejected(self):
+        sim = SequentialSimulator(binary_counter(3))
+        with pytest.raises(KeyError):
+            sim.set_state({"NOPE": 1})
+
+    def test_evaluate_does_not_clock(self):
+        sim = SequentialSimulator(binary_counter(3))
+        sim.reset(V.ZERO)
+        sim.evaluate({"EN": 1})
+        assert sim.state["Q0"] == V.ZERO
+        assert sim.cycle == 0
+
+    def test_run_sequence(self):
+        sim = SequentialSimulator(shift_register(2))
+        sim.reset(V.ZERO)
+        history = sim.run_sequence([{"SIN": 1}, {"SIN": 0}, {"SIN": 0}])
+        assert len(history) == 3
+        assert sim.cycle == 3
+
+    def test_randomize_state(self):
+        import random
+
+        sim = SequentialSimulator(binary_counter(4))
+        sim.randomize_state(random.Random(0))
+        assert sim.is_initialized
+
+
+class TestEventSimulator:
+    def test_settles_to_levelized_values(self):
+        from repro.circuits import c17
+        from repro.sim import LogicSimulator
+
+        circuit = c17()
+        pattern = {"G1": 1, "G2": 0, "G3": 1, "G6": 1, "G7": 0}
+        event = EventSimulator(circuit)
+        values = event.settle(pattern)
+        expected = LogicSimulator(circuit).run(pattern)
+        for net in circuit.nets():
+            assert values[net] == expected[net]
+
+    def test_delay_accumulates(self):
+        c = Circuit()
+        c.add_input("a")
+        c.not_("a", "n1")
+        c.not_("n1", "n2")
+        c.add_output("n2")
+        event = EventSimulator(c, default_delay=2)
+        event.drive({"a": 0})
+        last = event.run()
+        assert last == 4  # two gates at delay 2
+
+    def test_glitch_detection_static_hazard(self):
+        # Classic hazard: z = a&b | ~a&c with b=c=1; toggling a glitches
+        # when the inverter path is slower.
+        c = Circuit()
+        c.add_inputs(["a", "b", "c"])
+        c.not_("a", "an")
+        c.and_(["a", "b"], "t1")
+        c.and_(["an", "c"], "t2")
+        c.or_(["t1", "t2"], "z")
+        c.add_output("z")
+        event = EventSimulator(c, delays={"an": 3})
+        event.settle({"a": 1, "b": 1, "c": 1})
+        settle_time = event.time
+        event.settle({"a": 0})
+        assert event.had_glitch("z", since=settle_time)
+
+    def test_srl_immune_to_clock_width_variation(self):
+        """Level-sensitive claim (Fig. 10): final state independent of
+        how long the C pulse is held, once it exceeds the settle time."""
+        finals = []
+        for width in (6, 10, 25):
+            srl = srl_netlist()
+            event = EventSimulator(srl)
+            event.settle({"D": 1, "C": 0, "I": 0, "A": 0, "B": 0})
+            event.drive({"C": 1}, at_time=event.time + 1)
+            event.drive({"C": 0}, at_time=event.time + 1 + width)
+            event.run()
+            finals.append(event.values["L1"])
+        assert finals == [1, 1, 1]
+
+    def test_transitions_recorded(self):
+        c = Circuit()
+        c.add_input("a")
+        c.not_("a", "z")
+        c.add_output("z")
+        event = EventSimulator(c)
+        event.settle({"a": 0})
+        event.settle({"a": 1})
+        changes = event.transitions_on("z")
+        assert [v for _, v in changes][-1] == V.ZERO

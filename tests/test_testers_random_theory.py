@@ -1,0 +1,189 @@
+"""Tester models and random-pattern theory tests (Figs. 22, 23, 25)."""
+
+import math
+
+import pytest
+
+from repro.bist import (
+    detection_probability,
+    detection_profile,
+    escape_probability,
+    expected_random_test_length,
+    pla_random_resistance,
+    pla_term_activation_probability,
+    predict_random_testability,
+    profile_test_length,
+)
+from repro.circuits import (
+    and_gate,
+    c17,
+    majority3,
+    parity_tree,
+    random_combinational,
+    wide_and_pla,
+)
+from repro.faults import Fault, collapse_faults
+from repro.netlist import Circuit, GateType
+from repro.testers import (
+    StoredPatternTester,
+    SyndromeTester,
+    WalshTester,
+)
+
+
+def _stuck_version(circuit, net, value):
+    faulty = Circuit(f"{circuit.name}_f")
+    for pi in circuit.inputs:
+        faulty.add_input(pi)
+    stuck = f"__{net}_stuck"
+    for gate in circuit.gates:
+        inputs = [stuck if n == net else n for n in gate.inputs]
+        faulty.add_gate(gate.kind, inputs, gate.output, gate.name)
+    faulty.add_gate(
+        GateType.CONST1 if value else GateType.CONST0, [], stuck
+    )
+    for po in circuit.outputs:
+        faulty.add_output(po)
+    faulty.validate()
+    return faulty
+
+
+class TestStoredPatternTester:
+    def test_good_device_passes(self):
+        from repro.atpg import exhaustive_patterns
+
+        tester = StoredPatternTester()
+        patterns = exhaustive_patterns(c17())
+        expected = tester.characterize(c17(), patterns)
+        outcome = tester.test(c17(), patterns, expected)
+        assert outcome.passed
+        assert outcome.patterns_applied == 32
+
+    def test_faulty_device_fails_with_location(self):
+        from repro.atpg import exhaustive_patterns
+
+        tester = StoredPatternTester()
+        patterns = exhaustive_patterns(c17())
+        expected = tester.characterize(c17(), patterns)
+        outcome = tester.test(
+            _stuck_version(c17(), "G11", 1), patterns, expected
+        )
+        assert not outcome.passed
+        assert outcome.failing_outputs
+        assert outcome.first_failure is not None
+
+    def test_tester_time_accounted(self):
+        tester = StoredPatternTester(seconds_per_pattern=1e-3)
+        patterns = [dict.fromkeys(c17().inputs, 0)]
+        expected = tester.characterize(c17(), patterns)
+        outcome = tester.test(c17(), patterns, expected)
+        assert outcome.tester_seconds == pytest.approx(1e-3)
+
+
+class TestSyndromeTester:
+    def test_pass_fail(self):
+        tester = SyndromeTester()
+        tester.characterize(c17())
+        assert tester.test(c17()).passed
+        assert not tester.test(_stuck_version(c17(), "G16", 0)).passed
+
+    def test_requires_characterization(self):
+        with pytest.raises(RuntimeError):
+            SyndromeTester().test(c17())
+
+
+class TestWalshTester:
+    def test_pass_fail_on_input_fault(self):
+        tester = WalshTester()
+        tester.characterize(majority3())
+        assert tester.test(majority3()).passed
+        assert not tester.test(_stuck_version(majority3(), "A", 0)).passed
+
+    def test_two_counter_passes(self):
+        tester = WalshTester()
+        tester.characterize(majority3())
+        outcome = tester.test(majority3())
+        assert outcome.patterns_applied == 2 * 8
+
+
+class TestDetectionProbability:
+    def test_and_input_fault_probability(self):
+        """A k-input AND's input-SA1 fault needs the one pattern with
+        that input 0, others 1: p = 2^-k... times the output condition."""
+        circuit = and_gate(3)
+        p = detection_probability(circuit, Fault("A", 1))
+        assert p == pytest.approx(1 / 8)
+
+    def test_xor_faults_easy(self):
+        circuit = parity_tree(4)
+        p = detection_probability(circuit, Fault("I0", 0))
+        assert p == pytest.approx(0.5)
+
+    def test_profile_covers_all(self):
+        circuit = c17()
+        faults = collapse_faults(circuit)
+        profile = detection_profile(circuit, faults)
+        assert set(profile) == set(faults)
+        assert all(0 < p <= 1 for p in profile.values())
+
+
+class TestTestLengthPlanning:
+    def test_expected_length_formula(self):
+        # p = 0.5, c = 0.95: N = log(0.05)/log(0.5) ≈ 4.32
+        assert expected_random_test_length(0.5, 0.95) == pytest.approx(
+            math.log(0.05) / math.log(0.5)
+        )
+
+    def test_certain_detection(self):
+        assert expected_random_test_length(1.0) == 1.0
+
+    def test_zero_probability_is_infinite(self):
+        assert expected_random_test_length(0.0) == math.inf
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            expected_random_test_length(0.5, 1.5)
+
+    def test_escape_probability(self):
+        assert escape_probability(0.5, 10) == pytest.approx(2**-10)
+        assert escape_probability(0.0, 10) == 1.0
+
+    def test_profile_length_uses_hardest(self):
+        profile = {Fault("a", 0): 0.5, Fault("b", 0): 0.01}
+        assert profile_test_length(profile) == pytest.approx(
+            expected_random_test_length(0.01)
+        )
+
+
+class TestPlaResistance:
+    def test_term_probabilities(self):
+        pla = wide_and_pla(20)
+        probs = pla_term_activation_probability(pla)
+        assert probs == [2.0**-20]
+
+    def test_paper_fig22_number(self):
+        """§V-A: 'each random pattern would have 1/2^20 probability'."""
+        resistance = pla_random_resistance(wide_and_pla(20))
+        # Detecting with 95% confidence needs ~3.1 million patterns.
+        assert resistance > 3e6
+
+    def test_low_fanin_pla_is_easy(self):
+        assert pla_random_resistance(wide_and_pla(4)) < 100
+
+    def test_random_logic_prediction_vs_measurement(self):
+        """Fan-in <= 4 random logic 'can do quite well' — confirmed by
+        running the predicted pattern count."""
+        from repro.atpg import random_patterns
+        from repro.faultsim import FaultSimulator
+
+        circuit = random_combinational(8, 60, seed=4, max_fanin=4)
+        faults = collapse_faults(circuit)
+        prediction = predict_random_testability(circuit, faults)
+        budget = int(min(prediction.predicted_length_95 * 2, 2000)) + 8
+        simulator = FaultSimulator(circuit, faults=faults)
+        report = simulator.run(random_patterns(circuit, budget, seed=1))
+        undetectable = [
+            f for f, p in detection_profile(circuit, faults).items() if p == 0
+        ]
+        testable = len(faults) - len(undetectable)
+        assert len(report.first_detection) / testable > 0.95

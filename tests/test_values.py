@@ -1,0 +1,140 @@
+"""Five-valued D-calculus algebra tests."""
+
+import pytest
+
+from repro.netlist import values as V
+
+
+class TestNames:
+    def test_round_trip_names(self):
+        for value in V.VALUES:
+            assert V.value_from_name(V.value_name(value)) == value
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            V.value_from_name("Q")
+
+    def test_dbar_aliases(self):
+        assert V.value_from_name("D'") == V.DBAR
+        assert V.value_from_name("DBAR") == V.DBAR
+
+
+class TestBooleanSubalgebra:
+    """Restricted to {0,1} the tables must be plain Boolean logic."""
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_and(self, a, b):
+        assert V.v_and(a, b) == (a and b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_or(self, a, b):
+        assert V.v_or(a, b) == (a or b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_xor(self, a, b):
+        assert V.v_xor(a, b) == (a ^ b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    def test_not(self, a):
+        assert V.v_not(a) == 1 - a
+
+
+class TestDCalculus:
+    def test_d_and_one_is_d(self):
+        assert V.v_and(V.D, V.ONE) == V.D
+
+    def test_d_and_zero_is_zero(self):
+        assert V.v_and(V.D, V.ZERO) == V.ZERO
+
+    def test_d_and_dbar_is_zero(self):
+        # Good: 1 AND 0 = 0; faulty: 0 AND 1 = 0.
+        assert V.v_and(V.D, V.DBAR) == V.ZERO
+
+    def test_d_or_dbar_is_one(self):
+        assert V.v_or(V.D, V.DBAR) == V.ONE
+
+    def test_d_xor_d_is_zero(self):
+        assert V.v_xor(V.D, V.D) == V.ZERO
+
+    def test_d_xor_dbar_is_one(self):
+        assert V.v_xor(V.D, V.DBAR) == V.ONE
+
+    def test_not_d_is_dbar(self):
+        assert V.v_not(V.D) == V.DBAR
+        assert V.v_not(V.DBAR) == V.D
+
+    def test_d_or_one_absorbs(self):
+        assert V.v_or(V.D, V.ONE) == V.ONE
+
+    def test_components(self):
+        assert V.good_value(V.D) == 1
+        assert V.faulty_value(V.D) == 0
+        assert V.good_value(V.DBAR) == 0
+        assert V.faulty_value(V.DBAR) == 1
+
+    def test_fault_effect_predicate(self):
+        assert V.has_fault_effect(V.D)
+        assert V.has_fault_effect(V.DBAR)
+        assert not V.has_fault_effect(V.ONE)
+        assert not V.has_fault_effect(V.X)
+
+
+class TestUnknownPropagation:
+    def test_x_and_zero_is_zero(self):
+        assert V.v_and(V.X, V.ZERO) == V.ZERO
+
+    def test_x_and_one_is_x(self):
+        assert V.v_and(V.X, V.ONE) == V.X
+
+    def test_x_or_one_is_one(self):
+        assert V.v_or(V.X, V.ONE) == V.ONE
+
+    def test_x_xor_anything_known_is_x(self):
+        assert V.v_xor(V.X, V.ONE) == V.X
+        assert V.v_xor(V.X, V.ZERO) == V.X
+
+    def test_not_x_is_x(self):
+        assert V.v_not(V.X) == V.X
+
+    def test_x_and_d_collapses_to_x(self):
+        # Mixed pairs (X, 0) are conservatively X in the 5-valued system.
+        assert V.v_and(V.X, V.D) == V.X
+
+
+class TestReductions:
+    def test_and_all_short_circuit(self):
+        assert V.v_and_all([V.ONE, V.ZERO, V.X]) == V.ZERO
+
+    def test_and_all_empty_is_one(self):
+        assert V.v_and_all([]) == V.ONE
+
+    def test_or_all_empty_is_zero(self):
+        assert V.v_or_all([]) == V.ZERO
+
+    def test_xor_all_parity(self):
+        assert V.v_xor_all([V.ONE, V.ONE, V.ONE]) == V.ONE
+        assert V.v_xor_all([V.ONE, V.ONE]) == V.ZERO
+
+    def test_from_bool(self):
+        assert V.from_bool(True) == V.ONE
+        assert V.from_bool(False) == V.ZERO
+
+
+class TestConsistencyWithComponents:
+    """Every table entry must equal the componentwise 3-valued compute."""
+
+    def test_and_componentwise(self):
+        for a in V.VALUES:
+            for b in V.VALUES:
+                result = V.v_and(a, b)
+                ga, fa = V.good_value(a), V.faulty_value(a)
+                gb, fb = V.good_value(b), V.faulty_value(b)
+                if V.X in (ga, fa, gb, fb):
+                    continue  # conservative X results allowed
+                good = ga & gb
+                faulty = fa & fb
+                assert V.good_value(result) in (good, V.X)
+                assert V.faulty_value(result) in (faulty, V.X)
