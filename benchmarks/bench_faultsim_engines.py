@@ -1,0 +1,165 @@
+"""Per-engine fault-simulation throughput, with cross-engine agreement.
+
+Measures patterns/second for every combinational engine on the circuits
+the paper argues about (the SN74181 ALU and random logic), and pins the
+two hard guarantees of the compiled-core refactor:
+
+1. **Agreement** — all engines (serial, deductive, parallel-fault,
+   parallel-pattern compiled and pre-compiled baseline) report the
+   identical detected-fault set; any disagreement fails the run.
+2. **Speedup** — the compiled parallel-pattern engine is at least 3x
+   the pre-compiled-core (seed) engine in patterns/sec on the 74181.
+
+Run standalone (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_faultsim_engines.py [--quick]
+
+or through pytest, which executes the quick configuration.
+"""
+
+import argparse
+import random
+import sys
+import time
+
+from conftest import print_table
+
+from repro.circuits import alu74181, random_combinational
+from repro.faults import collapse_faults
+from repro.faultsim import Engine, FaultSimulator, create_simulator
+
+MIN_SPEEDUP = 3.0
+
+
+def _random_patterns(circuit, count, seed):
+    rng = random.Random(seed)
+    return [
+        {net: rng.randint(0, 1) for net in circuit.inputs}
+        for _ in range(count)
+    ]
+
+
+def _timed_run(simulator, patterns, **kwargs):
+    start = time.perf_counter()
+    report = simulator.run(patterns, **kwargs)
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def agreement_table(circuit, patterns):
+    """Run every engine on one workload; returns (rows, detected sets)."""
+    faults = collapse_faults(circuit)
+    rows = []
+    detected = {}
+    for engine in Engine:
+        simulator = create_simulator(circuit, engine, faults=faults)
+        report, elapsed = _timed_run(simulator, patterns)
+        detected[engine.value] = frozenset(report.first_detection)
+        rows.append(
+            (
+                engine.value,
+                len(patterns),
+                len(report.first_detection),
+                f"{len(patterns) / elapsed:.0f}",
+            )
+        )
+    baseline = FaultSimulator(circuit, faults=faults, compiled=False)
+    report, elapsed = _timed_run(baseline, patterns)
+    detected["parallel_pattern (seed)"] = frozenset(report.first_detection)
+    rows.append(
+        (
+            "parallel_pattern (seed)",
+            len(patterns),
+            len(report.first_detection),
+            f"{len(patterns) / elapsed:.0f}",
+        )
+    )
+    return rows, detected
+
+
+def check_agreement(circuit, patterns):
+    rows, detected = agreement_table(circuit, patterns)
+    print_table(
+        f"Engine agreement + throughput on {circuit.name}",
+        ["engine", "patterns", "detected", "patterns/sec"],
+        rows,
+    )
+    reference = detected["serial"]
+    disagreeing = [
+        name for name, found in detected.items() if found != reference
+    ]
+    if disagreeing:
+        raise SystemExit(
+            f"ENGINE DISAGREEMENT on {circuit.name}: {disagreeing} "
+            f"differ from the serial reference"
+        )
+    print(f"all engines agree: {len(reference)} faults detected")
+
+
+def measure_speedup(patterns_count):
+    """Compiled vs seed parallel-pattern engine on the 74181 ALU.
+
+    ``drop_detected=False`` keeps every fault live through every batch,
+    so both engines do the same amount of work and the ratio isolates
+    the compiled core + fault-cone caching.
+    """
+    circuit = alu74181()
+    faults = collapse_faults(circuit)
+    patterns = _random_patterns(circuit, patterns_count, seed=74181)
+
+    compiled = FaultSimulator(circuit, faults=faults)
+    seed_engine = FaultSimulator(circuit, faults=faults, compiled=False)
+    # Warm both (compile cache, cone caches) so timing measures steady state.
+    compiled.run(patterns[:16])
+    seed_engine.run(patterns[:16])
+
+    report_fast, fast = _timed_run(compiled, patterns, drop_detected=False)
+    report_seed, slow = _timed_run(seed_engine, patterns, drop_detected=False)
+    speedup = slow / fast
+    print_table(
+        f"Parallel-pattern speedup on {circuit.name} "
+        f"({len(faults)} faults, {patterns_count} patterns, no dropping)",
+        ["engine", "seconds", "patterns/sec", "speedup"],
+        [
+            ("seed (pre-compiled-core)", f"{slow:.3f}", f"{patterns_count / slow:.0f}", "1.0x"),
+            ("compiled + fault cones", f"{fast:.3f}", f"{patterns_count / fast:.0f}", f"{speedup:.1f}x"),
+        ],
+    )
+    if frozenset(report_fast.first_detection) != frozenset(
+        report_seed.first_detection
+    ):
+        raise SystemExit("ENGINE DISAGREEMENT: compiled vs seed on 74181")
+    if speedup < MIN_SPEEDUP:
+        raise SystemExit(
+            f"speedup {speedup:.2f}x below the required {MIN_SPEEDUP}x"
+        )
+    return speedup
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: fewer patterns, same agreement + speedup gates",
+    )
+    args = parser.parse_args(argv)
+
+    alu = alu74181()
+    check_agreement(alu, _random_patterns(alu, 8 if args.quick else 32, seed=1))
+    if not args.quick:
+        rand = random_combinational(10, 120, seed=5)
+        check_agreement(rand, _random_patterns(rand, 32, seed=2))
+
+    speedup = measure_speedup(128 if args.quick else 512)
+    print(f"OK: compiled parallel-pattern engine is {speedup:.1f}x the seed engine")
+    return 0
+
+
+def test_engines_quick():
+    """Pytest entry point: the quick benchmark must pass end to end."""
+    assert main(["--quick"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Sequence
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault
 from ..faults.collapse import collapse_faults
-from ..faultsim.parallel_pattern import FaultSimulator
 from ..faultsim.coverage import CoverageReport
 from .podem import PodemGenerator, PodemResult
 from .d_algorithm import DAlgorithm
@@ -77,17 +76,24 @@ def generate_tests(
     backtrack_limit: int = 10000,
     compact: bool = True,
     seed: int = 0,
+    engine: str = "parallel_pattern",
 ) -> TestGenerationResult:
     """Run the full deterministic ATPG flow on a combinational circuit.
 
     ``method`` is ``"podem"`` or ``"dalg"``.  ``random_phase`` patterns
     of uniform random stimulus run first (0 disables).  Returns fully
     specified patterns plus the verified coverage report.
+
+    ``engine`` selects the fault-simulation engine used for pattern
+    verification and fault grading (see :class:`repro.faultsim.Engine`);
+    the default is the compiled parallel-pattern engine.
     """
+    from ..faultsim import create_simulator
+
     if method not in ("podem", "dalg"):
         raise ValueError(f"unknown ATPG method {method!r}")
     fault_list = list(faults) if faults is not None else collapse_faults(circuit)
-    simulator = FaultSimulator(circuit, faults=fault_list)
+    simulator = create_simulator(circuit, engine, faults=fault_list)
     rng = random.Random(seed)
 
     undetected = list(fault_list)
@@ -108,7 +114,7 @@ def generate_tests(
         detected = set(phase_report.first_detection)
         undetected = [f for f in undetected if f not in detected]
 
-    engine = (
+    generator = (
         PodemGenerator(circuit, backtrack_limit=backtrack_limit)
         if method == "podem"
         else DAlgorithm(circuit, backtrack_limit=backtrack_limit)
@@ -123,7 +129,7 @@ def generate_tests(
         fault = queue.pop(0)
         if fault in dropped:
             continue
-        result: PodemResult = engine.generate(fault)
+        result: PodemResult = generator.generate(fault)
         total_backtracks += result.backtracks
         if result.pattern is None:
             (redundant if result.redundant else aborted).append(fault)
@@ -160,7 +166,7 @@ def generate_tests(
         if not missing:
             break
         for fault in missing:
-            result = engine.generate(fault)
+            result = generator.generate(fault)
             total_backtracks += result.backtracks
             if result.pattern is None:
                 (redundant if result.redundant else aborted).append(fault)

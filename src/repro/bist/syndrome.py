@@ -48,7 +48,10 @@ class SyndromeAnalyzer:
         self.expanded, self._branch_map = expand_branches(circuit)
         self._sim = PackedSimulator(self.expanded)
         self._packed = PackedPatternSet.exhaustive(list(circuit.inputs))
-        self._good = self._sim.run(self._packed)
+        # One good-machine pass on the compiled core; every faulty
+        # machine afterwards re-evaluates only the fault's cached cone.
+        self._injector = self._sim.injector(self._packed)
+        self._good = self._injector.program.words_to_dict(self._injector.good)
 
     @property
     def pattern_count(self) -> int:
@@ -67,11 +70,16 @@ class SyndromeAnalyzer:
             for net in self.circuit.outputs
         }
 
-    def faulty_counts(self, fault: Fault) -> Dict[str, int]:
-        """Per-output ones-counts of the faulty machine."""
+    def _faulty_outputs(self, fault: Fault) -> Dict[str, int]:
         site = fault_site_net(fault, self._branch_map)
         forced = self._packed.mask if fault.value else 0
-        faulty = self._sim.run(self._packed, force={site: forced})
+        return self._injector.faulty_output_words(
+            self._injector.site_index(site), forced
+        )
+
+    def faulty_counts(self, fault: Fault) -> Dict[str, int]:
+        """Per-output ones-counts of the faulty machine."""
+        faulty = self._faulty_outputs(fault)
         return {net: _popcount(faulty[net]) for net in self.circuit.outputs}
 
     def is_syndrome_testable(self, fault: Fault) -> bool:
@@ -107,9 +115,7 @@ class SyndromeAnalyzer:
         if fault is None:
             words = self._good
         else:
-            site = fault_site_net(fault, self._branch_map)
-            forced = self._packed.mask if fault.value else 0
-            words = self._sim.run(self._packed, force={site: forced})
+            words = self._faulty_outputs(fault)
         return {
             net: _popcount(words[net] & select)
             for net in self.circuit.outputs

@@ -46,7 +46,10 @@ class WalshAnalyzer:
         self.expanded, self._branch_map = expand_branches(circuit)
         self._sim = PackedSimulator(self.expanded)
         self._packed = PackedPatternSet.exhaustive(list(circuit.inputs))
-        self._good = self._sim.run(self._packed)
+        # One good-machine pass on the compiled core; faulty machines
+        # re-evaluate only the fault's cached cone.
+        self._injector = self._sim.injector(self._packed)
+        self._good = self._injector.program.words_to_dict(self._injector.good)
         self._n = n
 
     @property
@@ -95,7 +98,9 @@ class WalshAnalyzer:
         net = output if output is not None else self.circuit.outputs[0]
         site = fault_site_net(fault, self._branch_map)
         forced = self._packed.mask if fault.value else 0
-        faulty = self._sim.run(self._packed, force={site: forced})
+        faulty = self._injector.faulty_output_words(
+            self._injector.site_index(site), forced
+        )
         f_word = faulty[net]
         inputs = list(self.circuit.inputs)
         return (

@@ -1,6 +1,20 @@
 """Fault simulators: serial, parallel-pattern, parallel-fault, deductive,
-sequential (concurrent-style), plus coverage reporting."""
+sequential (concurrent-style), plus coverage reporting.
 
+All combinational engines share one API — construction
+``(circuit, faults=None, collapse=True)`` plus ``run(patterns)``,
+``detects(pattern, fault)`` and ``detected_faults(pattern)`` — and are
+selectable by name through :class:`Engine` / :func:`create_simulator`.
+The differential test suite (``tests/test_faultsim_differential.py``)
+holds them to identical detected-fault sets on the circuits zoo; that
+agreement is the contract any new or refactored engine must keep.
+"""
+
+import enum
+from typing import Optional, Sequence, Union
+
+from ..netlist.circuit import Circuit
+from ..faults.stuck_at import Fault
 from .expand import expand_branches, fault_site_net
 from .coverage import CoverageReport, merge_reports
 from .serial import SerialFaultSimulator
@@ -10,7 +24,67 @@ from .deductive import DeductiveFaultSimulator
 from .sequential import SequentialFaultSimulator
 from .diagnosis import FaultDictionary, DiagnosisResult
 
+
+class Engine(enum.Enum):
+    """Selectable combinational fault-simulation engines.
+
+    ``PARALLEL_PATTERN`` is the production engine (compiled core +
+    fault-cone caching); the others are independent implementations kept
+    as cross-checks and for workloads that fit them better (e.g.
+    ``DEDUCTIVE`` when every pattern's full fault list is wanted).
+    """
+
+    SERIAL = "serial"
+    DEDUCTIVE = "deductive"
+    PARALLEL_FAULT = "parallel_fault"
+    PARALLEL_PATTERN = "parallel_pattern"
+
+
+ENGINE_CLASSES = {
+    Engine.SERIAL: SerialFaultSimulator,
+    Engine.DEDUCTIVE: DeductiveFaultSimulator,
+    Engine.PARALLEL_FAULT: ParallelFaultSimulator,
+    Engine.PARALLEL_PATTERN: FaultSimulator,
+}
+
+
+def create_simulator(
+    circuit: Circuit,
+    engine: Union[str, Engine] = Engine.PARALLEL_PATTERN,
+    faults: Optional[Sequence[Fault]] = None,
+    collapse: bool = True,
+    **kwargs,
+):
+    """Instantiate a fault simulator by engine name.
+
+    ``engine`` is an :class:`Engine` or its string value.  Extra keyword
+    arguments go to the engine constructor (e.g. ``compiled=False`` to
+    get the pre-compiled-core parallel-pattern baseline).
+    """
+    selected = engine if isinstance(engine, Engine) else Engine(engine)
+    cls = ENGINE_CLASSES[selected]
+    return cls(circuit, faults=faults, collapse=collapse, **kwargs)
+
+
+def engine_coverage(
+    circuit: Circuit,
+    patterns: Sequence[dict],
+    engine: Union[str, Engine] = Engine.PARALLEL_PATTERN,
+    faults: Optional[Sequence[Fault]] = None,
+    collapse: bool = True,
+    **kwargs,
+) -> CoverageReport:
+    """One-call fault simulation through a selectable engine."""
+    return create_simulator(
+        circuit, engine, faults=faults, collapse=collapse, **kwargs
+    ).run(patterns)
+
+
 __all__ = [
+    "Engine",
+    "ENGINE_CLASSES",
+    "create_simulator",
+    "engine_coverage",
     "FaultDictionary",
     "DiagnosisResult",
     "expand_branches",

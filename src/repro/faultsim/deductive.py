@@ -27,9 +27,10 @@ from functools import reduce
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
 
 from ..netlist.circuit import Circuit, NetlistError
-from ..netlist.gates import CONTROLLING_VALUE, GateType, evaluate_bool
+from ..netlist.gates import CONTROLLING_VALUE, GateType
 from ..faults.stuck_at import Fault, all_faults
 from ..faults.collapse import collapse_faults
+from ..sim.compiled import compile_circuit
 from .coverage import CoverageReport
 
 Pattern = Mapping[str, int]
@@ -51,7 +52,6 @@ class DeductiveFaultSimulator:
             faults = collapse_faults(circuit) if collapse else all_faults(circuit)
         self.faults = list(faults)
         self._fault_set = set(self.faults)
-        self._order = circuit.topological_order()
         # Index faults by site for quick activation lookup.
         self._stem_faults: Dict[str, List[Fault]] = {}
         self._branch_faults: Dict[tuple, List[Fault]] = {}
@@ -63,15 +63,23 @@ class DeductiveFaultSimulator:
 
     def fault_lists(self, pattern: Pattern) -> Dict[str, FrozenSet[Fault]]:
         """Per-net sets of faults that complement the net for ``pattern``."""
+        # The good machine runs on the compiled core (one flat pass);
+        # only the fault-list set algebra walks the gates in Python.
+        program = compile_circuit(self.circuit)
+        source_words = [
+            1 if pattern.get(net, 0) else 0 for net in program.source_names
+        ]
+        words = program.eval_words(source_words, 1)
+        index = program.index
         values: Dict[str, int] = {}
         lists: Dict[str, FrozenSet[Fault]] = {}
         for net in self.circuit.inputs:
-            value = pattern.get(net, 0)
+            value = words[index[net]]
             values[net] = value
             lists[net] = self._activated_stem(net, value)
-        for gate in self._order:
+        for gate in self.circuit.topological_order():
             input_values = tuple(values[n] for n in gate.inputs)
-            out_value = evaluate_bool(gate.kind, input_values)
+            out_value = words[index[gate.output]]
             values[gate.output] = out_value
             input_lists = [
                 self._branch_list(gate.name, pin, net, values[net], lists[net])
@@ -114,6 +122,11 @@ class DeductiveFaultSimulator:
         for net in self.circuit.outputs:
             detected |= lists[net]
         return frozenset(detected & self._fault_set)
+
+    def detects(self, pattern: Pattern, fault: Fault) -> bool:
+        """Does one pattern detect one fault?  (Engine-API hook; computes
+        the full per-net fault lists for the pattern.)"""
+        return fault in self.detected_faults(pattern)
 
     def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
         """Run and collect the results."""

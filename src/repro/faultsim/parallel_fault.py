@@ -6,16 +6,22 @@ Fault injection is a per-net mask applied as values propagate.  This is
 the technique Chiang et al. compared against deductive simulation in
 1974; it is implemented both for completeness and as an independent
 cross-check of the PPSF engine in the test suite.
+
+Evaluation routes through the compiled core
+(:func:`repro.sim.compiled.compile_circuit`): the expanded circuit is
+levelized once into a flat integer program and the per-net injection
+masks become dense arrays applied as each word settles, so the inner
+loop performs no name hashing at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit, NetlistError
-from ..netlist.gates import GateType
 from ..faults.stuck_at import Fault, all_faults
 from ..faults.collapse import collapse_faults
+from ..sim.compiled import CompiledCircuit, compile_circuit
 from .expand import expand_branches, fault_site_net
 from .coverage import CoverageReport
 
@@ -38,11 +44,10 @@ class ParallelFaultSimulator:
             faults = collapse_faults(circuit) if collapse else all_faults(circuit)
         self.faults = list(faults)
         self.expanded, self._branch_map = expand_branches(circuit)
-        self._order = self.expanded.topological_order()
         # Machine 0 = good; machine j (1-based) = fault j-1.
         self._machine_count = len(self.faults) + 1
         self._mask = (1 << self._machine_count) - 1
-        # Per-net injection masks: bits to force to the stuck value.
+        # Per-site injection masks: bits to force to the stuck value.
         self._force_one: Dict[str, int] = {}
         self._force_zero: Dict[str, int] = {}
         for index, fault in enumerate(self.faults):
@@ -52,30 +57,40 @@ class ParallelFaultSimulator:
                 self._force_one[site] = self._force_one.get(site, 0) | bit
             else:
                 self._force_zero[site] = self._force_zero.get(site, 0) | bit
+        # Dense per-net-index arrays for the compiled program, rebuilt
+        # whenever the program is (program identity tracks mutation).
+        self._mask_arrays: Optional[Tuple[CompiledCircuit, List[int], List[int]]] = None
 
-    def _inject(self, net: str, word: int) -> int:
-        ones = self._force_one.get(net)
-        if ones:
-            word |= ones
-        zeros = self._force_zero.get(net)
-        if zeros:
-            word &= ~zeros
-        return word
+    def _injection_arrays(self) -> Tuple[CompiledCircuit, List[int], List[int]]:
+        program = compile_circuit(self.expanded)
+        cached = self._mask_arrays
+        if cached is not None and cached[0] is program:
+            return cached
+        or_masks = [0] * program.num_nets
+        and_masks = [-1] * program.num_nets
+        for site, bits in self._force_one.items():
+            index = program.index.get(site)
+            if index is not None:
+                or_masks[index] |= bits
+        for site, bits in self._force_zero.items():
+            index = program.index.get(site)
+            if index is not None:
+                and_masks[index] &= ~bits
+        self._mask_arrays = (program, or_masks, and_masks)
+        return self._mask_arrays
 
     def simulate_pattern(self, pattern: Pattern) -> List[Fault]:
         """Simulate one pattern across all machines; returns detected faults."""
+        program, or_masks, and_masks = self._injection_arrays()
         mask = self._mask
-        words: Dict[str, int] = {}
-        for net in self.expanded.inputs:
-            broadcast = mask if pattern.get(net, 0) else 0
-            words[net] = self._inject(net, broadcast)
-        for gate in self._order:
-            words[gate.output] = self._inject(
-                gate.output, _eval(gate.kind, gate.inputs, words, mask)
-            )
+        source_words = [
+            mask if pattern.get(net, 0) else 0
+            for net in program.source_names
+        ]
+        words = program.eval_masked(source_words, mask, or_masks, and_masks)
         detected_bits = 0
-        for net in self.circuit.outputs:
-            word = words[net]
+        for out in program.output_indices:
+            word = words[out]
             good = -(word & 1) & mask  # broadcast machine 0's bit
             detected_bits |= (word ^ good) & mask
         detected_bits >>= 1  # strip the good machine
@@ -88,6 +103,14 @@ class ParallelFaultSimulator:
             index += 1
         return result
 
+    def detected_faults(self, pattern: Pattern) -> List[Fault]:
+        """Engine-API alias for :meth:`simulate_pattern`."""
+        return self.simulate_pattern(pattern)
+
+    def detects(self, pattern: Pattern, fault: Fault) -> bool:
+        """Does one pattern detect one fault?"""
+        return fault in self.simulate_pattern(pattern)
+
     def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
         """Run and collect the results."""
         report = CoverageReport(self.circuit.name, len(patterns), list(self.faults))
@@ -95,47 +118,3 @@ class ParallelFaultSimulator:
             for fault in self.simulate_pattern(pattern):
                 report.first_detection.setdefault(fault, index)
         return report
-
-
-def _eval(
-    kind: GateType, input_nets: Sequence[str], words: Mapping[str, int], mask: int
-) -> int:
-    if kind is GateType.AND:
-        result = mask
-        for net in input_nets:
-            result &= words[net]
-        return result
-    if kind is GateType.NAND:
-        result = mask
-        for net in input_nets:
-            result &= words[net]
-        return result ^ mask
-    if kind is GateType.OR:
-        result = 0
-        for net in input_nets:
-            result |= words[net]
-        return result
-    if kind is GateType.NOR:
-        result = 0
-        for net in input_nets:
-            result |= words[net]
-        return result ^ mask
-    if kind is GateType.XOR:
-        result = 0
-        for net in input_nets:
-            result ^= words[net]
-        return result
-    if kind is GateType.XNOR:
-        result = 0
-        for net in input_nets:
-            result ^= words[net]
-        return result ^ mask
-    if kind is GateType.NOT:
-        return words[input_nets[0]] ^ mask
-    if kind is GateType.BUF:
-        return words[input_nets[0]]
-    if kind is GateType.CONST0:
-        return 0
-    if kind is GateType.CONST1:
-        return mask
-    raise NetlistError(f"cannot evaluate gate type {kind}")

@@ -8,7 +8,7 @@ Eq. (1) runtime-scaling benchmark measures against the packed engines.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..faults.stuck_at import Fault, all_faults
@@ -65,6 +65,10 @@ class SerialFaultSimulator:
         return any(
             good[net] != faulty[net] for net in self.circuit.outputs
         )
+
+    def detected_faults(self, pattern: Pattern) -> List[Fault]:
+        """All listed faults detected by one pattern (engine-API hook)."""
+        return [f for f in self.faults if self.detects(pattern, f)]
 
     def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
         """Run and collect the results."""

@@ -62,6 +62,7 @@ class Circuit:
         self._driver: Dict[str, Gate] = {}
         self._input_set: Set[str] = set()
         self._caches_valid = False
+        self._version = 0
         self._topo_order: List[Gate] = []
         self._levels: Dict[str, int] = {}
         self._fanout: Dict[str, List[Gate]] = {}
@@ -228,6 +229,19 @@ class Circuit:
     # ------------------------------------------------------------------
     def _invalidate(self) -> None:
         self._caches_valid = False
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Incremented on every netlist mutation (gate/input/output added).
+        External caches — most importantly the compiled evaluation
+        programs in :mod:`repro.sim.compiled` — key on ``(circuit,
+        version)`` so a mutated netlist can never be served a stale
+        levelization or compiled program.
+        """
+        return self._version
 
     def _ensure_analyzed(self) -> None:
         if not self._caches_valid:

@@ -1,6 +1,8 @@
-"""Simulation engines: levelized, pattern-packed, sequential, event-driven."""
+"""Simulation engines: compiled/levelized, pattern-packed, sequential,
+event-driven."""
 
 from .logic import LogicSimulator, exhaustive_truth_table
+from .compiled import CompiledCircuit, FaultInjector, compile_circuit
 from .packed import PackedPatternSet, PackedSimulator
 from .sequential import SequentialSimulator
 from .event import EventSimulator
@@ -8,6 +10,9 @@ from .event import EventSimulator
 __all__ = [
     "LogicSimulator",
     "exhaustive_truth_table",
+    "CompiledCircuit",
+    "FaultInjector",
+    "compile_circuit",
     "PackedPatternSet",
     "PackedSimulator",
     "SequentialSimulator",

@@ -14,6 +14,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gates import GateType
+from .compiled import FaultInjector, compile_circuit
 
 
 class PackedPatternSet:
@@ -87,17 +88,23 @@ class PackedSimulator:
     with one stuck-at fault injected (a net forced to all-0s/all-1s
     *after* its driver evaluates — gate-input faults are handled by the
     fault simulator via fanout-branch modeling).
+
+    By default evaluation routes through the compiled core
+    (:mod:`repro.sim.compiled`): the circuit is levelized once into a
+    flat program, cached per circuit and invalidated by netlist
+    mutation.  ``compiled=False`` selects the original dict-keyed
+    per-gate walk, kept as the reference implementation the property
+    tests and engine benchmarks compare against.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, compiled: bool = True) -> None:
         if not circuit.is_combinational:
             raise NetlistError(
                 "PackedSimulator needs a combinational circuit; "
                 "use Circuit.combinational_core() or a sequential simulator"
             )
         self.circuit = circuit
-        self._order = circuit.topological_order()
-        self._inputs = circuit.inputs
+        self.compiled = compiled
 
     def run(
         self,
@@ -110,20 +117,58 @@ class PackedSimulator:
         after the net is computed) — the mechanism used for stuck-at
         injection: ``{net: 0}`` for S-A-0, ``{net: mask}`` for S-A-1.
         """
+        if self.compiled:
+            return self._run_compiled(packed, force)
+        return self._run_reference(packed, force)
+
+    def _run_compiled(
+        self, packed: PackedPatternSet, force: Optional[Mapping[str, int]]
+    ) -> Dict[str, int]:
+        program = compile_circuit(self.circuit)
+        mask = packed.mask
+        source_words = [
+            packed.words.get(net, 0) for net in program.source_names
+        ]
+        if force:
+            force_by_index = {
+                program.index[net]: value
+                for net, value in force.items()
+                if net in program.index
+            }
+            words = program.eval_forced(source_words, mask, force_by_index)
+        else:
+            words = program.eval_words(source_words, mask)
+        return program.words_to_dict(words)
+
+    def _run_reference(
+        self, packed: PackedPatternSet, force: Optional[Mapping[str, int]]
+    ) -> Dict[str, int]:
+        # The pre-compiled-core implementation, evaluated gate by gate
+        # over name-keyed dicts.  The topological order is fetched per
+        # run so netlist mutations are honored here too.
         mask = packed.mask
         words: Dict[str, int] = {}
-        for net in self._inputs:
+        for net in self.circuit.inputs:
             value = packed.words.get(net, 0)
             words[net] = value
         if force:
             for net, value in force.items():
                 if net in words:
                     words[net] = value & mask
-        for gate in self._order:
+        for gate in self.circuit.topological_order():
             words[gate.output] = _evaluate_packed(gate.kind, gate.inputs, words, mask)
             if force is not None and gate.output in force:
                 words[gate.output] = force[gate.output] & mask
         return words
+
+    def injector(self, packed: PackedPatternSet) -> FaultInjector:
+        """Good machine + cone-cached fault injection for one batch.
+
+        The fast path for callers that inject many single faults against
+        the same pattern set (fault simulators, syndrome/Walsh BIST):
+        each fault re-evaluates only its cached output cone.
+        """
+        return FaultInjector(self.circuit, packed)
 
     def output_words(
         self,

@@ -1,0 +1,216 @@
+"""Compiled-core unit tests and the cache-staleness regression class.
+
+The latent bug class: engines that snapshot a circuit's levelization at
+construction keep simulating the *old* netlist after a mutation.  The
+compiled core keys its per-circuit program cache on
+:attr:`Circuit.version` (bumped by every mutation), so these tests
+mutate circuits *after* simulating and assert fresh — never stale —
+results.
+"""
+
+import pytest
+
+from repro.circuits import c17
+from repro.netlist import Circuit, GateType, NetlistError
+from repro.sim import (
+    LogicSimulator,
+    PackedPatternSet,
+    PackedSimulator,
+    compile_circuit,
+)
+
+
+def _xor_pair():
+    c = Circuit("xor_pair")
+    c.add_inputs(["a", "b"])
+    c.xor(["a", "b"], "y")
+    c.add_output("y")
+    return c
+
+
+class TestVersionCounter:
+    def test_version_bumps_on_every_mutation(self):
+        c = Circuit("v")
+        v0 = c.version
+        c.add_input("a")
+        assert c.version > v0
+        v1 = c.version
+        c.add_input("b")
+        c.and_(["a", "b"], "y")
+        assert c.version > v1
+        v2 = c.version
+        c.add_output("y")
+        assert c.version > v2
+
+    def test_analysis_does_not_bump_version(self):
+        c = _xor_pair()
+        v = c.version
+        c.topological_order()
+        c.depth()
+        c.stats()
+        assert c.version == v
+
+
+class TestProgramCache:
+    def test_program_is_cached_until_mutation(self):
+        c = _xor_pair()
+        first = compile_circuit(c)
+        assert compile_circuit(c) is first
+        c.not_("y", "z")
+        c.add_output("z")
+        second = compile_circuit(c)
+        assert second is not first
+        assert "z" in second.index
+        assert "z" not in first.index
+
+    def test_program_matches_circuit_structure(self):
+        c = c17()
+        program = compile_circuit(c)
+        assert program.num_sources == len(c.inputs)
+        assert program.num_nets == len(c.nets())
+        assert len(program.ops) == len(c.gates)
+        assert [program.net_names[i] for i in program.output_indices] == list(
+            c.outputs
+        )
+
+    def test_cyclic_circuit_rejected(self):
+        c = Circuit("latch")
+        c.add_input("a")
+        c.nand(["a", "q2"], "q1")
+        c.nand(["a", "q1"], "q2")
+        c.add_output("q1")
+        with pytest.raises(NetlistError):
+            compile_circuit(c)
+
+
+class TestStalenessRegression:
+    def test_packed_simulator_sees_added_gate(self):
+        """Mutating after a run must invalidate the compiled program."""
+        c = _xor_pair()
+        sim = PackedSimulator(c)
+        packed = PackedPatternSet.from_patterns(
+            c.inputs, [{"a": 0, "b": 1}, {"a": 1, "b": 1}]
+        )
+        before = sim.run(packed)
+        assert before["y"] == 0b01
+
+        # Mutate: new inverter off the old output, plus a new output.
+        c.not_("y", "yn")
+        c.add_output("yn")
+        after = sim.run(packed)
+        assert after["y"] == 0b01
+        assert after["yn"] == 0b10  # fresh program, not a stale one
+
+    def test_packed_simulator_sees_new_input(self):
+        c = _xor_pair()
+        sim = PackedSimulator(c)
+        packed = PackedPatternSet.from_patterns(c.inputs, [{"a": 1, "b": 0}])
+        assert sim.run(packed)["y"] == 1
+
+        # Reroute the output through a new masking input: y AND mask.
+        c.add_input("mask")
+        c.and_(["y", "mask"], "ym")
+        c.add_output("ym")
+        packed2 = PackedPatternSet.from_patterns(
+            c.inputs, [{"a": 1, "b": 0, "mask": 0}, {"a": 1, "b": 0, "mask": 1}]
+        )
+        words = sim.run(packed2)
+        assert words["ym"] == 0b10
+
+    def test_levelization_cache_invalidates(self):
+        c = _xor_pair()
+        assert c.depth() == 1
+        c.not_("y", "yn")
+        c.add_output("yn")
+        assert c.depth() == 2
+        assert c.level_of("yn") == 2
+        assert any(g.output == "yn" for g in c.topological_order())
+
+    def test_mutation_between_runs_matches_fresh_build(self):
+        """A mutated circuit must simulate exactly like a from-scratch
+        twin — the strongest form of the no-staleness guarantee."""
+        c = _xor_pair()
+        sim = PackedSimulator(c)
+        packed = PackedPatternSet.from_patterns(c.inputs, [{"a": 1, "b": 1}])
+        sim.run(packed)  # prime the cache
+
+        c.nor(["a", "y"], "w")
+        c.add_output("w")
+
+        twin = Circuit("twin")
+        twin.add_inputs(["a", "b"])
+        twin.xor(["a", "b"], "y")
+        twin.add_output("y")
+        twin.nor(["a", "y"], "w")
+        twin.add_output("w")
+
+        for a in (0, 1):
+            for b in (0, 1):
+                p = PackedPatternSet.from_patterns(c.inputs, [{"a": a, "b": b}])
+                assert sim.run(p) == PackedSimulator(twin).run(p)
+
+    def test_reference_path_also_tracks_mutation(self):
+        """The pre-compiled dict walk fetches topo order per run too."""
+        c = _xor_pair()
+        sim = PackedSimulator(c, compiled=False)
+        packed = PackedPatternSet.from_patterns(c.inputs, [{"a": 0, "b": 1}])
+        sim.run(packed)
+        c.not_("y", "yn")
+        c.add_output("yn")
+        assert sim.run(packed)["yn"] == 0
+
+
+class TestCompiledEvaluation:
+    def test_all_gate_types_match_logic_simulator(self):
+        c = Circuit("kinds")
+        c.add_inputs(["a", "b", "d"])
+        c.and_(["a", "b"], "g_and")
+        c.nand(["a", "b"], "g_nand")
+        c.or_(["a", "b"], "g_or")
+        c.nor(["a", "b"], "g_nor")
+        c.xor(["a", "b"], "g_xor")
+        c.xnor(["a", "b"], "g_xnor")
+        c.not_("a", "g_not")
+        c.buf("b", "g_buf")
+        c.add_gate(GateType.CONST0, [], "g_c0")
+        c.add_gate(GateType.CONST1, [], "g_c1")
+        c.add_gate(GateType.AND, ["a", "b", "d"], "g_and3")
+        c.add_gate(GateType.XNOR, ["a", "b", "d"], "g_xnor3")
+        for net in [g.output for g in c.gates]:
+            c.add_output(net)
+
+        sim = PackedSimulator(c)
+        reference = LogicSimulator(c)
+        patterns = [
+            {"a": (m >> 0) & 1, "b": (m >> 1) & 1, "d": (m >> 2) & 1}
+            for m in range(8)
+        ]
+        packed = PackedPatternSet.from_patterns(c.inputs, patterns)
+        words = sim.run(packed)
+        for index, pattern in enumerate(patterns):
+            expected = reference.run(pattern)
+            for net in c.outputs:
+                assert (words[net] >> index) & 1 == expected[net]
+
+    def test_forced_run_matches_reference_path(self):
+        c = c17()
+        packed = PackedPatternSet.exhaustive(list(c.inputs))
+        fast = PackedSimulator(c)
+        slow = PackedSimulator(c, compiled=False)
+        some_internal = c.gates[0].output
+        for force in (
+            None,
+            {some_internal: 0},
+            {some_internal: packed.mask},
+            {c.inputs[0]: 0b1010},
+            {"not_a_net": 7},
+        ):
+            assert fast.run(packed, force=force) == slow.run(packed, force=force)
+
+    def test_cone_of_primary_output_detects_site_itself(self):
+        """A fault on a PO net must be observable even with empty fanout."""
+        c = _xor_pair()
+        program = compile_circuit(c)
+        cone = program.cone(program.index["y"])
+        assert program.index["y"] in cone.po_indices
+        assert cone.ops == []

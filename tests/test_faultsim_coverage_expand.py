@@ -1,0 +1,150 @@
+"""Edge-case coverage for ``faultsim/coverage.py`` and ``faultsim/expand.py``.
+
+These modules were previously exercised only through the engines; here
+their contracts are pinned directly: empty fault lists, undetectable
+(redundant) faults, fanout-branch expansion and the branch-to-stem
+collapse on single-fanout pins.
+"""
+
+import pytest
+
+from repro.circuits import c17
+from repro.faults import Fault, all_faults, collapse_faults
+from repro.faultsim import (
+    CoverageReport,
+    FaultSimulator,
+    expand_branches,
+    fault_site_net,
+    merge_reports,
+)
+from repro.netlist import Circuit
+from repro.sim import LogicSimulator
+
+
+def _redundant_circuit():
+    """y = a AND (NOT a) is constant 0: y/SA0 is undetectable."""
+    c = Circuit("redundant")
+    c.add_input("a")
+    c.not_("a", "an")
+    c.and_(["a", "an"], "y")
+    c.add_output("y")
+    return c
+
+
+class TestCoverageEdges:
+    def test_empty_fault_list(self):
+        circuit = c17()
+        patterns = [dict.fromkeys(circuit.inputs, 0)]
+        report = FaultSimulator(circuit, faults=[]).run(patterns)
+        assert report.faults == []
+        assert report.coverage == 1.0
+        assert report.detected == []
+        assert report.undetected == []
+        assert report.coverage_curve() == [1.0]
+        assert report.patterns_to_reach(0.9) == 1
+
+    def test_empty_patterns(self):
+        circuit = c17()
+        report = FaultSimulator(circuit).run([])
+        assert report.num_patterns == 0
+        assert report.coverage == 0.0
+        assert report.coverage_curve() == []
+        assert report.patterns_to_reach(0.5) is None
+
+    def test_undetectable_fault_never_detected(self):
+        circuit = _redundant_circuit()
+        redundant = Fault("y", 0)
+        patterns = [{"a": 0}, {"a": 1}]
+        report = FaultSimulator(circuit, faults=all_faults(circuit)).run(
+            patterns
+        )
+        assert redundant in report.undetected
+        assert report.coverage < 1.0
+        assert report.patterns_to_reach(1.0) is None
+
+    def test_curve_is_monotone_and_matches_total(self):
+        circuit = c17()
+        patterns = [
+            dict(zip(circuit.inputs, [b, 1 - b, b, 1, 0])) for b in (0, 1)
+        ]
+        report = FaultSimulator(circuit).run(patterns, drop_detected=False)
+        curve = report.coverage_curve()
+        assert len(curve) == len(patterns)
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(report.coverage)
+
+    def test_merge_reports_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_reports([])
+
+    def test_merge_reports_offsets_and_minimizes(self):
+        fault = Fault("y", 0)
+        a = CoverageReport("c", 2, [fault])
+        b = CoverageReport("c", 3, [fault], first_detection={fault: 1})
+        merged = merge_reports([a, b])
+        assert merged.num_patterns == 5
+        assert merged.first_detection[fault] == 3  # offset by a's 2 patterns
+        # Earlier detection wins once present in the first report.
+        a2 = CoverageReport("c", 2, [fault], first_detection={fault: 0})
+        assert merge_reports([a2, b]).first_detection[fault] == 0
+
+
+class TestExpandEdges:
+    def test_single_fanout_pins_not_expanded(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.not_("a", "b")
+        c.not_("b", "y")
+        c.add_output("y")
+        expanded, branch_map = expand_branches(c)
+        assert branch_map == {}
+        assert len(expanded) == len(c)
+
+    def test_branch_fault_collapses_to_stem_on_single_fanout(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.not_("a", "y")
+        c.add_output("y")
+        _, branch_map = expand_branches(c)
+        branch = Fault("a", 1, gate="y", pin=0)
+        assert fault_site_net(branch, branch_map) == "a"
+
+    def test_fanout_branches_get_distinct_sites(self):
+        circuit = c17()
+        expanded, branch_map = expand_branches(circuit)
+        stems = {
+            net for net in circuit.nets() if circuit.fanout_count(net) > 1
+        }
+        for (gate_name, pin), branch_net in branch_map.items():
+            gate = circuit.gate(gate_name)
+            assert gate.inputs[pin] in stems
+            assert expanded.driver_of(branch_net) is not None
+        # Every multi-fanout pin is covered.
+        expected = sum(
+            1
+            for gate in circuit.gates
+            for net in gate.inputs
+            if net in stems
+        )
+        assert len(branch_map) == expected
+
+    def test_expansion_preserves_function_and_outputs(self):
+        circuit = c17()
+        expanded, _ = expand_branches(circuit)
+        assert expanded.outputs == circuit.outputs
+        sim_a = LogicSimulator(circuit)
+        sim_b = LogicSimulator(expanded)
+        for m in range(1 << len(circuit.inputs)):
+            pattern = {
+                net: (m >> i) & 1 for i, net in enumerate(circuit.inputs)
+            }
+            assert sim_a.outputs(pattern) == sim_b.outputs(pattern)
+
+    def test_expand_empty_circuit(self):
+        c = Circuit("wire")
+        c.add_input("a")
+        c.buf("a", "y")
+        c.add_output("y")
+        expanded, branch_map = expand_branches(c)
+        assert branch_map == {}
+        assert [g.kind for g in expanded.gates] == [g.kind for g in c.gates]
