@@ -20,9 +20,8 @@ or through pytest, which executes the quick configuration.
 import argparse
 import random
 import sys
-import time
 
-from conftest import print_table
+from conftest import print_table, run_with_manifest
 
 from repro.circuits import alu74181, random_combinational
 from repro.faults import collapse_faults
@@ -39,11 +38,32 @@ def _random_patterns(circuit, count, seed):
     ]
 
 
-def _timed_run(simulator, patterns, **kwargs):
-    start = time.perf_counter()
-    report = simulator.run(patterns, **kwargs)
-    elapsed = time.perf_counter() - start
-    return report, elapsed
+def _manifest_run(name, circuit, simulator, patterns, **kwargs):
+    """One measured engine run, reported through a run manifest.
+
+    The patterns-simulated figure in the printed table comes from the
+    manifest's telemetry counters — i.e. from what the engine actually
+    did — not from the caller's workload description; a mismatch fails
+    the benchmark.
+    """
+    report, manifest, elapsed = run_with_manifest(
+        "bench.faultsim",
+        circuit.name,
+        name,
+        lambda: simulator.run(patterns, **kwargs),
+        method="throughput",
+        limits={"patterns": len(patterns), **kwargs},
+        stats={"detected": 0},  # patched below once the report exists
+        phase_prefix="faultsim.",
+    )
+    manifest.stats["detected"] = len(report.first_detection)
+    simulated = manifest.counters.get("faultsim.patterns_simulated", 0)
+    if simulated != len(patterns):
+        raise SystemExit(
+            f"TELEMETRY MISMATCH on {circuit.name}/{name}: engine reported "
+            f"{simulated} patterns simulated, workload had {len(patterns)}"
+        )
+    return report, manifest, elapsed
 
 
 def agreement_table(circuit, patterns):
@@ -51,34 +71,34 @@ def agreement_table(circuit, patterns):
     faults = collapse_faults(circuit)
     rows = []
     detected = {}
-    for engine in Engine:
-        simulator = create_simulator(circuit, engine, faults=faults)
-        report, elapsed = _timed_run(simulator, patterns)
-        detected[engine.value] = frozenset(report.first_detection)
+    manifests = []
+
+    def measure(name, simulator):
+        report, manifest, elapsed = _manifest_run(
+            name, circuit, simulator, patterns
+        )
+        detected[name] = frozenset(report.first_detection)
+        manifests.append(manifest)
         rows.append(
             (
-                engine.value,
-                len(patterns),
-                len(report.first_detection),
+                name,
+                manifest.counters["faultsim.patterns_simulated"],
+                manifest.stats["detected"],
                 f"{len(patterns) / elapsed:.0f}",
             )
         )
-    baseline = FaultSimulator(circuit, faults=faults, compiled=False)
-    report, elapsed = _timed_run(baseline, patterns)
-    detected["parallel_pattern (seed)"] = frozenset(report.first_detection)
-    rows.append(
-        (
-            "parallel_pattern (seed)",
-            len(patterns),
-            len(report.first_detection),
-            f"{len(patterns) / elapsed:.0f}",
-        )
+
+    for engine in Engine:
+        measure(engine.value, create_simulator(circuit, engine, faults=faults))
+    measure(
+        "parallel_pattern (seed)",
+        FaultSimulator(circuit, faults=faults, compiled=False),
     )
-    return rows, detected
+    return rows, detected, manifests
 
 
 def check_agreement(circuit, patterns):
-    rows, detected = agreement_table(circuit, patterns)
+    rows, detected, manifests = agreement_table(circuit, patterns)
     print_table(
         f"Engine agreement + throughput on {circuit.name}",
         ["engine", "patterns", "detected", "patterns/sec"],
@@ -94,6 +114,7 @@ def check_agreement(circuit, patterns):
             f"differ from the serial reference"
         )
     print(f"all engines agree: {len(reference)} faults detected")
+    return manifests
 
 
 def measure_speedup(patterns_count):
@@ -113,8 +134,20 @@ def measure_speedup(patterns_count):
     compiled.run(patterns[:16])
     seed_engine.run(patterns[:16])
 
-    report_fast, fast = _timed_run(compiled, patterns, drop_detected=False)
-    report_seed, slow = _timed_run(seed_engine, patterns, drop_detected=False)
+    report_fast, manifest_fast, fast = _manifest_run(
+        "parallel_pattern", circuit, compiled, patterns, drop_detected=False
+    )
+    report_seed, _, slow = _manifest_run(
+        "parallel_pattern (seed)",
+        circuit,
+        seed_engine,
+        patterns,
+        drop_detected=False,
+    )
+    # The compiled engine's cone caches were warmed above, so the
+    # measured run must be reusing them rather than rebuilding.
+    if manifest_fast.counters.get("sim.compiled.compiles", 0):
+        raise SystemExit("compile cache missed during the measured run")
     speedup = slow / fast
     print_table(
         f"Parallel-pattern speedup on {circuit.name} "

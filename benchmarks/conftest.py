@@ -4,9 +4,18 @@ Every benchmark regenerates one table or figure from the paper and
 prints the rows it reports (visible with ``pytest -s``); assertions pin
 the *shape* of each result (who wins, by what rough factor) rather than
 absolute timings.
+
+Benchmarks report through the same run-manifest schema the ATPG flow
+emits (:mod:`repro.telemetry`): each measured run is captured, folded
+into a validated :class:`~repro.telemetry.RunManifest`, and the printed
+numbers come from the manifest — one source of truth for perf and
+correctness stats.
 """
 
-from typing import Iterable, Sequence
+import time
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro import telemetry
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -23,3 +32,45 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) ->
     print("-" * len(line))
     for row in rows:
         print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def run_with_manifest(
+    flow: str,
+    circuit_name: str,
+    engine: str,
+    func,
+    *,
+    seed: int = 0,
+    method: str = "benchmark",
+    limits: Optional[Dict[str, Any]] = None,
+    stats: Optional[Dict[str, Any]] = None,
+    phase_prefix: Optional[str] = None,
+) -> Tuple[Any, telemetry.RunManifest, float]:
+    """Time ``func()`` under telemetry capture and manifest the run.
+
+    Returns ``(func's result, validated RunManifest, elapsed seconds)``.
+    The manifest carries every counter the instrumented code emitted
+    during the call plus the caller-supplied ``stats``, under the same
+    ``repro.run-manifest/1`` schema ``generate_tests`` uses.  Spans whose
+    name starts with ``phase_prefix`` (default ``"<flow>."``) become the
+    manifest's phase rows.
+    """
+    with telemetry.capture() as session:
+        with telemetry.span(flow, circuit=circuit_name, engine=engine):
+            start = time.perf_counter()
+            result = func()
+            elapsed = time.perf_counter() - start
+    manifest = telemetry.RunManifest(
+        flow=flow,
+        circuit=circuit_name,
+        seed=seed,
+        engine=engine,
+        method=method,
+        limits=dict(limits or {}),
+        phases=session.phase_stats(
+            phase_prefix if phase_prefix is not None else f"{flow}."
+        ),
+        counters=dict(session.counters),
+        stats={"elapsed_s": elapsed, **(stats or {})},
+    )
+    return result, manifest.validate(), elapsed

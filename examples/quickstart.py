@@ -1,8 +1,16 @@
 """Quickstart: faults, test generation, and fault simulation in 30 lines.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--manifest-out manifest.json]
+
+With ``--manifest-out`` the ATPG run's manifest (seed, engine, limits,
+per-phase stats, final coverage — see ``repro.telemetry.RunManifest``)
+is written as JSON; CI runs this and validates the file against the
+manifest schema.
 """
 
+import argparse
+
+from repro import telemetry
 from repro.circuits import c17
 from repro.faults import all_faults, collapse_faults
 from repro.atpg import generate_tests
@@ -10,7 +18,18 @@ from repro.faultsim import FaultSimulator
 from repro.testability import analyze
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--manifest-out",
+        metavar="PATH",
+        help="write the ATPG run manifest as JSON to this file",
+    )
+    args = parser.parse_args(argv)
+
+    # 0. Turn telemetry on so every instrumented layer reports.
+    sink = telemetry.enable()
+
     # 1. A circuit: the classic ISCAS-85 c17 benchmark (6 NAND gates).
     circuit = c17()
     print(circuit.stats())
@@ -36,6 +55,21 @@ def main() -> None:
     simulator = FaultSimulator(circuit, faults=universe)
     verification = simulator.run(result.patterns)
     print(f"verified against the full universe: {verification.summary()}")
+
+    # 6. The run manifest: one deterministic record of what just ran.
+    manifest = result.manifest.validate()
+    print(
+        f"manifest: seed={manifest.seed} engine={manifest.engine} "
+        f"phases={[p['name'] for p in manifest.phases]} "
+        f"backtracks={manifest.counters.get('atpg.backtracks', 0)}"
+    )
+    print(f"telemetry counters collected: {len(sink.counters)}")
+    if args.manifest_out:
+        with open(args.manifest_out, "w", encoding="utf-8") as stream:
+            stream.write(manifest.to_json(indent=2))
+        print(f"manifest written to {args.manifest_out}")
+
+    telemetry.disable()
 
 
 if __name__ == "__main__":

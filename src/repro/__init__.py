@@ -21,6 +21,7 @@ Quick start::
 
 __version__ = "1.0.0"
 
+from . import telemetry
 from . import netlist
 from . import circuits
 from . import sim
@@ -36,6 +37,7 @@ from . import bist
 from . import testers
 
 __all__ = [
+    "telemetry",
     "netlist",
     "circuits",
     "sim",

@@ -17,11 +17,10 @@ deterministic-side lever on the same cost.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault
-from ..faultsim.parallel_pattern import FaultSimulator
 
 Cube = Dict[str, Optional[int]]
 Pattern = Dict[str, int]
@@ -75,14 +74,23 @@ def reverse_order_compaction(
     circuit: Circuit,
     patterns: Sequence[Pattern],
     faults: Optional[Sequence[Fault]] = None,
+    engine: Union[str, "Engine"] = "parallel_pattern",
+    **engine_kwargs,
 ) -> List[Pattern]:
     """Keep only patterns that detect a fault not detected later.
 
     Processes the set in reverse order (the classic heuristic: late
     patterns in a deterministic flow target hard faults and tend to
     detect many easy ones by accident).
+
+    ``engine`` selects the fault-simulation engine by name or
+    :class:`repro.faultsim.Engine` member, matching the unified selector
+    used everywhere else; extra keyword arguments go to the engine
+    constructor.
     """
-    simulator = FaultSimulator(circuit, faults=faults)
+    from ..faultsim import create_simulator
+
+    simulator = create_simulator(circuit, engine, faults=faults, **engine_kwargs)
     undetected = set(simulator.faults)
     kept: List[Pattern] = []
     for pattern in reversed(list(patterns)):

@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..netlist.circuit import Circuit
 from ..lfsr.polynomials import primitive_polynomial, taps_from_polynomial
 from ..sim.logic import LogicSimulator
@@ -198,37 +199,45 @@ class BilboPair:
     # -- the self-test protocol ------------------------------------------
     def test_network1(self, patterns: int, seed: int = 1) -> int:
         """BILBO1 as PRPG, BILBO2 as MISR; returns BILBO2's signature."""
-        self.bilbo1.state = seed & self.bilbo1.mask
-        self.bilbo1.set_mode(BilboMode.LFSR)  # Z held at 0: PRPG
-        self.bilbo2.state = 0
-        self.bilbo2.set_mode(BilboMode.LFSR)
-        for _ in range(patterns):
-            stimulus = self.bilbo1.stages()
-            response = self._run_network("n1", stimulus)
-            z_word = 0
-            for i, bit in enumerate(response):
-                if bit:
-                    z_word |= 1 << i
-            self.bilbo2.clock(z_word=z_word)
-            self.bilbo1.clock(z_word=0)
-        return self.bilbo2.state
+        with telemetry.span(
+            "bist.bilbo.session", network=self.network1.name
+        ):
+            telemetry.incr("bist.bilbo.patterns", patterns)
+            self.bilbo1.state = seed & self.bilbo1.mask
+            self.bilbo1.set_mode(BilboMode.LFSR)  # Z held at 0: PRPG
+            self.bilbo2.state = 0
+            self.bilbo2.set_mode(BilboMode.LFSR)
+            for _ in range(patterns):
+                stimulus = self.bilbo1.stages()
+                response = self._run_network("n1", stimulus)
+                z_word = 0
+                for i, bit in enumerate(response):
+                    if bit:
+                        z_word |= 1 << i
+                self.bilbo2.clock(z_word=z_word)
+                self.bilbo1.clock(z_word=0)
+            return self.bilbo2.state
 
     def test_network2(self, patterns: int, seed: int = 1) -> int:
         """Roles reversed (Fig. 21): BILBO2 generates, BILBO1 compacts."""
-        self.bilbo2.state = seed & self.bilbo2.mask
-        self.bilbo2.set_mode(BilboMode.LFSR)
-        self.bilbo1.state = 0
-        self.bilbo1.set_mode(BilboMode.LFSR)
-        for _ in range(patterns):
-            stimulus = self.bilbo2.stages()
-            response = self._run_network("n2", stimulus)
-            z_word = 0
-            for i, bit in enumerate(response):
-                if bit:
-                    z_word |= 1 << i
-            self.bilbo1.clock(z_word=z_word)
-            self.bilbo2.clock(z_word=0)
-        return self.bilbo1.state
+        with telemetry.span(
+            "bist.bilbo.session", network=self.network2.name
+        ):
+            telemetry.incr("bist.bilbo.patterns", patterns)
+            self.bilbo2.state = seed & self.bilbo2.mask
+            self.bilbo2.set_mode(BilboMode.LFSR)
+            self.bilbo1.state = 0
+            self.bilbo1.set_mode(BilboMode.LFSR)
+            for _ in range(patterns):
+                stimulus = self.bilbo2.stages()
+                response = self._run_network("n2", stimulus)
+                z_word = 0
+                for i, bit in enumerate(response):
+                    if bit:
+                        z_word |= 1 << i
+                self.bilbo1.clock(z_word=z_word)
+                self.bilbo2.clock(z_word=0)
+            return self.bilbo1.state
 
     def self_test(
         self, patterns: int, golden: Optional[Tuple[int, int]] = None, seed: int = 1

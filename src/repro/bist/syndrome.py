@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gates import GateType
 from ..faults.stuck_at import Fault, all_faults
@@ -45,13 +46,17 @@ class SyndromeAnalyzer:
                 f"{len(circuit.inputs)} inputs exceed the exhaustive limit"
             )
         self.circuit = circuit
-        self.expanded, self._branch_map = expand_branches(circuit)
-        self._sim = PackedSimulator(self.expanded)
-        self._packed = PackedPatternSet.exhaustive(list(circuit.inputs))
-        # One good-machine pass on the compiled core; every faulty
-        # machine afterwards re-evaluates only the fault's cached cone.
-        self._injector = self._sim.injector(self._packed)
-        self._good = self._injector.program.words_to_dict(self._injector.good)
+        with telemetry.span(
+            "bist.syndrome.analyze", circuit=circuit.name
+        ):
+            self.expanded, self._branch_map = expand_branches(circuit)
+            self._sim = PackedSimulator(self.expanded)
+            self._packed = PackedPatternSet.exhaustive(list(circuit.inputs))
+            # One good-machine pass on the compiled core; every faulty
+            # machine afterwards re-evaluates only the fault's cached cone.
+            self._injector = self._sim.injector(self._packed)
+            self._good = self._injector.program.words_to_dict(self._injector.good)
+            telemetry.incr("bist.syndrome.patterns", self._packed.count)
 
     @property
     def pattern_count(self) -> int:
@@ -71,6 +76,7 @@ class SyndromeAnalyzer:
         }
 
     def _faulty_outputs(self, fault: Fault) -> Dict[str, int]:
+        telemetry.incr("bist.syndrome.fault_evals")
         site = fault_site_net(fault, self._branch_map)
         forced = self._packed.mask if fault.value else 0
         return self._injector.faulty_output_words(

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..netlist.circuit import Circuit, NetlistError
 from ..faults.stuck_at import Fault
 from ..faultsim.expand import expand_branches, fault_site_net
@@ -43,13 +44,15 @@ class WalshAnalyzer:
         if n > MAX_WALSH_INPUTS:
             raise NetlistError(f"{n} inputs exceed the exhaustive limit")
         self.circuit = circuit
-        self.expanded, self._branch_map = expand_branches(circuit)
-        self._sim = PackedSimulator(self.expanded)
-        self._packed = PackedPatternSet.exhaustive(list(circuit.inputs))
-        # One good-machine pass on the compiled core; faulty machines
-        # re-evaluate only the fault's cached cone.
-        self._injector = self._sim.injector(self._packed)
-        self._good = self._injector.program.words_to_dict(self._injector.good)
+        with telemetry.span("bist.walsh.analyze", circuit=circuit.name):
+            self.expanded, self._branch_map = expand_branches(circuit)
+            self._sim = PackedSimulator(self.expanded)
+            self._packed = PackedPatternSet.exhaustive(list(circuit.inputs))
+            # One good-machine pass on the compiled core; faulty machines
+            # re-evaluate only the fault's cached cone.
+            self._injector = self._sim.injector(self._packed)
+            self._good = self._injector.program.words_to_dict(self._injector.good)
+            telemetry.incr("bist.walsh.patterns", self._packed.count)
         self._n = n
 
     @property
@@ -95,6 +98,7 @@ class WalshAnalyzer:
         self, fault: Fault, output: Optional[str] = None
     ) -> Tuple[int, int]:
         """(C_0, C_all) of the faulty machine."""
+        telemetry.incr("bist.walsh.fault_evals")
         net = output if output is not None else self.circuit.outputs[0]
         site = fault_site_net(fault, self._branch_map)
         forced = self._packed.mask if fault.value else 0

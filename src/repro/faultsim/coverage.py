@@ -57,7 +57,15 @@ class CoverageReport:
         return curve
 
     def patterns_to_reach(self, target: float) -> Optional[int]:
-        """Patterns needed to hit a coverage target, or None."""
+        """Patterns needed to hit a coverage target, or None.
+
+        Consistent with :attr:`coverage` in the corners: an empty fault
+        list means coverage is already 1.0 with zero patterns (returns
+        0), and a target of 0.0 or less is likewise met by zero
+        patterns.
+        """
+        if not self.faults or target <= 0:
+            return 0
         for index, value in enumerate(self.coverage_curve()):
             if value >= target:
                 return index + 1
@@ -80,10 +88,29 @@ def merge_reports(reports: Sequence[CoverageReport]) -> CoverageReport:
 
     Pattern indices are offset by the runs' pattern counts in order,
     as if the pattern sets were concatenated.
+
+    Every report must come from the same circuit and the same fault
+    list — merging across different fault universes would silently
+    produce a wrong coverage denominator — so any disagreement in
+    circuit name or fault set raises ValueError.
     """
     if not reports:
         raise ValueError("nothing to merge")
     base = reports[0]
+    base_faults = set(base.faults)
+    for position, report in enumerate(reports[1:], start=1):
+        if report.circuit_name != base.circuit_name:
+            raise ValueError(
+                f"cannot merge coverage reports from different circuits: "
+                f"{base.circuit_name!r} vs {report.circuit_name!r} "
+                f"(report {position})"
+            )
+        if set(report.faults) != base_faults:
+            raise ValueError(
+                f"cannot merge coverage reports over different fault lists: "
+                f"report {position} disagrees with report 0 "
+                f"({len(report.faults)} vs {len(base.faults)} faults)"
+            )
     merged = CoverageReport(
         circuit_name=base.circuit_name,
         num_patterns=sum(r.num_patterns for r in reports),

@@ -26,6 +26,7 @@ from __future__ import annotations
 from functools import reduce
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
 
+from .. import telemetry
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gates import CONTROLLING_VALUE, GateType
 from ..faults.stuck_at import Fault, all_faults
@@ -130,11 +131,18 @@ class DeductiveFaultSimulator:
 
     def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
         """Run and collect the results."""
-        report = CoverageReport(self.circuit.name, len(patterns), list(self.faults))
-        for index, pattern in enumerate(patterns):
-            for fault in self.detected_faults(pattern):
-                report.first_detection.setdefault(fault, index)
-        return report
+        with telemetry.span(
+            "faultsim.run", engine="deductive", circuit=self.circuit.name
+        ):
+            telemetry.incr("faultsim.patterns_simulated", len(patterns))
+            telemetry.incr("faultsim.faults_graded", len(self.faults))
+            report = CoverageReport(
+                self.circuit.name, len(patterns), list(self.faults)
+            )
+            for index, pattern in enumerate(patterns):
+                for fault in self.detected_faults(pattern):
+                    report.first_detection.setdefault(fault, index)
+            return report
 
 
 def _propagate(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..netlist.circuit import Circuit, NetlistError
 from ..faults.stuck_at import Fault, all_faults
 from ..faults.collapse import collapse_faults
@@ -113,8 +114,15 @@ class ParallelFaultSimulator:
 
     def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
         """Run and collect the results."""
-        report = CoverageReport(self.circuit.name, len(patterns), list(self.faults))
-        for index, pattern in enumerate(patterns):
-            for fault in self.simulate_pattern(pattern):
-                report.first_detection.setdefault(fault, index)
-        return report
+        with telemetry.span(
+            "faultsim.run", engine="parallel_fault", circuit=self.circuit.name
+        ):
+            telemetry.incr("faultsim.patterns_simulated", len(patterns))
+            telemetry.incr("faultsim.faults_graded", len(self.faults))
+            report = CoverageReport(
+                self.circuit.name, len(patterns), list(self.faults)
+            )
+            for index, pattern in enumerate(patterns):
+                for fault in self.simulate_pattern(pattern):
+                    report.first_detection.setdefault(fault, index)
+            return report

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional, Sequence
 
+from .. import telemetry
 from ..netlist.circuit import Circuit, NetlistError
 from ..faults.stuck_at import Fault, all_faults
 from ..faults.collapse import collapse_faults
@@ -72,16 +73,23 @@ class SerialFaultSimulator:
 
     def run(self, patterns: Sequence[Pattern]) -> CoverageReport:
         """Run and collect the results."""
-        report = CoverageReport(self.circuit.name, len(patterns), list(self.faults))
-        remaining = list(self.faults)
-        for index, pattern in enumerate(patterns):
-            if not remaining:
-                break
-            still = []
-            for fault in remaining:
-                if self.detects(pattern, fault):
-                    report.first_detection[fault] = index
-                else:
-                    still.append(fault)
-            remaining = still
-        return report
+        with telemetry.span(
+            "faultsim.run", engine="serial", circuit=self.circuit.name
+        ):
+            telemetry.incr("faultsim.patterns_simulated", len(patterns))
+            telemetry.incr("faultsim.faults_graded", len(self.faults))
+            report = CoverageReport(
+                self.circuit.name, len(patterns), list(self.faults)
+            )
+            remaining = list(self.faults)
+            for index, pattern in enumerate(patterns):
+                if not remaining:
+                    break
+                still = []
+                for fault in remaining:
+                    if self.detects(pattern, fault):
+                        report.first_detection[fault] = index
+                    else:
+                        still.append(fault)
+                remaining = still
+            return report

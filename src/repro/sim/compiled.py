@@ -31,6 +31,7 @@ from weakref import WeakKeyDictionary
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gates import GateType
+from ..telemetry import incr as _incr
 
 # Opcodes of the flat program.  The two-input forms of the commutative
 # gates are specialized because they dominate real netlists and their
@@ -246,7 +247,9 @@ class CompiledCircuit:
         """The (cached) output-cone sub-program of net index ``site``."""
         cached = self._cones.get(site)
         if cached is not None:
+            _incr("sim.compiled.cone_cache_hits")
             return cached
+        _incr("sim.compiled.cones_built")
         readers = self._reader_map()
         net_indices: Set[int] = {site}
         op_positions: Set[int] = set()
@@ -352,7 +355,9 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     """
     cached = _PROGRAM_CACHE.get(circuit)
     if cached is not None and cached.version == circuit.version:
+        _incr("sim.compiled.cache_hits")
         return cached
+    _incr("sim.compiled.compiles")
     program = CompiledCircuit(circuit)
     _PROGRAM_CACHE[circuit] = program
     return program
@@ -393,8 +398,10 @@ class FaultInjector:
         """
         good = self.good
         if not (good[site] ^ forced_word) & self.mask:
+            _incr("sim.compiled.activation_skips")
             return 0
         cone = self.program.cone(site)
+        _incr("sim.compiled.cone_evals")
         faulty = self.program.eval_cone(cone, good, forced_word, self.mask)
         detected = 0
         for out in cone.po_indices:
@@ -404,6 +411,7 @@ class FaultInjector:
     def faulty_words(self, site: int, forced_word: int) -> List[int]:
         """Full faulty-machine word list (non-cone nets keep good values)."""
         cone = self.program.cone(site)
+        _incr("sim.compiled.cone_evals")
         return self.program.eval_cone(cone, self.good, forced_word, self.mask)
 
     def faulty_output_words(self, site: Optional[int], forced_word: int) -> Dict[str, int]:

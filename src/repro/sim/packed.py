@@ -14,6 +14,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gates import GateType
+from ..telemetry import incr as _incr
 from .compiled import FaultInjector, compile_circuit
 
 
@@ -117,6 +118,8 @@ class PackedSimulator:
         after the net is computed) — the mechanism used for stuck-at
         injection: ``{net: 0}`` for S-A-0, ``{net: mask}`` for S-A-1.
         """
+        _incr("sim.packed.runs")
+        _incr("sim.packed.patterns", packed.count)
         if self.compiled:
             return self._run_compiled(packed, force)
         return self._run_reference(packed, force)

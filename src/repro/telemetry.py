@@ -1,0 +1,476 @@
+"""Lightweight, dependency-free instrumentation: counters, timers, spans.
+
+The paper's whole argument is quantitative — coverage vs. pattern count,
+backtrack effort, test-data volume, cost curves — so the hot paths of
+this repo (ATPG, the fault-simulation engines, the exhaustive BIST
+analyzers) report what they did through this module instead of ad-hoc
+prints and scattered return values.
+
+Three primitives:
+
+* :func:`incr` — named counters, folded into the innermost open span
+  (or emitted as standalone events at top level);
+* :func:`span` — nested, timed tracing regions; each span records its
+  own duration and the counters incremented while it was innermost;
+* sinks — where finished events go.  The default is a no-op
+  :class:`NullSink`, so instrumentation is zero-cost-ish when nobody is
+  listening: every entry point checks one module-level flag and returns
+  immediately.  :class:`InMemorySink` aggregates in process;
+  :class:`JsonlSink` streams JSON lines for offline analysis.
+
+On top of the event stream sits the :class:`RunManifest`: a
+deterministic, JSON-serializable record of one tool run (seed, engine,
+method, limits, per-phase stats, final coverage).  ``generate_tests``
+attaches one to every :class:`~repro.atpg.api.TestGenerationResult`;
+the benchmarks consume the same manifests so perf numbers and
+correctness stats come from a single source of truth.
+
+Typical use::
+
+    from repro import telemetry
+
+    sink = telemetry.enable()              # InMemorySink by default
+    ... run a flow ...
+    print(sink.counters["atpg.backtracks"])
+    telemetry.disable()
+
+Scoped collection (what ``generate_tests`` does internally)::
+
+    with telemetry.capture() as session:
+        ... instrumented work ...
+    session.phase_stats("atpg.phase.")     # per-phase rows for a manifest
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterator, List, Optional, Sequence, Union
+
+__all__ = [
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "TeeSink",
+    "enable",
+    "disable",
+    "is_enabled",
+    "current_sink",
+    "span",
+    "incr",
+    "timed",
+    "capture",
+    "read_jsonl",
+    "RunManifest",
+    "validate_manifest",
+    "MANIFEST_SCHEMA",
+    "REQUIRED_MANIFEST_KEYS",
+]
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class NullSink:
+    """Discards every event (the default: telemetry disabled)."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Drop the event."""
+
+
+class InMemorySink:
+    """Collects events in a list and aggregates counters as they arrive.
+
+    ``events`` is the raw ordered stream; ``counters`` sums every
+    counter across all span and standalone-counter events, so totals
+    are available without a second pass.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.counters: Dict[str, int] = {}
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Record one event and fold its counters into the aggregate."""
+        self.events.append(event)
+        if event.get("event") == "span":
+            for name, value in event.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+        elif event.get("event") == "counter":
+            name = event["name"]
+            self.counters[name] = self.counters.get(name, 0) + event["value"]
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Finished span events, optionally filtered by exact name."""
+        return [
+            e
+            for e in self.events
+            if e.get("event") == "span" and (name is None or e["name"] == name)
+        ]
+
+    def phase_stats(self, prefix: str) -> List[Dict[str, Any]]:
+        """Manifest-ready rows for spans whose name starts with ``prefix``.
+
+        Each row is ``{"name", "duration_s", "counters"}`` with the
+        prefix stripped, in span-completion order.
+        """
+        return [
+            {
+                "name": e["name"][len(prefix):],
+                "duration_s": e["duration_s"],
+                "counters": dict(e.get("counters", {})),
+            }
+            for e in self.events
+            if e.get("event") == "span" and e["name"].startswith(prefix)
+        ]
+
+    def clear(self) -> None:
+        """Forget everything collected so far."""
+        self.events.clear()
+        self.counters.clear()
+
+
+class JsonlSink:
+    """Streams every event as one JSON line to a file path or stream."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._stream = target
+            self._owns = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Write one event as a JSON line."""
+        self._stream.write(json.dumps(event, sort_keys=True, default=str))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        """Flush and (for path targets) close the underlying stream."""
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class TeeSink:
+    """Fans every event out to several sinks."""
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks = sinks
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Forward the event to every child sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a :class:`JsonlSink` file back into event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Module state: one flag, one sink, a per-thread span stack
+# ----------------------------------------------------------------------
+_NULL_SINK = NullSink()
+_enabled = False
+_sink: Any = _NULL_SINK
+_local = threading.local()
+
+
+def _stack() -> List["_Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def enable(sink: Optional[Any] = None) -> Any:
+    """Turn telemetry on, routing events to ``sink``.
+
+    Returns the active sink (a fresh :class:`InMemorySink` when none is
+    given) so callers can read it back afterwards.
+    """
+    global _enabled, _sink
+    _sink = sink if sink is not None else InMemorySink()
+    _enabled = True
+    return _sink
+
+
+def disable() -> None:
+    """Turn telemetry off; subsequent spans/counters cost one flag check."""
+    global _enabled, _sink
+    _enabled = False
+    _sink = _NULL_SINK
+
+
+def is_enabled() -> bool:
+    """Is any sink currently listening?"""
+    return _enabled
+
+
+def current_sink() -> Any:
+    """The sink events are being routed to (NullSink when disabled)."""
+    return _sink
+
+
+# ----------------------------------------------------------------------
+# Spans and counters
+# ----------------------------------------------------------------------
+class _Span:
+    """An open tracing region; emitted to the sink when it closes."""
+
+    __slots__ = ("name", "attrs", "parent", "depth", "counters", "_start")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.parent: Optional[str] = None
+        self.depth = 0
+        self.counters: Dict[str, int] = {}
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = _stack()
+        if stack:
+            self.parent = stack[-1].name
+            self.depth = stack[-1].depth + 1
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        duration = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        event = {
+            "event": "span",
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "duration_s": duration,
+            "counters": dict(self.counters),
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        _sink.emit(event)
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """A timed, nested tracing region (context manager).
+
+    Counters incremented while this span is innermost are recorded on
+    it; the finished span is emitted to the active sink.  While
+    telemetry is disabled this returns a shared no-op object.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def incr(name: str, value: int = 1) -> None:
+    """Add ``value`` to counter ``name``.
+
+    Folded into the innermost open span, or emitted as a standalone
+    counter event when no span is open.  No-op while disabled.
+    """
+    if not _enabled:
+        return
+    stack = getattr(_local, "stack", None)
+    if stack:
+        counters = stack[-1].counters
+        counters[name] = counters.get(name, 0) + value
+    else:
+        _sink.emit({"event": "counter", "name": name, "value": value})
+
+
+@contextmanager
+def timed(name: str, **attrs: Any) -> Iterator[None]:
+    """Decorator-friendly alias for :func:`span` as a plain generator CM."""
+    with span(name, **attrs):
+        yield
+
+
+@contextmanager
+def capture() -> Iterator[InMemorySink]:
+    """Force-enable telemetry into a fresh scoped :class:`InMemorySink`.
+
+    If telemetry was already enabled the previous sink keeps receiving
+    every event (tee), so a user-installed JSONL stream sees the same
+    traffic.  On exit the previous enabled/sink state is restored.  This
+    is how flows that always emit a run manifest (``generate_tests``)
+    collect their stats without requiring the caller to opt in.
+
+    Not re-entrant across threads: the enable flag and sink are module
+    globals, matching the single-threaded use of the flows today.
+    """
+    global _enabled, _sink
+    session = InMemorySink()
+    prev_enabled, prev_sink = _enabled, _sink
+    _sink = TeeSink(session, prev_sink) if prev_enabled else session
+    _enabled = True
+    try:
+        yield session
+    finally:
+        _enabled, _sink = prev_enabled, prev_sink
+
+
+# ----------------------------------------------------------------------
+# Run manifests
+# ----------------------------------------------------------------------
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+REQUIRED_MANIFEST_KEYS = (
+    "schema",
+    "flow",
+    "circuit",
+    "seed",
+    "engine",
+    "method",
+    "limits",
+    "phases",
+    "counters",
+    "stats",
+)
+
+_REQUIRED_PHASE_KEYS = ("name", "duration_s", "counters")
+
+
+@dataclass
+class RunManifest:
+    """Deterministic, JSON-serializable record of one instrumented run.
+
+    ``phases`` rows are ``{"name", "duration_s", "counters"}`` in
+    execution order; ``counters`` aggregates every counter observed
+    during the run; ``stats`` holds the flow's headline numbers
+    (coverage, pattern counts, backtracks, ...).  Everything except the
+    ``duration_s`` timings is reproducible from the seed.
+    """
+
+    flow: str
+    circuit: str
+    seed: int
+    engine: str
+    method: str
+    limits: Dict[str, Any] = field(default_factory=dict)
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    schema: str = MANIFEST_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (already JSON-safe)."""
+        return {
+            "schema": self.schema,
+            "flow": self.flow,
+            "circuit": self.circuit,
+            "seed": self.seed,
+            "engine": self.engine,
+            "method": self.method,
+            "limits": dict(self.limits),
+            "phases": [dict(p) for p in self.phases],
+            "counters": dict(self.counters),
+            "stats": dict(self.stats),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to JSON (raises if any value is not JSON-safe)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict`/:meth:`to_json` output."""
+        return cls(
+            flow=data["flow"],
+            circuit=data["circuit"],
+            seed=data["seed"],
+            engine=data["engine"],
+            method=data["method"],
+            limits=dict(data.get("limits", {})),
+            phases=[dict(p) for p in data.get("phases", [])],
+            counters=dict(data.get("counters", {})),
+            stats=dict(data.get("stats", {})),
+            schema=data.get("schema", MANIFEST_SCHEMA),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        """Parse a manifest previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def phase(self, name: str) -> Optional[Dict[str, Any]]:
+        """The first phase row with this name, or None."""
+        for row in self.phases:
+            if row.get("name") == name:
+                return row
+        return None
+
+    def validate(self) -> "RunManifest":
+        """Check the schema: required keys, phase rows, JSON-safety.
+
+        Returns self so it chains; raises ValueError on any violation.
+        """
+        validate_manifest(self.to_dict())
+        return self
+
+
+def validate_manifest(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a raw manifest dict against the schema.
+
+    Checks required top-level keys, the schema tag, the per-phase row
+    keys, and JSON-serializability; raises ValueError on any violation
+    and returns the dict unchanged otherwise.  This is what the CI
+    quickstart gate runs against the JSON a flow dumped.
+    """
+    missing = [k for k in REQUIRED_MANIFEST_KEYS if k not in data]
+    if missing:
+        raise ValueError(f"manifest missing required keys: {missing}")
+    if data["schema"] != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"unknown manifest schema {data['schema']!r} "
+            f"(expected {MANIFEST_SCHEMA!r})"
+        )
+    for row in data["phases"]:
+        absent = [k for k in _REQUIRED_PHASE_KEYS if k not in row]
+        if absent:
+            raise ValueError(
+                f"manifest phase {row.get('name')!r} missing keys: {absent}"
+            )
+    try:
+        json.dumps(data)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"manifest is not JSON-serializable: {exc}") from exc
+    return data

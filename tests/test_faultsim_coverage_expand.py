@@ -41,7 +41,8 @@ class TestCoverageEdges:
         assert report.detected == []
         assert report.undetected == []
         assert report.coverage_curve() == [1.0]
-        assert report.patterns_to_reach(0.9) == 1
+        # Coverage is already 1.0 before any pattern: zero patterns needed.
+        assert report.patterns_to_reach(0.9) == 0
 
     def test_empty_patterns(self):
         circuit = c17()
@@ -49,6 +50,21 @@ class TestCoverageEdges:
         assert report.num_patterns == 0
         assert report.coverage == 0.0
         assert report.coverage_curve() == []
+        assert report.patterns_to_reach(0.5) is None
+
+    def test_zero_pattern_empty_fault_corner_consistent(self):
+        # The zero-pattern, empty-fault-list corner: coverage is 1.0, so
+        # patterns_to_reach must agree (0 patterns), not return None.
+        report = CoverageReport("empty", 0, [])
+        assert report.coverage == 1.0
+        assert report.coverage_curve() == []
+        assert report.patterns_to_reach(1.0) == 0
+        assert report.patterns_to_reach(0.5) == 0
+
+    def test_zero_target_needs_zero_patterns(self):
+        report = CoverageReport("c", 0, [Fault("y", 0)])
+        assert report.coverage == 0.0
+        assert report.patterns_to_reach(0.0) == 0
         assert report.patterns_to_reach(0.5) is None
 
     def test_undetectable_fault_never_detected(self):
@@ -87,6 +103,29 @@ class TestCoverageEdges:
         # Earlier detection wins once present in the first report.
         a2 = CoverageReport("c", 2, [fault], first_detection={fault: 0})
         assert merge_reports([a2, b]).first_detection[fault] == 0
+
+    def test_merge_reports_rejects_different_circuits(self):
+        fault = Fault("y", 0)
+        a = CoverageReport("circuit_a", 2, [fault])
+        b = CoverageReport("circuit_b", 2, [fault])
+        with pytest.raises(ValueError, match="different circuits"):
+            merge_reports([a, b])
+
+    def test_merge_reports_rejects_different_fault_lists(self):
+        # Merging across fault universes would silently produce a wrong
+        # coverage denominator; it must raise instead.
+        a = CoverageReport("c", 2, [Fault("y", 0)])
+        b = CoverageReport("c", 2, [Fault("y", 0), Fault("y", 1)])
+        with pytest.raises(ValueError, match="different fault lists"):
+            merge_reports([a, b])
+
+    def test_merge_reports_accepts_reordered_fault_list(self):
+        f1, f2 = Fault("y", 0), Fault("y", 1)
+        a = CoverageReport("c", 1, [f1, f2], first_detection={f1: 0})
+        b = CoverageReport("c", 1, [f2, f1], first_detection={f2: 0})
+        merged = merge_reports([a, b])
+        assert merged.first_detection == {f1: 0, f2: 1}
+        assert merged.coverage == 1.0
 
 
 class TestExpandEdges:
