@@ -9,6 +9,13 @@ two hard guarantees of the compiled-core refactor:
    identical detected-fault set; any disagreement fails the run.
 2. **Speedup** — the compiled parallel-pattern engine is at least 3x
    the pre-compiled-core (seed) engine in patterns/sec on the 74181.
+3. **Sharded exactness + speedup** — sharded multi-process sequential
+   verification of the registered-74181 scan schedule produces the
+   bit-identical coverage report as the single process, and with 4
+   workers is at least 2x faster wall-clock *when the machine has >= 4
+   CPUs* (on smaller machines the table still prints and exactness is
+   still enforced, but the wall-clock gate is skipped — there is no
+   parallel hardware to measure).
 
 Run standalone (CI uses ``--quick``)::
 
@@ -18,16 +25,35 @@ or through pytest, which executes the quick configuration.
 """
 
 import argparse
+import os
 import random
 import sys
 
 from conftest import print_table, run_with_manifest
 
-from repro.circuits import alu74181, random_combinational
+from repro.circuits import alu74181, random_combinational, registered_alu74181
 from repro.faults import collapse_faults
-from repro.faultsim import Engine, FaultSimulator, create_simulator
+from repro.faultsim import (
+    Engine,
+    FaultSimulator,
+    SequentialFaultSimulator,
+    ShardedFaultSimulator,
+    create_simulator,
+)
+from repro.scan import insert_scan, sample_fault_list, schedule_scan_tests
+from repro.atpg import generate_tests
 
 MIN_SPEEDUP = 3.0
+MIN_SHARDED_SPEEDUP = 2.0
+SHARDED_WORKERS = 4
+
+
+def available_cpus():
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
 
 
 def _random_patterns(circuit, count, seed):
@@ -169,6 +195,116 @@ def measure_speedup(patterns_count):
     return speedup
 
 
+def measure_sharded_sequential(quick):
+    """Sharded vs single-process sequential verification (74181 workload).
+
+    The workload is the scan flow's expensive tail on the registered
+    74181: sequentially fault-simulate the full shift/capture schedule,
+    one serial pass per fault.  Every sharded run must be bit-identical
+    to the single-process report; the 4-worker run must be >= 2x faster
+    when >= 4 CPUs are available.  All printed numbers come from
+    validated run manifests carrying the ``workers`` section.
+    """
+    circuit = registered_alu74181()
+    design = insert_scan(circuit)
+    core_tests = generate_tests(
+        circuit.combinational_core(), random_phase=32, seed=74181
+    )
+    schedule = schedule_scan_tests(design, core_tests.patterns)
+    # Enough per-shard work that the pool's fixed costs (fork, one
+    # good-machine trace per worker) stay well under the per-fault term.
+    faults = sample_fault_list(
+        collapse_faults(design.circuit), 96 if quick else 192, seed=0
+    )
+
+    def measure(workers):
+        if workers == 1:
+            simulator = SequentialFaultSimulator(design.circuit, faults=faults)
+            runner = lambda: simulator.run(schedule)
+            section = None
+        else:
+            simulator = ShardedFaultSimulator(
+                design.circuit, "sequential", faults=faults, workers=workers
+            )
+            runner = lambda: simulator.run(schedule)
+            section = simulator
+        report, manifest, elapsed = run_with_manifest(
+            "bench.faultsim.sharded",
+            design.circuit.name,
+            "sequential",
+            runner,
+            method="sequential-verify",
+            limits={
+                "workers": workers,
+                "faults": len(faults),
+                "cycles": len(schedule),
+            },
+            stats={"detected": 0},
+        )
+        manifest.stats["detected"] = len(report.first_detection)
+        if section is not None:
+            manifest.workers = section.workers_section()
+        manifest.validate()
+        return report, manifest, elapsed
+
+    reference, _, single_s = measure(1)
+    rows = [
+        (
+            "1 (single process)",
+            len(faults),
+            len(reference.first_detection),
+            f"{single_s:.3f}",
+            "1.0x",
+        )
+    ]
+    speedups = {}
+    for workers in (2, SHARDED_WORKERS) if not quick else (SHARDED_WORKERS,):
+        report, manifest, elapsed = measure(workers)
+        if report != reference:
+            raise SystemExit(
+                f"SHARDED MISMATCH with {workers} workers: merged report "
+                f"differs from the single-process run"
+            )
+        speedups[workers] = single_s / elapsed
+        rows.append(
+            (
+                f"{workers} ({manifest.workers['mode']}, "
+                f"{len(manifest.workers['shards'])} shards)",
+                len(faults),
+                manifest.stats["detected"],
+                f"{elapsed:.3f}",
+                f"{speedups[workers]:.1f}x",
+            )
+        )
+    print_table(
+        f"Sharded sequential verification on {design.circuit.name} "
+        f"({len(faults)} faults, {len(schedule)}-cycle scan schedule)",
+        ["workers", "faults", "detected", "seconds", "speedup"],
+        rows,
+    )
+    print("sharded reports bit-identical to single process: OK")
+    cpus = available_cpus()
+    speedup = speedups[SHARDED_WORKERS]
+    if cpus >= SHARDED_WORKERS:
+        if speedup < MIN_SHARDED_SPEEDUP:
+            raise SystemExit(
+                f"sharded speedup {speedup:.2f}x with {SHARDED_WORKERS} "
+                f"workers below the required {MIN_SHARDED_SPEEDUP}x "
+                f"({cpus} CPUs available)"
+            )
+        print(
+            f"OK: {SHARDED_WORKERS} workers are {speedup:.1f}x the single "
+            f"process (gate: >={MIN_SHARDED_SPEEDUP}x on {cpus} CPUs)"
+        )
+    else:
+        print(
+            f"NOTE: only {cpus} CPU(s) available "
+            f"(< {SHARDED_WORKERS} workers); wall-clock speedup gate "
+            f"skipped, exactness still enforced"
+        )
+    return speedup
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -186,6 +322,7 @@ def main(argv=None):
 
     speedup = measure_speedup(128 if args.quick else 512)
     print(f"OK: compiled parallel-pattern engine is {speedup:.1f}x the seed engine")
+    measure_sharded_sequential(args.quick)
     return 0
 
 

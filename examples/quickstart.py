@@ -1,11 +1,13 @@
 """Quickstart: faults, test generation, and fault simulation in 30 lines.
 
-Run:  python examples/quickstart.py [--manifest-out manifest.json]
+Run:  python examples/quickstart.py [--manifest-out manifest.json] [--workers N]
 
 With ``--manifest-out`` the ATPG run's manifest (seed, engine, limits,
 per-phase stats, final coverage — see ``repro.telemetry.RunManifest``)
 is written as JSON; CI runs this and validates the file against the
-manifest schema.
+manifest schema.  ``--workers N`` shards the flow's fault-simulation
+passes across N processes — the result is bit-identical, and the
+manifest gains a ``workers`` section CI also validates.
 """
 
 import argparse
@@ -24,6 +26,15 @@ def main(argv=None) -> None:
         "--manifest-out",
         metavar="PATH",
         help="write the ATPG run manifest as JSON to this file",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard fault simulation across N worker processes "
+        "(result is bit-identical to N=1; the manifest gains a "
+        "'workers' section)",
     )
     args = parser.parse_args(argv)
 
@@ -45,7 +56,9 @@ def main(argv=None) -> None:
     print("hardest to observe:", report.hardest_to_observe(3))
 
     # 4. Automatic test pattern generation (PODEM + fault dropping).
-    result = generate_tests(circuit, method="podem", random_phase=8)
+    result = generate_tests(
+        circuit, method="podem", random_phase=8, workers=args.workers
+    )
     print(result.summary())
     for index, pattern in enumerate(result.patterns):
         bits = "".join(str(pattern[net]) for net in circuit.inputs)

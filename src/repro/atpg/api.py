@@ -106,6 +106,7 @@ def generate_tests(
     reverse_compact: bool = False,
     seed: int = 0,
     engine: str = "parallel_pattern",
+    workers: int = 1,
 ) -> TestGenerationResult:
     """Run the full deterministic ATPG flow on a combinational circuit.
 
@@ -119,13 +120,27 @@ def generate_tests(
     the default is the compiled parallel-pattern engine.
     ``reverse_compact`` opts into a final reverse-order compaction pass
     through the same engine.
+
+    ``workers > 1`` runs every full fault-simulation pass (random-phase
+    grading, repair-round re-grading, final sign-off) sharded across
+    that many worker processes via
+    :class:`repro.faultsim.sharded.ShardedFaultSimulator`.  Results are
+    bit-identical to ``workers=1``; the manifest grows a ``workers``
+    section with per-shard timings and counters.
     """
-    from ..faultsim import create_simulator
+    from ..faultsim import ShardedFaultSimulator, create_simulator
 
     if method not in ("podem", "dalg"):
         raise ValueError(f"unknown ATPG method {method!r}")
     fault_list = list(faults) if faults is not None else collapse_faults(circuit)
-    simulator = create_simulator(circuit, engine, faults=fault_list)
+    sharded: Optional[ShardedFaultSimulator] = None
+    if workers and workers > 1:
+        sharded = ShardedFaultSimulator(
+            circuit, engine, faults=fault_list, workers=workers
+        )
+        simulator = sharded
+    else:
+        simulator = create_simulator(circuit, engine, faults=fault_list)
     engine_name = getattr(engine, "value", engine)
     rng = random.Random(seed)
     inputs = circuit.inputs
@@ -280,6 +295,7 @@ def generate_tests(
             "backtrack_limit": backtrack_limit,
             "compact": compact,
             "reverse_compact": reverse_compact,
+            "workers": workers,
         },
         phases=session.phase_stats("atpg.phase."),
         counters=dict(session.counters),
@@ -293,6 +309,7 @@ def generate_tests(
             "aborted": len(aborted),
             "total_backtracks": total_backtracks,
         },
+        workers=sharded.workers_section() if sharded is not None else None,
     )
     return TestGenerationResult(
         circuit_name=circuit.name,

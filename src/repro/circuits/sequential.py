@@ -114,6 +114,33 @@ def lfsr_circuit(taps: List[int], length: int) -> Circuit:
     return c
 
 
+def registered_alu74181() -> Circuit:
+    """The SN74181 ALU behind a 14-bit input register (pipeline stage).
+
+    Every ALU input pin ``P`` is fed from a DFF ``REG_P`` whose data
+    input is the new primary input ``P_D``, so the machine is genuinely
+    sequential: a functional test must clock operands in through the
+    register, while scan loads them in ``chain_length`` shifts.  This is
+    the repo's standard "real network behind state" workload — the
+    sequential-verification benchmark
+    (``benchmarks/bench_faultsim_engines.py``) shards its scan-schedule
+    fault simulation across worker processes on it.
+    """
+    from .alu74181 import INPUT_PINS, alu74181
+
+    alu = alu74181()
+    c = Circuit("alu74181_reg")
+    for pin in INPUT_PINS:
+        c.add_input(f"{pin}_D")
+        c.dff(f"{pin}_D", pin, name=f"REG_{pin}")
+    for gate in alu.gates:
+        c.add_gate(gate.kind, gate.inputs, gate.output, gate.name)
+    for net in alu.outputs:
+        c.add_output(net)
+    c.validate()
+    return c
+
+
 def oscillator_driven_block(width: int = 3) -> Circuit:
     """A free-running-clock victim for the degating demo (paper Fig. 3).
 

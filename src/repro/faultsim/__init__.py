@@ -23,6 +23,13 @@ from .parallel_fault import ParallelFaultSimulator
 from .deductive import DeductiveFaultSimulator
 from .sequential import SequentialFaultSimulator
 from .diagnosis import FaultDictionary, DiagnosisResult
+from .sharded import (
+    SEQUENTIAL_ENGINE,
+    ShardedFaultSimulator,
+    fork_available,
+    shard_faults,
+    sharded_coverage,
+)
 
 
 class Engine(enum.Enum):
@@ -97,4 +104,9 @@ __all__ = [
     "ParallelFaultSimulator",
     "DeductiveFaultSimulator",
     "SequentialFaultSimulator",
+    "SEQUENTIAL_ENGINE",
+    "ShardedFaultSimulator",
+    "fork_available",
+    "shard_faults",
+    "sharded_coverage",
 ]

@@ -83,17 +83,32 @@ class CoverageReport:
         return self.summary()
 
 
-def merge_reports(reports: Sequence[CoverageReport]) -> CoverageReport:
-    """Union coverage of several runs over the same fault list.
+def merge_reports(
+    reports: Sequence[CoverageReport], axis: str = "patterns"
+) -> CoverageReport:
+    """Union coverage of several runs, along one of two axes.
 
-    Pattern indices are offset by the runs' pattern counts in order,
-    as if the pattern sets were concatenated.
+    ``axis="patterns"`` (the default) merges runs of *different pattern
+    sets over the same fault list*: pattern indices are offset by the
+    runs' pattern counts in order, as if the pattern sets were
+    concatenated.  Every report must come from the same circuit and the
+    same fault list — merging across different fault universes would
+    silently produce a wrong coverage denominator — so any disagreement
+    in circuit name or fault set raises ValueError.
 
-    Every report must come from the same circuit and the same fault
-    list — merging across different fault universes would silently
-    produce a wrong coverage denominator — so any disagreement in
-    circuit name or fault set raises ValueError.
+    ``axis="faults"`` merges runs of *the same pattern set over disjoint
+    fault shards* (sharded fault simulation): the merged fault list is
+    the concatenation of the shards' lists in the order given, pattern
+    indices pass through unchanged, and the reports must agree on
+    circuit name and pattern count while their fault lists must be
+    pairwise disjoint.  Merging contiguous shards of one fault list in
+    shard order therefore reproduces the single-process report
+    bit-for-bit.
     """
+    if axis == "faults":
+        return _merge_fault_shards(reports)
+    if axis != "patterns":
+        raise ValueError(f"unknown merge axis {axis!r}")
     if not reports:
         raise ValueError("nothing to merge")
     base = reports[0]
@@ -123,4 +138,40 @@ def merge_reports(reports: Sequence[CoverageReport]) -> CoverageReport:
             if fault not in merged.first_detection or candidate < merged.first_detection[fault]:
                 merged.first_detection[fault] = candidate
         offset += report.num_patterns
+    return merged
+
+
+def _merge_fault_shards(reports: Sequence[CoverageReport]) -> CoverageReport:
+    """Merge reports over disjoint fault shards of one pattern set."""
+    if not reports:
+        raise ValueError("nothing to merge")
+    base = reports[0]
+    seen: set = set()
+    merged = CoverageReport(
+        circuit_name=base.circuit_name,
+        num_patterns=base.num_patterns,
+        faults=[],
+    )
+    for position, report in enumerate(reports):
+        if report.circuit_name != base.circuit_name:
+            raise ValueError(
+                f"cannot merge coverage reports from different circuits: "
+                f"{base.circuit_name!r} vs {report.circuit_name!r} "
+                f"(shard {position})"
+            )
+        if report.num_patterns != base.num_patterns:
+            raise ValueError(
+                f"cannot merge fault shards over different pattern sets: "
+                f"shard {position} saw {report.num_patterns} patterns, "
+                f"shard 0 saw {base.num_patterns}"
+            )
+        overlap = seen.intersection(report.faults)
+        if overlap:
+            raise ValueError(
+                f"fault shards must be disjoint: shard {position} repeats "
+                f"{len(overlap)} fault(s), e.g. {next(iter(overlap))}"
+            )
+        seen.update(report.faults)
+        merged.faults.extend(report.faults)
+        merged.first_detection.update(report.first_detection)
     return merged

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..netlist import values as V
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault, all_faults
@@ -105,15 +106,23 @@ class SequentialFaultSimulator:
         initial_state: Optional[Mapping[str, int]] = None,
     ) -> CoverageReport:
         """Run and collect the results."""
-        report = CoverageReport(self.circuit.name, len(sequence), list(self.faults))
-        good_states, good_outputs = self.good_trace(sequence, initial_state)
-        for fault in self.faults:
-            index = self._first_detection(
-                fault, sequence, good_states, good_outputs
+        with telemetry.span(
+            "faultsim.run", engine="sequential", circuit=self.circuit.name
+        ):
+            telemetry.incr("faultsim.patterns_simulated", len(sequence))
+            telemetry.incr("faultsim.faults_graded", len(self.faults))
+            report = CoverageReport(
+                self.circuit.name, len(sequence), list(self.faults)
             )
-            if index is not None:
-                report.first_detection[fault] = index
-        return report
+            good_states, good_outputs = self.good_trace(sequence, initial_state)
+            for fault in self.faults:
+                index = self._first_detection(
+                    fault, sequence, good_states, good_outputs
+                )
+                if index is not None:
+                    report.first_detection[fault] = index
+                    telemetry.incr("faultsim.seq.faults_detected")
+            return report
 
     def _first_detection(
         self,
@@ -136,8 +145,10 @@ class SequentialFaultSimulator:
                     and faulty_value in (V.ZERO, V.ONE)
                     and good_value != faulty_value
                 ):
+                    telemetry.incr("faultsim.seq.faulty_cycles", cycle + 1)
                     return cycle
             state = self._next_state(net_values)
             if cycle + 1 < len(good_states) and state == good_states[cycle + 1]:
                 state = None  # re-converged: ride the good trace again
+        telemetry.incr("faultsim.seq.faulty_cycles", len(sequence))
         return None

@@ -1,0 +1,346 @@
+"""Sharded multi-process fault simulation with an exact merge.
+
+The paper's §II cost model says test generation and fault simulation
+grow roughly with the *square* of gate count — the classic answer is to
+throw parallel hardware at the fault list.  This module splits a
+collapsed fault list into deterministic contiguous shards, runs any
+Engine-API fault simulator (serial, deductive, parallel-fault,
+parallel-pattern) or the sequential scan-flow verifier over each shard
+in a worker process, and folds the per-shard
+:class:`~repro.faultsim.coverage.CoverageReport` objects back together
+with ``merge_reports(axis="faults")``.
+
+Two properties make the merge *exact* rather than approximate:
+
+* every engine decides each fault's detection (and first-detection
+  index) independently of the other faults in its list, so a fault's
+  row in the report cannot depend on which shard it landed in;
+* shards are contiguous slices of the fault list, and the fault-axis
+  merge concatenates them in shard order, so the merged report is
+  **bit-identical** to the single-process run — same fault order, same
+  first-detection indices, same coverage
+  (``tests/test_sharded.py`` holds every engine to this).
+
+Execution degrades gracefully: ``workers <= 1``, a single shard, or a
+platform without ``fork`` all fall back to in-process execution (the
+shard/merge path still runs when more than one shard was requested, so
+the merge stays covered cross-platform).  Telemetry from each worker is
+captured in the child, shipped back with the report, folded into the
+parent's active sink, and aggregated into the ``workers`` section of
+the flow's :class:`~repro.telemetry.RunManifest`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .. import telemetry
+from ..netlist.circuit import Circuit
+from ..faults.stuck_at import Fault, all_faults
+from ..faults.collapse import collapse_faults
+from .coverage import CoverageReport, merge_reports
+
+Pattern = Mapping[str, int]
+
+#: Engine name for the sequential (scan-schedule) verifier, accepted by
+#: this module alongside the combinational :class:`repro.faultsim.Engine`
+#: names.  It is not part of the combinational Engine enum because its
+#: input is a clock-cycle sequence, not independent patterns.
+SEQUENTIAL_ENGINE = "sequential"
+
+
+def fork_available() -> bool:
+    """Can this platform run fork-based worker pools?"""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shard_faults(faults: Sequence[Fault], shards: int) -> List[List[Fault]]:
+    """Split a fault list into deterministic contiguous shards.
+
+    The first ``len(faults) % shards`` shards get one extra fault, so
+    sizes differ by at most one; concatenating the shards in order
+    reproduces the input list exactly (the invariant the fault-axis
+    merge relies on).  Empty trailing shards are dropped, so fewer
+    faults than shards yields ``len(faults)`` singleton shards.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    faults = list(faults)
+    if not faults:
+        return []
+    shards = min(shards, len(faults))
+    base, extra = divmod(len(faults), shards)
+    out: List[List[Fault]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(faults[start : start + size])
+        start += size
+    return out
+
+
+def _engine_name(engine: Any) -> str:
+    """Normalize an engine selector (enum, str) to its string name."""
+    from . import Engine
+
+    if isinstance(engine, Engine):
+        return engine.value
+    if engine == SEQUENTIAL_ENGINE:
+        return SEQUENTIAL_ENGINE
+    return Engine(engine).value
+
+
+def _build_simulator(
+    circuit: Circuit,
+    engine: str,
+    faults: Sequence[Fault],
+    engine_kwargs: Dict[str, Any],
+):
+    from . import create_simulator
+    from .sequential import SequentialFaultSimulator
+
+    if engine == SEQUENTIAL_ENGINE:
+        return SequentialFaultSimulator(circuit, faults=faults, **engine_kwargs)
+    return create_simulator(circuit, engine, faults=faults, **engine_kwargs)
+
+
+# ----------------------------------------------------------------------
+# Worker side.  State travels to the children by fork inheritance (the
+# pool initializer runs in each child before any task), so the circuit
+# and pattern set are never pickled per task — only the shard index
+# goes out and only the shard's report (plus telemetry) comes back.
+# ----------------------------------------------------------------------
+_WORKER_STATE: Optional[Dict[str, Any]] = None
+
+
+def _init_worker(state: Dict[str, Any]) -> None:
+    global _WORKER_STATE
+    telemetry.reset_in_child()
+    _WORKER_STATE = state
+
+
+def _run_shard(index: int):
+    state = _WORKER_STATE
+    assert state is not None, "worker pool initializer did not run"
+    return _execute_shard(state, index)
+
+
+def _execute_shard(state: Dict[str, Any], index: int):
+    """Run one fault shard; returns (index, report, counters, seconds)."""
+    shard = state["shards"][index]
+    start = time.perf_counter()
+    with telemetry.capture() as session:
+        with telemetry.span(
+            "faultsim.shard",
+            shard=index,
+            engine=state["engine"],
+            circuit=state["circuit"].name,
+        ):
+            simulator = _build_simulator(
+                state["circuit"], state["engine"], shard, state["engine_kwargs"]
+            )
+            report = simulator.run(state["patterns"], **state["run_kwargs"])
+    elapsed = time.perf_counter() - start
+    return index, report, dict(session.counters), elapsed
+
+
+class ShardedFaultSimulator:
+    """Multi-process fault simulation behind the uniform Engine API.
+
+    Construction mirrors ``create_simulator`` plus the parallelism
+    knobs: ``workers`` processes (default 1 = in-process), ``shards``
+    fault shards (default: one per worker).  ``engine`` accepts every
+    :class:`repro.faultsim.Engine` name and ``"sequential"`` for the
+    scan-schedule verifier.
+
+    ``run(patterns)`` returns a report bit-identical to the
+    single-process engine's; ``detects``/``detected_faults`` (single
+    pattern, latency-bound) always run in-process on a lazily built
+    local simulator.  :attr:`stats` accumulates the manifest-ready
+    ``workers`` section over every ``run`` call.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        engine: Union[str, Any] = "parallel_pattern",
+        faults: Optional[Sequence[Fault]] = None,
+        collapse: bool = True,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        **engine_kwargs: Any,
+    ) -> None:
+        self.circuit = circuit
+        self.engine = _engine_name(engine)
+        if faults is None:
+            faults = collapse_faults(circuit) if collapse else all_faults(circuit)
+        self.faults = list(faults)
+        self.workers = max(1, int(workers or 1))
+        self.shard_count = max(1, int(shards if shards is not None else self.workers))
+        self.engine_kwargs = dict(engine_kwargs)
+        self._local = None
+        self.stats: Dict[str, Any] = {
+            "requested": self.workers,
+            "effective": 0,
+            "mode": "inprocess",
+            "runs": 0,
+            "shards": [],
+        }
+
+    # -- in-process delegate -------------------------------------------
+    def _local_simulator(self):
+        if self._local is None:
+            self._local = _build_simulator(
+                self.circuit, self.engine, self.faults, self.engine_kwargs
+            )
+        return self._local
+
+    def detects(self, pattern: Pattern, fault: Fault) -> bool:
+        """Single-pattern probe (ATPG hook); always in-process."""
+        return self._local_simulator().detects(pattern, fault)
+
+    def detected_faults(self, pattern: Pattern) -> List[Fault]:
+        """All listed faults one pattern detects; always in-process."""
+        return self._local_simulator().detected_faults(pattern)
+
+    # -- sharded execution ---------------------------------------------
+    def run(self, patterns: Sequence[Pattern], **run_kwargs: Any) -> CoverageReport:
+        """Fault-simulate the pattern set across the worker pool.
+
+        The detected-fault set, first-detection indices, fault order and
+        coverage are identical to the single-process engine run for any
+        ``workers``/``shards`` combination.
+        """
+        shards = shard_faults(self.faults, self.shard_count)
+        use_pool = (
+            self.workers > 1 and len(shards) > 1 and fork_available()
+        )
+        mode = "fork" if use_pool else "inprocess"
+        effective = min(self.workers, len(shards)) if use_pool else 1
+        with telemetry.span(
+            "faultsim.sharded.run",
+            engine=self.engine,
+            circuit=self.circuit.name,
+            workers=effective,
+            shards=len(shards),
+            mode=mode,
+        ):
+            if len(shards) <= 1 and self.workers <= 1:
+                # Pure single-process path: no shard/merge bookkeeping.
+                report = self._local_simulator().run(patterns, **run_kwargs)
+                self._record_run(mode, 1, [])
+                return report
+            state = {
+                "circuit": self.circuit,
+                "engine": self.engine,
+                "patterns": list(patterns),
+                "shards": shards,
+                "engine_kwargs": self.engine_kwargs,
+                "run_kwargs": dict(run_kwargs),
+            }
+            if not shards:
+                # Empty fault list: one empty-report "shard" keeps the
+                # result identical to the single-process run.
+                report = self._local_simulator().run(patterns, **run_kwargs)
+                self._record_run(mode, 1, [])
+                return report
+            if use_pool:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(
+                    processes=effective,
+                    initializer=_init_worker,
+                    initargs=(state,),
+                ) as pool:
+                    results = pool.map(_run_shard, range(len(shards)))
+            else:
+                results = [
+                    _execute_shard(state, index) for index in range(len(shards))
+                ]
+            results.sort(key=lambda row: row[0])
+            shard_rows = []
+            for index, report, counters, elapsed in results:
+                for name, value in counters.items():
+                    telemetry.incr(name, value)
+                shard_rows.append(
+                    {
+                        "shard": index,
+                        "faults": len(shards[index]),
+                        "duration_s": elapsed,
+                        "counters": counters,
+                    }
+                )
+            merged = merge_reports(
+                [report for _, report, _, _ in results], axis="faults"
+            )
+            self._record_run(mode, effective, shard_rows)
+            return merged
+
+    def _record_run(
+        self, mode: str, effective: int, shard_rows: List[Dict[str, Any]]
+    ) -> None:
+        """Fold one run's per-shard stats into the manifest section."""
+        stats = self.stats
+        stats["runs"] += 1
+        stats["mode"] = mode
+        stats["effective"] = max(stats["effective"], effective)
+        by_shard = {row["shard"]: row for row in stats["shards"]}
+        for row in shard_rows:
+            existing = by_shard.get(row["shard"])
+            if existing is None:
+                stats["shards"].append(
+                    {
+                        "shard": row["shard"],
+                        "faults": row["faults"],
+                        "duration_s": row["duration_s"],
+                        "counters": dict(row["counters"]),
+                    }
+                )
+                by_shard[row["shard"]] = stats["shards"][-1]
+            else:
+                existing["duration_s"] += row["duration_s"]
+                for name, value in row["counters"].items():
+                    existing["counters"][name] = (
+                        existing["counters"].get(name, 0) + value
+                    )
+
+    def workers_section(self) -> Dict[str, Any]:
+        """JSON-safe copy of the accumulated manifest ``workers`` section."""
+        return {
+            "requested": self.stats["requested"],
+            "effective": self.stats["effective"],
+            "mode": self.stats["mode"],
+            "runs": self.stats["runs"],
+            "shards": [
+                {
+                    "shard": row["shard"],
+                    "faults": row["faults"],
+                    "duration_s": row["duration_s"],
+                    "counters": dict(row["counters"]),
+                }
+                for row in self.stats["shards"]
+            ],
+        }
+
+
+def sharded_coverage(
+    circuit: Circuit,
+    patterns: Sequence[Pattern],
+    engine: Union[str, Any] = "parallel_pattern",
+    faults: Optional[Sequence[Fault]] = None,
+    collapse: bool = True,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    **engine_kwargs: Any,
+) -> CoverageReport:
+    """One-call sharded fault simulation (mirrors ``engine_coverage``)."""
+    return ShardedFaultSimulator(
+        circuit,
+        engine,
+        faults=faults,
+        collapse=collapse,
+        workers=workers,
+        shards=shards,
+        **engine_kwargs,
+    ).run(patterns)

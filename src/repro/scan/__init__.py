@@ -10,7 +10,12 @@ from .chain import (
     SCAN_ENABLE,
     SCAN_OUT,
 )
-from .flow import FullScanResult, full_scan_flow, schedule_scan_tests
+from .flow import (
+    FullScanResult,
+    full_scan_flow,
+    sample_fault_list,
+    schedule_scan_tests,
+)
 from .lssd import LssdDesign, RuleViolation, check_lssd_rules
 from .scan_path import (
     raceless_dff_netlist,
@@ -42,6 +47,7 @@ __all__ = [
     "SCAN_OUT",
     "FullScanResult",
     "full_scan_flow",
+    "sample_fault_list",
     "schedule_scan_tests",
     "LssdDesign",
     "RuleViolation",

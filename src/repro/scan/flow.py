@@ -7,18 +7,30 @@ and verify the resulting stimulus on the scanned netlist by sequential
 fault simulation.  The output coverage is therefore measured through
 the chip's actual pins (PIs, POs and the three scan pins), proving the
 sequential problem really did reduce to the combinational one.
+
+Sequential verification costs one serial pass per fault, so it is the
+flow's wall-clock wall on anything bigger than a toy:
+``full_scan_flow(..., workers=N)`` shards the verified fault list
+across ``N`` worker processes
+(:class:`repro.faultsim.sharded.ShardedFaultSimulator`) with a result
+bit-identical to the single-process pass.  ``fault_limit`` caps the
+verified list by a *seeded random sample* (never a prefix — fault
+enumeration order is structural, so a prefix is a biased estimator);
+the sample seed is recorded in the attached run manifest.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from .. import telemetry
 from ..netlist.circuit import Circuit
 from ..atpg.api import generate_tests, TestGenerationResult
 from ..faults.stuck_at import Fault
 from ..faults.collapse import collapse_faults
-from ..faultsim.sequential import SequentialFaultSimulator
+from ..faultsim.sharded import SEQUENTIAL_ENGINE, ShardedFaultSimulator
 from ..faultsim.coverage import CoverageReport
 from ..economics.overhead import scan_test_data_volume
 from .chain import ScanDesign, ScanTester, insert_scan
@@ -28,23 +40,49 @@ Pattern = Dict[str, int]
 
 @dataclass
 class FullScanResult:
-    """Everything produced by the scan flow."""
+    """Everything produced by the scan flow.
+
+    ``scan_coverage`` is ``None`` when the flow ran with
+    ``verify=False`` — an unverified run is *not* the same thing as a
+    verified run that found nothing, and must never read as one.
+    ``manifest`` is the flow's own run manifest
+    (``flow="scan.full_scan_flow"``, with a ``workers`` section when the
+    verification was sharded); the combinational core's ATPG manifest
+    rides along as :attr:`core_manifest`.
+    """
 
     design: ScanDesign
     core_tests: TestGenerationResult
     schedule: List[Pattern]  # cycle-by-cycle input vectors (scan pins incl.)
-    scan_coverage: CoverageReport
+    scan_coverage: Optional[CoverageReport]
     total_clocks: int
     data_volume_bits: int
+    manifest: Optional[telemetry.RunManifest] = None
+
+    @property
+    def verified(self) -> bool:
+        """Did a sequential verification pass actually run?"""
+        return self.scan_coverage is not None
+
+    @property
+    def core_manifest(self) -> Optional[telemetry.RunManifest]:
+        """The core ATPG run's manifest (from ``generate_tests``)."""
+        return self.core_tests.manifest
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        if self.verified:
+            verification = (
+                f"verified scan coverage {self.scan_coverage.coverage:.1%}"
+            )
+        else:
+            verification = "scan coverage unverified (verify=False)"
         return (
             f"{self.design.original.name}: chain={self.design.chain_length}, "
             f"core {self.core_tests.summary()}; "
             f"applied in {self.total_clocks} clocks, "
             f"{self.data_volume_bits} bits of test data, "
-            f"verified scan coverage {self.scan_coverage.coverage:.1%}"
+            f"{verification}"
         )
 
 
@@ -96,6 +134,23 @@ def schedule_scan_tests(
     return schedule
 
 
+def sample_fault_list(
+    faults: Sequence[Fault], limit: Optional[int], seed: int
+) -> List[Fault]:
+    """Seeded uniform sample of at most ``limit`` faults.
+
+    A prefix (``faults[:limit]``) would be biased toward whatever the
+    fault-enumeration order puts first (inputs, then early gates), so
+    sampled coverage would not estimate true coverage; a seeded
+    ``random.sample`` is unbiased and reproducible from the seed.
+    Returns the list unchanged when it already fits.
+    """
+    faults = list(faults)
+    if limit is None or len(faults) <= limit:
+        return faults
+    return random.Random(seed).sample(faults, limit)
+
+
 def full_scan_flow(
     circuit: Circuit,
     method: str = "podem",
@@ -103,34 +158,100 @@ def full_scan_flow(
     seed: int = 0,
     verify: bool = True,
     fault_limit: Optional[int] = None,
+    sample_seed: int = 0,
+    fill: int = 0,
+    flush: bool = True,
+    engine: str = "parallel_pattern",
+    reverse_compact: bool = False,
+    workers: int = 1,
 ) -> FullScanResult:
     """Scan-insert, ATPG the core, schedule, and (optionally) verify.
 
-    ``fault_limit`` caps the number of faults sequentially verified
-    (verification costs one sequential pass per fault; benchmarks on
-    larger designs sample).
+    ``fill``/``flush`` pass through to :func:`schedule_scan_tests`;
+    ``engine``/``reverse_compact`` pass through to the core
+    :func:`~repro.atpg.api.generate_tests` call.  ``fault_limit`` caps
+    the number of faults sequentially verified by a random sample drawn
+    with ``sample_seed`` (verification costs one sequential pass per
+    fault; benchmarks on larger designs sample).  ``workers > 1``
+    shards both the core ATPG's fault-simulation passes and the
+    sequential verification across that many processes — the result is
+    bit-identical to ``workers=1``.
     """
     design = insert_scan(circuit)
     core = circuit.combinational_core()
-    core_tests = generate_tests(
-        core, method=method, random_phase=random_phase, seed=seed
+    verifier: Optional[ShardedFaultSimulator] = None
+    with telemetry.capture() as session:
+        with telemetry.span("scan.full_scan_flow", circuit=circuit.name):
+            with telemetry.span("scan.phase.core_atpg"):
+                core_tests = generate_tests(
+                    core,
+                    method=method,
+                    random_phase=random_phase,
+                    seed=seed,
+                    engine=engine,
+                    reverse_compact=reverse_compact,
+                    workers=workers,
+                )
+            with telemetry.span("scan.phase.schedule"):
+                schedule = schedule_scan_tests(
+                    design, core_tests.patterns, fill=fill, flush=flush
+                )
+                total_clocks = len(schedule)
+                data_volume = scan_test_data_volume(
+                    len(core_tests.patterns),
+                    design.chain_length,
+                    len(design.system_inputs),
+                    len(circuit.outputs),
+                )
+            coverage: Optional[CoverageReport] = None
+            if verify:
+                with telemetry.span("scan.phase.verify"):
+                    faults = sample_fault_list(
+                        collapse_faults(design.circuit), fault_limit, sample_seed
+                    )
+                    telemetry.incr("scan.verify.faults", len(faults))
+                    verifier = ShardedFaultSimulator(
+                        design.circuit,
+                        SEQUENTIAL_ENGINE,
+                        faults=faults,
+                        workers=workers,
+                    )
+                    coverage = verifier.run(schedule)
+
+    engine_name = getattr(engine, "value", engine)
+    manifest = telemetry.RunManifest(
+        flow="scan.full_scan_flow",
+        circuit=circuit.name,
+        seed=seed,
+        engine=str(engine_name),
+        method=method,
+        limits={
+            "random_phase": random_phase,
+            "fault_limit": fault_limit,
+            "sample_seed": sample_seed,
+            "fill": fill,
+            "flush": flush,
+            "reverse_compact": reverse_compact,
+            "verify": verify,
+            "workers": workers,
+        },
+        phases=session.phase_stats("scan.phase."),
+        counters=dict(session.counters),
+        stats={
+            "chain_length": design.chain_length,
+            "core_patterns": len(core_tests.patterns),
+            "core_coverage": core_tests.coverage,
+            "total_clocks": total_clocks,
+            "data_volume_bits": data_volume,
+            "verified": verify,
+            "verified_faults": len(coverage.faults) if coverage is not None else 0,
+            "detected": (
+                len(coverage.first_detection) if coverage is not None else 0
+            ),
+            "scan_coverage": coverage.coverage if coverage is not None else None,
+        },
+        workers=verifier.workers_section() if verifier is not None else None,
     )
-    schedule = schedule_scan_tests(design, core_tests.patterns)
-    total_clocks = len(schedule)
-    data_volume = scan_test_data_volume(
-        len(core_tests.patterns),
-        design.chain_length,
-        len(design.system_inputs),
-        len(circuit.outputs),
-    )
-    if verify:
-        faults = collapse_faults(design.circuit)
-        if fault_limit is not None and len(faults) > fault_limit:
-            faults = faults[:fault_limit]
-        simulator = SequentialFaultSimulator(design.circuit, faults=faults)
-        coverage = simulator.run(schedule)
-    else:
-        coverage = CoverageReport(design.circuit.name, total_clocks, [])
     return FullScanResult(
         design=design,
         core_tests=core_tests,
@@ -138,4 +259,5 @@ def full_scan_flow(
         scan_coverage=coverage,
         total_clocks=total_clocks,
         data_volume_bits=data_volume,
+        manifest=manifest,
     )

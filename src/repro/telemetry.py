@@ -57,6 +57,7 @@ __all__ = [
     "TeeSink",
     "enable",
     "disable",
+    "reset_in_child",
     "is_enabled",
     "current_sink",
     "span",
@@ -221,6 +222,19 @@ def disable() -> None:
     _sink = _NULL_SINK
 
 
+def reset_in_child() -> None:
+    """Reinitialize telemetry state after a ``fork()``.
+
+    A forked worker inherits the parent's enabled flag, sink (possibly
+    an open file stream) and per-thread span stack.  Sharded execution
+    calls this first thing in every worker so child events can never
+    interleave into the parent's sink and counters can never fold into
+    inherited (never-to-be-emitted) parent spans.
+    """
+    disable()
+    _local.stack = []
+
+
 def is_enabled() -> bool:
     """Is any sink currently listening?"""
     return _enabled
@@ -368,6 +382,11 @@ REQUIRED_MANIFEST_KEYS = (
 
 _REQUIRED_PHASE_KEYS = ("name", "duration_s", "counters")
 
+# Optional ``workers`` section (sharded multi-process execution).
+_REQUIRED_WORKERS_KEYS = ("requested", "effective", "mode", "shards")
+
+_REQUIRED_SHARD_KEYS = ("shard", "faults", "duration_s", "counters")
+
 
 @dataclass
 class RunManifest:
@@ -378,6 +397,13 @@ class RunManifest:
     during the run; ``stats`` holds the flow's headline numbers
     (coverage, pattern counts, backtracks, ...).  Everything except the
     ``duration_s`` timings is reproducible from the seed.
+
+    ``workers`` is the optional sharded-execution section (present when
+    a flow ran fault simulation through
+    :class:`repro.faultsim.sharded.ShardedFaultSimulator`):
+    ``{"requested", "effective", "mode", "runs", "shards"}`` where each
+    shard row is ``{"shard", "faults", "duration_s", "counters"}``
+    aggregated over every sharded run of the flow.
     """
 
     flow: str
@@ -389,11 +415,12 @@ class RunManifest:
     phases: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)
+    workers: Optional[Dict[str, Any]] = None
     schema: str = MANIFEST_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (already JSON-safe)."""
-        return {
+        data = {
             "schema": self.schema,
             "flow": self.flow,
             "circuit": self.circuit,
@@ -405,6 +432,9 @@ class RunManifest:
             "counters": dict(self.counters),
             "stats": dict(self.stats),
         }
+        if self.workers is not None:
+            data["workers"] = dict(self.workers)
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialize to JSON (raises if any value is not JSON-safe)."""
@@ -423,6 +453,9 @@ class RunManifest:
             phases=[dict(p) for p in data.get("phases", [])],
             counters=dict(data.get("counters", {})),
             stats=dict(data.get("stats", {})),
+            workers=(
+                dict(data["workers"]) if data.get("workers") is not None else None
+            ),
             schema=data.get("schema", MANIFEST_SCHEMA),
         )
 
@@ -469,6 +502,18 @@ def validate_manifest(data: Dict[str, Any]) -> Dict[str, Any]:
             raise ValueError(
                 f"manifest phase {row.get('name')!r} missing keys: {absent}"
             )
+    workers = data.get("workers")
+    if workers is not None:
+        absent = [k for k in _REQUIRED_WORKERS_KEYS if k not in workers]
+        if absent:
+            raise ValueError(f"manifest workers section missing keys: {absent}")
+        for row in workers["shards"]:
+            missing_keys = [k for k in _REQUIRED_SHARD_KEYS if k not in row]
+            if missing_keys:
+                raise ValueError(
+                    f"manifest shard row {row.get('shard')!r} missing keys: "
+                    f"{missing_keys}"
+                )
     try:
         json.dumps(data)
     except (TypeError, ValueError) as exc:

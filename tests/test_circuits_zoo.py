@@ -291,6 +291,33 @@ class TestSequentialCircuits:
         # 101 completes at indices 2, 4, 7
         assert [i for i, d in enumerate(detections) if d == 1] == [2, 4, 7]
 
+    def test_registered_alu_matches_reference_one_cycle_late(self):
+        from repro.circuits import registered_alu74181
+        from repro.circuits.alu74181 import (
+            pack_f,
+            pin_assignment,
+            reference_alu,
+        )
+
+        c = registered_alu74181()
+        assert len(c.flip_flops) == 14
+        sim = SequentialSimulator(c)
+        rng = random.Random(9)
+        for _ in range(10):
+            a, b = rng.randrange(16), rng.randrange(16)
+            s, m, cn = rng.randrange(16), rng.randint(0, 1), rng.randint(0, 1)
+            pins = {
+                f"{net}_D": value
+                for net, value in pin_assignment(a, b, s, m, cn).items()
+            }
+            sim.step(pins)  # operands latch into the input register...
+            outputs = sim.evaluate(pins)  # ...and the ALU sees them now
+            expected = reference_alu(a, b, s, m, cn)
+            assert pack_f(outputs) == expected["F"], (a, b, s, m, cn)
+            assert outputs["AEQB"] == expected["AEQB"]
+            if "CN4" in expected:
+                assert outputs["CN4"] == expected["CN4"]
+
     def test_lfsr_circuit_matches_behavioral(self):
         from repro.lfsr import Lfsr
 

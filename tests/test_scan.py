@@ -10,11 +10,13 @@ from repro.circuits import (
     sequence_detector,
     shift_register,
 )
+from repro.faults import collapse_faults
 from repro.netlist import NetlistError, values as V
 from repro.scan import (
     ScanTester,
     full_scan_flow,
     insert_scan,
+    sample_fault_list,
     schedule_scan_tests,
 )
 from repro.sim import LogicSimulator, SequentialSimulator
@@ -175,3 +177,121 @@ class TestFullScanFlow:
         tester.load_state(deep_state)
         assert tester.total_clocks == width  # vs 63 functional clocks
         assert tester.sim.state_vector() == deep_state
+
+
+class TestFaultLimitSampling:
+    """``fault_limit`` must be an unbiased seeded sample, not a prefix."""
+
+    def test_sample_is_not_a_prefix(self):
+        """Regression: the old ``faults[:N]`` truncation oversampled the
+        start of the enumeration order; a seeded random sample must not
+        reproduce it (astronomically unlikely at these sizes)."""
+        result = full_scan_flow(
+            binary_counter(6), random_phase=8, seed=0, fault_limit=20
+        )
+        universe = collapse_faults(result.design.circuit)
+        sampled = result.scan_coverage.faults
+        assert len(sampled) == 20
+        assert sampled != universe[:20]
+        assert set(sampled) <= set(universe)
+
+    def test_sample_matches_seeded_reference(self):
+        result = full_scan_flow(
+            binary_counter(6), random_phase=8, seed=0,
+            fault_limit=20, sample_seed=7,
+        )
+        universe = collapse_faults(result.design.circuit)
+        expected = random.Random(7).sample(universe, 20)
+        assert result.scan_coverage.faults == expected
+        assert result.manifest.limits["fault_limit"] == 20
+        assert result.manifest.limits["sample_seed"] == 7
+
+    def test_sample_seed_changes_sample(self):
+        a = full_scan_flow(
+            binary_counter(6), random_phase=8, seed=0,
+            fault_limit=20, sample_seed=0,
+        )
+        b = full_scan_flow(
+            binary_counter(6), random_phase=8, seed=0,
+            fault_limit=20, sample_seed=1,
+        )
+        assert a.scan_coverage.faults != b.scan_coverage.faults
+
+    def test_no_sampling_when_list_fits(self):
+        faults = collapse_faults(insert_scan(binary_counter(3)).circuit)
+        assert sample_fault_list(faults, len(faults), seed=0) == faults
+        assert sample_fault_list(faults, None, seed=0) == faults
+
+
+class TestUnverifiedResult:
+    """``verify=False`` must be explicit, never 'verified, found nothing'."""
+
+    def test_unverified_coverage_is_none(self):
+        result = full_scan_flow(
+            binary_counter(4), random_phase=8, seed=0, verify=False
+        )
+        assert result.scan_coverage is None
+        assert result.verified is False
+        assert "unverified" in result.summary()
+        assert result.manifest.stats["verified"] is False
+        assert result.manifest.stats["scan_coverage"] is None
+        assert result.manifest.workers is None
+        result.manifest.validate()
+
+    def test_verified_flag_set_on_real_verification(self):
+        result = full_scan_flow(binary_counter(4), random_phase=8, seed=0)
+        assert result.verified is True
+        assert result.manifest.stats["verified"] is True
+        assert result.manifest.stats["scan_coverage"] == (
+            result.scan_coverage.coverage
+        )
+
+
+class TestFlowPlumbing:
+    """fill/flush/engine/reverse_compact reach their callees."""
+
+    def test_flush_false_shortens_schedule(self):
+        with_flush = full_scan_flow(
+            binary_counter(3), random_phase=8, seed=0, verify=False
+        )
+        without = full_scan_flow(
+            binary_counter(3), random_phase=8, seed=0, verify=False,
+            flush=False,
+        )
+        chain = with_flush.design.chain_length
+        assert len(with_flush.schedule) - len(without.schedule) == 2 * chain + 4
+        assert without.manifest.limits["flush"] is False
+
+    def test_fill_value_reaches_schedule(self):
+        result = full_scan_flow(
+            binary_counter(3), random_phase=8, seed=0, verify=False, fill=1
+        )
+        # The final drain cycles idle every system input at the fill value.
+        drain = result.schedule[-1]
+        for net in result.design.system_inputs:
+            assert drain[net] == 1
+        assert result.manifest.limits["fill"] == 1
+
+    def test_engine_and_reverse_compact_reach_core_atpg(self):
+        result = full_scan_flow(
+            binary_counter(4), random_phase=8, seed=0, verify=False,
+            engine="deductive", reverse_compact=True,
+        )
+        core_manifest = result.core_manifest
+        assert core_manifest is result.core_tests.manifest
+        assert core_manifest.engine == "deductive"
+        assert core_manifest.limits["reverse_compact"] is True
+        assert result.manifest.engine == "deductive"
+        assert result.manifest.limits["reverse_compact"] is True
+
+    def test_flow_manifest_attached_and_valid(self):
+        result = full_scan_flow(binary_counter(4), random_phase=8, seed=0)
+        manifest = result.manifest.validate()
+        assert manifest.flow == "scan.full_scan_flow"
+        assert [p["name"] for p in manifest.phases] == [
+            "core_atpg", "schedule", "verify",
+        ]
+        assert manifest.stats["total_clocks"] == result.total_clocks
+        assert manifest.stats["detected"] == len(
+            result.scan_coverage.first_detection
+        )

@@ -219,6 +219,45 @@ class TestRunManifestSchema:
         with pytest.raises(ValueError, match="not JSON-serializable"):
             manifest.validate()
 
+    def _workers_section(self):
+        return {
+            "requested": 4,
+            "effective": 2,
+            "mode": "fork",
+            "runs": 1,
+            "shards": [
+                {"shard": 0, "faults": 11, "duration_s": 0.1, "counters": {}},
+                {"shard": 1, "faults": 11, "duration_s": 0.1, "counters": {}},
+            ],
+        }
+
+    def test_workers_section_optional_and_valid(self):
+        manifest = self._manifest()
+        assert "workers" not in manifest.to_dict()
+        manifest.workers = self._workers_section()
+        assert manifest.validate().to_dict()["workers"]["mode"] == "fork"
+
+    def test_workers_section_round_trips(self):
+        manifest = self._manifest()
+        manifest.workers = self._workers_section()
+        clone = RunManifest.from_json(manifest.to_json())
+        assert clone.workers == manifest.workers
+        assert clone.to_dict() == manifest.to_dict()
+
+    def test_workers_section_missing_key_rejected(self):
+        manifest = self._manifest()
+        manifest.workers = self._workers_section()
+        del manifest.workers["mode"]
+        with pytest.raises(ValueError, match="workers section missing"):
+            manifest.validate()
+
+    def test_workers_shard_row_missing_key_rejected(self):
+        manifest = self._manifest()
+        manifest.workers = self._workers_section()
+        del manifest.workers["shards"][1]["duration_s"]
+        with pytest.raises(ValueError, match="shard row"):
+            manifest.validate()
+
 
 class TestGenerateTestsManifest:
     def test_alu74181_manifest_agrees_with_result(self):
