@@ -1,6 +1,7 @@
 """Quickstart: faults, test generation, and fault simulation in 30 lines.
 
-Run:  python examples/quickstart.py [--manifest-out manifest.json] [--workers N]
+Run:  python examples/quickstart.py [--manifest-out manifest.json]
+                                    [--workers N] [--store DIR]
 
 With ``--manifest-out`` the ATPG run's manifest (seed, engine, limits,
 per-phase stats, final coverage — see ``repro.telemetry.RunManifest``)
@@ -8,6 +9,12 @@ is written as JSON; CI runs this and validates the file against the
 manifest schema.  ``--workers N`` shards the flow's fault-simulation
 passes across N processes — the result is bit-identical, and the
 manifest gains a ``workers`` section CI also validates.
+
+``--store DIR`` memoizes the ATPG run through the content-addressed
+result store (``repro.store``): the first invocation computes and
+persists the result, a second invocation with the same DIR serves it
+straight from disk (zero ATPG/fault-simulation work) and the printed
+``store.hit``/``store.miss`` counters show which path ran.
 """
 
 import argparse
@@ -36,6 +43,13 @@ def main(argv=None) -> None:
         "(result is bit-identical to N=1; the manifest gains a "
         "'workers' section)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="memoize the ATPG run through the content-addressed result "
+        "store at DIR (a second run with the same DIR is a cache hit "
+        "and does zero test-generation work)",
+    )
     args = parser.parse_args(argv)
 
     # 0. Turn telemetry on so every instrumented layer reports.
@@ -56,9 +70,43 @@ def main(argv=None) -> None:
     print("hardest to observe:", report.hardest_to_observe(3))
 
     # 4. Automatic test pattern generation (PODEM + fault dropping).
-    result = generate_tests(
-        circuit, method="podem", random_phase=8, workers=args.workers
-    )
+    #    With --store the run is memoized: keyed by the circuit's
+    #    structural hash + engine + seed + params, computed at most once.
+    def run_atpg():
+        return generate_tests(
+            circuit, method="podem", random_phase=8, workers=args.workers
+        )
+
+    if args.store:
+        from repro.netlist import cache_key
+        from repro.store import (
+            KIND_ATPG_RESULT,
+            ResultStore,
+            decode_test_result,
+            encode_test_result,
+        )
+
+        store = ResultStore(args.store)
+        key = cache_key(
+            circuit,
+            "parallel_pattern",
+            seed=0,
+            params={"flow": "atpg", "method": "podem", "random_phase": 8},
+        )
+        result, cached = store.memoize(
+            key,
+            KIND_ATPG_RESULT,
+            run_atpg,
+            encode=encode_test_result,
+            decode=decode_test_result,
+        )
+        print(
+            f"store[{key[:12]}…]: {'HIT — served from disk' if cached else 'MISS — computed and stored'} "
+            f"(hit={sink.counters.get('store.hit', 0)} "
+            f"miss={sink.counters.get('store.miss', 0)})"
+        )
+    else:
+        result = run_atpg()
     print(result.summary())
     for index, pattern in enumerate(result.patterns):
         bits = "".join(str(pattern[net]) for net in circuit.inputs)

@@ -35,6 +35,8 @@ from . import adhoc
 from . import scan
 from . import bist
 from . import testers
+from . import store
+from . import campaign
 
 __all__ = [
     "telemetry",
@@ -51,5 +53,7 @@ __all__ = [
     "scan",
     "bist",
     "testers",
+    "store",
+    "campaign",
     "__version__",
 ]

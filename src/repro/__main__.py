@@ -1,0 +1,133 @@
+"""Command-line front door: ``python -m repro``.
+
+Currently one command family, ``campaign``, exposing the resumable
+store-backed orchestrator (:mod:`repro.campaign`):
+
+``python -m repro campaign run [--spec FILE] [--store DIR] [--workers N]``
+    Run (or resume) a campaign.  Without ``--spec`` the built-in demo
+    spec runs.  Every cell is memoized through the result store, so a
+    warm re-run does zero fault-simulation work; an interrupted run
+    resumes from its checkpoint.
+
+``python -m repro campaign status [--spec FILE] [--store DIR]``
+    Show completed/pending cells from the checkpoint without running.
+
+``python -m repro campaign clean [--store DIR] [--spec FILE]``
+    Evict every stored artifact and drop the campaign's state files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .campaign import CampaignRunner, CampaignSpec, demo_spec
+
+DEFAULT_STORE = ".repro-store"
+
+
+def _load_spec(path: Optional[str]) -> CampaignSpec:
+    return CampaignSpec.from_file(path) if path else demo_spec()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="JSON campaign spec (default: the built-in demo spec)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE,
+        help=f"result store directory (default: {DEFAULT_STORE})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Design-for-testability toolkit command line",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser(
+        "campaign", help="run/inspect/clean store-backed campaigns"
+    )
+    actions = campaign.add_subparsers(dest="action", required=True)
+
+    run = actions.add_parser("run", help="run or resume a campaign")
+    _add_common(run)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each cell's fault simulation across N processes "
+        "(results are bit-identical to N=1 and share one cache)",
+    )
+    run.add_argument(
+        "--limit",
+        type=int,
+        metavar="K",
+        help="process at most K cells this invocation (resume later)",
+    )
+
+    status = actions.add_parser("status", help="show checkpoint progress")
+    _add_common(status)
+
+    clean = actions.add_parser("clean", help="evict the store + state")
+    _add_common(clean)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    spec = _load_spec(args.spec)
+    runner = CampaignRunner(spec, args.store, workers=getattr(args, "workers", 1))
+
+    if args.action == "run":
+        result = runner.run(limit=args.limit)
+        sys.stdout.write(result.summary)
+        print(
+            f"[store] hits={result.hits} misses={result.misses} "
+            f"quarantined={runner.store.stats.quarantined} "
+            f"entries={len(runner.store)}"
+        )
+        print(f"[campaign] state: {runner.state_dir}")
+        if not result.finished:
+            print(
+                f"[campaign] {result.total - result.completed} cell(s) "
+                "pending — re-run to resume from the checkpoint"
+            )
+        return 0
+
+    if args.action == "status":
+        status = runner.status()
+        print(
+            f"campaign {status['campaign']!r}: "
+            f"{status['completed']}/{status['total']} cells completed, "
+            f"{status['skipped']} skipped, "
+            f"{status['store_entries']} store entries at {status['store_root']}"
+        )
+        for cell_id in status["pending"]:
+            print(f"  pending: {cell_id}")
+        return 0
+
+    if args.action == "clean":
+        outcome = runner.clean()
+        print(
+            f"evicted {outcome['evicted']} artifact(s), "
+            f"removed {outcome['state_dirs_removed']} campaign state dir(s)"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled action {args.action!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Campaign orchestration: spec → cells → memoized, resumable runs.
+
+A *campaign* sweeps the circuit zoo across fault-simulation engines,
+flows and seeds — the regression-style workload the paper's cost model
+says dominates a design's life — and persists every cell through the
+content-addressed :mod:`repro.store`, so repeated runs (CI, benchmarks,
+examples) stop re-paying for results that have not changed.  Drive it
+programmatically through :class:`CampaignRunner` or from the shell via
+``python -m repro campaign run|status|clean``.
+"""
+
+from .spec import (
+    FLOWS,
+    WORKLOADS,
+    CampaignCell,
+    CampaignSpec,
+    build_workload,
+    demo_spec,
+)
+from .runner import (
+    CampaignResult,
+    CampaignRunner,
+    CellResult,
+    cell_cache_key,
+    decode_cell_result,
+    encode_cell_result,
+    execute_cell,
+    render_summary,
+)
+
+__all__ = [
+    "FLOWS",
+    "WORKLOADS",
+    "CampaignCell",
+    "CampaignSpec",
+    "build_workload",
+    "demo_spec",
+    "CampaignResult",
+    "CampaignRunner",
+    "CellResult",
+    "cell_cache_key",
+    "encode_cell_result",
+    "decode_cell_result",
+    "execute_cell",
+    "render_summary",
+]

@@ -1,0 +1,496 @@
+"""Resumable, store-memoized campaign execution.
+
+The runner walks a :class:`~repro.campaign.spec.CampaignSpec`'s cell
+grid in deterministic order and pushes every cell through the existing
+flows — ``generate_tests`` for combinational ATPG cells,
+``full_scan_flow`` for scan cells — with ``workers=N`` sharding inside
+each cell.  Each cell is memoized through the content-addressed
+:class:`~repro.store.ResultStore` under its
+:func:`~repro.netlist.hashing.cache_key`, so:
+
+* a **warm** re-run performs *zero* fault-simulation work — every cell
+  is served from disk, visible in the campaign manifest as
+  ``store.hit == cells`` and the complete absence of ``atpg.*`` /
+  fault-sim counters;
+* an **interrupted** cold run resumes where it stopped — the
+  checkpoint file (updated atomically after every cell) records
+  completed cells, and re-running recomputes only the missing ones
+  (the completed prefix comes back as store hits).
+
+Every run (re)writes three files under
+``<store>/campaigns/<name>/``: ``summary.txt`` (deterministic table,
+no timings — cold and warm runs produce byte-identical bytes),
+``cells.jsonl`` (one line per cell with its stats and full run
+manifest), and ``manifest.json`` (the campaign's own validated
+:class:`~repro.telemetry.RunManifest`, whose counters carry the
+store's hit/miss/quarantine behaviour).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import telemetry
+from ..netlist.circuit import Circuit
+from ..netlist.hashing import cache_key
+from ..faultsim.coverage import CoverageReport
+from ..store import ResultStore
+from ..store.codecs import (
+    KIND_CAMPAIGN_CELL,
+    decode_manifest,
+    decode_patterns,
+    decode_report,
+    encode_manifest,
+    encode_patterns,
+    encode_report,
+)
+from .spec import CampaignCell, CampaignSpec, build_workload
+
+__all__ = ["CellResult", "CampaignResult", "CampaignRunner"]
+
+CHECKPOINT_SCHEMA = "repro.campaign-checkpoint/1"
+
+#: spec.params keys forwarded to generate_tests (atpg cells).
+_ATPG_PARAMS = ("method", "random_phase", "backtrack_limit", "compact",
+                "reverse_compact")
+#: spec.params keys forwarded to full_scan_flow (scan cells).
+_SCAN_PARAMS = ("method", "random_phase", "fault_limit", "sample_seed",
+                "fill", "flush", "reverse_compact")
+
+
+@dataclass
+class CellResult:
+    """Everything one campaign cell produced (computed or loaded)."""
+
+    cell: CampaignCell
+    key: str
+    patterns: List[Dict[str, int]]
+    report: Optional[CoverageReport]
+    manifest: telemetry.RunManifest
+    core_manifest: Optional[telemetry.RunManifest]
+    stats: Dict[str, Any]
+    duration_s: float
+    cached: bool = False
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """The cell's headline coverage (None when unverified)."""
+        return self.stats.get("coverage")
+
+
+@dataclass
+class CampaignResult:
+    """One campaign run: per-cell results plus the run's own manifest."""
+
+    spec: CampaignSpec
+    results: List[CellResult]
+    skipped: List[CampaignCell]
+    manifest: telemetry.RunManifest
+    summary: str
+    hits: int = 0
+    misses: int = 0
+    completed: int = 0
+    total: int = 0
+
+    @property
+    def finished(self) -> bool:
+        """Did every runnable cell complete (this run or a prior one)?"""
+        return self.completed >= self.total
+
+
+# ----------------------------------------------------------------------
+# Cell execution and (de)serialization
+# ----------------------------------------------------------------------
+def cell_cache_key(
+    cell: CampaignCell, params: Dict[str, Any], circuit: Optional[Circuit] = None
+) -> str:
+    """Content address of one cell's deterministic result.
+
+    ``workers`` deliberately never reaches the key: sharded execution
+    is bit-identical to single-process by contract, so caches warm on a
+    laptop serve a 32-way machine and vice versa.
+    """
+    circuit = circuit if circuit is not None else build_workload(cell.workload)
+    return cache_key(
+        circuit,
+        cell.engine,
+        seed=cell.seed,
+        params={"flow": cell.flow, "workload": cell.workload,
+                "params": dict(params)},
+    )
+
+
+def _subparams(params: Dict[str, Any], allowed: Tuple[str, ...]) -> Dict[str, Any]:
+    return {k: params[k] for k in allowed if k in params}
+
+
+def execute_cell(
+    cell: CampaignCell,
+    params: Dict[str, Any],
+    workers: int = 1,
+    circuit: Optional[Circuit] = None,
+    key: Optional[str] = None,
+) -> CellResult:
+    """Run one cell cold through the appropriate flow."""
+    from ..atpg.api import generate_tests
+    from ..scan.flow import full_scan_flow
+
+    circuit = circuit if circuit is not None else build_workload(cell.workload)
+    key = key if key is not None else cell_cache_key(cell, params, circuit)
+    start = time.perf_counter()
+    if cell.flow == "atpg":
+        result = generate_tests(
+            circuit,
+            seed=cell.seed,
+            engine=cell.engine,
+            workers=workers,
+            **_subparams(params, _ATPG_PARAMS),
+        )
+        duration = time.perf_counter() - start
+        stats = {
+            "patterns": len(result.patterns),
+            "coverage": result.report.coverage,
+            "fault_count": len(result.report.faults),
+            "redundant": len(result.redundant),
+            "aborted": len(result.aborted),
+        }
+        return CellResult(
+            cell=cell,
+            key=key,
+            patterns=list(result.patterns),
+            report=result.report,
+            manifest=result.manifest,
+            core_manifest=None,
+            stats=stats,
+            duration_s=duration,
+        )
+    if cell.flow == "full_scan":
+        flow = full_scan_flow(
+            circuit,
+            seed=cell.seed,
+            engine=cell.engine,
+            workers=workers,
+            **_subparams(params, _SCAN_PARAMS),
+        )
+        duration = time.perf_counter() - start
+        coverage = (
+            flow.scan_coverage.coverage if flow.scan_coverage is not None else None
+        )
+        stats = {
+            "patterns": len(flow.core_tests.patterns),
+            "coverage": coverage,
+            "fault_count": (
+                len(flow.scan_coverage.faults)
+                if flow.scan_coverage is not None
+                else 0
+            ),
+            "chain_length": flow.design.chain_length,
+            "total_clocks": flow.total_clocks,
+            "data_volume_bits": flow.data_volume_bits,
+        }
+        return CellResult(
+            cell=cell,
+            key=key,
+            patterns=list(flow.core_tests.patterns),
+            report=flow.scan_coverage,
+            manifest=flow.manifest,
+            core_manifest=flow.core_manifest,
+            stats=stats,
+            duration_s=duration,
+        )
+    raise ValueError(f"unknown cell flow {cell.flow!r}")
+
+
+def encode_cell_result(result: CellResult) -> Dict[str, Any]:
+    """Cell result → JSON payload for the store."""
+    return {
+        "cell": {
+            "workload": result.cell.workload,
+            "flow": result.cell.flow,
+            "engine": result.cell.engine,
+            "seed": result.cell.seed,
+        },
+        "key": result.key,
+        "patterns": encode_patterns(result.patterns),
+        "report": (
+            encode_report(result.report) if result.report is not None else None
+        ),
+        "manifest": encode_manifest(result.manifest),
+        "core_manifest": (
+            encode_manifest(result.core_manifest)
+            if result.core_manifest is not None
+            else None
+        ),
+        "stats": dict(result.stats),
+        "duration_s": result.duration_s,
+    }
+
+
+def decode_cell_result(payload: Dict[str, Any]) -> CellResult:
+    """Rebuild a :class:`CellResult` from its store payload."""
+    cell = CampaignCell(
+        workload=payload["cell"]["workload"],
+        flow=payload["cell"]["flow"],
+        engine=payload["cell"]["engine"],
+        seed=payload["cell"]["seed"],
+    )
+    report = payload.get("report")
+    return CellResult(
+        cell=cell,
+        key=payload["key"],
+        patterns=decode_patterns(payload["patterns"]),
+        report=decode_report(report) if report is not None else None,
+        manifest=decode_manifest(payload["manifest"]),
+        core_manifest=decode_manifest(payload.get("core_manifest")),
+        stats=dict(payload["stats"]),
+        duration_s=payload["duration_s"],
+        cached=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Summary rendering (deliberately timing-free: cold and warm runs of
+# the same campaign must produce byte-identical summaries)
+# ----------------------------------------------------------------------
+def render_summary(
+    spec: CampaignSpec,
+    results: List[CellResult],
+    skipped: List[CampaignCell],
+    total: int,
+) -> str:
+    """Fixed-format table of completed cells; no timings, no hit/miss."""
+    header = (
+        f"campaign {spec.name!r}: {len(results)}/{total} cells completed"
+        + (f", {len(skipped)} incompatible cells skipped" if skipped else "")
+    )
+    columns = f"{'workload':<22}{'flow':<11}{'engine':<18}{'seed':>4}  {'patterns':>8}  {'coverage':>8}"
+    rule = "-" * len(columns)
+    lines = [header, columns, rule]
+    for result in results:
+        coverage = result.coverage
+        coverage_text = f"{coverage:.2%}" if coverage is not None else "n/a"
+        lines.append(
+            f"{result.cell.workload:<22}{result.cell.flow:<11}"
+            f"{result.cell.engine:<18}{result.cell.seed:>4}  "
+            f"{result.stats.get('patterns', 0):>8}  {coverage_text:>8}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Executes a campaign against a result store, resumably."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Union[str, Path, ResultStore],
+        workers: int = 1,
+    ) -> None:
+        self.spec = spec
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.workers = max(1, int(workers))
+        self.state_dir = self.store.root / "campaigns" / spec.name
+        self.checkpoint_path = self.state_dir / "checkpoint.json"
+        self.summary_path = self.state_dir / "summary.txt"
+        self.jsonl_path = self.state_dir / "cells.jsonl"
+        self.manifest_path = self.state_dir / "manifest.json"
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _load_checkpoint(self) -> Dict[str, str]:
+        """Completed ``cell_id -> key`` map from a prior (partial) run.
+
+        A missing, unreadable, or different-spec checkpoint simply
+        means "nothing completed yet" — the store still deduplicates
+        any cell that did finish before.
+        """
+        try:
+            with open(self.checkpoint_path, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != CHECKPOINT_SCHEMA
+            or data.get("spec") != self.spec.to_dict()
+        ):
+            return {}
+        completed = data.get("completed", {})
+        return dict(completed) if isinstance(completed, dict) else {}
+
+    def _write_checkpoint(self, completed: Dict[str, str], total: int) -> None:
+        """Atomically persist progress after every cell."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "spec": self.spec.to_dict(),
+            "total": total,
+            "completed": completed,
+        }
+        fd, temp_name = tempfile.mkstemp(
+            prefix=".checkpoint.", suffix=".tmp", dir=str(self.state_dir)
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True, indent=1)
+        os.replace(temp_name, self.checkpoint_path)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, limit: Optional[int] = None) -> CampaignResult:
+        """Run (or resume) the campaign; ``limit`` caps cells this call.
+
+        Cells already in the store come back as hits with zero
+        fault-simulation work; the rest are computed and stored.  The
+        checkpoint is rewritten after *every* cell, so killing the
+        process at any point loses at most the in-flight cell.
+        """
+        cells, skipped = self.spec.expand()
+        completed = self._load_checkpoint()
+        results: List[CellResult] = []
+        hits = misses = processed = 0
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        with telemetry.capture() as session:
+            with telemetry.span(
+                "campaign.run", campaign=self.spec.name, workers=self.workers
+            ):
+                with open(
+                    self.jsonl_path, "w", encoding="utf-8"
+                ) as jsonl, telemetry.timed("campaign.phase.cells"):
+                    for cell in cells:
+                        if limit is not None and processed >= limit:
+                            break
+                        processed += 1
+                        circuit = build_workload(cell.workload)
+                        key = cell_cache_key(cell, self.spec.params, circuit)
+                        result, cached = self.store.memoize(
+                            key,
+                            KIND_CAMPAIGN_CELL,
+                            lambda: execute_cell(
+                                cell,
+                                self.spec.params,
+                                workers=self.workers,
+                                circuit=circuit,
+                                key=key,
+                            ),
+                            encode=encode_cell_result,
+                            decode=decode_cell_result,
+                        )
+                        result.cached = cached
+                        if cached:
+                            hits += 1
+                        else:
+                            misses += 1
+                        results.append(result)
+                        completed[cell.cell_id] = key
+                        self._write_checkpoint(completed, len(cells))
+                        jsonl.write(self._jsonl_row(result))
+                        jsonl.write("\n")
+                        jsonl.flush()
+                with telemetry.timed("campaign.phase.summary"):
+                    summary = render_summary(
+                        self.spec, results, skipped, len(cells)
+                    )
+                    self._write_text(self.summary_path, summary)
+        manifest = telemetry.RunManifest(
+            flow="campaign.run",
+            circuit=self.spec.name,
+            seed=0,
+            engine=",".join(self.spec.engines),
+            method="campaign",
+            limits={
+                "workers": self.workers,
+                "limit": limit,
+                "workloads": list(self.spec.workloads),
+                "engines": list(self.spec.engines),
+                "seeds": list(self.spec.seeds),
+                "flows": list(self.spec.flows),
+            },
+            phases=session.phase_stats("campaign.phase."),
+            counters=dict(session.counters),
+            stats={
+                "cells": len(cells),
+                "skipped": len(skipped),
+                "processed": processed,
+                "completed": len(completed),
+                "hits": hits,
+                "misses": misses,
+                "quarantined": self.store.stats.quarantined,
+                "store": self.store.stats.to_dict(),
+            },
+        ).validate()
+        self._write_text(self.manifest_path, manifest.to_json(indent=2) + "\n")
+        return CampaignResult(
+            spec=self.spec,
+            results=results,
+            skipped=skipped,
+            manifest=manifest,
+            summary=summary,
+            hits=hits,
+            misses=misses,
+            completed=len(completed),
+            total=len(cells),
+        )
+
+    def _jsonl_row(self, result: CellResult) -> str:
+        row = {
+            "cell_id": result.cell.cell_id,
+            "workload": result.cell.workload,
+            "flow": result.cell.flow,
+            "engine": result.cell.engine,
+            "seed": result.cell.seed,
+            "key": result.key,
+            "cached": result.cached,
+            "duration_s": result.duration_s,
+            "stats": dict(result.stats),
+            "manifest": result.manifest.to_dict(),
+        }
+        return json.dumps(row, sort_keys=True)
+
+    def _write_text(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=str(path.parent)
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(temp_name, path)
+
+    # ------------------------------------------------------------------
+    # Status / clean
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """Progress snapshot from the checkpoint (no execution)."""
+        cells, skipped = self.spec.expand()
+        completed = self._load_checkpoint()
+        done = [c.cell_id for c in cells if c.cell_id in completed]
+        pending = [c.cell_id for c in cells if c.cell_id not in completed]
+        return {
+            "campaign": self.spec.name,
+            "total": len(cells),
+            "completed": len(done),
+            "pending": pending,
+            "skipped": len(skipped),
+            "store_entries": len(self.store),
+            "store_root": str(self.store.root),
+        }
+
+    def clean(self) -> Dict[str, int]:
+        """Evict every store artifact and drop this campaign's state."""
+        evicted = self.store.clear()
+        removed_state = 0
+        if self.state_dir.exists():
+            shutil.rmtree(self.state_dir)
+            removed_state = 1
+        return {"evicted": evicted, "state_dirs_removed": removed_state}

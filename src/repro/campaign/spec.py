@@ -1,0 +1,201 @@
+"""Campaign specifications: which cells to run, over which axes.
+
+A campaign is the cartesian product *workloads × flows × engines ×
+seeds*.  Workloads are named builders from the circuit zoo
+(:data:`WORKLOADS`); flows are ``"atpg"`` (combinational
+``generate_tests``) and ``"full_scan"`` (scan-insert + core ATPG +
+sequential verification via ``full_scan_flow``), with ``"auto"``
+resolving per workload — sequential circuits get the scan flow,
+combinational ones plain ATPG.  Cells whose flow cannot run on their
+workload (scan on a flip-flop-free circuit, combinational ATPG on a
+sequential one) are skipped at expansion time, and the skip is
+reported, not silently dropped.
+
+Specs are plain JSON (see :meth:`CampaignSpec.from_dict`), so a
+campaign is a reviewable, diffable artifact; :data:`demo_spec` is the
+built-in 2 workloads × 2 engines spec the CLI and CI smoke run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from ..circuits import (
+    alu74181,
+    binary_counter,
+    c17,
+    full_adder,
+    majority3,
+    parity_tree,
+    registered_alu74181,
+    ripple_carry_adder,
+    shift_register,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "FLOWS",
+    "build_workload",
+    "CampaignCell",
+    "CampaignSpec",
+    "demo_spec",
+]
+
+#: Named zero-argument circuit builders the campaign runner understands.
+WORKLOADS: Dict[str, Callable[[], Circuit]] = {
+    "c17": c17,
+    "majority3": majority3,
+    "parity8": lambda: parity_tree(8),
+    "full_adder": full_adder,
+    "ripple4": lambda: ripple_carry_adder(4),
+    "alu74181": alu74181,
+    "shift_register4": lambda: shift_register(4),
+    "binary_counter4": lambda: binary_counter(4),
+    "registered_alu74181": registered_alu74181,
+}
+
+#: Flow names a cell can carry after ``"auto"`` resolution.
+FLOWS = ("atpg", "full_scan")
+
+
+def build_workload(name: str) -> Circuit:
+    """Build a named zoo circuit; raises with the available names."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return builder()
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (workload, flow, engine, seed) point of the campaign grid."""
+
+    workload: str
+    flow: str
+    engine: str
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identity used in checkpoints/JSONL."""
+        return f"{self.workload}:{self.flow}:{self.engine}:{self.seed}"
+
+
+@dataclass
+class CampaignSpec:
+    """Axes plus shared flow parameters for one campaign."""
+
+    name: str
+    workloads: List[str]
+    engines: List[str]
+    seeds: List[int] = field(default_factory=lambda: [0])
+    flows: List[str] = field(default_factory=lambda: ["auto"])
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for workload in self.workloads:
+            if workload not in WORKLOADS:
+                raise ValueError(
+                    f"unknown workload {workload!r}; "
+                    f"available: {sorted(WORKLOADS)}"
+                )
+        for flow in self.flows:
+            if flow not in FLOWS and flow != "auto":
+                raise ValueError(
+                    f"unknown flow {flow!r}; available: {FLOWS + ('auto',)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Cell expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> Tuple[List[CampaignCell], List[CampaignCell]]:
+        """Expand the axes into ``(cells, skipped)`` in deterministic order.
+
+        ``skipped`` holds incompatible combinations (flow vs. workload
+        sequentiality) so callers can report them.
+        """
+        sequential = {
+            name: not build_workload(name).is_combinational
+            for name in self.workloads
+        }
+        cells: List[CampaignCell] = []
+        skipped: List[CampaignCell] = []
+        for workload in self.workloads:
+            for flow in self.flows:
+                resolved = flow
+                if flow == "auto":
+                    resolved = "full_scan" if sequential[workload] else "atpg"
+                for engine in self.engines:
+                    for seed in self.seeds:
+                        cell = CampaignCell(workload, resolved, engine, seed)
+                        compatible = (
+                            sequential[workload]
+                            if resolved == "full_scan"
+                            else not sequential[workload]
+                        )
+                        (cells if compatible else skipped).append(cell)
+        return cells, skipped
+
+    def cells(self) -> List[CampaignCell]:
+        """The runnable cells (see :meth:`expand`)."""
+        return self.expand()[0]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "engines": list(self.engines),
+            "seeds": list(self.seeds),
+            "flows": list(self.flows),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Build a spec from its JSON form, rejecting unknown keys."""
+        known = {"name", "workloads", "engines", "seeds", "flows", "params"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys: {unknown}")
+        return cls(
+            name=data["name"],
+            workloads=list(data["workloads"]),
+            engines=list(data["engines"]),
+            seeds=list(data.get("seeds", [0])),
+            flows=list(data.get("flows", ["auto"])),
+            params=dict(data.get("params", {})),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "CampaignSpec":
+        """Load a JSON spec file."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_dict(json.load(stream))
+
+
+def demo_spec() -> CampaignSpec:
+    """The built-in 2 workloads × 2 engines demo campaign (4 cells).
+
+    Small enough for CI to run twice in one job, wide enough to cover
+    both flows (c17 → combinational ATPG, the 4-bit shift register →
+    full scan) and two independent fault-simulation engines.
+    """
+    return CampaignSpec(
+        name="demo",
+        workloads=["c17", "shift_register4"],
+        engines=["parallel_pattern", "deductive"],
+        seeds=[0],
+        flows=["auto"],
+        params={"method": "podem", "random_phase": 8},
+    )

@@ -16,7 +16,7 @@ from typing import Optional, Sequence, Union
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault
 from .expand import expand_branches, fault_site_net
-from .coverage import CoverageReport, merge_reports
+from .coverage import CoverageReport, merge_reports, sample_fault_list
 from .serial import SerialFaultSimulator
 from .parallel_pattern import FaultSimulator, fault_coverage
 from .parallel_fault import ParallelFaultSimulator
@@ -98,6 +98,7 @@ __all__ = [
     "fault_site_net",
     "CoverageReport",
     "merge_reports",
+    "sample_fault_list",
     "SerialFaultSimulator",
     "FaultSimulator",
     "fault_coverage",

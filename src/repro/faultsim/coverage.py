@@ -10,6 +10,7 @@ per-fault first-detection indices so coverage-vs-pattern-count curves
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -83,6 +84,30 @@ class CoverageReport:
         return self.summary()
 
 
+def sample_fault_list(
+    faults: Sequence[Fault], limit: Optional[int], seed: int
+) -> List[Fault]:
+    """Seeded uniform sample of at most ``limit`` faults.
+
+    A prefix (``faults[:limit]``) would be biased toward whatever the
+    fault-enumeration order puts first (inputs, then early gates), so
+    sampled coverage would not estimate true coverage; a seeded
+    ``random.sample`` is unbiased and reproducible.  Returns the list
+    unchanged (as a copy) when it already fits.
+
+    **Determinism guarantee:** the sample is a pure function of the
+    input fault sequence (order included), ``limit`` and ``seed`` — it
+    uses a private ``random.Random(seed)``, never global RNG state, so
+    the same call returns the same sample in any process on any
+    platform, and a flow that records the seed in its run manifest can
+    reproduce the sampled universe exactly.
+    """
+    faults = list(faults)
+    if limit is None or len(faults) <= limit:
+        return faults
+    return random.Random(seed).sample(faults, limit)
+
+
 def merge_reports(
     reports: Sequence[CoverageReport], axis: str = "patterns"
 ) -> CoverageReport:
@@ -104,6 +129,16 @@ def merge_reports(
     pairwise disjoint.  Merging contiguous shards of one fault list in
     shard order therefore reproduces the single-process report
     bit-for-bit.
+
+    **Determinism guarantee (both axes):** the merge is a pure function
+    of the input reports and their order — no RNG, no wall clock, no
+    dict-iteration dependence on process state.  On the pattern axis a
+    fault's merged first-detection index is the minimum over the
+    offset-adjusted inputs; on the fault axis rows pass through
+    untouched.  Merging the same reports in the same order therefore
+    yields an identical report in every process — the property the
+    sharded executor's bit-identical-to-``workers=1`` contract rests
+    on.
     """
     if axis == "faults":
         return _merge_fault_shards(reports)

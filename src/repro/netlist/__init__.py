@@ -20,6 +20,7 @@ from .values import (
 from .gates import Gate, GateType, evaluate, evaluate_bool
 from .circuit import Circuit, CircuitStats, NetlistError
 from .bench import parse_bench, load_bench, write_bench, save_bench
+from .hashing import canonical_form, structural_hash, cache_key
 
 __all__ = [
     "ZERO",
@@ -48,4 +49,7 @@ __all__ = [
     "load_bench",
     "write_bench",
     "save_bench",
+    "canonical_form",
+    "structural_hash",
+    "cache_key",
 ]

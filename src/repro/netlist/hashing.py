@@ -1,0 +1,127 @@
+"""Structural identity for circuits: the cache's addressing primitive.
+
+The paper's cost argument (§II, Eq. 1) is that test generation and fault
+simulation are paid over and over across a design's life.  Re-paying
+them for the *same* netlist is pure waste — but "same" must mean the
+same *structure*, not the same Python object: :attr:`Circuit.version`
+is a per-object mutation counter (perfect for in-process staleness
+checks, useless across processes), while the content-addressed result
+store (:mod:`repro.store`) needs an identity that survives process
+restarts, insertion-order differences, and object copies.
+
+:func:`structural_hash` provides that identity: a SHA-256 over a
+canonical form of the netlist — sorted primary inputs, sorted primary
+outputs, and the gate set sorted by gate name, each gate recorded as
+``(name, type, input nets in pin order, output net)``.  Two circuits
+built by inserting the same gates in any order hash equal; changing a
+single gate type, rewiring a single pin, or re-homing a flip-flop's
+data/output net changes the hash.  Because the digest is SHA-256 over
+canonical JSON (not Python's randomized ``hash()``), it is stable
+across processes and platforms — the golden values pinned in
+``tests/test_hashing.py`` hold on every machine.
+
+:func:`cache_key` layers the *run* identity on top: circuit structure
+plus circuit name (coverage reports carry the name; structurally equal
+but differently named circuits must not share cache rows), engine,
+seed, and a canonical JSON encoding of the flow parameters.  Anything
+that can change a flow's deterministic output belongs in ``params``;
+anything guaranteed not to (e.g. ``workers`` — sharded execution is
+bit-identical by contract) must stay out, so warm caches are shared
+across parallelism settings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from .circuit import Circuit
+
+__all__ = [
+    "HASH_SCHEMA",
+    "CACHE_KEY_SCHEMA",
+    "canonical_form",
+    "structural_hash",
+    "cache_key",
+]
+
+#: Version tag folded into every structural hash; bump on any change to
+#: the canonical form so stale store entries can never alias new ones.
+HASH_SCHEMA = "repro.structural-hash/1"
+
+#: Version tag folded into every cache key.
+CACHE_KEY_SCHEMA = "repro.cache-key/1"
+
+
+def canonical_form(circuit: Circuit) -> Dict[str, Any]:
+    """Insertion-order-independent description of a netlist's structure.
+
+    Primary inputs and outputs are sorted sets of net names; gates are
+    sorted by gate name, each contributing its type, its input nets in
+    pin order (pin order is fault-relevant: branch faults are named per
+    pin, and asymmetric reconvergence makes pin swaps structural
+    changes), and its output net.  The circuit's *name* is deliberately
+    excluded — it is display metadata, not structure.
+    """
+    gates: List[List[Any]] = sorted(
+        [gate.name, gate.kind.value, list(gate.inputs), gate.output]
+        for gate in circuit.gates
+    )
+    return {
+        "schema": HASH_SCHEMA,
+        "inputs": sorted(circuit.inputs),
+        "outputs": sorted(circuit.outputs),
+        "gates": gates,
+    }
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def structural_hash(circuit: Circuit) -> str:
+    """SHA-256 hex digest of the circuit's canonical structure.
+
+    Deterministic across processes and platforms, independent of object
+    identity and of the order gates/inputs/outputs were inserted in.
+    Any single gate-type change, connectivity (pin wiring) change, or
+    flip-flop data/output change yields a different digest.  This is
+    the cross-process identity the result store keys on;
+    :attr:`Circuit.version` remains the *in-process* staleness counter.
+    """
+    return _digest(canonical_form(circuit))
+
+
+def cache_key(
+    circuit: Circuit,
+    engine: Any,
+    seed: int = 0,
+    params: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Content address for one deterministic run over ``circuit``.
+
+    ``engine`` may be a :class:`repro.faultsim.Engine` member or its
+    string value.  ``params`` must be JSON-serializable and should hold
+    every knob that can change the run's deterministic output (flow
+    name, ATPG method, random-phase budget, fault limits, ...); a
+    non-serializable value raises ``ValueError`` rather than silently
+    producing an unstable key.  Keys are equal exactly when structure,
+    circuit name, engine, seed, and params all agree.
+    """
+    engine_name = getattr(engine, "value", engine)
+    payload = {
+        "schema": CACHE_KEY_SCHEMA,
+        "structure": structural_hash(circuit),
+        "circuit": circuit.name,
+        "engine": str(engine_name),
+        "seed": seed,
+        "params": dict(params) if params else {},
+    }
+    try:
+        return _digest(payload)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"cache_key params must be JSON-serializable: {exc}"
+        ) from exc

@@ -21,17 +21,15 @@ the sample seed is recorded in the attached run manifest.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .. import telemetry
 from ..netlist.circuit import Circuit
 from ..atpg.api import generate_tests, TestGenerationResult
-from ..faults.stuck_at import Fault
 from ..faults.collapse import collapse_faults
 from ..faultsim.sharded import SEQUENTIAL_ENGINE, ShardedFaultSimulator
-from ..faultsim.coverage import CoverageReport
+from ..faultsim.coverage import CoverageReport, sample_fault_list
 from ..economics.overhead import scan_test_data_volume
 from .chain import ScanDesign, ScanTester, insert_scan
 
@@ -132,23 +130,6 @@ def schedule_scan_tests(
     for _ in range(n):
         schedule.append(cycle(1, fill))
     return schedule
-
-
-def sample_fault_list(
-    faults: Sequence[Fault], limit: Optional[int], seed: int
-) -> List[Fault]:
-    """Seeded uniform sample of at most ``limit`` faults.
-
-    A prefix (``faults[:limit]``) would be biased toward whatever the
-    fault-enumeration order puts first (inputs, then early gates), so
-    sampled coverage would not estimate true coverage; a seeded
-    ``random.sample`` is unbiased and reproducible from the seed.
-    Returns the list unchanged when it already fits.
-    """
-    faults = list(faults)
-    if limit is None or len(faults) <= limit:
-        return faults
-    return random.Random(seed).sample(faults, limit)
 
 
 def full_scan_flow(

@@ -1,0 +1,52 @@
+"""Content-addressed persistence for expensive test-generation results.
+
+``repro.store`` keeps the repo from re-paying the paper's Eq. 1 costs:
+pattern sets, coverage reports, run manifests and whole campaign cells
+are stored on disk keyed by :func:`repro.netlist.hashing.cache_key`
+(circuit structure + engine + seed + params) and served back on any
+later run — in this process or the next one.  See
+:class:`~repro.store.store.ResultStore` for the layout and the
+atomicity / quarantine / telemetry guarantees, and
+:mod:`repro.campaign` for the orchestrator built on top.
+"""
+
+from .codecs import (
+    KIND_ATPG_RESULT,
+    KIND_CAMPAIGN_CELL,
+    KIND_COVERAGE_REPORT,
+    KIND_PATTERNS,
+    KIND_RUN_MANIFEST,
+    decode_fault,
+    decode_manifest,
+    decode_patterns,
+    decode_report,
+    decode_test_result,
+    encode_fault,
+    encode_manifest,
+    encode_patterns,
+    encode_report,
+    encode_test_result,
+)
+from .store import ARTIFACT_SCHEMA, ResultStore, StoreError, StoreStats
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ResultStore",
+    "StoreError",
+    "StoreStats",
+    "KIND_ATPG_RESULT",
+    "KIND_CAMPAIGN_CELL",
+    "KIND_COVERAGE_REPORT",
+    "KIND_PATTERNS",
+    "KIND_RUN_MANIFEST",
+    "encode_fault",
+    "decode_fault",
+    "encode_report",
+    "decode_report",
+    "encode_patterns",
+    "decode_patterns",
+    "encode_manifest",
+    "decode_manifest",
+    "encode_test_result",
+    "decode_test_result",
+]

@@ -1,0 +1,152 @@
+"""JSON codecs for the artifact kinds the result store holds.
+
+Every artifact the store persists is plain JSON; these helpers convert
+the repo's result objects to and from that form.  Each *kind* string
+carries its own schema version (``coverage-report/1`` etc.), so a
+format change bumps the kind and old entries simply read as misses for
+the new code — never as silently misdecoded payloads.
+
+Determinism note: encoding is canonical (fault lists keep their order,
+first-detection rows are sorted by fault index), so encoding the same
+result twice yields byte-identical JSON — which is what lets the CI
+campaign gate diff cold and warm summaries byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..faults.stuck_at import Fault
+from ..faultsim.coverage import CoverageReport
+from ..telemetry import RunManifest
+
+__all__ = [
+    "KIND_COVERAGE_REPORT",
+    "KIND_PATTERNS",
+    "KIND_RUN_MANIFEST",
+    "KIND_ATPG_RESULT",
+    "KIND_CAMPAIGN_CELL",
+    "encode_fault",
+    "decode_fault",
+    "encode_report",
+    "decode_report",
+    "encode_patterns",
+    "decode_patterns",
+    "encode_manifest",
+    "decode_manifest",
+    "encode_test_result",
+    "decode_test_result",
+]
+
+#: Artifact kinds (each tag embeds its payload schema version).
+KIND_COVERAGE_REPORT = "coverage-report/1"
+KIND_PATTERNS = "patterns/1"
+KIND_RUN_MANIFEST = "run-manifest/1"
+KIND_ATPG_RESULT = "atpg-result/1"
+KIND_CAMPAIGN_CELL = "campaign-cell/1"
+
+
+# ----------------------------------------------------------------------
+# Faults and coverage reports
+# ----------------------------------------------------------------------
+def encode_fault(fault: Fault) -> List[Any]:
+    """``[net, value, gate, pin]`` — gate/pin null for stem faults."""
+    return [fault.net, fault.value, fault.gate, fault.pin]
+
+
+def decode_fault(data: Sequence[Any]) -> Fault:
+    """Rebuild a :class:`Fault` from :func:`encode_fault` output."""
+    net, value, gate, pin = data
+    return Fault(net, value, gate=gate, pin=pin)
+
+
+def encode_report(report: CoverageReport) -> Dict[str, Any]:
+    """Coverage report → JSON dict (fault order preserved)."""
+    index_of = {fault: i for i, fault in enumerate(report.faults)}
+    first = sorted(
+        [index_of[fault], pattern_index]
+        for fault, pattern_index in report.first_detection.items()
+    )
+    return {
+        "circuit_name": report.circuit_name,
+        "num_patterns": report.num_patterns,
+        "faults": [encode_fault(f) for f in report.faults],
+        "first_detection": first,
+    }
+
+
+def decode_report(data: Dict[str, Any]) -> CoverageReport:
+    """Rebuild a :class:`CoverageReport` from :func:`encode_report`."""
+    faults = [decode_fault(row) for row in data["faults"]]
+    report = CoverageReport(
+        circuit_name=data["circuit_name"],
+        num_patterns=data["num_patterns"],
+        faults=faults,
+    )
+    for fault_index, pattern_index in data["first_detection"]:
+        report.first_detection[faults[fault_index]] = pattern_index
+    return report
+
+
+# ----------------------------------------------------------------------
+# Pattern sets and manifests
+# ----------------------------------------------------------------------
+def encode_patterns(patterns: Sequence[Dict[str, int]]) -> List[Dict[str, int]]:
+    """Pattern set → JSON list (dict copies, nothing shared)."""
+    return [dict(pattern) for pattern in patterns]
+
+
+def decode_patterns(data: Sequence[Dict[str, int]]) -> List[Dict[str, int]]:
+    """Rebuild a pattern list (values coerced back to int)."""
+    return [{net: int(value) for net, value in row.items()} for row in data]
+
+
+def encode_manifest(manifest: RunManifest) -> Dict[str, Any]:
+    """Run manifest → JSON dict (delegates to the manifest itself)."""
+    return manifest.to_dict()
+
+
+def decode_manifest(data: Optional[Dict[str, Any]]) -> Optional[RunManifest]:
+    """Rebuild a :class:`RunManifest`; passes ``None`` through."""
+    if data is None:
+        return None
+    return RunManifest.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Full ATPG results (what `generate_tests` returns)
+# ----------------------------------------------------------------------
+def encode_test_result(result: Any) -> Dict[str, Any]:
+    """:class:`~repro.atpg.api.TestGenerationResult` → JSON dict."""
+    return {
+        "circuit_name": result.circuit_name,
+        "method": result.method,
+        "patterns": encode_patterns(result.patterns),
+        "report": encode_report(result.report),
+        "redundant": [encode_fault(f) for f in result.redundant],
+        "aborted": [encode_fault(f) for f in result.aborted],
+        "total_backtracks": result.total_backtracks,
+        "random_phase_patterns": result.random_phase_patterns,
+        "manifest": (
+            encode_manifest(result.manifest)
+            if result.manifest is not None
+            else None
+        ),
+    }
+
+
+def decode_test_result(data: Dict[str, Any]) -> Any:
+    """Rebuild a :class:`~repro.atpg.api.TestGenerationResult`."""
+    from ..atpg.api import TestGenerationResult
+
+    return TestGenerationResult(
+        circuit_name=data["circuit_name"],
+        method=data["method"],
+        patterns=decode_patterns(data["patterns"]),
+        report=decode_report(data["report"]),
+        redundant=[decode_fault(row) for row in data["redundant"]],
+        aborted=[decode_fault(row) for row in data["aborted"]],
+        total_backtracks=data["total_backtracks"],
+        random_phase_patterns=data["random_phase_patterns"],
+        manifest=decode_manifest(data.get("manifest")),
+    )

@@ -1,0 +1,333 @@
+"""Content-addressed on-disk artifact store.
+
+The paper's Eq. 1 economics say pattern generation and fault simulation
+dominate a design's test cost precisely because they are paid
+*repeatedly*.  This store makes every expensive deterministic result —
+coverage reports, generated pattern sets, run manifests, whole ATPG
+results, campaign cells — addressable by the
+:func:`repro.netlist.hashing.cache_key` of the run that produced it, so
+a result is computed once per (structure, engine, seed, params) and
+served from disk forever after.
+
+Layout under one root directory::
+
+    <root>/objects/<key[:2]>/<key>.json   sharded artifact files
+    <root>/index.jsonl                    append-only put journal
+    <root>/quarantine/                    corrupt entries, moved aside
+    <root>/campaigns/<name>/              campaign runner state
+
+Guarantees:
+
+* **Atomic writes** — artifacts are written to a temp file in the
+  destination directory and ``os.replace``-d into place, so readers
+  never observe a half-written JSON file even across processes.
+* **Corruption never crashes a flow** — an unreadable, unparseable, or
+  schema/kind/key-mismatched entry is *quarantined* (moved into
+  ``quarantine/``) and reported as a miss; the caller recomputes and
+  the fresh result overwrites the slot.  The event is counted
+  (``store.quarantined``) so it surfaces in run manifests as a warning
+  counter rather than an exception.
+* **Schema-versioned payloads** — every artifact file carries the
+  envelope schema (:data:`ARTIFACT_SCHEMA`) and its kind tag, which
+  embeds the payload schema version (e.g. ``coverage-report/1``); a
+  format bump makes old entries read as quarantined misses, never as
+  silently misdecoded data.
+* **Observable** — hits, misses, puts, quarantines and evictions are
+  counted per store instance (:class:`StoreStats`) *and* emitted as
+  telemetry counters (``store.hit``/``store.miss``/``store.put``/
+  ``store.quarantined``/``store.evict``), so cache behaviour shows up
+  in campaign run manifests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from .. import telemetry
+from ..faultsim.coverage import CoverageReport
+from ..telemetry import RunManifest
+from .codecs import (
+    KIND_COVERAGE_REPORT,
+    KIND_PATTERNS,
+    KIND_RUN_MANIFEST,
+    decode_manifest,
+    decode_patterns,
+    decode_report,
+    encode_manifest,
+    encode_patterns,
+    encode_report,
+)
+
+__all__ = ["ARTIFACT_SCHEMA", "StoreError", "StoreStats", "ResultStore"]
+
+#: Envelope schema for every artifact file the store writes.
+ARTIFACT_SCHEMA = "repro.store.artifact/1"
+
+
+class StoreError(Exception):
+    """Misuse of the store API (bad key, unserializable payload, ...)."""
+
+
+@dataclass
+class StoreStats:
+    """Per-instance cache counters (also mirrored into telemetry)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    quarantined: int = 0
+    evicted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe copy for manifests and status output."""
+        return asdict(self)
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or len(key) < 8 or not all(
+        c in "0123456789abcdef" for c in key
+    ):
+        raise StoreError(
+            f"store keys must be lowercase hex digests (>= 8 chars), got {key!r}"
+        )
+    return key
+
+
+class ResultStore:
+    """Content-addressed JSON artifact store rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        self.index_path = self.root / "index.jsonl"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """On-disk location of ``key``'s artifact (sharded by prefix)."""
+        _check_key(key)
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Core get / put / memoize
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Does an artifact file exist for ``key``? (No validation.)"""
+        return self.path_for(key).exists()
+
+    def get(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
+        """Load ``key``'s payload, or None on miss.
+
+        Any invalid entry — unreadable file, broken JSON, wrong envelope
+        schema, wrong kind, key mismatch, missing payload — is moved to
+        the quarantine directory and reported as a miss, never raised.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except OSError as exc:
+            self._quarantine(path, f"unreadable: {exc}")
+            self._miss()
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            self._quarantine(path, f"invalid JSON: {exc}")
+            self._miss()
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != ARTIFACT_SCHEMA
+            or data.get("kind") != kind
+            or data.get("key") != key
+            or "payload" not in data
+        ):
+            self._quarantine(
+                path,
+                f"schema/kind mismatch (schema={data.get('schema')!r} "
+                f"kind={data.get('kind')!r} expected kind={kind!r})"
+                if isinstance(data, dict)
+                else "artifact is not a JSON object",
+            )
+            self._miss()
+            return None
+        self.stats.hits += 1
+        telemetry.incr("store.hit")
+        return data["payload"]
+
+    def put(self, key: str, kind: str, payload: Any) -> Path:
+        """Write one artifact atomically (temp file + rename)."""
+        path = self.path_for(key)
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+        }
+        try:
+            text = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"artifact payload for {kind!r} is not JSON-serializable: {exc}"
+            ) from exc
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}.", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        telemetry.incr("store.put")
+        self._index({"op": "put", "key": key, "kind": kind, "bytes": len(text)})
+        return path
+
+    def memoize(
+        self,
+        key: str,
+        kind: str,
+        compute: Callable[[], Any],
+        encode: Optional[Callable[[Any], Any]] = None,
+        decode: Optional[Callable[[Any], Any]] = None,
+    ) -> Tuple[Any, bool]:
+        """Serve ``key`` from the store, or compute-and-store it.
+
+        Returns ``(value, cached)``; ``cached`` is True when the value
+        came from disk without calling ``compute``.  ``encode``/
+        ``decode`` convert between the value and its JSON payload
+        (identity when omitted).
+        """
+        payload = self.get(key, kind)
+        if payload is not None:
+            return (decode(payload) if decode else payload), True
+        value = compute()
+        self.put(key, kind, encode(value) if encode else value)
+        return value, False
+
+    # ------------------------------------------------------------------
+    # Typed convenience wrappers for the common artifact kinds
+    # ------------------------------------------------------------------
+    def put_report(self, key: str, report: CoverageReport) -> Path:
+        """Store a :class:`CoverageReport` under ``key``."""
+        return self.put(key, KIND_COVERAGE_REPORT, encode_report(report))
+
+    def get_report(self, key: str) -> Optional[CoverageReport]:
+        """Load a :class:`CoverageReport`, or None on miss."""
+        payload = self.get(key, KIND_COVERAGE_REPORT)
+        return decode_report(payload) if payload is not None else None
+
+    def put_patterns(self, key: str, patterns: List[Dict[str, int]]) -> Path:
+        """Store a generated pattern set under ``key``."""
+        return self.put(key, KIND_PATTERNS, encode_patterns(patterns))
+
+    def get_patterns(self, key: str) -> Optional[List[Dict[str, int]]]:
+        """Load a pattern set, or None on miss."""
+        payload = self.get(key, KIND_PATTERNS)
+        return decode_patterns(payload) if payload is not None else None
+
+    def put_manifest(self, key: str, manifest: RunManifest) -> Path:
+        """Store a :class:`RunManifest` under ``key``."""
+        return self.put(key, KIND_RUN_MANIFEST, encode_manifest(manifest))
+
+    def get_manifest(self, key: str) -> Optional[RunManifest]:
+        """Load a :class:`RunManifest`, or None on miss."""
+        payload = self.get(key, KIND_RUN_MANIFEST)
+        return decode_manifest(payload) if payload is not None else None
+
+    # ------------------------------------------------------------------
+    # Enumeration and eviction
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """All artifact keys currently on disk (sorted for determinism)."""
+        if not self.objects_dir.exists():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def evict(self, key: str) -> bool:
+        """Remove one artifact; True when a file was actually deleted."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        self.stats.evicted += 1
+        telemetry.incr("store.evict")
+        self._index({"op": "evict", "key": key})
+        return True
+
+    def clear(self) -> int:
+        """Evict every artifact; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            if self.evict(key):
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        telemetry.incr("store.miss")
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside; never raises into the caller."""
+        self.stats.quarantined += 1
+        telemetry.incr("store.quarantined")
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_dir / f"{path.stem}.{suffix}{path.suffix}"
+            os.replace(path, target)
+            self._index(
+                {"op": "quarantine", "file": path.name, "reason": reason}
+            )
+        except OSError:
+            # Last resort: try to delete so the slot can be rewritten.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _index(self, entry: Dict[str, Any]) -> None:
+        """Append one line to the advisory put/evict journal.
+
+        The index is a convenience for humans and tooling; the objects
+        directory is the source of truth, so index write failures are
+        swallowed.
+        """
+        try:
+            with open(self.index_path, "a", encoding="utf-8") as stream:
+                stream.write(json.dumps(entry, sort_keys=True))
+                stream.write("\n")
+        except OSError:
+            pass

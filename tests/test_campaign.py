@@ -1,0 +1,261 @@
+"""The campaign orchestrator: memoized cells, resume-from-checkpoint,
+warm runs doing zero fault-simulation work, corruption survival, CLI."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.__main__ import main as cli_main
+from repro.campaign import (
+    CampaignCell,
+    CampaignRunner,
+    CampaignSpec,
+    build_workload,
+    cell_cache_key,
+    demo_spec,
+    execute_cell,
+)
+from repro.store import ResultStore
+from repro.telemetry import validate_manifest
+
+
+def tiny_spec(**overrides):
+    """Two fast combinational cells (c17 × parallel_pattern × 2 seeds)."""
+    options = dict(
+        name="tiny",
+        workloads=["c17"],
+        engines=["parallel_pattern"],
+        seeds=[0, 1],
+        flows=["auto"],
+        params={"method": "podem", "random_phase": 4},
+    )
+    options.update(overrides)
+    return CampaignSpec(**options)
+
+
+def fault_sim_counters(manifest):
+    return sorted(
+        name
+        for name in manifest.counters
+        if name.startswith(("atpg.", "faultsim.", "scan."))
+    )
+
+
+class TestSpec:
+    def test_auto_flow_resolution(self):
+        spec = tiny_spec(workloads=["c17", "shift_register4"])
+        cells = spec.cells()
+        flows = {cell.workload: cell.flow for cell in cells}
+        assert flows == {"c17": "atpg", "shift_register4": "full_scan"}
+
+    def test_incompatible_cells_skipped_not_run(self):
+        spec = tiny_spec(flows=["full_scan"])  # c17 has no flip-flops
+        cells, skipped = spec.expand()
+        assert cells == []
+        assert len(skipped) == 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            tiny_spec(workloads=["not_a_circuit"])
+
+    def test_json_round_trip(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        assert CampaignSpec.from_file(str(path)).to_dict() == spec.to_dict()
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign spec keys"):
+            CampaignSpec.from_dict(
+                {"name": "x", "workloads": ["c17"], "engines": ["serial"],
+                 "typo": 1}
+            )
+
+    def test_demo_spec_is_two_by_two(self):
+        cells = demo_spec().cells()
+        assert len(cells) == 4
+        assert {c.flow for c in cells} == {"atpg", "full_scan"}
+
+
+class TestRunner:
+    def test_cold_then_warm(self, tmp_path):
+        spec = tiny_spec()
+        runner = CampaignRunner(spec, tmp_path / "store")
+        cold = runner.run()
+        assert (cold.hits, cold.misses) == (0, 2)
+        assert cold.finished
+        # Cold run did real work: ATPG counters present.
+        assert fault_sim_counters(cold.manifest)
+
+        warm_runner = CampaignRunner(spec, tmp_path / "store")
+        warm = warm_runner.run()
+        assert (warm.hits, warm.misses) == (2, 0)
+        # Zero fault-simulation work on the warm run: every cell served
+        # from the store, no ATPG/fault-sim/scan counters at all.
+        assert fault_sim_counters(warm.manifest) == []
+        assert warm.manifest.counters["store.hit"] == 2
+        # Summaries are byte-identical (they carry no timings).
+        assert warm.summary == cold.summary
+        # Cached cells reproduce the cold run's results exactly.
+        for before, after in zip(cold.results, warm.results):
+            assert after.cached and not before.cached
+            assert after.key == before.key
+            assert after.patterns == before.patterns
+            assert after.stats == before.stats
+            assert after.manifest.to_dict() == before.manifest.to_dict()
+
+    def test_interrupted_run_resumes_from_checkpoint(self, tmp_path):
+        spec = tiny_spec()
+        store = tmp_path / "store"
+        partial = CampaignRunner(spec, store).run(limit=1)
+        assert (partial.hits, partial.misses) == (0, 1)
+        assert not partial.finished
+        assert partial.completed == 1
+
+        resumed = CampaignRunner(spec, store).run()
+        assert (resumed.hits, resumed.misses) == (1, 1)
+        assert resumed.finished
+        # Only the unfinished cell was re-executed.
+        assert [r.cached for r in resumed.results] == [True, False]
+
+    def test_scan_flow_cell(self, tmp_path):
+        spec = tiny_spec(workloads=["shift_register4"], seeds=[0])
+        result = CampaignRunner(spec, tmp_path / "store").run()
+        (cell_result,) = result.results
+        assert cell_result.cell.flow == "full_scan"
+        assert cell_result.report is not None
+        assert cell_result.core_manifest is not None
+        assert cell_result.stats["chain_length"] == 4
+        assert 0.0 < cell_result.coverage <= 1.0
+        warm = CampaignRunner(spec, tmp_path / "store").run()
+        assert warm.hits == 1
+        assert warm.summary == result.summary
+
+    def test_workers_share_one_cache(self, tmp_path):
+        # workers is execution strategy, not identity: a cache warmed at
+        # workers=1 must serve a workers=2 run entirely from disk.
+        spec = tiny_spec(seeds=[0])
+        cold = CampaignRunner(spec, tmp_path / "store", workers=1).run()
+        warm = CampaignRunner(spec, tmp_path / "store", workers=2).run()
+        assert (warm.hits, warm.misses) == (1, 0)
+        assert warm.summary == cold.summary
+
+    def test_campaign_manifest_validates(self, tmp_path):
+        runner = CampaignRunner(tiny_spec(), tmp_path / "store")
+        result = runner.run()
+        validate_manifest(result.manifest.to_dict())
+        on_disk = json.loads(runner.manifest_path.read_text(encoding="utf-8"))
+        validate_manifest(on_disk)
+        assert on_disk["stats"]["cells"] == 2
+
+    def test_jsonl_rows_parse_and_validate(self, tmp_path):
+        runner = CampaignRunner(tiny_spec(), tmp_path / "store")
+        runner.run()
+        lines = runner.jsonl_path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            row = json.loads(line)
+            validate_manifest(row["manifest"])
+            assert row["cached"] is False
+            assert row["stats"]["patterns"] > 0
+
+    def test_status_and_clean(self, tmp_path):
+        runner = CampaignRunner(tiny_spec(), tmp_path / "store")
+        assert runner.status()["completed"] == 0
+        runner.run(limit=1)
+        status = runner.status()
+        assert (status["completed"], status["total"]) == (1, 2)
+        assert len(status["pending"]) == 1
+        outcome = runner.clean()
+        assert outcome["evicted"] == 1
+        assert runner.status()["completed"] == 0
+
+
+class TestCorruptionRobustness:
+    def test_corrupt_artifact_is_quarantined_and_recomputed(self, tmp_path):
+        """Satellite regression: a corrupt on-disk artifact must be
+        quarantined and recomputed — a warning counter, not a crash."""
+        spec = tiny_spec()
+        store_dir = tmp_path / "store"
+        cold = CampaignRunner(spec, store_dir).run()
+
+        store = ResultStore(store_dir)
+        victim_key = cold.results[0].key
+        store.path_for(victim_key).write_text(
+            '{"schema": "repro.store.artifact/1", "truncated...',
+            encoding="utf-8",
+        )
+
+        runner = CampaignRunner(spec, store_dir)
+        warm = runner.run()
+        assert warm.finished
+        assert (warm.hits, warm.misses) == (1, 1)
+        assert warm.manifest.counters["store.quarantined"] == 1
+        assert warm.manifest.stats["quarantined"] == 1
+        assert warm.summary == cold.summary
+        quarantined = list(runner.store.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        # The recomputed artifact is valid again for the next run.
+        third = CampaignRunner(spec, store_dir).run()
+        assert (third.hits, third.misses) == (2, 0)
+
+
+class TestCellIdentity:
+    def test_cache_key_varies_with_cell_axes(self):
+        params = {"method": "podem", "random_phase": 4}
+        base = cell_cache_key(CampaignCell("c17", "atpg", "serial", 0), params)
+        assert cell_cache_key(
+            CampaignCell("c17", "atpg", "serial", 1), params
+        ) != base
+        assert cell_cache_key(
+            CampaignCell("c17", "atpg", "deductive", 0), params
+        ) != base
+        assert cell_cache_key(
+            CampaignCell("c17", "atpg", "serial", 0), {"random_phase": 8}
+        ) != base
+
+    def test_execute_cell_rejects_unknown_flow(self):
+        with pytest.raises(ValueError, match="unknown cell flow"):
+            execute_cell(CampaignCell("c17", "nope", "serial", 0), {})
+
+    def test_build_workload_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("missing")
+
+
+class TestCli:
+    def test_run_status_clean(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec().to_dict()), encoding="utf-8")
+        store = str(tmp_path / "store")
+        args = ["campaign", "run", "--spec", str(spec_path), "--store", store]
+
+        assert cli_main(args) == 0
+        cold_out = capsys.readouterr().out
+        assert "misses=2" in cold_out
+
+        assert cli_main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "hits=2" in warm_out
+        # Everything above the [store] line is the deterministic summary.
+        assert cold_out.split("[store]")[0] == warm_out.split("[store]")[0]
+
+        assert cli_main(
+            ["campaign", "status", "--spec", str(spec_path), "--store", store]
+        ) == 0
+        assert "2/2 cells completed" in capsys.readouterr().out
+
+        assert cli_main(
+            ["campaign", "clean", "--spec", str(spec_path), "--store", store]
+        ) == 0
+        assert "evicted 2" in capsys.readouterr().out
+
+    def test_run_with_limit_reports_pending(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec().to_dict()), encoding="utf-8")
+        assert cli_main(
+            ["campaign", "run", "--spec", str(spec_path),
+             "--store", str(tmp_path / "store"), "--limit", "1"]
+        ) == 0
+        assert "pending" in capsys.readouterr().out

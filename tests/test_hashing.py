@@ -1,0 +1,178 @@
+"""Structural hashing: the store's identity primitive.
+
+Pins the contract ``repro.store`` relies on: equal hashes under
+re-insertion-order permutation and across process restarts; unequal
+hashes for any single gate-type, connectivity, or flop-config change;
+golden digests for the 74181 and its registered variant so the canonical
+form can never drift silently.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.circuits import alu74181, c17, registered_alu74181, shift_register
+from repro.netlist import Circuit, cache_key, structural_hash
+from repro.netlist.hashing import canonical_form
+
+GOLDEN_ALU74181 = (
+    "14200ca6e329fe0db2a5c230acf0d3f474fdd4ab6c927628a7f6c3ccc99ddb37"
+)
+GOLDEN_REGISTERED_ALU74181 = (
+    "5f963b6bc2da68927c44a598c861016ce66eb14658f6f4904741932346a2b908"
+)
+
+
+def rebuild_permuted(circuit, name=None):
+    """Same structure, maximally different insertion order."""
+    dup = Circuit(name or circuit.name)
+    for net in reversed(circuit.inputs):
+        dup.add_input(net)
+    for gate in reversed(circuit.gates):
+        dup.add_gate(gate.kind, gate.inputs, gate.output, gate.name)
+    for net in reversed(circuit.outputs):
+        dup.add_output(net)
+    return dup
+
+
+def two_gate(kind_x="AND", y_inputs=("x", "b")):
+    from repro.netlist import GateType
+
+    c = Circuit("two_gate")
+    c.add_inputs(["a", "b"])
+    c.add_gate(GateType[kind_x], ["a", "b"], "x")
+    c.or_(list(y_inputs), "y")
+    c.add_output("y")
+    return c
+
+
+class TestPermutationInvariance:
+    def test_gate_and_net_insertion_order(self):
+        for build in (c17, alu74181, registered_alu74181):
+            original = build()
+            assert structural_hash(rebuild_permuted(original)) == structural_hash(
+                original
+            )
+
+    def test_object_identity_irrelevant(self):
+        assert structural_hash(c17()) == structural_hash(c17())
+
+    def test_circuit_name_not_structural(self):
+        assert structural_hash(rebuild_permuted(c17(), name="renamed")) == (
+            structural_hash(c17())
+        )
+
+
+class TestSensitivity:
+    def test_single_gate_type_change(self):
+        assert structural_hash(two_gate(kind_x="AND")) != structural_hash(
+            two_gate(kind_x="NAND")
+        )
+
+    def test_single_connectivity_change(self):
+        assert structural_hash(two_gate(y_inputs=("x", "b"))) != structural_hash(
+            two_gate(y_inputs=("x", "a"))
+        )
+
+    def test_pin_order_is_structural(self):
+        # Branch faults are per pin; swapping pins is a different netlist.
+        assert structural_hash(two_gate(y_inputs=("x", "b"))) != structural_hash(
+            two_gate(y_inputs=("b", "x"))
+        )
+
+    def test_flop_config_change(self):
+        def registered(data_net):
+            c = Circuit("seq")
+            c.add_inputs(["a", "b"])
+            c.and_(["a", "b"], "x")
+            c.or_(["a", "b"], "z")
+            c.dff(data_net, "q")
+            c.add_output("q")
+            return c
+
+        assert structural_hash(registered("x")) != structural_hash(
+            registered("z")
+        )
+
+    def test_added_gate_changes_hash(self):
+        base = two_gate()
+        extended = two_gate()
+        extended.not_("y", "w")
+        assert structural_hash(base) != structural_hash(extended)
+
+
+class TestStability:
+    def test_golden_values(self):
+        assert structural_hash(alu74181()) == GOLDEN_ALU74181
+        assert (
+            structural_hash(registered_alu74181())
+            == GOLDEN_REGISTERED_ALU74181
+        )
+
+    def test_stable_across_process_restart(self):
+        # A fresh interpreter (fresh hash randomization, fresh object
+        # ids) must reproduce the digest bit-for-bit.
+        code = (
+            "from repro.circuits import alu74181, registered_alu74181\n"
+            "from repro.netlist import structural_hash\n"
+            "print(structural_hash(alu74181()))\n"
+            "print(structural_hash(registered_alu74181()))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.split()
+        assert out == [GOLDEN_ALU74181, GOLDEN_REGISTERED_ALU74181]
+
+    def test_canonical_form_is_sorted(self):
+        form = canonical_form(rebuild_permuted(c17()))
+        assert form["inputs"] == sorted(form["inputs"])
+        assert form["gates"] == sorted(form["gates"])
+
+
+class TestCacheKey:
+    def test_varies_with_each_axis(self):
+        circuit = c17()
+        base = cache_key(circuit, "parallel_pattern", 0, {"flow": "atpg"})
+        assert cache_key(circuit, "deductive", 0, {"flow": "atpg"}) != base
+        assert cache_key(circuit, "parallel_pattern", 1, {"flow": "atpg"}) != base
+        assert (
+            cache_key(circuit, "parallel_pattern", 0, {"flow": "full_scan"})
+            != base
+        )
+        assert cache_key(shift_register(4), "parallel_pattern", 0,
+                         {"flow": "atpg"}) != base
+
+    def test_circuit_name_separates_keys(self):
+        # Reports carry the circuit name, so structurally equal but
+        # differently named circuits must not share store rows.
+        renamed = rebuild_permuted(c17(), name="c17_clone")
+        assert cache_key(renamed, "parallel_pattern", 0) != cache_key(
+            c17(), "parallel_pattern", 0
+        )
+
+    def test_engine_enum_and_string_agree(self):
+        from repro.faultsim import Engine
+
+        circuit = c17()
+        assert cache_key(circuit, Engine.DEDUCTIVE, 0) == cache_key(
+            circuit, "deductive", 0
+        )
+
+    def test_params_order_irrelevant(self):
+        circuit = c17()
+        assert cache_key(circuit, "serial", 0, {"a": 1, "b": 2}) == cache_key(
+            circuit, "serial", 0, {"b": 2, "a": 1}
+        )
+
+    def test_unserializable_params_raise(self):
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            cache_key(c17(), "serial", 0, {"bad": object()})

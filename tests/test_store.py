@@ -1,0 +1,206 @@
+"""The content-addressed result store: round-trips, atomicity,
+quarantine-instead-of-crash, and telemetry counters."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.atpg import generate_tests
+from repro.circuits import c17
+from repro.faults import collapse_faults
+from repro.faultsim import FaultSimulator
+from repro.netlist import cache_key
+from repro.store import (
+    ARTIFACT_SCHEMA,
+    KIND_ATPG_RESULT,
+    KIND_COVERAGE_REPORT,
+    ResultStore,
+    StoreError,
+    decode_test_result,
+    encode_test_result,
+)
+
+KEY_A = "aa" * 32
+KEY_B = "bb" * 32
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def report():
+    circuit = c17()
+    simulator = FaultSimulator(circuit, faults=collapse_faults(circuit))
+    patterns = [dict.fromkeys(circuit.inputs, bit) for bit in (0, 1)]
+    return simulator.run(patterns)
+
+
+class TestRoundTrips:
+    def test_coverage_report(self, store, report):
+        store.put_report(KEY_A, report)
+        loaded = store.get_report(KEY_A)
+        assert loaded.circuit_name == report.circuit_name
+        assert loaded.num_patterns == report.num_patterns
+        assert loaded.faults == report.faults
+        assert loaded.first_detection == report.first_detection
+        assert loaded.coverage == report.coverage
+
+    def test_patterns(self, store):
+        patterns = [{"a": 0, "b": 1}, {"a": 1, "b": 1}]
+        store.put_patterns(KEY_A, patterns)
+        assert store.get_patterns(KEY_A) == patterns
+
+    def test_manifest(self, store):
+        result = generate_tests(c17(), random_phase=4)
+        store.put_manifest(KEY_A, result.manifest)
+        loaded = store.get_manifest(KEY_A)
+        assert loaded.to_dict() == result.manifest.to_dict()
+        loaded.validate()
+
+    def test_full_atpg_result(self, store):
+        circuit = c17()
+        result = generate_tests(circuit, random_phase=4)
+        key = cache_key(circuit, "parallel_pattern", 0, {"flow": "atpg"})
+        store.put(key, KIND_ATPG_RESULT, encode_test_result(result))
+        loaded = decode_test_result(store.get(key, KIND_ATPG_RESULT))
+        assert loaded.patterns == result.patterns
+        assert loaded.report.first_detection == result.report.first_detection
+        assert loaded.manifest.to_dict() == result.manifest.to_dict()
+        assert loaded.coverage == result.coverage
+
+
+class TestMemoize:
+    def test_miss_then_hit(self, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        value, cached = store.memoize(KEY_A, "thing/1", compute)
+        assert (value, cached) == ({"value": 42}, False)
+        value, cached = store.memoize(KEY_A, "thing/1", compute)
+        assert (value, cached) == ({"value": 42}, True)
+        assert len(calls) == 1
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.puts == 1
+
+    def test_counters_reach_telemetry(self, store):
+        with telemetry.capture() as session:
+            store.memoize(KEY_A, "thing/1", lambda: 1)
+            store.memoize(KEY_A, "thing/1", lambda: 1)
+        assert session.counters["store.miss"] == 1
+        assert session.counters["store.put"] == 1
+        assert session.counters["store.hit"] == 1
+
+
+class TestRobustness:
+    def test_corrupt_entry_quarantined_and_recomputed(self, store):
+        store.put(KEY_A, "thing/1", {"value": 1})
+        path = store.path_for(KEY_A)
+        path.write_text("{ not json !!", encoding="utf-8")
+        with telemetry.capture() as session:
+            value, cached = store.memoize(KEY_A, "thing/1", lambda: {"value": 1})
+        assert cached is False
+        assert value == {"value": 1}
+        assert store.stats.quarantined == 1
+        assert session.counters["store.quarantined"] == 1
+        quarantined = list(store.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        # The slot was rewritten with a good artifact.
+        assert store.get(KEY_A, "thing/1") == {"value": 1}
+
+    def test_wrong_kind_quarantined(self, store):
+        store.put(KEY_A, "thing/1", {"value": 1})
+        assert store.get(KEY_A, "other/1") is None
+        assert store.stats.quarantined == 1
+        assert not store.contains(KEY_A)
+
+    def test_wrong_envelope_schema_quarantined(self, store):
+        path = store.path_for(KEY_A)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"schema": "bogus/9", "key": KEY_A, "kind": "thing/1",
+                        "payload": {}}),
+            encoding="utf-8",
+        )
+        assert store.get(KEY_A, "thing/1") is None
+        assert store.stats.quarantined == 1
+
+    def test_key_mismatch_quarantined(self, store):
+        store.put(KEY_A, "thing/1", {"value": 1})
+        # Copy the artifact into another key's slot: content addressing
+        # must notice the envelope names the wrong key.
+        target = store.path_for(KEY_B)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            store.path_for(KEY_A).read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        assert store.get(KEY_B, "thing/1") is None
+        assert store.stats.quarantined == 1
+
+
+class TestHygiene:
+    def test_atomic_write_leaves_no_temp_files(self, store):
+        store.put(KEY_A, "thing/1", {"value": 1})
+        leftovers = [
+            p for p in store.objects_dir.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_artifact_envelope_on_disk(self, store):
+        store.put(KEY_A, "thing/1", {"value": 1})
+        data = json.loads(store.path_for(KEY_A).read_text(encoding="utf-8"))
+        assert data["schema"] == ARTIFACT_SCHEMA
+        assert data["key"] == KEY_A
+        assert data["kind"] == "thing/1"
+        assert data["payload"] == {"value": 1}
+
+    def test_sharded_layout(self, store):
+        store.put(KEY_A, "thing/1", 1)
+        assert store.path_for(KEY_A).parent.name == KEY_A[:2]
+
+    def test_keys_and_len(self, store):
+        store.put(KEY_A, "thing/1", 1)
+        store.put(KEY_B, "thing/1", 2)
+        assert sorted(store.keys()) == sorted([KEY_A, KEY_B])
+        assert len(store) == 2
+
+    def test_evict_and_clear(self, store):
+        store.put(KEY_A, "thing/1", 1)
+        store.put(KEY_B, "thing/1", 2)
+        with telemetry.capture() as session:
+            assert store.evict(KEY_A) is True
+            assert store.evict(KEY_A) is False
+            assert store.clear() == 1
+        assert session.counters["store.evict"] == 2
+        assert store.stats.evicted == 2
+        assert len(store) == 0
+
+    def test_bad_key_rejected(self, store):
+        with pytest.raises(StoreError, match="hex"):
+            store.put("../escape", "thing/1", 1)
+        with pytest.raises(StoreError, match="hex"):
+            store.get("SHOUTY", "thing/1")
+
+    def test_unserializable_payload_rejected(self, store):
+        with pytest.raises(StoreError, match="JSON-serializable"):
+            store.put(KEY_A, "thing/1", {"bad": object()})
+        assert not store.contains(KEY_A)
+
+    def test_index_journal_records_puts(self, store):
+        store.put(KEY_A, "thing/1", 1)
+        store.evict(KEY_A)
+        lines = [
+            json.loads(line)
+            for line in store.index_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [row["op"] for row in lines] == ["put", "evict"]
+        assert all(row["key"] == KEY_A for row in lines)
+
+    def test_kind_constant_includes_version(self):
+        assert KIND_COVERAGE_REPORT.endswith("/1")
