@@ -15,6 +15,12 @@ result store (``repro.store``): the first invocation computes and
 persists the result, a second invocation with the same DIR serves it
 straight from disk (zero ATPG/fault-simulation work) and the printed
 ``store.hit``/``store.miss`` counters show which path ran.
+
+``--chaos`` (with ``--workers >= 2``) turns the run into a live demo of
+the resilience layer (``repro.resilience``): every worker's first
+attempt is crashed deliberately, the supervisor retries, and the run
+must still finish with the bit-identical result and a failure-free
+manifest — CI asserts exactly that.
 """
 
 import argparse
@@ -50,6 +56,14 @@ def main(argv=None) -> None:
         "store at DIR (a second run with the same DIR is a cache hit "
         "and does zero test-generation work)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject a crash into every worker's first attempt (needs "
+        "--workers >= 2): the supervised retry heals each crash, the "
+        "result stays bit-identical, and the manifest ends up with "
+        "supervision counters but no 'failures' section",
+    )
     args = parser.parse_args(argv)
 
     # 0. Turn telemetry on so every instrumented layer reports.
@@ -72,9 +86,23 @@ def main(argv=None) -> None:
     # 4. Automatic test pattern generation (PODEM + fault dropping).
     #    With --store the run is memoized: keyed by the circuit's
     #    structural hash + engine + seed + params, computed at most once.
+    chaos = supervision = None
+    if args.chaos:
+        from repro.resilience import ChaosConfig, RetryPolicy, SupervisionPolicy
+
+        chaos = ChaosConfig(seed=0, crash_rate=1.0)
+        supervision = SupervisionPolicy(
+            retry=RetryPolicy(max_retries=2, base_delay_s=0.01)
+        )
+
     def run_atpg():
         return generate_tests(
-            circuit, method="podem", random_phase=8, workers=args.workers
+            circuit,
+            method="podem",
+            random_phase=8,
+            workers=args.workers,
+            supervision=supervision,
+            chaos=chaos,
         )
 
     if args.store:
@@ -125,6 +153,18 @@ def main(argv=None) -> None:
         f"backtracks={manifest.counters.get('atpg.backtracks', 0)}"
     )
     print(f"telemetry counters collected: {len(sink.counters)}")
+    if args.chaos:
+        supervision_stats = (manifest.workers or {}).get("supervision", {})
+        healed = (
+            "absent — every injected fault was healed"
+            if manifest.failures is None
+            else f"PERMANENT FAILURES: {manifest.failures}"
+        )
+        print(
+            f"chaos: {supervision_stats.get('crashes', 0)} worker crash(es) "
+            f"injected, {supervision_stats.get('retries', 0)} retries; "
+            f"failures section: {healed}"
+        )
     if args.manifest_out:
         with open(args.manifest_out, "w", encoding="utf-8") as stream:
             stream.write(manifest.to_json(indent=2))

@@ -7,10 +7,17 @@ store-backed orchestrator (:mod:`repro.campaign`):
     Run (or resume) a campaign.  Without ``--spec`` the built-in demo
     spec runs.  Every cell is memoized through the result store, so a
     warm re-run does zero fault-simulation work; an interrupted run
-    resumes from its checkpoint.
+    resumes from its checkpoint.  Each cell runs under a retry budget
+    (``--retries``); what happens when a cell *keeps* failing is
+    chosen by ``--failure-policy`` (default ``raise``).  Exit code 0
+    means every processed cell completed; 2 means the campaign
+    finished but some cells failed permanently (recorded in the
+    checkpoint and the manifest's ``failures`` section, re-attempted
+    on the next run).
 
 ``python -m repro campaign status [--spec FILE] [--store DIR]``
-    Show completed/pending cells from the checkpoint without running.
+    Show completed/pending/failed cells from the checkpoint without
+    running (a corrupt checkpoint is rebuilt from the store).
 
 ``python -m repro campaign clean [--store DIR] [--spec FILE]``
     Evict every stored artifact and drop the campaign's state files.
@@ -23,8 +30,18 @@ import sys
 from typing import List, Optional
 
 from .campaign import CampaignRunner, CampaignSpec, demo_spec
+from .resilience import RetryPolicy
 
 DEFAULT_STORE = ".repro-store"
+
+RUN_EXIT_CODES = """\
+exit codes:
+  0  every processed cell completed (possibly from cache)
+  1  fatal error (bad spec, or a cell failed under --failure-policy raise)
+  2  partial failure: campaign finished, but one or more cells failed
+     permanently; they are recorded in the checkpoint and the manifest
+     'failures' section and will be re-attempted on the next run
+"""
 
 
 def _load_spec(path: Optional[str]) -> CampaignSpec:
@@ -58,7 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     actions = campaign.add_subparsers(dest="action", required=True)
 
-    run = actions.add_parser("run", help="run or resume a campaign")
+    run = actions.add_parser(
+        "run",
+        help="run or resume a campaign",
+        epilog=RUN_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     _add_common(run)
     run.add_argument(
         "--workers",
@@ -74,6 +96,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="process at most K cells this invocation (resume later)",
     )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="R",
+        help="retry a failing cell up to R times with jittered "
+        "exponential backoff before giving up (default: 2)",
+    )
+    run.add_argument(
+        "--failure-policy",
+        choices=("raise", "quarantine", "degrade"),
+        default="raise",
+        help="what to do with a cell that fails every retry: 'raise' "
+        "aborts the run (exit 1), 'quarantine'/'degrade' record the "
+        "failure and continue (exit 2); default: raise",
+    )
 
     status = actions.add_parser("status", help="show checkpoint progress")
     _add_common(status)
@@ -88,7 +126,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     spec = _load_spec(args.spec)
-    runner = CampaignRunner(spec, args.store, workers=getattr(args, "workers", 1))
+    runner = CampaignRunner(
+        spec,
+        args.store,
+        workers=getattr(args, "workers", 1),
+        retry=RetryPolicy(max_retries=max(0, getattr(args, "retries", 2))),
+        failure_policy=getattr(args, "failure_policy", "raise"),
+    )
 
     if args.action == "run":
         result = runner.run(limit=args.limit)
@@ -99,11 +143,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"entries={len(runner.store)}"
         )
         print(f"[campaign] state: {runner.state_dir}")
-        if not result.finished:
+        if result.completed < result.total:
             print(
                 f"[campaign] {result.total - result.completed} cell(s) "
                 "pending — re-run to resume from the checkpoint"
             )
+        if result.failures:
+            for record in result.failures:
+                print(
+                    f"[campaign] FAILED {record.site}: {record.error}: "
+                    f"{record.message} "
+                    f"(digest {record.digest}, {record.attempts} attempts)"
+                )
+            print(
+                f"[campaign] {len(result.failures)} cell(s) failed "
+                "permanently — recorded in the checkpoint, re-attempted "
+                "on the next run"
+            )
+            return 2
         return 0
 
     if args.action == "status":
@@ -111,11 +168,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"campaign {status['campaign']!r}: "
             f"{status['completed']}/{status['total']} cells completed, "
+            f"{len(status['failed'])} failed, "
             f"{status['skipped']} skipped, "
             f"{status['store_entries']} store entries at {status['store_root']}"
         )
         for cell_id in status["pending"]:
             print(f"  pending: {cell_id}")
+        for cell_id in status["failed"]:
+            print(f"  failed: {cell_id}")
         return 0
 
     if args.action == "clean":

@@ -107,6 +107,9 @@ def generate_tests(
     seed: int = 0,
     engine: str = "parallel_pattern",
     workers: int = 1,
+    supervision: Optional["SupervisionPolicy"] = None,
+    failure_policy: str = "raise",
+    chaos: Optional["ChaosConfig"] = None,
 ) -> TestGenerationResult:
     """Run the full deterministic ATPG flow on a combinational circuit.
 
@@ -127,6 +130,14 @@ def generate_tests(
     :class:`repro.faultsim.sharded.ShardedFaultSimulator`.  Results are
     bit-identical to ``workers=1``; the manifest grows a ``workers``
     section with per-shard timings and counters.
+
+    ``supervision``/``failure_policy``/``chaos`` configure the sharded
+    executor's fault tolerance (see :mod:`repro.resilience`): worker
+    crashes, hangs and raised exceptions are retried with backoff and
+    healed by in-process fallback; only a shard that fails
+    deterministically is handled per ``failure_policy``, and any
+    resulting quarantine/degradation is reported in the manifest's
+    validated ``failures`` section.
     """
     from ..faultsim import ShardedFaultSimulator, create_simulator
 
@@ -136,7 +147,13 @@ def generate_tests(
     sharded: Optional[ShardedFaultSimulator] = None
     if workers and workers > 1:
         sharded = ShardedFaultSimulator(
-            circuit, engine, faults=fault_list, workers=workers
+            circuit,
+            engine,
+            faults=fault_list,
+            workers=workers,
+            supervision=supervision,
+            failure_policy=failure_policy,
+            chaos=chaos,
         )
         simulator = sharded
     else:
@@ -310,6 +327,7 @@ def generate_tests(
             "total_backtracks": total_backtracks,
         },
         workers=sharded.workers_section() if sharded is not None else None,
+        failures=sharded.failures_section() if sharded is not None else None,
     )
     return TestGenerationResult(
         circuit_name=circuit.name,

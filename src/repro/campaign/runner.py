@@ -24,6 +24,17 @@ no timings — cold and warm runs produce byte-identical bytes),
 manifest), and ``manifest.json`` (the campaign's own validated
 :class:`~repro.telemetry.RunManifest`, whose counters carry the
 store's hit/miss/quarantine behaviour).
+
+**Fault tolerance** (see :mod:`repro.resilience`): each cell runs
+under a bounded retry budget with jittered backoff; a cell that keeps
+failing is handled per :class:`~repro.resilience.FailurePolicy` —
+``raise`` (default) propagates, ``quarantine``/``degrade`` record a
+:class:`~repro.resilience.FailureRecord` in the checkpoint's
+``failed`` map and the manifest's validated ``failures`` section and
+move on.  Failed cells are re-attempted on every resume.  A truncated
+or corrupt checkpoint never loses progress: completed cells are
+rebuilt by probing the content-addressed store
+(``campaign.checkpoint.rebuilt``).
 """
 
 from __future__ import annotations
@@ -41,6 +52,13 @@ from .. import telemetry
 from ..netlist.circuit import Circuit
 from ..netlist.hashing import cache_key
 from ..faultsim.coverage import CoverageReport
+from ..resilience import (
+    ChaosConfig,
+    FailurePolicy,
+    FailureRecord,
+    RetryPolicy,
+    failure_record,
+)
 from ..store import ResultStore
 from ..store.codecs import (
     KIND_CAMPAIGN_CELL,
@@ -98,11 +116,12 @@ class CampaignResult:
     misses: int = 0
     completed: int = 0
     total: int = 0
+    failures: List[FailureRecord] = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
         """Did every runnable cell complete (this run or a prior one)?"""
-        return self.completed >= self.total
+        return self.completed >= self.total and not self.failures
 
 
 # ----------------------------------------------------------------------
@@ -264,10 +283,17 @@ def render_summary(
     results: List[CellResult],
     skipped: List[CampaignCell],
     total: int,
+    failed: int = 0,
 ) -> str:
-    """Fixed-format table of completed cells; no timings, no hit/miss."""
+    """Fixed-format table of completed cells; no timings, no hit/miss.
+
+    ``failed`` appears in the header only when nonzero, so a chaos run
+    whose injected faults were all healed by retries stays byte-
+    identical to the fault-free run.
+    """
     header = (
         f"campaign {spec.name!r}: {len(results)}/{total} cells completed"
+        + (f", {failed} cells FAILED" if failed else "")
         + (f", {len(skipped)} incompatible cells skipped" if skipped else "")
     )
     columns = f"{'workload':<22}{'flow':<11}{'engine':<18}{'seed':>4}  {'patterns':>8}  {'coverage':>8}"
@@ -295,41 +321,86 @@ class CampaignRunner:
         spec: CampaignSpec,
         store: Union[str, Path, ResultStore],
         workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
+        chaos: Optional[ChaosConfig] = None,
     ) -> None:
         self.spec = spec
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.workers = max(1, int(workers))
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.failure_policy = FailurePolicy.coerce(failure_policy)
+        self.chaos = chaos
         self.state_dir = self.store.root / "campaigns" / spec.name
         self.checkpoint_path = self.state_dir / "checkpoint.json"
         self.summary_path = self.state_dir / "summary.txt"
         self.jsonl_path = self.state_dir / "cells.jsonl"
         self.manifest_path = self.state_dir / "manifest.json"
+        self._checkpoint_seq = 0
 
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def _load_checkpoint(self) -> Dict[str, str]:
-        """Completed ``cell_id -> key`` map from a prior (partial) run.
+    def _load_checkpoint(self) -> Tuple[Dict[str, str], Dict[str, Any], str]:
+        """Raw checkpoint state: ``(completed, failed, status)``.
 
-        A missing, unreadable, or different-spec checkpoint simply
-        means "nothing completed yet" — the store still deduplicates
-        any cell that did finish before.
+        ``completed`` maps ``cell_id -> key``; ``failed`` maps
+        ``cell_id ->`` failure-record dict from a prior run.  ``status``
+        distinguishes *why* the maps may be empty: ``"ok"`` (valid
+        checkpoint), ``"missing"`` (no file — a fresh campaign),
+        ``"mismatch"`` (valid file for a different spec — also fresh),
+        or ``"corrupt"`` (a file exists but is truncated, unparseable,
+        or the wrong schema — progress can be rebuilt from the store).
         """
         try:
             with open(self.checkpoint_path, "r", encoding="utf-8") as stream:
                 data = json.load(stream)
+        except FileNotFoundError:
+            return {}, {}, "missing"
         except (OSError, ValueError):
-            return {}
+            return {}, {}, "corrupt"
         if (
             not isinstance(data, dict)
             or data.get("schema") != CHECKPOINT_SCHEMA
-            or data.get("spec") != self.spec.to_dict()
+            or not isinstance(data.get("completed", {}), dict)
         ):
-            return {}
-        completed = data.get("completed", {})
-        return dict(completed) if isinstance(completed, dict) else {}
+            return {}, {}, "corrupt"
+        if data.get("spec") != self.spec.to_dict():
+            return {}, {}, "mismatch"
+        completed = dict(data.get("completed", {}))
+        failed = data.get("failed", {})
+        failed = dict(failed) if isinstance(failed, dict) else {}
+        return completed, failed, "ok"
 
-    def _write_checkpoint(self, completed: Dict[str, str], total: int) -> None:
+    def _load_state(
+        self, cells: List[CampaignCell]
+    ) -> Tuple[Dict[str, str], Dict[str, Any]]:
+        """Checkpoint state, recovered from the store when corrupt.
+
+        The checkpoint is a convenience cache of progress; the
+        content-addressed store is the source of truth.  When the
+        checkpoint file exists but cannot be trusted (truncated write,
+        bit rot), completed cells are rediscovered by probing the store
+        for each cell's key — no finished work is ever lost to a bad
+        checkpoint.  The rebuild is counted
+        (``campaign.checkpoint.rebuilt``) so it surfaces in the run
+        manifest.
+        """
+        completed, failed, status = self._load_checkpoint()
+        if status == "corrupt":
+            telemetry.incr("campaign.checkpoint.rebuilt")
+            for cell in cells:
+                key = cell_cache_key(cell, self.spec.params)
+                if self.store.contains(key):
+                    completed[cell.cell_id] = key
+        return completed, failed
+
+    def _write_checkpoint(
+        self,
+        completed: Dict[str, str],
+        total: int,
+        failed: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Atomically persist progress after every cell."""
         self.state_dir.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -337,6 +408,7 @@ class CampaignRunner:
             "spec": self.spec.to_dict(),
             "total": total,
             "completed": completed,
+            "failed": dict(failed) if failed else {},
         }
         fd, temp_name = tempfile.mkstemp(
             prefix=".checkpoint.", suffix=".tmp", dir=str(self.state_dir)
@@ -344,27 +416,93 @@ class CampaignRunner:
         with os.fdopen(fd, "w", encoding="utf-8") as stream:
             json.dump(payload, stream, sort_keys=True, indent=1)
         os.replace(temp_name, self.checkpoint_path)
+        self._checkpoint_seq += 1
+        if self.chaos is not None:
+            self.chaos.maybe_corrupt_checkpoint(
+                self.checkpoint_path, self._checkpoint_seq
+            )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _run_cell(
+        self, cell: CampaignCell, circuit: Circuit, key: str
+    ) -> Tuple[Optional[CellResult], bool, Optional[FailureRecord]]:
+        """One cell through the store with retry/backoff supervision.
+
+        Returns ``(result, cached, failure)``.  Transient exceptions
+        are retried up to ``retry.max_retries`` times with jittered
+        backoff; a cell that keeps failing either re-raises
+        (``FailurePolicy.RAISE``) or comes back as a
+        :class:`FailureRecord` and the campaign moves on.
+        """
+        attempt = 0
+        while True:
+            chaos, this_attempt = self.chaos, attempt
+
+            def compute() -> CellResult:
+                if chaos is not None:
+                    chaos.check_poison_cell(cell.cell_id)
+                    chaos.inject_inline(f"cell:{cell.cell_id}", this_attempt)
+                return execute_cell(
+                    cell,
+                    self.spec.params,
+                    workers=self.workers,
+                    circuit=circuit,
+                    key=key,
+                )
+
+            try:
+                result, cached = self.store.memoize(
+                    key,
+                    KIND_CAMPAIGN_CELL,
+                    compute,
+                    encode=encode_cell_result,
+                    decode=decode_cell_result,
+                )
+            except Exception as exc:
+                if attempt < self.retry.max_retries:
+                    telemetry.incr("campaign.cell.retry")
+                    self.retry.wait(f"cell:{cell.cell_id}", attempt)
+                    attempt += 1
+                    continue
+                if self.failure_policy is FailurePolicy.RAISE:
+                    raise
+                telemetry.incr("campaign.cell.failed")
+                record = failure_record(
+                    f"cell:{cell.cell_id}",
+                    exc,
+                    attempts=attempt + 1,
+                    action=self.failure_policy.value,
+                    detail={"cell_id": cell.cell_id, "key": key},
+                )
+                return None, False, record
+            if self.chaos is not None and not cached:
+                self.chaos.maybe_corrupt_store(key, self.store.path_for(key))
+            return result, cached, None
+
     def run(self, limit: Optional[int] = None) -> CampaignResult:
         """Run (or resume) the campaign; ``limit`` caps cells this call.
 
         Cells already in the store come back as hits with zero
         fault-simulation work; the rest are computed and stored.  The
         checkpoint is rewritten after *every* cell, so killing the
-        process at any point loses at most the in-flight cell.
+        process at any point loses at most the in-flight cell.  Cells
+        recorded as failed by a previous run are re-attempted; cells
+        that fail permanently this run are reported in
+        :attr:`CampaignResult.failures` (empty means every processed
+        cell completed).
         """
         cells, skipped = self.spec.expand()
-        completed = self._load_checkpoint()
         results: List[CellResult] = []
+        failures: List[FailureRecord] = []
         hits = misses = processed = 0
         self.state_dir.mkdir(parents=True, exist_ok=True)
         with telemetry.capture() as session:
             with telemetry.span(
                 "campaign.run", campaign=self.spec.name, workers=self.workers
             ):
+                completed, failed_map = self._load_state(cells)
                 with open(
                     self.jsonl_path, "w", encoding="utf-8"
                 ) as jsonl, telemetry.timed("campaign.phase.cells"):
@@ -374,19 +512,17 @@ class CampaignRunner:
                         processed += 1
                         circuit = build_workload(cell.workload)
                         key = cell_cache_key(cell, self.spec.params, circuit)
-                        result, cached = self.store.memoize(
-                            key,
-                            KIND_CAMPAIGN_CELL,
-                            lambda: execute_cell(
-                                cell,
-                                self.spec.params,
-                                workers=self.workers,
-                                circuit=circuit,
-                                key=key,
-                            ),
-                            encode=encode_cell_result,
-                            decode=decode_cell_result,
+                        result, cached, failure = self._run_cell(
+                            cell, circuit, key
                         )
+                        if failure is not None:
+                            failures.append(failure)
+                            failed_map[cell.cell_id] = failure.to_dict()
+                            completed.pop(cell.cell_id, None)
+                            self._write_checkpoint(
+                                completed, len(cells), failed_map
+                            )
+                            continue
                         result.cached = cached
                         if cached:
                             hits += 1
@@ -394,13 +530,15 @@ class CampaignRunner:
                             misses += 1
                         results.append(result)
                         completed[cell.cell_id] = key
-                        self._write_checkpoint(completed, len(cells))
+                        failed_map.pop(cell.cell_id, None)
+                        self._write_checkpoint(completed, len(cells), failed_map)
                         jsonl.write(self._jsonl_row(result))
                         jsonl.write("\n")
                         jsonl.flush()
                 with telemetry.timed("campaign.phase.summary"):
                     summary = render_summary(
-                        self.spec, results, skipped, len(cells)
+                        self.spec, results, skipped, len(cells),
+                        failed=len(failures),
                     )
                     self._write_text(self.summary_path, summary)
         manifest = telemetry.RunManifest(
@@ -424,11 +562,13 @@ class CampaignRunner:
                 "skipped": len(skipped),
                 "processed": processed,
                 "completed": len(completed),
+                "failed": len(failures),
                 "hits": hits,
                 "misses": misses,
                 "quarantined": self.store.stats.quarantined,
                 "store": self.store.stats.to_dict(),
             },
+            failures=[record.to_dict() for record in failures] or None,
         ).validate()
         self._write_text(self.manifest_path, manifest.to_json(indent=2) + "\n")
         return CampaignResult(
@@ -441,6 +581,7 @@ class CampaignRunner:
             misses=misses,
             completed=len(completed),
             total=len(cells),
+            failures=failures,
         )
 
     def _jsonl_row(self, result: CellResult) -> str:
@@ -471,9 +612,15 @@ class CampaignRunner:
     # Status / clean
     # ------------------------------------------------------------------
     def status(self) -> Dict[str, Any]:
-        """Progress snapshot from the checkpoint (no execution)."""
+        """Progress snapshot from the checkpoint (no execution).
+
+        A corrupt checkpoint is transparently rebuilt from the store,
+        exactly as :meth:`run` would; ``failed`` lists the cells a
+        prior run recorded as permanently failed (they will be
+        re-attempted on the next ``run``).
+        """
         cells, skipped = self.spec.expand()
-        completed = self._load_checkpoint()
+        completed, failed_map = self._load_state(cells)
         done = [c.cell_id for c in cells if c.cell_id in completed]
         pending = [c.cell_id for c in cells if c.cell_id not in completed]
         return {
@@ -481,6 +628,7 @@ class CampaignRunner:
             "total": len(cells),
             "completed": len(done),
             "pending": pending,
+            "failed": sorted(failed_map),
             "skipped": len(skipped),
             "store_entries": len(self.store),
             "store_root": str(self.store.root),

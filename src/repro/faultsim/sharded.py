@@ -24,22 +24,47 @@ Two properties make the merge *exact* rather than approximate:
 Execution degrades gracefully: ``workers <= 1``, a single shard, or a
 platform without ``fork`` all fall back to in-process execution (the
 shard/merge path still runs when more than one shard was requested, so
-the merge stays covered cross-platform).  Telemetry from each worker is
-captured in the child, shipped back with the report, folded into the
-parent's active sink, and aggregated into the ``workers`` section of
-the flow's :class:`~repro.telemetry.RunManifest`.
+the merge stays covered cross-platform).  Every degradation is
+*observable*: a ``faultsim.sharded.fallback`` counter fires and the
+reason lands in the manifest ``workers`` section's ``fallbacks`` list.
+Telemetry from each worker is captured in the child, shipped back with
+the report, folded into the parent's active sink, and aggregated into
+the ``workers`` section of the flow's
+:class:`~repro.telemetry.RunManifest`.
+
+Fork-pool execution is *supervised* (:mod:`repro.resilience`): a worker
+that crashes, hangs past the supervision timeout, or raises is retried
+with jittered exponential backoff; a shard that keeps failing falls
+back to chaos-free in-process execution, so transient worker faults
+never change the result — it stays bit-identical to the fault-free
+run.  A shard that fails *deterministically* (in-process too) is
+handled per the :class:`~repro.resilience.FailurePolicy`: ``raise``
+propagates (default), ``quarantine`` bisects the shard down to the
+smallest failing fault subset and excludes only that (reported in the
+manifest's validated ``failures`` section), ``degrade`` excludes the
+whole shard.  The seeded chaos harness
+(:class:`~repro.resilience.ChaosConfig`, ``tests/test_chaos.py``)
+exists to prove all of the above.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import telemetry
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault, all_faults
 from ..faults.collapse import collapse_faults
+from ..resilience import (
+    ChaosConfig,
+    FailurePolicy,
+    FailureRecord,
+    SupervisionPolicy,
+    failure_record,
+    supervise,
+)
 from .coverage import CoverageReport, merge_reports
 
 Pattern = Mapping[str, int]
@@ -108,28 +133,23 @@ def _build_simulator(
 
 # ----------------------------------------------------------------------
 # Worker side.  State travels to the children by fork inheritance (the
-# pool initializer runs in each child before any task), so the circuit
-# and pattern set are never pickled per task — only the shard index
-# goes out and only the shard's report (plus telemetry) comes back.
+# supervisor forks one child per shard attempt and the task closure
+# references the state directly), so the circuit and pattern set are
+# never pickled per task — only the shard's report (plus telemetry)
+# comes back over the result pipe.
 # ----------------------------------------------------------------------
-_WORKER_STATE: Optional[Dict[str, Any]] = None
-
-
-def _init_worker(state: Dict[str, Any]) -> None:
-    global _WORKER_STATE
-    telemetry.reset_in_child()
-    _WORKER_STATE = state
-
-
-def _run_shard(index: int):
-    state = _WORKER_STATE
-    assert state is not None, "worker pool initializer did not run"
-    return _execute_shard(state, index)
-
-
 def _execute_shard(state: Dict[str, Any], index: int):
-    """Run one fault shard; returns (index, report, counters, seconds)."""
+    """Run one fault shard; returns (index, report, counters, seconds).
+
+    Poisoned faults (chaos harness) raise here, in workers and in the
+    parent alike — a *deterministic* failure that retries and the
+    in-process fallback cannot heal, which is exactly what the
+    quarantine/bisection path exists for.
+    """
     shard = state["shards"][index]
+    chaos: Optional[ChaosConfig] = state.get("chaos")
+    if chaos is not None:
+        chaos.check_poison_faults(shard)
     start = time.perf_counter()
     with telemetry.capture() as session:
         with telemetry.span(
@@ -160,6 +180,16 @@ class ShardedFaultSimulator:
     pattern, latency-bound) always run in-process on a lazily built
     local simulator.  :attr:`stats` accumulates the manifest-ready
     ``workers`` section over every ``run`` call.
+
+    Fault tolerance knobs: ``supervision`` (a
+    :class:`~repro.resilience.SupervisionPolicy`: per-shard timeout,
+    retry budget, backoff — defaults to bounded retries with no
+    timeout), ``failure_policy`` (``"raise"`` / ``"quarantine"`` /
+    ``"degrade"``, applied only to shards that fail *deterministically*
+    after the in-process fallback), and ``chaos`` (a test-only
+    :class:`~repro.resilience.ChaosConfig` injecting worker faults).
+    Permanent failures accumulate in :attr:`failures` and surface via
+    :meth:`failures_section`.
     """
 
     def __init__(
@@ -170,6 +200,9 @@ class ShardedFaultSimulator:
         collapse: bool = True,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
+        chaos: Optional[ChaosConfig] = None,
         **engine_kwargs: Any,
     ) -> None:
         self.circuit = circuit
@@ -179,14 +212,26 @@ class ShardedFaultSimulator:
         self.faults = list(faults)
         self.workers = max(1, int(workers or 1))
         self.shard_count = max(1, int(shards if shards is not None else self.workers))
+        self.supervision = supervision if supervision is not None else SupervisionPolicy()
+        self.failure_policy = FailurePolicy.coerce(failure_policy)
+        self.chaos = chaos
         self.engine_kwargs = dict(engine_kwargs)
         self._local = None
+        self.failures: List[FailureRecord] = []
         self.stats: Dict[str, Any] = {
             "requested": self.workers,
             "effective": 0,
             "mode": "inprocess",
             "runs": 0,
             "shards": [],
+            "fallbacks": [],
+            "supervision": {
+                "retries": 0,
+                "crashes": 0,
+                "hangs": 0,
+                "exceptions": 0,
+                "fallbacks": 0,
+            },
         }
 
     # -- in-process delegate -------------------------------------------
@@ -207,18 +252,28 @@ class ShardedFaultSimulator:
 
     # -- sharded execution ---------------------------------------------
     def run(self, patterns: Sequence[Pattern], **run_kwargs: Any) -> CoverageReport:
-        """Fault-simulate the pattern set across the worker pool.
+        """Fault-simulate the pattern set across the supervised pool.
 
         The detected-fault set, first-detection indices, fault order and
         coverage are identical to the single-process engine run for any
-        ``workers``/``shards`` combination.
+        ``workers``/``shards`` combination — including runs where the
+        chaos harness crashes, hangs or poisons workers, as long as
+        every failure is transient (healed by retry or in-process
+        fallback).  Only a deterministic failure under a non-``raise``
+        :class:`~repro.resilience.FailurePolicy` changes the report, by
+        excluding the quarantined faults — and that exclusion is
+        recorded in :attr:`failures`.
         """
         shards = shard_faults(self.faults, self.shard_count)
-        use_pool = (
-            self.workers > 1 and len(shards) > 1 and fork_available()
-        )
+        pool_capable = fork_available()
+        use_pool = self.workers > 1 and len(shards) > 1 and pool_capable
         mode = "fork" if use_pool else "inprocess"
         effective = min(self.workers, len(shards)) if use_pool else 1
+        if self.workers > 1 and not use_pool:
+            # Satellite: degrading to in-process is never silent.
+            self._record_fallback(
+                "fork_unavailable" if not pool_capable else "single_shard"
+            )
         with telemetry.span(
             "faultsim.sharded.run",
             engine=self.engine,
@@ -239,6 +294,7 @@ class ShardedFaultSimulator:
                 "shards": shards,
                 "engine_kwargs": self.engine_kwargs,
                 "run_kwargs": dict(run_kwargs),
+                "chaos": self.chaos,
             }
             if not shards:
                 # Empty fault list: one empty-report "shard" keeps the
@@ -247,35 +303,199 @@ class ShardedFaultSimulator:
                 self._record_run(mode, 1, [])
                 return report
             if use_pool:
-                context = multiprocessing.get_context("fork")
-                with context.Pool(
-                    processes=effective,
-                    initializer=_init_worker,
-                    initargs=(state,),
-                ) as pool:
-                    results = pool.map(_run_shard, range(len(shards)))
+                shard_rows, report_lists = self._run_supervised(
+                    state, shards, effective
+                )
             else:
-                results = [
-                    _execute_shard(state, index) for index in range(len(shards))
-                ]
-            results.sort(key=lambda row: row[0])
-            shard_rows = []
-            for index, report, counters, elapsed in results:
+                shard_rows, report_lists = self._run_inprocess(state, shards)
+            shard_rows.sort(key=lambda row: row["shard"])
+            flat = [r for reports in report_lists for r in reports]
+            if flat:
+                merged = merge_reports(flat, axis="faults")
+            else:
+                # Every shard degraded away: an empty (but well-formed)
+                # report, so callers still get coverage arithmetic.
+                merged = CoverageReport(
+                    self.circuit.name, len(state["patterns"]), []
+                )
+            self._record_run(mode, effective, shard_rows)
+            return merged
+
+    def _run_supervised(
+        self,
+        state: Dict[str, Any],
+        shards: List[List[Fault]],
+        effective: int,
+    ) -> Tuple[List[Dict[str, Any]], List[List[CoverageReport]]]:
+        """Fork path: supervised children, retries, per-shard fallback."""
+        chaos = self.chaos
+
+        def task(index: int, attempt: int):
+            # Runs in the forked child (state via fork inheritance).
+            if chaos is not None:
+                chaos.inject_worker(f"shard:{index}", attempt)
+            return _execute_shard(state, index)
+
+        outcome = supervise(
+            range(len(shards)), task, workers=effective, policy=self.supervision
+        )
+        sup = self.stats["supervision"]
+        sup["retries"] += outcome.retries
+        kind_keys = {"crash": "crashes", "hang": "hangs",
+                     "exception": "exceptions"}
+        for event in outcome.events:
+            key = kind_keys.get(event["kind"])
+            if key:
+                sup[key] += 1
+        shard_rows: List[Dict[str, Any]] = []
+        report_lists: List[List[CoverageReport]] = []
+        for index in range(len(shards)):
+            result = outcome.results.get(index)
+            if result is not None:
+                _, report, counters, elapsed = result
+                # Worker counters only exist in the returned dict (the
+                # child's telemetry was reset post-fork), so replay them
+                # into the parent's sink here.
                 for name, value in counters.items():
                     telemetry.incr(name, value)
                 shard_rows.append(
-                    {
-                        "shard": index,
-                        "faults": len(shards[index]),
-                        "duration_s": elapsed,
-                        "counters": counters,
-                    }
+                    {"shard": index, "faults": len(shards[index]),
+                     "duration_s": elapsed, "counters": counters}
                 )
-            merged = merge_reports(
-                [report for _, report, _, _ in results], axis="faults"
+                report_lists.append([report])
+                continue
+            failure = outcome.failed[index]
+            report_lists.append(
+                self._resolve_failed_shard(state, index, failure, shard_rows)
             )
-            self._record_run(mode, effective, shard_rows)
-            return merged
+        return shard_rows, report_lists
+
+    def _run_inprocess(
+        self, state: Dict[str, Any], shards: List[List[Fault]]
+    ) -> Tuple[List[Dict[str, Any]], List[List[CoverageReport]]]:
+        """Shard/merge path without workers (fork unavailable etc.).
+
+        Shard telemetry tees straight into the active sink as each
+        shard runs in this process, so — unlike the fork path — its
+        counters are *not* replayed afterwards (that would double-count
+        them).
+        """
+        shard_rows: List[Dict[str, Any]] = []
+        report_lists: List[List[CoverageReport]] = []
+        for index in range(len(shards)):
+            try:
+                _, report, counters, elapsed = _execute_shard(state, index)
+            except Exception as exc:
+                report_lists.append(
+                    self._apply_failure_policy(state, index, exc, attempts=1)
+                )
+                continue
+            shard_rows.append(
+                {"shard": index, "faults": len(shards[index]),
+                 "duration_s": elapsed, "counters": counters}
+            )
+            report_lists.append([report])
+        return shard_rows, report_lists
+
+    def _resolve_failed_shard(
+        self,
+        state: Dict[str, Any],
+        index: int,
+        failure: Any,
+        shard_rows: List[Dict[str, Any]],
+    ) -> List[CoverageReport]:
+        """A shard exhausted its worker retries: fall back in-process.
+
+        Transient worker faults (crash/hang/injected exceptions) cannot
+        follow the shard here — the fallback runs chaos-free in the
+        parent — so its result is the fault-free one and the run stays
+        bit-identical.  If the shard *still* fails the failure is
+        deterministic and the :class:`FailurePolicy` decides.
+        """
+        telemetry.incr("resilience.fallback_inprocess")
+        self._record_fallback("supervision", shard=index)
+        try:
+            _, report, counters, elapsed = _execute_shard(state, index)
+        except Exception as exc:
+            return self._apply_failure_policy(
+                state, index, exc, attempts=failure.attempts + 1
+            )
+        shard_rows.append(
+            {"shard": index, "faults": len(state["shards"][index]),
+             "duration_s": elapsed, "counters": counters}
+        )
+        return [report]
+
+    def _apply_failure_policy(
+        self, state: Dict[str, Any], index: int, exc: Exception, attempts: int
+    ) -> List[CoverageReport]:
+        """Deterministic shard failure: raise, degrade, or quarantine."""
+        shard = state["shards"][index]
+        if self.failure_policy is FailurePolicy.RAISE:
+            raise exc
+        if self.failure_policy is FailurePolicy.DEGRADE:
+            record = failure_record(
+                f"shard:{index}", exc, attempts, "degrade",
+                detail={"shard": index, "faults": [f.name for f in shard]},
+            )
+            self._record_failure(record, len(shard))
+            return []
+        reports, poisoned = self._bisect_shard(state, shard)
+        record = failure_record(
+            f"shard:{index}", exc, attempts, "quarantine",
+            detail={
+                "shard": index,
+                "faults": [fault.name for fault, _ in poisoned],
+                "errors": sorted({type(e).__name__ for _, e in poisoned}),
+            },
+        )
+        self._record_failure(record, len(poisoned))
+        return reports
+
+    def _bisect_shard(
+        self, state: Dict[str, Any], faults: List[Fault]
+    ) -> Tuple[List[CoverageReport], List[Tuple[Fault, Exception]]]:
+        """Narrow a deterministically failing shard to its bad faults.
+
+        Classic delta-debugging bisection: run the subset in-process;
+        on failure split it and recurse, down to singletons.  Returns
+        the passing sub-reports *in fault-list order* (so the fault-axis
+        merge preserves ordering) plus the poisoned faults.
+        """
+        telemetry.incr("resilience.bisect_runs")
+        try:
+            report = self._run_fault_subset(state, faults)
+        except Exception as exc:
+            if len(faults) == 1:
+                return [], [(faults[0], exc)]
+            mid = len(faults) // 2
+            left_reports, left_poisoned = self._bisect_shard(state, faults[:mid])
+            right_reports, right_poisoned = self._bisect_shard(state, faults[mid:])
+            return left_reports + right_reports, left_poisoned + right_poisoned
+        return [report], []
+
+    def _run_fault_subset(
+        self, state: Dict[str, Any], faults: List[Fault]
+    ) -> CoverageReport:
+        chaos: Optional[ChaosConfig] = state.get("chaos")
+        if chaos is not None:
+            chaos.check_poison_faults(faults)
+        simulator = _build_simulator(
+            state["circuit"], state["engine"], faults, state["engine_kwargs"]
+        )
+        return simulator.run(state["patterns"], **state["run_kwargs"])
+
+    def _record_fallback(self, reason: str, shard: Optional[int] = None) -> None:
+        """Count and remember one in-process fallback (never silent)."""
+        telemetry.incr("faultsim.sharded.fallback")
+        self.stats["fallbacks"].append({"reason": reason, "shard": shard})
+        if reason == "supervision":
+            self.stats["supervision"]["fallbacks"] += 1
+
+    def _record_failure(self, record: FailureRecord, fault_count: int) -> None:
+        self.failures.append(record)
+        telemetry.incr("resilience.shard_failures")
+        telemetry.incr("resilience.quarantined_faults", fault_count)
 
     def _record_run(
         self, mode: str, effective: int, shard_rows: List[Dict[str, Any]]
@@ -312,6 +532,8 @@ class ShardedFaultSimulator:
             "effective": self.stats["effective"],
             "mode": self.stats["mode"],
             "runs": self.stats["runs"],
+            "fallbacks": [dict(row) for row in self.stats["fallbacks"]],
+            "supervision": dict(self.stats["supervision"]),
             "shards": [
                 {
                     "shard": row["shard"],
@@ -323,6 +545,12 @@ class ShardedFaultSimulator:
             ],
         }
 
+    def failures_section(self) -> Optional[List[Dict[str, Any]]]:
+        """Manifest-ready ``failures`` rows, or None when nothing failed."""
+        if not self.failures:
+            return None
+        return [record.to_dict() for record in self.failures]
+
 
 def sharded_coverage(
     circuit: Circuit,
@@ -332,6 +560,9 @@ def sharded_coverage(
     collapse: bool = True,
     workers: int = 1,
     shards: Optional[int] = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
+    chaos: Optional[ChaosConfig] = None,
     **engine_kwargs: Any,
 ) -> CoverageReport:
     """One-call sharded fault simulation (mirrors ``engine_coverage``)."""
@@ -342,5 +573,8 @@ def sharded_coverage(
         collapse=collapse,
         workers=workers,
         shards=shards,
+        supervision=supervision,
+        failure_policy=failure_policy,
+        chaos=chaos,
         **engine_kwargs,
     ).run(patterns)

@@ -1,0 +1,52 @@
+"""Fault-tolerant execution: supervision, retry/backoff, chaos injection.
+
+The paper's thesis — faults must be controllable and observable *by
+design* — applied to this repo's own execution stack.  Three layers:
+
+* :mod:`~repro.resilience.policy` — :class:`FailurePolicy`
+  (``raise`` / ``quarantine`` / ``degrade``), :class:`RetryPolicy`
+  (bounded, jittered exponential backoff, injectable sleep), and
+  :class:`FailureRecord` (the manifest-ready description of a permanent
+  failure);
+* :mod:`~repro.resilience.supervisor` — :func:`supervise`, the
+  fork-based worker supervisor that detects crashes, hangs and raised
+  exceptions, retries with backoff, and hands exhausted tasks back to
+  the caller (used by
+  :class:`repro.faultsim.sharded.ShardedFaultSimulator`);
+* :mod:`~repro.resilience.chaos` — :class:`ChaosConfig`, the seeded
+  chaos harness that injects worker crashes/hangs/exceptions, poisoned
+  faults and cells, and store/checkpoint corruption, proving
+  end-to-end (``tests/test_chaos.py``) that supervised runs stay
+  bit-identical to fault-free ones.
+"""
+
+from .policy import (
+    FailurePolicy,
+    FailureRecord,
+    RetryPolicy,
+    failure_record,
+    traceback_digest,
+)
+from .supervisor import (
+    SupervisionOutcome,
+    SupervisionPolicy,
+    TaskFailure,
+    supervise,
+)
+from .chaos import ChaosConfig, ChaosError, PoisonedFaultError, corrupt_json_file
+
+__all__ = [
+    "FailurePolicy",
+    "FailureRecord",
+    "RetryPolicy",
+    "failure_record",
+    "traceback_digest",
+    "SupervisionOutcome",
+    "SupervisionPolicy",
+    "TaskFailure",
+    "supervise",
+    "ChaosConfig",
+    "ChaosError",
+    "PoisonedFaultError",
+    "corrupt_json_file",
+]

@@ -1,0 +1,206 @@
+"""Chaos injection: deliberately break the execution stack, on a seed.
+
+The paper's fault-model philosophy — you only trust a tester you have
+watched detect injected faults — applied to this repo's own software.
+A :class:`ChaosConfig` describes *which* faults to inject and *how
+often*; every decision is a pure function of ``(seed, site, attempt)``,
+so a chaos run is exactly reproducible and a failing seed is a
+permanent regression test.
+
+Fault kinds:
+
+* **worker crash** — the forked shard worker calls ``os._exit`` (the
+  supervisor must see EOF on the result pipe and retry);
+* **worker hang** — the worker sleeps past the supervision timeout
+  (the supervisor must terminate it and retry);
+* **worker exception** — the shard task raises :class:`ChaosError`
+  (must travel back over the pipe and trigger a retry);
+* **poisoned faults / cells** — a named fault or campaign cell fails
+  *deterministically*, in workers and in-process alike (exercises
+  bisection and quarantine, the paths retries cannot heal);
+* **file corruption** — a just-written store artifact or campaign
+  checkpoint is truncated mid-JSON (the reader must quarantine or
+  rebuild, never crash).
+
+By default rates apply only to a site's *first* attempt
+(``first_attempt_only=True``), so retries heal every transient fault
+and end-to-end chaos tests can assert results bit-identical to the
+fault-free run.  Set ``first_attempt_only=False`` to keep failing
+through the retry budget and exercise the in-process fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Tuple, Union
+
+from .. import telemetry
+
+__all__ = [
+    "ChaosError",
+    "PoisonedFaultError",
+    "ChaosConfig",
+    "corrupt_json_file",
+]
+
+
+class ChaosError(RuntimeError):
+    """A deliberately injected failure."""
+
+
+class PoisonedFaultError(ChaosError):
+    """An injected *deterministic* failure tied to a fault or cell."""
+
+
+def corrupt_json_file(
+    path: Union[str, Path], seed: int = 0, mode: str = "truncate"
+) -> None:
+    """Corrupt a JSON file in place (torn write / bit-rot simulation).
+
+    ``truncate`` cuts the file at a seed-chosen interior byte (the
+    classic power-loss torn write); ``garbage`` overwrites it with
+    non-JSON bytes.  Missing files are ignored — the race where the
+    victim disappeared first is itself a valid chaos outcome.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return
+    rng = random.Random(f"{seed}:{path.name}")
+    if mode == "truncate":
+        cut = rng.randrange(1, len(data)) if len(data) > 1 else 0
+        path.write_bytes(data[:cut])
+    elif mode == "garbage":
+        path.write_bytes(b"\x00chaos\xff" + bytes(rng.randrange(256) for _ in range(16)))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded description of which software faults to inject, where.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently per
+    ``(seed, site, attempt)``; with ``first_attempt_only`` (default)
+    they apply only to ``attempt == 0`` so every injected transient
+    fault is healed by one retry.  ``poison_faults`` / ``poison_cells``
+    name units that fail deterministically on every attempt.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    exception_rate: float = 0.0
+    corrupt_store_rate: float = 0.0
+    corrupt_checkpoint_rate: float = 0.0
+    hang_s: float = 30.0
+    first_attempt_only: bool = True
+    poison_faults: Tuple[str, ...] = ()
+    poison_cells: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Decisions (pure functions of seed/site/attempt)
+    # ------------------------------------------------------------------
+    def _rng(self, site: str, attempt: int) -> random.Random:
+        return random.Random(f"{self.seed}:{site}:{attempt}")
+
+    def decide(self, site: str, attempt: int) -> Optional[str]:
+        """Which worker fault (if any) to inject at this site/attempt.
+
+        Draws are made in a fixed order (crash, hang, exception) so a
+        given seed always injects the same fault at the same site.
+        """
+        if self.first_attempt_only and attempt > 0:
+            return None
+        rng = self._rng(site, attempt)
+        for kind, rate in (
+            ("crash", self.crash_rate),
+            ("hang", self.hang_rate),
+            ("exception", self.exception_rate),
+        ):
+            if rate and rng.random() < rate:
+                return kind
+        return None
+
+    # ------------------------------------------------------------------
+    # Injection points
+    # ------------------------------------------------------------------
+    def inject_worker(self, site: str, attempt: int) -> None:
+        """Maybe crash/hang/raise — called inside a *forked worker* only.
+
+        Never call this from the orchestrating process: the crash kind
+        is a real ``os._exit``.
+        """
+        kind = self.decide(site, attempt)
+        if kind is None:
+            return
+        if kind == "crash":
+            os._exit(23)
+        if kind == "hang":
+            time.sleep(self.hang_s)
+            return
+        raise ChaosError(f"injected worker exception at {site} attempt {attempt}")
+
+    def inject_inline(self, site: str, attempt: int) -> None:
+        """Maybe raise :class:`ChaosError` — safe in the parent process.
+
+        Crash/hang rates are folded into exceptions here: an inline
+        site can only fail by raising (the retry loop above it is what
+        is under test).
+        """
+        kind = self.decide(site, attempt)
+        if kind is not None:
+            raise ChaosError(
+                f"injected {kind} (as exception) at {site} attempt {attempt}"
+            )
+
+    def check_poison_faults(self, faults: Iterable[Any]) -> None:
+        """Raise if any fault in the list is poisoned (deterministic)."""
+        if not self.poison_faults:
+            return
+        for fault in faults:
+            name = getattr(fault, "name", str(fault))
+            if name in self.poison_faults:
+                raise PoisonedFaultError(f"poisoned fault {name}")
+
+    def check_poison_cell(self, cell_id: str) -> None:
+        """Raise if the campaign cell is poisoned (deterministic)."""
+        if cell_id in self.poison_cells:
+            raise PoisonedFaultError(f"poisoned cell {cell_id}")
+
+    def maybe_corrupt(
+        self, site: str, path: Union[str, Path], rate: float, attempt: int = 0
+    ) -> bool:
+        """Corrupt ``path`` with probability ``rate`` for this site.
+
+        Returns True when corruption was injected (also counted as
+        ``chaos.corrupted`` so harness activity is observable).
+        """
+        if self.first_attempt_only and attempt > 0:
+            return False
+        if not rate or self._rng(f"corrupt:{site}", attempt).random() >= rate:
+            return False
+        corrupt_json_file(path, seed=self.seed)
+        telemetry.incr("chaos.corrupted")
+        return True
+
+    def maybe_corrupt_store(self, key: str, path: Union[str, Path]) -> bool:
+        """Store-artifact corruption hook (rate ``corrupt_store_rate``)."""
+        return self.maybe_corrupt(f"store:{key[:12]}", path, self.corrupt_store_rate)
+
+    def maybe_corrupt_checkpoint(
+        self, path: Union[str, Path], sequence: int
+    ) -> bool:
+        """Checkpoint corruption hook (rate ``corrupt_checkpoint_rate``).
+
+        ``sequence`` is the write number, so each of a campaign's many
+        checkpoint rewrites rolls its own independent dice.
+        """
+        return self.maybe_corrupt(
+            f"checkpoint:{sequence}", path, self.corrupt_checkpoint_rate
+        )

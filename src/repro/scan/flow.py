@@ -145,6 +145,9 @@ def full_scan_flow(
     engine: str = "parallel_pattern",
     reverse_compact: bool = False,
     workers: int = 1,
+    supervision: Optional["SupervisionPolicy"] = None,
+    failure_policy: str = "raise",
+    chaos: Optional["ChaosConfig"] = None,
 ) -> FullScanResult:
     """Scan-insert, ATPG the core, schedule, and (optionally) verify.
 
@@ -157,6 +160,11 @@ def full_scan_flow(
     shards both the core ATPG's fault-simulation passes and the
     sequential verification across that many processes — the result is
     bit-identical to ``workers=1``.
+
+    ``supervision``/``failure_policy``/``chaos`` configure the sharded
+    executors' fault tolerance (see :mod:`repro.resilience`); any
+    permanent quarantine/degradation shows up in the manifest's
+    ``failures`` section.
     """
     design = insert_scan(circuit)
     core = circuit.combinational_core()
@@ -172,6 +180,9 @@ def full_scan_flow(
                     engine=engine,
                     reverse_compact=reverse_compact,
                     workers=workers,
+                    supervision=supervision,
+                    failure_policy=failure_policy,
+                    chaos=chaos,
                 )
             with telemetry.span("scan.phase.schedule"):
                 schedule = schedule_scan_tests(
@@ -196,6 +207,9 @@ def full_scan_flow(
                         SEQUENTIAL_ENGINE,
                         faults=faults,
                         workers=workers,
+                        supervision=supervision,
+                        failure_policy=failure_policy,
+                        chaos=chaos,
                     )
                     coverage = verifier.run(schedule)
 
@@ -232,6 +246,7 @@ def full_scan_flow(
             "scan_coverage": coverage.coverage if coverage is not None else None,
         },
         workers=verifier.workers_section() if verifier is not None else None,
+        failures=verifier.failures_section() if verifier is not None else None,
     )
     return FullScanResult(
         design=design,

@@ -311,8 +311,17 @@ class ResultStore:
             self._index(
                 {"op": "quarantine", "file": path.name, "reason": reason}
             )
+        except FileNotFoundError:
+            # A concurrent reader quarantined (or a writer replaced) the
+            # file between our read and the move.  The corrupt evidence
+            # is already preserved or gone — nothing left to do, and
+            # critically nothing to unlink: a fresh artifact may already
+            # occupy the slot.
+            pass
         except OSError:
-            # Last resort: try to delete so the slot can be rewritten.
+            # Move failed with the file still in place (permissions,
+            # cross-device, ...).  Last resort: delete so the slot can
+            # be rewritten rather than poisoning every future read.
             try:
                 path.unlink()
             except OSError:

@@ -387,6 +387,11 @@ _REQUIRED_WORKERS_KEYS = ("requested", "effective", "mode", "shards")
 
 _REQUIRED_SHARD_KEYS = ("shard", "faults", "duration_s", "counters")
 
+# Optional ``failures`` section (resilience layer): one row per unit of
+# work that failed permanently and was quarantined/degraded instead of
+# aborting the run (see repro.resilience.FailureRecord).
+_REQUIRED_FAILURE_KEYS = ("site", "error", "digest", "attempts", "action")
+
 
 @dataclass
 class RunManifest:
@@ -404,6 +409,14 @@ class RunManifest:
     ``{"requested", "effective", "mode", "runs", "shards"}`` where each
     shard row is ``{"shard", "faults", "duration_s", "counters"}``
     aggregated over every sharded run of the flow.
+
+    ``failures`` is the optional resilience section: one row per unit
+    of work (fault shard, campaign cell) that failed *permanently* and
+    was quarantined or degraded under a
+    :class:`repro.resilience.FailurePolicy` instead of aborting the
+    run.  Each row carries ``{"site", "error", "digest", "attempts",
+    "action"}`` (plus free-form ``message``/``detail``); a validated
+    manifest without this section is a run in which nothing was lost.
     """
 
     flow: str
@@ -416,6 +429,7 @@ class RunManifest:
     counters: Dict[str, int] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)
     workers: Optional[Dict[str, Any]] = None
+    failures: Optional[List[Dict[str, Any]]] = None
     schema: str = MANIFEST_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -434,6 +448,8 @@ class RunManifest:
         }
         if self.workers is not None:
             data["workers"] = dict(self.workers)
+        if self.failures is not None:
+            data["failures"] = [dict(row) for row in self.failures]
         return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -455,6 +471,11 @@ class RunManifest:
             stats=dict(data.get("stats", {})),
             workers=(
                 dict(data["workers"]) if data.get("workers") is not None else None
+            ),
+            failures=(
+                [dict(row) for row in data["failures"]]
+                if data.get("failures") is not None
+                else None
             ),
             schema=data.get("schema", MANIFEST_SCHEMA),
         )
@@ -512,6 +533,22 @@ def validate_manifest(data: Dict[str, Any]) -> Dict[str, Any]:
             if missing_keys:
                 raise ValueError(
                     f"manifest shard row {row.get('shard')!r} missing keys: "
+                    f"{missing_keys}"
+                )
+    failures = data.get("failures")
+    if failures is not None:
+        if not isinstance(failures, list):
+            raise ValueError(
+                f"manifest failures section must be a list, got "
+                f"{type(failures).__name__}"
+            )
+        for row in failures:
+            if not isinstance(row, dict):
+                raise ValueError("manifest failure rows must be objects")
+            missing_keys = [k for k in _REQUIRED_FAILURE_KEYS if k not in row]
+            if missing_keys:
+                raise ValueError(
+                    f"manifest failure row {row.get('site')!r} missing keys: "
                     f"{missing_keys}"
                 )
     try:

@@ -259,3 +259,145 @@ class TestCli:
              "--store", str(tmp_path / "store"), "--limit", "1"]
         ) == 0
         assert "pending" in capsys.readouterr().out
+
+
+class TestCheckpointRecovery:
+    """Satellite: the kill-window and corrupt-checkpoint regressions."""
+
+    def test_kill_between_store_put_and_checkpoint_write(self, tmp_path):
+        # Simulate dying after a cell's artifact reached the store but
+        # before the checkpoint recorded it: the resume must neither
+        # lose the cell (recompute) nor double-count it.
+        spec = tiny_spec()
+        store = tmp_path / "store"
+        cold = CampaignRunner(spec, store).run()
+        runner = CampaignRunner(spec, store)
+        data = json.loads(runner.checkpoint_path.read_text(encoding="utf-8"))
+        assert len(data["completed"]) == 2
+        del data["completed"][sorted(data["completed"])[-1]]
+        runner.checkpoint_path.write_text(json.dumps(data), encoding="utf-8")
+
+        resumed = CampaignRunner(spec, store).run()
+        # Served from the store (no recompute) and counted exactly once.
+        assert (resumed.hits, resumed.misses) == (2, 0)
+        assert resumed.completed == 2
+        assert resumed.summary == cold.summary
+
+    def test_truncated_checkpoint_rebuilt_from_store(self, tmp_path):
+        spec = tiny_spec()
+        store = tmp_path / "store"
+        cold = CampaignRunner(spec, store).run()
+        runner = CampaignRunner(spec, store)
+        text = runner.checkpoint_path.read_text(encoding="utf-8")
+        runner.checkpoint_path.write_text(text[: len(text) // 3],
+                                          encoding="utf-8")
+        # status() recovers without running anything...
+        assert CampaignRunner(spec, store).status()["completed"] == 2
+        # ...and so does run(), with the rebuild visible in the manifest.
+        resumed = CampaignRunner(spec, store).run()
+        assert resumed.manifest.counters["campaign.checkpoint.rebuilt"] == 1
+        assert (resumed.hits, resumed.misses) == (2, 0)
+        assert resumed.summary == cold.summary
+
+    def test_spec_change_is_fresh_start_not_rebuild(self, tmp_path):
+        store = tmp_path / "store"
+        CampaignRunner(tiny_spec(), store).run()
+        other = tiny_spec(seeds=[5])
+        runner = CampaignRunner(other, store)
+        status = runner.status()
+        assert status["completed"] == 0  # valid checkpoint, different spec
+        assert "campaign.checkpoint.rebuilt" not in runner.run().manifest.counters
+
+
+class TestFailedCells:
+    def _broken_runner(self, store, monkeypatch, policy="degrade", retries=0):
+        from repro.resilience import RetryPolicy
+
+        def explode(cell, params, workers=1, circuit=None, key=None):
+            raise RuntimeError(f"cell exploded: {cell.cell_id}")
+
+        monkeypatch.setattr("repro.campaign.runner.execute_cell", explode)
+        return CampaignRunner(
+            tiny_spec(), store,
+            retry=RetryPolicy(max_retries=retries, sleep=lambda s: None),
+            failure_policy=policy,
+        )
+
+    def test_failed_cells_recorded_with_digest_and_resumed(
+        self, tmp_path, monkeypatch
+    ):
+        store = tmp_path / "store"
+        broken = self._broken_runner(store, monkeypatch, retries=1)
+        result = broken.run()
+        assert len(result.failures) == 2
+        for record in result.failures:
+            assert record.error == "RuntimeError"
+            assert record.attempts == 2
+            assert len(record.digest) == 12
+        checkpoint = json.loads(
+            broken.checkpoint_path.read_text(encoding="utf-8")
+        )
+        assert len(checkpoint["failed"]) == 2
+        assert checkpoint["completed"] == {}
+        # Fixed code (monkeypatch undone by a fresh runner): all heal.
+        monkeypatch.undo()
+        fixed = CampaignRunner(tiny_spec(), store)
+        healed = fixed.run()
+        assert healed.failures == [] and healed.finished
+        assert json.loads(
+            fixed.checkpoint_path.read_text(encoding="utf-8")
+        )["failed"] == {}
+
+    def test_retry_budget_spent_before_recording(self, tmp_path, monkeypatch):
+        broken = self._broken_runner(tmp_path / "s", monkeypatch, retries=2)
+        result = broken.run()
+        assert result.manifest.counters["campaign.cell.retry"] == 4
+        assert result.manifest.counters["campaign.cell.failed"] == 2
+        assert all(record.attempts == 3 for record in result.failures)
+
+    def test_raise_policy_propagates(self, tmp_path, monkeypatch):
+        broken = self._broken_runner(tmp_path / "s", monkeypatch, policy="raise")
+        with pytest.raises(RuntimeError, match="cell exploded"):
+            broken.run()
+
+
+class TestCliFailureSurface:
+    def _spec_path(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec().to_dict()), encoding="utf-8")
+        return str(spec_path)
+
+    def test_partial_failure_exits_2(self, tmp_path, capsys, monkeypatch):
+        def explode(cell, params, workers=1, circuit=None, key=None):
+            raise RuntimeError("cell exploded")
+
+        monkeypatch.setattr("repro.campaign.runner.execute_cell", explode)
+        code = cli_main(
+            ["campaign", "run", "--spec", self._spec_path(tmp_path),
+             "--store", str(tmp_path / "store"),
+             "--retries", "0", "--failure-policy", "degrade"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "RuntimeError" in out
+        assert "2 cell(s) failed permanently" in out
+
+    def test_default_raise_policy_propagates(self, tmp_path, monkeypatch):
+        def explode(cell, params, workers=1, circuit=None, key=None):
+            raise RuntimeError("cell exploded")
+
+        monkeypatch.setattr("repro.campaign.runner.execute_cell", explode)
+        with pytest.raises(RuntimeError):
+            cli_main(
+                ["campaign", "run", "--spec", self._spec_path(tmp_path),
+                 "--store", str(tmp_path / "store"), "--retries", "0"]
+            )
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["campaign", "run", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "partial failure" in out
+        assert "--failure-policy" in out and "--retries" in out

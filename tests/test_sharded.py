@@ -301,3 +301,56 @@ class TestFlowDeterminism:
         assert section["requested"] == 2
         assert [row["shard"] for row in section["shards"]] == [0, 1]
         assert all(row["counters"] for row in section["shards"])
+
+
+class TestFallbackObservability:
+    """Satellite: degrading to in-process execution is never silent."""
+
+    def setup_method(self):
+        self.circuit = c17()
+        self.patterns = random_patterns(self.circuit, 8, seed=3)
+        self.baseline = sharded_coverage(self.circuit, self.patterns, workers=1)
+
+    def test_fork_unavailable_fallback_is_counted_with_reason(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(sharded_module, "fork_available", lambda: False)
+        simulator = ShardedFaultSimulator(self.circuit, workers=2)
+        with telemetry.capture() as session:
+            report = simulator.run(self.patterns)
+        assert report == self.baseline  # degraded, not different
+        assert session.counters["faultsim.sharded.fallback"] == 1
+        section = simulator.workers_section()
+        assert section["mode"] == "inprocess"
+        assert section["fallbacks"] == [
+            {"reason": "fork_unavailable", "shard": None}
+        ]
+
+    def test_single_shard_fallback_is_counted_with_reason(self):
+        faults = collapse_faults(self.circuit)[:1]
+        simulator = ShardedFaultSimulator(
+            self.circuit, faults=faults, workers=2
+        )
+        with telemetry.capture() as session:
+            simulator.run(self.patterns)
+        assert session.counters["faultsim.sharded.fallback"] == 1
+        assert simulator.workers_section()["fallbacks"] == [
+            {"reason": "single_shard", "shard": None}
+        ]
+
+    def test_no_fallback_rows_on_healthy_pool_or_workers_1(self):
+        quiet = ShardedFaultSimulator(self.circuit, workers=1)
+        with telemetry.capture() as session:
+            quiet.run(self.patterns)
+        assert "faultsim.sharded.fallback" not in session.counters
+        assert quiet.workers_section()["fallbacks"] == []
+        assert quiet.failures_section() is None
+
+    def test_fallbacks_reach_flow_manifests(self, monkeypatch):
+        monkeypatch.setattr(sharded_module, "fork_available", lambda: False)
+        result = generate_tests(self.circuit, random_phase=4, workers=2)
+        section = result.manifest.to_dict()["workers"]
+        assert section["mode"] == "inprocess"
+        assert {row["reason"] for row in section["fallbacks"]} == {
+            "fork_unavailable"
+        }

@@ -204,3 +204,78 @@ class TestHygiene:
 
     def test_kind_constant_includes_version(self):
         assert KIND_COVERAGE_REPORT.endswith("/1")
+
+
+class TestCorruptionEdges:
+    """Satellite: torn writes, schema drift, and quarantine races."""
+
+    def test_truncated_json_is_quarantined_miss(self, store):
+        store.put(KEY_A, "thing/1", {"value": list(range(32))})
+        path = store.path_for(KEY_A)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")  # torn write
+        assert store.get(KEY_A, "thing/1") is None
+        assert store.stats.quarantined == 1
+        # The torn file is preserved as evidence, not destroyed.
+        assert len(list(store.quarantine_dir.iterdir())) == 1
+
+    def test_payload_schema_version_bump_reads_as_miss(self, store):
+        # Kind tags embed the payload schema version; bumping it must
+        # turn old entries into quarantined misses, never misdecodes.
+        store.put(KEY_A, "thing/1", {"value": 1})
+        assert store.get(KEY_A, "thing/2") is None
+        assert store.stats.quarantined == 1
+
+    def test_reader_after_quarantine_gets_plain_miss(self, store):
+        # Reader A quarantines the corrupt entry; reader B, arriving
+        # after, sees an ordinary miss — no exception, no double count.
+        store.put(KEY_A, "thing/1", {"value": 1})
+        store.path_for(KEY_A).write_text("{ corrupt", encoding="utf-8")
+        reader_a = ResultStore(store.root)
+        reader_b = ResultStore(store.root)
+        assert reader_a.get(KEY_A, "thing/1") is None
+        assert reader_a.stats.quarantined == 1
+        assert reader_b.get(KEY_A, "thing/1") is None
+        assert reader_b.stats.quarantined == 0  # plain miss
+        assert reader_b.stats.misses == 1
+        assert len(list(store.quarantine_dir.iterdir())) == 1
+
+    def test_quarantine_race_preserves_fresh_artifact(self, store, monkeypatch):
+        """The race the FileNotFoundError branch exists for: reader A
+        loses the quarantine move because reader B moved the file first
+        and a writer already recomputed a fresh artifact into the slot.
+        A's stale quarantine must neither crash nor delete the fresh
+        artifact (the old unlink fallback would have)."""
+        import os as os_module
+
+        store.put(KEY_A, "thing/1", {"value": "fresh"})
+        path = store.path_for(KEY_A)
+        real_replace = os_module.replace
+
+        def losing_replace(src, dst):
+            if str(store.quarantine_dir) in str(dst):
+                raise FileNotFoundError(src)  # B won the race
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.store.store.os.replace", losing_replace)
+        store._quarantine(path, "stale reader A")
+        # The fresh artifact survived A's failed quarantine.
+        assert store.get(KEY_A, "thing/1") == {"value": "fresh"}
+
+    def test_quarantine_unlink_fallback_on_other_oserror(
+        self, store, monkeypatch
+    ):
+        # A non-FileNotFoundError move failure (permissions, EXDEV...)
+        # still clears the slot so it can be rewritten.
+        store.put(KEY_A, "thing/1", {"value": 1})
+        path = store.path_for(KEY_A)
+        path.write_text("{ corrupt", encoding="utf-8")
+
+        def broken_replace(src, dst):
+            if str(store.quarantine_dir) in str(dst):
+                raise PermissionError(dst)
+            raise AssertionError("unexpected replace")
+
+        monkeypatch.setattr("repro.store.store.os.replace", broken_replace)
+        assert store.get(KEY_A, "thing/1") is None
+        assert not path.exists()  # slot cleared for recomputation

@@ -339,3 +339,63 @@ class TestRandomSeedIsolation:
             with telemetry.span("s"):
                 telemetry.incr("c")
         assert random.random() == expected
+
+
+class TestFailuresSection:
+    def _manifest(self):
+        return RunManifest(
+            flow="campaign.run",
+            circuit="tiny",
+            seed=0,
+            engine="parallel_pattern",
+            method="campaign",
+            limits={},
+            phases=[],
+            counters={},
+            stats={},
+        )
+
+    def _failure_row(self):
+        return {
+            "site": "shard:3",
+            "error": "PoisonedFaultError",
+            "message": "poisoned fault G2/SA1",
+            "digest": "2fb37a3b56d7",
+            "attempts": 3,
+            "action": "quarantine",
+            "detail": {"faults": ["G2/SA1"]},
+        }
+
+    def test_failures_section_optional_and_valid(self):
+        manifest = self._manifest()
+        assert "failures" not in manifest.to_dict()
+        manifest.failures = [self._failure_row()]
+        data = manifest.validate().to_dict()
+        assert data["failures"][0]["action"] == "quarantine"
+
+    def test_failures_section_round_trips(self):
+        manifest = self._manifest()
+        manifest.failures = [self._failure_row()]
+        clone = RunManifest.from_json(manifest.to_json())
+        assert clone.failures == manifest.failures
+        assert clone.to_dict() == manifest.to_dict()
+
+    def test_failures_must_be_a_list(self):
+        data = self._manifest().to_dict()
+        data["failures"] = {"site": "shard:0"}
+        with pytest.raises(ValueError, match="failures section must be a list"):
+            validate_manifest(data)
+
+    def test_failure_row_must_be_object(self):
+        data = self._manifest().to_dict()
+        data["failures"] = ["not a row"]
+        with pytest.raises(ValueError, match="failure rows must be objects"):
+            validate_manifest(data)
+
+    def test_failure_row_missing_key_rejected(self):
+        manifest = self._manifest()
+        row = self._failure_row()
+        del row["digest"]
+        manifest.failures = [row]
+        with pytest.raises(ValueError, match="failure row 'shard:3' missing"):
+            manifest.validate()
