@@ -5,11 +5,17 @@ the paper argues about (the SN74181 ALU and random logic), and pins the
 two hard guarantees of the compiled-core refactor:
 
 1. **Agreement** — all engines (serial, deductive, parallel-fault,
-   parallel-pattern compiled and pre-compiled baseline) report the
-   identical detected-fault set; any disagreement fails the run.
+   parallel-pattern compiled and pre-compiled baseline, wide) report
+   the identical detected-fault set; any disagreement fails the run.
 2. **Speedup** — the compiled parallel-pattern engine is at least 3x
    the pre-compiled-core (seed) engine in patterns/sec on the 74181.
-3. **Sharded exactness + speedup** — sharded multi-process sequential
+3. **Wide speedup** — the lane-batched wide engine (numpy backend) is
+   at least 3x the compiled parallel-pattern engine on an
+   ISCAS-85-scale circuit (r1908: ~880 gates, full collapsed fault
+   list, 1024 patterns, no fault dropping).  Small workloads cannot
+   amortize the fixed per-vector-op cost, which is why the gate runs
+   the full-scale workload even under ``--quick``.
+4. **Sharded exactness + speedup** — sharded multi-process sequential
    verification of the registered-74181 scan schedule produces the
    bit-identical coverage report as the single process, and with 4
    workers is at least 2x faster wall-clock *when the machine has >= 4
@@ -17,9 +23,17 @@ two hard guarantees of the compiled-core refactor:
    still enforced, but the wall-clock gate is skipped — there is no
    parallel hardware to measure).
 
+Measured speedups are additionally checked against the committed
+baseline trajectory ``BENCH_faultsim_engines.json`` at the repo root
+(schema ``repro.bench-trajectory/1``, see :mod:`repro.bench_trajectory`):
+a figure more than the tolerance below its baseline fails the run, and
+``--update-baseline`` rewrites the file (pushing the old figure onto
+the entry's history).
+
 Run standalone (CI uses ``--quick``)::
 
-    PYTHONPATH=src python benchmarks/bench_faultsim_engines.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_faultsim_engines.py \
+        [--quick] [--update-baseline]
 
 or through pytest, which executes the quick configuration.
 """
@@ -31,21 +45,38 @@ import sys
 
 from conftest import print_table, run_with_manifest
 
-from repro.circuits import alu74181, random_combinational, registered_alu74181
+from repro import bench_trajectory
+from repro.circuits import (
+    alu74181,
+    iscas85_like,
+    random_combinational,
+    registered_alu74181,
+)
 from repro.faults import collapse_faults
 from repro.faultsim import (
     Engine,
     FaultSimulator,
     SequentialFaultSimulator,
     ShardedFaultSimulator,
+    WideFaultSimulator,
     create_simulator,
 )
 from repro.scan import insert_scan, sample_fault_list, schedule_scan_tests
 from repro.atpg import generate_tests
 
 MIN_SPEEDUP = 3.0
+MIN_WIDE_SPEEDUP = 3.0
 MIN_SHARDED_SPEEDUP = 2.0
 SHARDED_WORKERS = 4
+
+#: The wide-engine gate workload: ISCAS-85 scale, every collapsed
+#: fault, enough patterns that both engines run at steady state.
+WIDE_CIRCUIT = "r1908"
+WIDE_PATTERNS = 1024
+
+BASELINE_PATH = bench_trajectory.default_baseline_path(
+    "faultsim_engines", start=os.path.dirname(os.path.abspath(__file__))
+)
 
 
 def available_cpus():
@@ -160,20 +191,30 @@ def measure_speedup(patterns_count):
     compiled.run(patterns[:16])
     seed_engine.run(patterns[:16])
 
-    report_fast, manifest_fast, fast = _manifest_run(
-        "parallel_pattern", circuit, compiled, patterns, drop_detected=False
-    )
-    report_seed, _, slow = _manifest_run(
-        "parallel_pattern (seed)",
-        circuit,
-        seed_engine,
-        patterns,
-        drop_detected=False,
-    )
-    # The compiled engine's cone caches were warmed above, so the
-    # measured run must be reusing them rather than rebuilding.
-    if manifest_fast.counters.get("sim.compiled.compiles", 0):
-        raise SystemExit("compile cache missed during the measured run")
+    # Best-of-3 per engine, interleaved — see measure_wide_speedup for
+    # the rationale.  The compiled run finishes in milliseconds, so a
+    # single sample is especially jitter-prone.
+    report_fast = report_seed = None
+    fast = slow = float("inf")
+    for _ in range(3):
+        report_f, manifest_fast, elapsed = _manifest_run(
+            "parallel_pattern", circuit, compiled, patterns, drop_detected=False
+        )
+        # The compiled engine's cone caches were warmed above, so the
+        # measured run must be reusing them rather than rebuilding.
+        if manifest_fast.counters.get("sim.compiled.compiles", 0):
+            raise SystemExit("compile cache missed during the measured run")
+        if elapsed < fast:
+            report_fast, fast = report_f, elapsed
+        report_s, _, elapsed = _manifest_run(
+            "parallel_pattern (seed)",
+            circuit,
+            seed_engine,
+            patterns,
+            drop_detected=False,
+        )
+        if elapsed < slow:
+            report_seed, slow = report_s, elapsed
     speedup = slow / fast
     print_table(
         f"Parallel-pattern speedup on {circuit.name} "
@@ -193,6 +234,126 @@ def measure_speedup(patterns_count):
             f"speedup {speedup:.2f}x below the required {MIN_SPEEDUP}x"
         )
     return speedup
+
+
+def measure_wide_speedup():
+    """Wide (lane-batched) vs compiled parallel-pattern on ISCAS scale.
+
+    Both engines run the identical workload at their shipped defaults:
+    the full collapsed fault list of r1908 and the same random
+    patterns, with ``drop_detected=False`` so every fault stays live
+    through every batch and the ratio isolates the engines' cores.
+    Detected-fault sets and first-detection indices must be identical
+    — the wide engine's contract — before the speedup gate applies.
+    """
+    circuit = iscas85_like(WIDE_CIRCUIT)
+    faults = collapse_faults(circuit)
+    patterns = _random_patterns(circuit, WIDE_PATTERNS, seed=1908)
+
+    wide = WideFaultSimulator(circuit, faults=faults, backend="numpy")
+    ppsf = FaultSimulator(circuit, faults=faults)
+    # Warm both at full width (compile cache, cone + union-cone caches,
+    # allocator arenas) so timing measures steady state; a process's
+    # very first full-width pass pays a large one-time heap-growth cost
+    # that would otherwise swamp the measured ratio.
+    wide.run(patterns, drop_detected=False)
+    ppsf.run(patterns[:64])
+
+    # Best-of-3 per engine, with the engines' runs interleaved: on
+    # shared hardware the machine drifts by 30%+ on minute timescales,
+    # so timing one engine's runs minutes after the other's skews the
+    # ratio.  Interleaving samples both engines across the same drift
+    # window, and taking each engine's best run (noise only ever adds
+    # time) gives the least-noisy estimate of the steady-state ratio.
+    report_wide = manifest_wide = None
+    fast = slow = float("inf")
+    for _ in range(3):
+        report_w, manifest_w, elapsed = _manifest_run(
+            "wide", circuit, wide, patterns, drop_detected=False
+        )
+        if manifest_w.counters.get("sim.compiled.compiles", 0):
+            raise SystemExit("compile cache missed during the measured wide run")
+        if elapsed < fast:
+            report_wide, manifest_wide, fast = report_w, manifest_w, elapsed
+        report_ppsf, _, elapsed = _manifest_run(
+            "parallel_pattern", circuit, ppsf, patterns, drop_detected=False
+        )
+        slow = min(slow, elapsed)
+    speedup = slow / fast
+    print_table(
+        f"Wide-engine speedup on {circuit.name} "
+        f"({len(faults)} faults, {WIDE_PATTERNS} patterns, no dropping)",
+        ["engine", "seconds", "patterns/sec", "speedup"],
+        [
+            (
+                "parallel_pattern (compiled)",
+                f"{slow:.3f}",
+                f"{WIDE_PATTERNS / slow:.0f}",
+                "1.0x",
+            ),
+            (
+                f"wide ({wide.backend}, {manifest_wide.counters.get('sim.wide.batches', 0)} lane batches)",
+                f"{fast:.3f}",
+                f"{WIDE_PATTERNS / fast:.0f}",
+                f"{speedup:.1f}x",
+            ),
+        ],
+    )
+    if report_wide.first_detection != report_ppsf.first_detection:
+        raise SystemExit(
+            f"ENGINE DISAGREEMENT: wide vs parallel_pattern on {circuit.name}"
+        )
+    if speedup < MIN_WIDE_SPEEDUP:
+        raise SystemExit(
+            f"wide speedup {speedup:.2f}x below the required "
+            f"{MIN_WIDE_SPEEDUP}x"
+        )
+    workload = {
+        "faults": len(faults),
+        "patterns": WIDE_PATTERNS,
+        "drop_detected": False,
+        "backend": wide.backend,
+    }
+    return speedup, circuit.name, workload
+
+
+def check_baseline(results, update):
+    """Regression-check (or rewrite) the committed speedup trajectory.
+
+    ``results`` rows are ``(label, circuit, workload, speedup,
+    min_gate)``.  Without ``update`` every row must be at or above its
+    committed baseline minus the tolerance — a missing file or label is
+    itself a failure, so the trajectory can never silently fall out of
+    date.  With ``update`` the file is rewritten and old figures move
+    to each entry's history.
+    """
+    if update:
+        if os.path.exists(BASELINE_PATH):
+            data = bench_trajectory.load_trajectory(BASELINE_PATH)
+        else:
+            data = bench_trajectory.new_trajectory("faultsim_engines")
+        for label, circuit, workload, speedup, min_gate in results:
+            bench_trajectory.update_entry(
+                data, label, circuit, workload, speedup, min_gate
+            )
+        bench_trajectory.save_trajectory(BASELINE_PATH, data)
+        print(f"baseline updated: {BASELINE_PATH}")
+        return
+    if not os.path.exists(BASELINE_PATH):
+        raise SystemExit(
+            f"missing baseline trajectory {BASELINE_PATH}; run with "
+            f"--update-baseline to record one"
+        )
+    data = bench_trajectory.load_trajectory(BASELINE_PATH)
+    for label, _, _, speedup, _ in results:
+        try:
+            entry, floor = bench_trajectory.check_entry(data, label, speedup)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            f"baseline OK: {label} at {speedup:.2f}x "
+            f"(committed {entry['speedup']:.2f}x, floor {floor:.2f}x)"
+        )
 
 
 def measure_sharded_sequential(quick):
@@ -312,6 +473,12 @@ def main(argv=None):
         action="store_true",
         help="CI smoke: fewer patterns, same agreement + speedup gates",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the committed speedup trajectory "
+        "(BENCH_faultsim_engines.json) from this run's figures",
+    )
     args = parser.parse_args(argv)
 
     alu = alu74181()
@@ -320,8 +487,37 @@ def main(argv=None):
         rand = random_combinational(10, 120, seed=5)
         check_agreement(rand, _random_patterns(rand, 32, seed=2))
 
+    mode = "quick" if args.quick else "full"
     speedup = measure_speedup(128 if args.quick else 512)
     print(f"OK: compiled parallel-pattern engine is {speedup:.1f}x the seed engine")
+    wide_speedup, wide_circuit, wide_workload = measure_wide_speedup()
+    print(
+        f"OK: wide engine is {wide_speedup:.1f}x the compiled "
+        f"parallel-pattern engine on {wide_circuit}"
+    )
+    check_baseline(
+        [
+            (
+                f"compiled-vs-seed/{mode}",
+                alu.name,
+                {
+                    "faults": len(collapse_faults(alu)),
+                    "patterns": 128 if args.quick else 512,
+                    "drop_detected": False,
+                },
+                speedup,
+                MIN_SPEEDUP,
+            ),
+            (
+                "wide-vs-parallel-pattern",
+                wide_circuit,
+                wide_workload,
+                wide_speedup,
+                MIN_WIDE_SPEEDUP,
+            ),
+        ],
+        args.update_baseline,
+    )
     measure_sharded_sequential(args.quick)
     return 0
 

@@ -37,6 +37,7 @@ from . import bist
 from . import testers
 from . import store
 from . import campaign
+from . import bench_trajectory
 
 __all__ = [
     "telemetry",

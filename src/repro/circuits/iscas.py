@@ -1,0 +1,121 @@
+"""ISCAS-85-scale synthetic benchmark circuits, via the bench format.
+
+The ISCAS-85 netlists themselves are distribution-encumbered, so the
+scaling studies use seeded random logic shaped like them: the profiles
+below mirror the published input/output/gate counts of the classic
+c432..c7552 suite (Brglez & Fujiwara, ISCAS 1985).  Each circuit is
+generated deterministically (:func:`repro.circuits.random_logic.
+random_combinational`), then **round-tripped through the ISCAS bench
+format** (:mod:`repro.netlist.bench`) so every benchmark circuit also
+exercises the parser/serializer path real netlists would take, and the
+returned circuit carries the profile name (``r432``, ``r1908``, ...).
+
+These are 10-100x the 74181 ALU (~62 gates) — the scale at which the
+paper's Eq. (1) cost model starts to bite and where the wide engine's
+lane batching is measured (``benchmarks/bench_faultsim_engines.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..netlist.bench import parse_bench, write_bench
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+from .random_logic import random_combinational
+
+#: name -> (inputs, gates, outputs, seed); input/output/gate counts
+#: follow the ISCAS-85 circuit of the matching number.
+ISCAS85_PROFILES: Dict[str, Tuple[int, int, int, int]] = {
+    "r432": (36, 160, 7, 432),
+    "r880": (60, 383, 26, 880),
+    "r1355": (41, 546, 32, 1355),
+    "r1908": (33, 880, 25, 1908),
+    "r2670": (157, 1193, 64, 2670),
+    "r3540": (50, 1669, 22, 3540),
+    "r5315": (178, 2307, 123, 5315),
+}
+
+
+def _fold_gate_count(dangling: int, target: int) -> int:
+    """Gates a fanin-4 XOR reduction needs to fold ``dangling`` nets
+    down to exactly ``target`` outputs."""
+    count = 0
+    while dangling > target:
+        take = min(4, dangling - target + 1)
+        dangling -= take - 1
+        count += 1
+    return count
+
+
+def _fold_outputs(cloud: Circuit, target: int, name: str) -> Circuit:
+    """Rebuild ``cloud`` with its surplus outputs XOR-folded away.
+
+    ``random_combinational`` promotes every unread net to a primary
+    output, which at ISCAS scale yields far more outputs than the real
+    circuits have.  Folding the surplus through a fanin-4 XOR tree keeps
+    every net observable (XOR propagates any single fault difference)
+    while pinning the PO count to the published profile figure.
+    """
+    folded = Circuit(name)
+    folded.add_inputs(cloud.inputs)
+    for gate in cloud.gates:
+        folded.add_gate(gate.kind, gate.inputs, gate.output)
+    queue = list(cloud.outputs)
+    index = 0
+    while len(queue) > target:
+        take = min(4, len(queue) - target + 1)
+        sources, queue = queue[:take], queue[take:]
+        out = f"FOLD{index}"
+        folded.add_gate(GateType.XOR, sources, out)
+        queue.append(out)
+        index += 1
+    for net in queue:
+        folded.add_output(net)
+    return folded
+
+
+def iscas85_like(profile: str = "r880", seed: int = 0) -> Circuit:
+    """A deterministic ISCAS-85-scale circuit for the given profile.
+
+    ``seed`` offsets the generator seed so several structurally distinct
+    instances of one profile exist; ``seed=0`` is the canonical zoo
+    member.  The primary input and output counts match the published
+    profile exactly (surplus generator outputs are folded through XOR
+    reduction gates), and the total gate count lands on the published
+    figure whenever the fold-overhead iteration converges — always
+    within a few gates.  The result has been serialized to bench format
+    and parsed back, so it is exactly what
+    :func:`repro.netlist.bench.load_bench` would return for the
+    equivalent ``.bench`` file.
+    """
+    try:
+        inputs, gates, outputs, base_seed = ISCAS85_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown ISCAS-85 profile {profile!r}; "
+            f"known: {sorted(ISCAS85_PROFILES)}"
+        ) from None
+    # Reserve gate budget for the output fold so the total stays at the
+    # published count.  The reserve depends on how many nets dangle,
+    # which depends on the reserve — iterate to the fixed point.
+    overhead = 0
+    cloud = None
+    for _ in range(8):
+        cloud = random_combinational(
+            max(2, inputs),
+            max(1, gates - overhead),
+            seed=base_seed + seed,
+            max_fanin=4,
+            num_outputs=outputs,
+        )
+        need = _fold_gate_count(len(cloud.outputs), outputs)
+        if need == overhead:
+            break
+        overhead = need
+    generated = _fold_outputs(cloud, outputs, profile)
+    # Round-trip through the interchange format: benchmark circuits take
+    # the same path as netlists loaded from disk.
+    circuit = parse_bench(write_bench(generated), name=profile)
+    circuit.name = profile if seed == 0 else f"{profile}_s{seed}"
+    return circuit

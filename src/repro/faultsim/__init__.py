@@ -22,6 +22,7 @@ from .parallel_pattern import FaultSimulator, fault_coverage
 from .parallel_fault import ParallelFaultSimulator
 from .deductive import DeductiveFaultSimulator
 from .sequential import SequentialFaultSimulator
+from .wide import WideFaultSimulator, wide_coverage
 from .diagnosis import FaultDictionary, DiagnosisResult
 from .sharded import (
     SEQUENTIAL_ENGINE,
@@ -35,16 +36,20 @@ from .sharded import (
 class Engine(enum.Enum):
     """Selectable combinational fault-simulation engines.
 
-    ``PARALLEL_PATTERN`` is the production engine (compiled core +
-    fault-cone caching); the others are independent implementations kept
-    as cross-checks and for workloads that fit them better (e.g.
-    ``DEDUCTIVE`` when every pattern's full fault list is wanted).
+    ``WIDE`` is the production engine (lane-batched union-cone grading
+    over the compiled core; numpy arrays with a dependency-free big-int
+    fallback); ``PARALLEL_PATTERN`` is the single-fault compiled-core
+    engine it is differentially tested against; the others are
+    independent implementations kept as cross-checks and for workloads
+    that fit them better (e.g. ``DEDUCTIVE`` when every pattern's full
+    fault list is wanted).
     """
 
     SERIAL = "serial"
     DEDUCTIVE = "deductive"
     PARALLEL_FAULT = "parallel_fault"
     PARALLEL_PATTERN = "parallel_pattern"
+    WIDE = "wide"
 
 
 ENGINE_CLASSES = {
@@ -52,6 +57,7 @@ ENGINE_CLASSES = {
     Engine.DEDUCTIVE: DeductiveFaultSimulator,
     Engine.PARALLEL_FAULT: ParallelFaultSimulator,
     Engine.PARALLEL_PATTERN: FaultSimulator,
+    Engine.WIDE: WideFaultSimulator,
 }
 
 
@@ -104,6 +110,8 @@ __all__ = [
     "fault_coverage",
     "ParallelFaultSimulator",
     "DeductiveFaultSimulator",
+    "WideFaultSimulator",
+    "wide_coverage",
     "SequentialFaultSimulator",
     "SEQUENTIAL_ENGINE",
     "ShardedFaultSimulator",

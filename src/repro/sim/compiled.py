@@ -147,13 +147,30 @@ class CompiledCircuit:
         ]
         self._readers: Optional[List[List[int]]] = None
         self._cones: Dict[int, ConeProgram] = {}
+        # Union-cone cache for the wide engine (repro.sim.wide): keyed by
+        # the sorted site tuple, living here so it persists across the
+        # per-pattern-batch WideInjector rebuilds.
+        self.union_cones: Dict[Tuple[int, ...], Tuple[List[Op], List[int]]] = {}
 
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def eval_words(self, source_words: Sequence[int], mask: int) -> List[int]:
-        """One full pass: word per net, sources given in order."""
-        words = [0] * self.num_nets
+    def eval_words(
+        self,
+        source_words: Sequence[int],
+        mask: int,
+        out: Optional[List[int]] = None,
+    ) -> List[int]:
+        """One full pass: word per net, sources given in order.
+
+        ``out`` (length :attr:`num_nets`) is reused as the result buffer
+        when given, so repeat callers skip the per-call list build; every
+        net is overwritten, so stale contents cannot leak through.
+        """
+        if out is None:
+            words = [0] * self.num_nets
+        else:
+            words = out
         words[: self.num_sources] = source_words
         _run_ops(self.ops, words, mask)
         return words
@@ -283,6 +300,22 @@ class CompiledCircuit:
         _run_ops(cone.ops, words, mask)
         return words
 
+    def eval_cone_scratch(
+        self, cone: ConeProgram, scratch: List[int], forced_word: int, mask: int
+    ) -> None:
+        """In-place :meth:`eval_cone` against a caller-owned scratch list.
+
+        ``scratch`` must equal the base evaluation on every net in
+        ``cone.net_indices`` on entry; on return exactly those nets hold
+        faulty values and every other entry is untouched.  The caller
+        restores the cone nets afterwards to keep the invariant — this
+        trades the per-fault ``list(base_words)`` copy (which scales
+        with circuit size) for a restore loop that scales with cone
+        size.
+        """
+        scratch[cone.site] = forced_word
+        _run_ops(cone.ops, scratch, mask)
+
     def words_to_dict(self, words: Sequence[int]) -> Dict[str, int]:
         """Map an evaluation result back to net names."""
         return dict(zip(self.net_names, words))
@@ -381,6 +414,9 @@ class FaultInjector:
             packed.words.get(net, 0) for net in self.program.source_names
         ]
         self.good: List[int] = self.program.eval_words(source_words, self.mask)
+        # Lazily built copy of ``good`` reused by every detect_word call;
+        # always restored to the good machine between injections.
+        self._scratch: Optional[List[int]] = None
 
     def site_index(self, net: str) -> Optional[int]:
         """Dense index of a fault-site net (None when absent)."""
@@ -402,10 +438,17 @@ class FaultInjector:
             return 0
         cone = self.program.cone(site)
         _incr("sim.compiled.cone_evals")
-        faulty = self.program.eval_cone(cone, good, forced_word, self.mask)
+        scratch = self._scratch
+        if scratch is None:
+            scratch = self._scratch = list(good)
+        self.program.eval_cone_scratch(cone, scratch, forced_word, self.mask)
         detected = 0
         for out in cone.po_indices:
-            detected |= good[out] ^ faulty[out]
+            detected |= good[out] ^ scratch[out]
+        # Restore the cone's nets so the scratch mirrors the good machine
+        # again — the aliasing invariant the next injection relies on.
+        for index in cone.net_indices:
+            scratch[index] = good[index]
         return detected & self.mask
 
     def faulty_words(self, site: int, forced_word: int) -> List[int]:

@@ -36,11 +36,14 @@ class PackedPatternSet:
     ) -> "PackedPatternSet":
         """From patterns."""
         packed = cls(nets, len(patterns))
-        for index, pattern in enumerate(patterns):
-            bit = 1 << index
-            for net in nets:
-                if pattern.get(net, 0):
-                    packed.words[net] |= bit
+        if not patterns:
+            return packed
+        words = packed.words
+        for net in nets:
+            # Build the word as a binary literal: one C-level parse per
+            # net instead of a Python-level bit-or per (pattern, net).
+            bits = "".join("1" if p.get(net, 0) else "0" for p in patterns)
+            words[net] = int(bits[::-1], 2)
         return packed
 
     @classmethod

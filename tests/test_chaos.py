@@ -148,6 +148,57 @@ class TestShardedUnderChaos:
             assert simulator.failures == []
 
 
+class TestWideEngineUnderChaos:
+    """Satellite: the wide engine heals under chaos like any other.
+
+    Worker crashes and hangs during a sharded *wide* run must leave the
+    merged report bit-identical to the fault-free wide run (which is
+    itself bit-identical to the parallel-pattern engine — see
+    tests/test_wide.py); the chaos must be visible in telemetry.
+    """
+
+    def setup_method(self):
+        self.circuit = c17()
+        self.patterns = patterns_for(self.circuit)
+        self.baseline = sharded_coverage(
+            self.circuit, self.patterns, engine="wide", workers=2
+        )
+
+    def test_fault_free_wide_matches_parallel_pattern(self):
+        assert self.baseline == sharded_coverage(
+            self.circuit, self.patterns, workers=2
+        )
+
+    def test_wide_crashes_healed_by_retry(self):
+        simulator = ShardedFaultSimulator(
+            self.circuit,
+            "wide",
+            workers=2,
+            supervision=fast_supervision(),
+            chaos=ChaosConfig(seed=11, crash_rate=1.0),
+        )
+        with telemetry.capture() as session:
+            report = simulator.run(self.patterns)
+        assert report == self.baseline
+        assert simulator.failures == []
+        assert session.counters["resilience.worker_crash"] == 2
+        assert session.counters["resilience.retry"] == 2
+
+    def test_wide_hangs_terminated_and_healed(self):
+        simulator = ShardedFaultSimulator(
+            self.circuit,
+            "wide",
+            workers=2,
+            supervision=fast_supervision(timeout_s=0.5),
+            chaos=ChaosConfig(seed=12, hang_rate=1.0, hang_s=30.0),
+        )
+        with telemetry.capture() as session:
+            report = simulator.run(self.patterns)
+        assert report == self.baseline
+        assert session.counters["resilience.worker_hang"] == 2
+        assert simulator.workers_section()["supervision"]["hangs"] == 2
+
+
 class TestPoisonedShards:
     """Deterministic failures: bisection, quarantine, degrade, raise."""
 

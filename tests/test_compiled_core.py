@@ -214,3 +214,96 @@ class TestCompiledEvaluation:
         cone = program.cone(program.index["y"])
         assert program.index["y"] in cone.po_indices
         assert cone.ops == []
+
+
+class TestScratchAliasing:
+    """Regressions for the shared-scratch fast path in FaultInjector.
+
+    ``detect_word`` evaluates each fault cone in a reusable scratch
+    list instead of copying the whole good machine per call; these
+    tests pin the invariants that make that safe: the scratch is
+    restored to the good machine between injections, it never aliases
+    the good list itself, and the results are bit-identical to the
+    fresh-copy ``eval_cone`` path in any call order.
+    """
+
+    def _injector(self, circuit, count=24, seed=3):
+        import random
+
+        from repro.faultsim import expand_branches, fault_site_net
+        from repro.sim import FaultInjector
+
+        rng = random.Random(seed)
+        patterns = [
+            {net: rng.randint(0, 1) for net in circuit.inputs}
+            for _ in range(count)
+        ]
+        packed = PackedPatternSet.from_patterns(circuit.inputs, patterns)
+        expanded, branch_map = expand_branches(circuit)
+        injector = FaultInjector(expanded, packed)
+        from repro.faults import collapse_faults
+
+        sites = []
+        for fault in collapse_faults(circuit):
+            site = injector.site_index(fault_site_net(fault, branch_map))
+            if site is not None:
+                sites.append((site, packed.mask if fault.value else 0))
+        return injector, packed, sites
+
+    def test_scratch_restored_between_injections(self):
+        injector, _, sites = self._injector(c17())
+        for site, forced in sites:
+            injector.detect_word(site, forced)
+            assert injector._scratch == injector.good
+
+    def test_scratch_never_aliases_good(self):
+        injector, _, sites = self._injector(c17())
+        injector.detect_word(*sites[0])
+        assert injector._scratch is not injector.good
+
+    def test_repeated_calls_match_fresh_copy_eval(self):
+        """Any interleaving of detect_word calls equals eval_cone on a
+        fresh good-machine copy, bit for bit."""
+        import random
+
+        from repro.circuits import random_combinational
+
+        circuit = random_combinational(8, 60, seed=21)
+        injector, packed, sites = self._injector(circuit, count=40, seed=21)
+        program = injector.program
+        expected = {}
+        for site, forced in sites:
+            cone = program.cone(site)
+            words = program.eval_cone(
+                cone, injector.good, forced, packed.mask
+            )
+            detected = 0
+            for out in cone.po_indices:
+                detected |= injector.good[out] ^ words[out]
+            # eval_cone skips the activation pre-filter; apply it here.
+            if not (injector.good[site] ^ forced) & packed.mask:
+                detected = 0
+            expected[(site, forced)] = detected & packed.mask
+        order = list(sites) * 2  # repeats exercise scratch reuse
+        random.Random(0).shuffle(order)
+        for site, forced in order:
+            assert injector.detect_word(site, forced) == expected[(site, forced)]
+
+    def test_eval_words_out_buffer_reuse(self):
+        """eval_words(out=...) overwrites every entry — no stale leaks —
+        and returns the same list object it was handed."""
+        c = c17()
+        program = compile_circuit(c)
+        packed = PackedPatternSet.exhaustive(list(c.inputs))
+        source_words = [
+            packed.words.get(net, 0) for net in program.source_names
+        ]
+        fresh = program.eval_words(source_words, packed.mask)
+        poisoned = [0xDEADBEEF] * program.num_nets
+        result = program.eval_words(source_words, packed.mask, out=poisoned)
+        assert result is poisoned
+        assert result == fresh
+        # A second reuse with different sources must not leak the first.
+        zero_sources = [0] * len(source_words)
+        zero_fresh = program.eval_words(zero_sources, packed.mask)
+        assert program.eval_words(zero_sources, packed.mask, out=poisoned) == zero_fresh

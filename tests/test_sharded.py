@@ -14,7 +14,14 @@ import random
 import pytest
 
 from repro import telemetry
-from repro.circuits import alu74181, binary_counter, c17, sequence_detector
+from repro.circuits import (
+    alu74181,
+    binary_counter,
+    c17,
+    iscas85_like,
+    registered_alu74181,
+    sequence_detector,
+)
 from repro.faults import collapse_faults
 from repro.faultsim import (
     Engine,
@@ -22,6 +29,7 @@ from repro.faultsim import (
     ShardedFaultSimulator,
     create_simulator,
     merge_reports,
+    sample_fault_list,
     shard_faults,
     sharded_coverage,
 )
@@ -199,6 +207,114 @@ class TestCombinationalDeterminism:
                 assert sharded.detects(pattern, fault) == local.detects(
                     pattern, fault
                 )
+
+
+class TestWorkloadMatrix:
+    """Engines x workers {1,2,4} x {74181, registered 74181, ISCAS-scale}.
+
+    Every cell must merge to the bit-identical single-process report,
+    including the 0- and 1-fault corners.  Fault lists are sampled
+    (deterministically) to keep the slow engines inside test budget —
+    exactness, not throughput, is what this matrix pins.
+    """
+
+    @pytest.mark.parametrize("engine", list(Engine))
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_alu74181_all_engines(self, engine, workers):
+        circuit = alu74181()
+        faults = sample_fault_list(collapse_faults(circuit), 48, seed=1)
+        patterns = random_patterns(circuit, 12, seed=1)
+        single = create_simulator(circuit, engine, faults=faults).run(patterns)
+        merged = sharded_coverage(
+            circuit,
+            patterns,
+            engine=engine,
+            faults=faults,
+            workers=workers,
+            shards=3,
+        )
+        assert merged == single
+
+    @pytest.mark.parametrize(
+        "engine", [Engine.PARALLEL_PATTERN, Engine.WIDE]
+    )
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_iscas_scale_fast_engines(self, engine, workers):
+        circuit = iscas85_like("r432")
+        faults = sample_fault_list(collapse_faults(circuit), 60, seed=2)
+        patterns = random_patterns(circuit, 16, seed=2)
+        single = create_simulator(circuit, engine, faults=faults).run(patterns)
+        merged = sharded_coverage(
+            circuit,
+            patterns,
+            engine=engine,
+            faults=faults,
+            workers=workers,
+            shards=5,
+        )
+        assert merged == single
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_registered_alu74181_sequential(self, workers):
+        design = insert_scan(registered_alu74181())
+        core = generate_tests(
+            design.circuit.combinational_core(), random_phase=2, seed=9
+        )
+        schedule = schedule_scan_tests(design, core.patterns[:3])
+        faults = sample_fault_list(collapse_faults(design.circuit), 10, seed=9)
+        single = SequentialFaultSimulator(
+            design.circuit, faults=faults
+        ).run(schedule)
+        merged = sharded_coverage(
+            design.circuit,
+            schedule,
+            engine="sequential",
+            faults=faults,
+            workers=workers,
+            shards=3,
+        )
+        assert merged == single
+
+    @pytest.mark.parametrize("fault_count", (0, 1))
+    @pytest.mark.parametrize(
+        "make",
+        [alu74181, lambda: iscas85_like("r432")],
+        ids=["alu74181", "r432"],
+    )
+    def test_degenerate_fault_lists_wide(self, make, fault_count):
+        circuit = make()
+        faults = collapse_faults(circuit)[:fault_count]
+        patterns = random_patterns(circuit, 8, seed=3)
+        single = create_simulator(
+            circuit, Engine.WIDE, faults=faults
+        ).run(patterns)
+        merged = sharded_coverage(
+            circuit,
+            patterns,
+            engine=Engine.WIDE,
+            faults=faults,
+            workers=4,
+            shards=4,
+        )
+        assert merged == single
+
+    @pytest.mark.parametrize("fault_count", (0, 1))
+    def test_degenerate_fault_lists_sequential(self, fault_count):
+        design = insert_scan(registered_alu74181())
+        schedule = schedule_scan_tests(design, [{"CLK": 0}])
+        faults = collapse_faults(design.circuit)[:fault_count]
+        single = SequentialFaultSimulator(
+            design.circuit, faults=faults
+        ).run(schedule)
+        merged = sharded_coverage(
+            design.circuit,
+            schedule,
+            engine="sequential",
+            faults=faults,
+            workers=2,
+            shards=4,
+        )
+        assert merged == single
 
 
 class TestSequentialDeterminism:
