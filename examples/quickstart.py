@@ -21,13 +21,20 @@ the resilience layer (``repro.resilience``): every worker's first
 attempt is crashed deliberately, the supervisor retries, and the run
 must still finish with the bit-identical result and a failure-free
 manifest — CI asserts exactly that.
+
+``--fault-model MODEL`` switches the graded fault universe
+(``stuck_at`` default, ``bridging``, ``transition``,
+``cmos_stuck_open``): non-stuck-at models reduce to a composite
+circuit plus stuck-at grading (``repro.faults.plan_fault_model``), so
+the identical ATPG flow runs unchanged, and the manifest gains a
+validated ``fault_model`` section CI checks.
 """
 
 import argparse
 
 from repro import telemetry
 from repro.circuits import c17
-from repro.faults import all_faults, collapse_faults
+from repro.faults import FaultModel, all_faults, collapse_faults, plan_fault_model
 from repro.atpg import generate_tests
 from repro.faultsim import FaultSimulator
 from repro.testability import analyze
@@ -55,6 +62,15 @@ def main(argv=None) -> None:
         help="memoize the ATPG run through the content-addressed result "
         "store at DIR (a second run with the same DIR is a cache hit "
         "and does zero test-generation work)",
+    )
+    parser.add_argument(
+        "--fault-model",
+        choices=[model.value for model in FaultModel],
+        default="stuck_at",
+        metavar="MODEL",
+        help="fault model to generate tests for (stuck_at, bridging, "
+        "transition, cmos_stuck_open); non-stuck-at models run the "
+        "same flow over the plan_fault_model composite circuit",
     )
     parser.add_argument(
         "--chaos",
@@ -95,6 +111,16 @@ def main(argv=None) -> None:
             retry=RetryPolicy(max_retries=2, base_delay_s=0.01)
         )
 
+    # The fault-model plan is deterministic (seed-keyed), so recomputing
+    # it here matches what generate_tests grades — warm or cold.
+    plan = plan_fault_model(circuit, args.fault_model, seed=0)
+    if plan.is_reduction:
+        print(
+            f"fault model {plan.model.value}: {len(plan.faults)} faults, "
+            f"composite {len(plan.circuit.gates)} gates "
+            f"(from {len(circuit.gates)}), reduction {plan.reduction}"
+        )
+
     def run_atpg():
         return generate_tests(
             circuit,
@@ -103,6 +129,7 @@ def main(argv=None) -> None:
             workers=args.workers,
             supervision=supervision,
             chaos=chaos,
+            fault_model=args.fault_model,
         )
 
     if args.store:
@@ -120,6 +147,7 @@ def main(argv=None) -> None:
             "parallel_pattern",
             seed=0,
             params={"flow": "atpg", "method": "podem", "random_phase": 8},
+            fault_model=args.fault_model,
         )
         result, cached = store.memoize(
             key,
@@ -136,12 +164,18 @@ def main(argv=None) -> None:
     else:
         result = run_atpg()
     print(result.summary())
+    sim_inputs = plan.circuit.inputs
     for index, pattern in enumerate(result.patterns):
-        bits = "".join(str(pattern[net]) for net in circuit.inputs)
-        print(f"  pattern {index}: {bits}  (inputs {', '.join(circuit.inputs)})")
+        bits = "".join(str(pattern[net]) for net in sim_inputs)
+        print(f"  pattern {index}: {bits}  (inputs {', '.join(sim_inputs)})")
 
-    # 5. Independent verification by fault simulation.
-    simulator = FaultSimulator(circuit, faults=universe)
+    # 5. Independent verification by fault simulation — the full
+    #    uncollapsed universe for stuck-at, the plan's graded universe
+    #    (on the composite circuit) for every other model.
+    if plan.is_reduction:
+        simulator = FaultSimulator(plan.circuit, faults=plan.faults)
+    else:
+        simulator = FaultSimulator(circuit, faults=universe)
     verification = simulator.run(result.patterns)
     print(f"verified against the full universe: {verification.summary()}")
 
@@ -152,6 +186,11 @@ def main(argv=None) -> None:
         f"phases={[p['name'] for p in manifest.phases]} "
         f"backtracks={manifest.counters.get('atpg.backtracks', 0)}"
     )
+    if manifest.fault_model is not None:
+        print(
+            f"manifest fault_model: {manifest.fault_model['model']} "
+            f"({manifest.fault_model['faults']} faults)"
+        )
     print(f"telemetry counters collected: {len(sink.counters)}")
     if args.chaos:
         supervision_stats = (manifest.workers or {}).get("supervision", {})

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence
 from .. import telemetry
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault
-from ..faults.collapse import collapse_faults
+from ..faults.models import FaultModelPlan, plan_fault_model
 from ..faultsim.coverage import CoverageReport
 from .podem import PodemGenerator, PodemResult
 from .d_algorithm import DAlgorithm
@@ -57,6 +57,7 @@ class TestGenerationResult:
     total_backtracks: int = 0
     random_phase_patterns: int = 0
     manifest: Optional[telemetry.RunManifest] = None
+    fault_model_plan: Optional[FaultModelPlan] = None
 
     @property
     def coverage(self) -> float:
@@ -110,6 +111,7 @@ def generate_tests(
     supervision: Optional["SupervisionPolicy"] = None,
     failure_policy: str = "raise",
     chaos: Optional["ChaosConfig"] = None,
+    fault_model: str = "stuck_at",
 ) -> TestGenerationResult:
     """Run the full deterministic ATPG flow on a combinational circuit.
 
@@ -138,16 +140,36 @@ def generate_tests(
     deterministically is handled per ``failure_policy``, and any
     resulting quarantine/degradation is reported in the manifest's
     validated ``failures`` section.
+
+    ``fault_model`` selects the fault model (``"stuck_at"``,
+    ``"bridging"``, ``"cmos_stuck_open"``, ``"transition"``; see
+    :class:`repro.faults.FaultModel`).  Non-stuck-at models reduce to a
+    composite circuit plus an ordinary stuck-at fault list
+    (:func:`repro.faults.plan_fault_model`), so the whole flow —
+    PODEM/D-alg, every simulation engine, sharding, compaction — runs
+    unchanged over the composite; for two-frame models each emitted
+    pattern assigns the composite inputs ``"{net}@1"``/``"{net}@2"``
+    (one pattern = one ordered vector pair).  ``faults``, when given,
+    must then be model-typed faults.  The manifest records the
+    reduction in its validated ``fault_model`` section, and the result
+    carries the full :class:`repro.faults.FaultModelPlan` as
+    ``fault_model_plan``.
     """
     from ..faultsim import ShardedFaultSimulator, create_simulator
 
     if method not in ("podem", "dalg"):
         raise ValueError(f"unknown ATPG method {method!r}")
-    fault_list = list(faults) if faults is not None else collapse_faults(circuit)
+    # Resolve the model once; downstream everything works on the plan's
+    # (possibly composite) circuit and plain stuck-at fault list, so the
+    # sharded/engine paths below stay model-agnostic and cannot
+    # double-reduce.
+    plan = plan_fault_model(circuit, fault_model, faults=faults, seed=seed)
+    work = plan.circuit
+    fault_list = list(plan.faults)
     sharded: Optional[ShardedFaultSimulator] = None
     if workers and workers > 1:
         sharded = ShardedFaultSimulator(
-            circuit,
+            work,
             engine,
             faults=fault_list,
             workers=workers,
@@ -157,10 +179,10 @@ def generate_tests(
         )
         simulator = sharded
     else:
-        simulator = create_simulator(circuit, engine, faults=fault_list)
+        simulator = create_simulator(work, engine, faults=fault_list)
     engine_name = getattr(engine, "value", engine)
     rng = random.Random(seed)
-    inputs = circuit.inputs
+    inputs = work.inputs
 
     accepted: List[Pattern] = []
     cubes: List[Dict[str, Optional[int]]] = []
@@ -180,7 +202,7 @@ def generate_tests(
             undetected = list(fault_list)
             with telemetry.span("atpg.phase.random"):
                 if random_phase:
-                    candidates = random_patterns(circuit, random_phase, seed=seed)
+                    candidates = random_patterns(work, random_phase, seed=seed)
                     phase_report = simulator.run(candidates)
                     # Keep only useful random patterns, in first-detection order.
                     useful_indices = sorted(
@@ -196,9 +218,9 @@ def generate_tests(
                     telemetry.incr("atpg.random.faults_detected", len(detected))
 
             generator = (
-                PodemGenerator(circuit, backtrack_limit=backtrack_limit)
+                PodemGenerator(work, backtrack_limit=backtrack_limit)
                 if method == "podem"
-                else DAlgorithm(circuit, backtrack_limit=backtrack_limit)
+                else DAlgorithm(work, backtrack_limit=backtrack_limit)
             )
 
             with telemetry.span("atpg.phase.deterministic"):
@@ -294,7 +316,7 @@ def generate_tests(
                 with telemetry.span("atpg.phase.reverse_compaction"):
                     before_count = len(patterns)
                     patterns = reverse_order_compaction(
-                        circuit, patterns, faults=fault_list, engine=engine
+                        work, patterns, faults=fault_list, engine=engine
                     )
                     telemetry.incr(
                         "atpg.reverse.dropped", before_count - len(patterns)
@@ -314,6 +336,7 @@ def generate_tests(
             "reverse_compact": reverse_compact,
             "workers": workers,
         },
+        fault_model=plan.section(),
         phases=session.phase_stats("atpg.phase."),
         counters=dict(session.counters),
         stats={
@@ -339,4 +362,5 @@ def generate_tests(
         total_backtracks=total_backtracks,
         random_phase_patterns=random_used,
         manifest=manifest,
+        fault_model_plan=plan,
     )

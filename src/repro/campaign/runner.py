@@ -143,6 +143,7 @@ def cell_cache_key(
         seed=cell.seed,
         params={"flow": cell.flow, "workload": cell.workload,
                 "params": dict(params)},
+        fault_model=cell.fault_model,
     )
 
 
@@ -170,6 +171,7 @@ def execute_cell(
             seed=cell.seed,
             engine=cell.engine,
             workers=workers,
+            fault_model=cell.fault_model,
             **_subparams(params, _ATPG_PARAMS),
         )
         duration = time.perf_counter() - start
@@ -196,6 +198,7 @@ def execute_cell(
             seed=cell.seed,
             engine=cell.engine,
             workers=workers,
+            fault_model=cell.fault_model,
             **_subparams(params, _SCAN_PARAMS),
         )
         duration = time.perf_counter() - start
@@ -235,6 +238,7 @@ def encode_cell_result(result: CellResult) -> Dict[str, Any]:
             "flow": result.cell.flow,
             "engine": result.cell.engine,
             "seed": result.cell.seed,
+            "fault_model": result.cell.fault_model,
         },
         "key": result.key,
         "patterns": encode_patterns(result.patterns),
@@ -259,6 +263,7 @@ def decode_cell_result(payload: Dict[str, Any]) -> CellResult:
         flow=payload["cell"]["flow"],
         engine=payload["cell"]["engine"],
         seed=payload["cell"]["seed"],
+        fault_model=payload["cell"].get("fault_model", "stuck_at"),
     )
     report = payload.get("report")
     return CellResult(
@@ -296,7 +301,10 @@ def render_summary(
         + (f", {failed} cells FAILED" if failed else "")
         + (f", {len(skipped)} incompatible cells skipped" if skipped else "")
     )
-    columns = f"{'workload':<22}{'flow':<11}{'engine':<18}{'seed':>4}  {'patterns':>8}  {'coverage':>8}"
+    columns = (
+        f"{'workload':<22}{'flow':<11}{'engine':<18}{'model':<16}"
+        f"{'seed':>4}  {'patterns':>8}  {'coverage':>8}"
+    )
     rule = "-" * len(columns)
     lines = [header, columns, rule]
     for result in results:
@@ -304,7 +312,8 @@ def render_summary(
         coverage_text = f"{coverage:.2%}" if coverage is not None else "n/a"
         lines.append(
             f"{result.cell.workload:<22}{result.cell.flow:<11}"
-            f"{result.cell.engine:<18}{result.cell.seed:>4}  "
+            f"{result.cell.engine:<18}{result.cell.fault_model:<16}"
+            f"{result.cell.seed:>4}  "
             f"{result.stats.get('patterns', 0):>8}  {coverage_text:>8}"
         )
     return "\n".join(lines) + "\n"
@@ -554,6 +563,7 @@ class CampaignRunner:
                 "engines": list(self.spec.engines),
                 "seeds": list(self.spec.seeds),
                 "flows": list(self.spec.flows),
+                "fault_models": list(self.spec.fault_models),
             },
             phases=session.phase_stats("campaign.phase."),
             counters=dict(session.counters),
@@ -591,6 +601,7 @@ class CampaignRunner:
             "flow": result.cell.flow,
             "engine": result.cell.engine,
             "seed": result.cell.seed,
+            "fault_model": result.cell.fault_model,
             "key": result.key,
             "cached": result.cached,
             "duration_s": result.duration_s,

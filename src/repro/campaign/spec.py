@@ -1,7 +1,7 @@
 """Campaign specifications: which cells to run, over which axes.
 
 A campaign is the cartesian product *workloads × flows × engines ×
-seeds*.  Workloads are named builders from the circuit zoo
+fault models × seeds*.  Workloads are named builders from the circuit zoo
 (:data:`WORKLOADS`); flows are ``"atpg"`` (combinational
 ``generate_tests``) and ``"full_scan"`` (scan-insert + core ATPG +
 sequential verification via ``full_scan_flow``), with ``"auto"``
@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..netlist.circuit import Circuit
+from ..faults.models import FaultModel
 from ..circuits import (
     alu74181,
     binary_counter,
@@ -73,17 +74,21 @@ def build_workload(name: str) -> Circuit:
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One (workload, flow, engine, seed) point of the campaign grid."""
+    """One (workload, flow, engine, fault model, seed) grid point."""
 
     workload: str
     flow: str
     engine: str
     seed: int
+    fault_model: str = "stuck_at"
 
     @property
     def cell_id(self) -> str:
         """Stable human-readable identity used in checkpoints/JSONL."""
-        return f"{self.workload}:{self.flow}:{self.engine}:{self.seed}"
+        return (
+            f"{self.workload}:{self.flow}:{self.engine}:"
+            f"{self.fault_model}:{self.seed}"
+        )
 
 
 @dataclass
@@ -95,6 +100,7 @@ class CampaignSpec:
     engines: List[str]
     seeds: List[int] = field(default_factory=lambda: [0])
     flows: List[str] = field(default_factory=lambda: ["auto"])
+    fault_models: List[str] = field(default_factory=lambda: ["stuck_at"])
     params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -109,6 +115,13 @@ class CampaignSpec:
                 raise ValueError(
                     f"unknown flow {flow!r}; available: {FLOWS + ('auto',)}"
                 )
+        valid_models = [model.value for model in FaultModel]
+        for fault_model in self.fault_models:
+            if fault_model not in valid_models:
+                raise ValueError(
+                    f"unknown fault model {fault_model!r}; "
+                    f"available: {valid_models}"
+                )
 
     # ------------------------------------------------------------------
     # Cell expansion
@@ -116,8 +129,12 @@ class CampaignSpec:
     def expand(self) -> Tuple[List[CampaignCell], List[CampaignCell]]:
         """Expand the axes into ``(cells, skipped)`` in deterministic order.
 
-        ``skipped`` holds incompatible combinations (flow vs. workload
-        sequentiality) so callers can report them.
+        ``skipped`` holds incompatible combinations — flow vs. workload
+        sequentiality, and full-scan cells under non-stuck-at fault
+        models (the scan flow's sequential verifier and single-capture
+        schedule only grade stuck-at; see
+        :func:`repro.scan.flow.full_scan_flow`) — so callers can report
+        them.
         """
         sequential = {
             name: not build_workload(name).is_combinational
@@ -131,14 +148,22 @@ class CampaignSpec:
                 if flow == "auto":
                     resolved = "full_scan" if sequential[workload] else "atpg"
                 for engine in self.engines:
-                    for seed in self.seeds:
-                        cell = CampaignCell(workload, resolved, engine, seed)
-                        compatible = (
-                            sequential[workload]
-                            if resolved == "full_scan"
-                            else not sequential[workload]
-                        )
-                        (cells if compatible else skipped).append(cell)
+                    for fault_model in self.fault_models:
+                        for seed in self.seeds:
+                            cell = CampaignCell(
+                                workload, resolved, engine, seed, fault_model
+                            )
+                            compatible = (
+                                sequential[workload]
+                                if resolved == "full_scan"
+                                else not sequential[workload]
+                            )
+                            if (
+                                resolved == "full_scan"
+                                and fault_model != FaultModel.STUCK_AT.value
+                            ):
+                                compatible = False
+                            (cells if compatible else skipped).append(cell)
         return cells, skipped
 
     def cells(self) -> List[CampaignCell]:
@@ -156,13 +181,22 @@ class CampaignSpec:
             "engines": list(self.engines),
             "seeds": list(self.seeds),
             "flows": list(self.flows),
+            "fault_models": list(self.fault_models),
             "params": dict(self.params),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
         """Build a spec from its JSON form, rejecting unknown keys."""
-        known = {"name", "workloads", "engines", "seeds", "flows", "params"}
+        known = {
+            "name",
+            "workloads",
+            "engines",
+            "seeds",
+            "flows",
+            "fault_models",
+            "params",
+        }
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"unknown campaign spec keys: {unknown}")
@@ -172,6 +206,7 @@ class CampaignSpec:
             engines=list(data["engines"]),
             seeds=list(data.get("seeds", [0])),
             flows=list(data.get("flows", ["auto"])),
+            fault_models=list(data.get("fault_models", ["stuck_at"])),
             params=dict(data.get("params", {})),
         )
 

@@ -20,16 +20,27 @@ from .bridging import (
     BridgeKind,
     BridgingFault,
     apply_bridging_fault,
+    fresh_net_name,
     random_bridges,
 )
 from .cmos import (
     CmosGate,
     Transistor,
     Network,
+    CmosStuckOpenFault,
+    all_cmos_stuck_open_faults,
     cmos_nand2,
     cmos_nor2,
     find_two_pattern_test,
     single_pattern_detects,
+    stuck_open_floats,
+)
+from .models import (
+    DEFAULT_BRIDGE_COUNT,
+    FaultModel,
+    FaultModelPlan,
+    UnsupportedFaultModelError,
+    plan_fault_model,
 )
 
 __all__ = [
@@ -48,12 +59,21 @@ __all__ = [
     "BridgeKind",
     "BridgingFault",
     "apply_bridging_fault",
+    "fresh_net_name",
     "random_bridges",
     "CmosGate",
     "Transistor",
     "Network",
+    "CmosStuckOpenFault",
+    "all_cmos_stuck_open_faults",
     "cmos_nand2",
     "cmos_nor2",
     "find_two_pattern_test",
     "single_pattern_detects",
+    "stuck_open_floats",
+    "FaultModel",
+    "FaultModelPlan",
+    "UnsupportedFaultModelError",
+    "plan_fault_model",
+    "DEFAULT_BRIDGE_COUNT",
 ]

@@ -198,3 +198,104 @@ def single_pattern_detects(gate: CmosGate, transistor_name: str) -> bool:
 def _copy_gate(gate: CmosGate) -> CmosGate:
     duplicate = CmosGate(gate.name, gate.inputs, gate.pull_down, gate.pull_up)
     return duplicate
+
+
+# ----------------------------------------------------------------------
+# Netlist-level stuck-open faults
+#
+# The switch-level CmosGate above models one gate in isolation; to grade
+# stuck-opens over a whole Circuit the fault is named at the netlist
+# level: (gate, network, pin).  The supported gates are the single-stage
+# static CMOS primitives — NAND (series NMOS / parallel PMOS), NOR
+# (parallel NMOS / series PMOS) and NOT — whose float condition is a
+# plain Boolean function of the gate inputs.  Transistors in a series
+# stack are equivalent (opening any of them kills the same branch), so
+# the default universe collapses each stack to one fault (``pin=None``).
+# ----------------------------------------------------------------------
+SERIES_COLLAPSED = None  # pin value for a collapsed series-stack fault
+
+#: Gate kinds the netlist-level stuck-open model enumerates faults on.
+CMOS_SUPPORTED_KINDS = ("NAND", "NOR", "NOT")
+
+
+@dataclass(frozen=True)
+class CmosStuckOpenFault:
+    """One stuck-open transistor in a single-stage static CMOS gate.
+
+    ``network`` is ``"N"`` (pull-down NMOS) or ``"P"`` (pull-up PMOS);
+    ``pin`` indexes the gate input whose transistor is open, or
+    :data:`SERIES_COLLAPSED` for the collapsed series-stack fault.
+    """
+
+    gate: str
+    network: str
+    pin: Optional[int] = SERIES_COLLAPSED
+
+    def __post_init__(self) -> None:
+        if self.network not in ("N", "P"):
+            raise ValueError(f"network must be 'N' or 'P', got {self.network!r}")
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identifier."""
+        pin = "*" if self.pin is SERIES_COLLAPSED else str(self.pin)
+        return f"{self.gate}/SOP-{self.network}{pin}"
+
+
+def all_cmos_stuck_open_faults(circuit) -> List["CmosStuckOpenFault"]:
+    """The collapsed stuck-open universe of a gate-level circuit.
+
+    Per NAND gate: one collapsed series-NMOS fault plus one PMOS fault
+    per input; per NOR gate the dual; per NOT one of each.  Gates whose
+    kind is not a single-stage CMOS primitive (AND/OR/XOR/BUF/CONST/
+    DFF) contribute no faults — the model covers the primitives the
+    switch-level realization is defined for.
+    """
+    faults: List[CmosStuckOpenFault] = []
+    for gate in circuit.gates:
+        kind = gate.kind.value
+        if kind not in CMOS_SUPPORTED_KINDS:
+            continue
+        if kind == "NAND":
+            faults.append(CmosStuckOpenFault(gate.name, "N", SERIES_COLLAPSED))
+            for pin in range(len(gate.inputs)):
+                faults.append(CmosStuckOpenFault(gate.name, "P", pin))
+        elif kind == "NOR":
+            faults.append(CmosStuckOpenFault(gate.name, "P", SERIES_COLLAPSED))
+            for pin in range(len(gate.inputs)):
+                faults.append(CmosStuckOpenFault(gate.name, "N", pin))
+        else:  # NOT
+            faults.append(CmosStuckOpenFault(gate.name, "N", SERIES_COLLAPSED))
+            faults.append(CmosStuckOpenFault(gate.name, "P", SERIES_COLLAPSED))
+    return faults
+
+
+def stuck_open_floats(kind: str, bits: Sequence[int], fault: "CmosStuckOpenFault") -> bool:
+    """Does the faulted gate's output float for these input bits?
+
+    ``bits`` are the gate's input values in pin order.  The output
+    floats exactly when neither the faulted network (its branch
+    containing the open transistor removed) nor the complementary
+    network conducts — the charge-retention state the two-pattern test
+    must exploit.
+    """
+    if kind == "NOT":
+        # A NOT gate is NAND/NOR with one input; both views agree.
+        (a,) = bits
+        return a == 1 if fault.network == "N" else a == 0
+    if kind == "NAND":
+        if fault.network == "N":
+            # Series stack dead: floats when pull-up is off too (all 1s).
+            return all(bits)
+        # PMOS on `pin` open: floats when that PMOS was the only pull-up
+        # (its input 0, every other input 1) and pull-down blocked.
+        return bits[fault.pin] == 0 and all(
+            b == 1 for i, b in enumerate(bits) if i != fault.pin
+        )
+    if kind == "NOR":
+        if fault.network == "P":
+            return not any(bits)
+        return bits[fault.pin] == 1 and all(
+            b == 0 for i, b in enumerate(bits) if i != fault.pin
+        )
+    raise ValueError(f"no CMOS stuck-open realization for gate kind {kind!r}")

@@ -11,10 +11,16 @@ agreement is the contract any new or refactored engine must keep.
 """
 
 import enum
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault
+from ..faults.models import (
+    FaultModel,
+    FaultModelPlan,
+    UnsupportedFaultModelError,
+    plan_fault_model,
+)
 from .expand import expand_branches, fault_site_net
 from .coverage import CoverageReport, merge_reports, sample_fault_list
 from .serial import SerialFaultSimulator
@@ -23,6 +29,7 @@ from .parallel_fault import ParallelFaultSimulator
 from .deductive import DeductiveFaultSimulator
 from .sequential import SequentialFaultSimulator
 from .wide import WideFaultSimulator, wide_coverage
+from .cmos_open import CmosStuckOpenSimulator
 from .diagnosis import FaultDictionary, DiagnosisResult
 from .sharded import (
     SEQUENTIAL_ENGINE,
@@ -64,8 +71,9 @@ ENGINE_CLASSES = {
 def create_simulator(
     circuit: Circuit,
     engine: Union[str, Engine] = Engine.PARALLEL_PATTERN,
-    faults: Optional[Sequence[Fault]] = None,
+    faults: Optional[Sequence[Any]] = None,
     collapse: bool = True,
+    fault_model: Union[str, FaultModel] = FaultModel.STUCK_AT,
     **kwargs,
 ):
     """Instantiate a fault simulator by engine name.
@@ -73,29 +81,55 @@ def create_simulator(
     ``engine`` is an :class:`Engine` or its string value.  Extra keyword
     arguments go to the engine constructor (e.g. ``compiled=False`` to
     get the pre-compiled-core parallel-pattern baseline).
+
+    ``fault_model`` selects the fault model (see
+    :class:`repro.faults.FaultModel`).  Non-stuck-at models reduce to
+    circuit rewrite + stuck-at grading
+    (:func:`repro.faults.plan_fault_model`), so every engine works
+    unchanged; the returned simulator carries the reduction as its
+    ``fault_model_plan`` attribute, and ``faults`` must then be
+    model-typed faults (``BridgingFault``/``TransitionFault``/
+    ``CmosStuckOpenFault``) or ``None`` for the default universe.  For
+    the two-frame models the simulator's patterns are (V1, V2) pairs
+    over the composite inputs ``"{net}@1"``/``"{net}@2"``.
     """
     selected = engine if isinstance(engine, Engine) else Engine(engine)
     cls = ENGINE_CLASSES[selected]
-    return cls(circuit, faults=faults, collapse=collapse, **kwargs)
+    plan = plan_fault_model(circuit, fault_model, faults=faults, collapse=collapse)
+    simulator = cls(
+        plan.circuit, faults=plan.faults, collapse=collapse, **kwargs
+    )
+    simulator.fault_model_plan = plan
+    return simulator
 
 
 def engine_coverage(
     circuit: Circuit,
     patterns: Sequence[dict],
     engine: Union[str, Engine] = Engine.PARALLEL_PATTERN,
-    faults: Optional[Sequence[Fault]] = None,
+    faults: Optional[Sequence[Any]] = None,
     collapse: bool = True,
+    fault_model: Union[str, FaultModel] = FaultModel.STUCK_AT,
     **kwargs,
 ) -> CoverageReport:
     """One-call fault simulation through a selectable engine."""
     return create_simulator(
-        circuit, engine, faults=faults, collapse=collapse, **kwargs
+        circuit,
+        engine,
+        faults=faults,
+        collapse=collapse,
+        fault_model=fault_model,
+        **kwargs,
     ).run(patterns)
 
 
 __all__ = [
     "Engine",
     "ENGINE_CLASSES",
+    "FaultModel",
+    "FaultModelPlan",
+    "UnsupportedFaultModelError",
+    "plan_fault_model",
     "create_simulator",
     "engine_coverage",
     "FaultDictionary",
@@ -112,6 +146,7 @@ __all__ = [
     "DeductiveFaultSimulator",
     "WideFaultSimulator",
     "wide_coverage",
+    "CmosStuckOpenSimulator",
     "SequentialFaultSimulator",
     "SEQUENTIAL_ENGINE",
     "ShardedFaultSimulator",

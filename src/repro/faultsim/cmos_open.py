@@ -1,0 +1,132 @@
+"""Direct two-pattern CMOS stuck-open fault simulation (serial).
+
+The independent oracle for the enable-gadget reduction in
+:mod:`repro.faults.models`: a stuck-open transistor leaves the gate
+output floating for some inputs, so the node *retains* its previous
+value (§I-A — "the combinational patterns are no longer effective").
+Detection therefore needs an ordered pattern **pair** (V1, V2):
+
+1. V1 must *drive* the faulty gate's output (not float) — its value is
+   what the node will retain;
+2. under V2 the faulty gate must float, so its output stays at the
+   retained V1 value;
+3. that retained value must differ from the good V2 response at some
+   primary output.
+
+A pair where the output floats under V1 *too* retains an unknown value
+and is conservatively scored undetected — the same rule the composite
+gadget encodes with its ``NOT(float@V1)`` activation term, and the
+reason the differential suite can hold the two implementations to
+identical detected sets.
+
+This simulator is deliberately fault-serial and pattern-serial (one
+forced re-simulation per fault per pair) — the reference
+implementation, like :class:`~repro.faultsim.serial.SerialFaultSimulator`
+is for stuck-at.  Engine-parallel grading of the same model goes
+through the reduction, where every engine works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gates import evaluate_bool
+from ..faults.cmos import (
+    CmosStuckOpenFault,
+    all_cmos_stuck_open_faults,
+    stuck_open_floats,
+)
+
+Pattern = Mapping[str, int]
+PatternPair = Tuple[Pattern, Pattern]
+
+__all__ = ["CmosStuckOpenSimulator"]
+
+
+class CmosStuckOpenSimulator:
+    """Two-pattern serial grading of netlist-level stuck-open faults."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Optional[Sequence[CmosStuckOpenFault]] = None,
+    ) -> None:
+        if not circuit.is_combinational:
+            raise NetlistError(
+                "CmosStuckOpenSimulator grades the combinational core"
+            )
+        self.circuit = circuit
+        self.faults = (
+            list(faults)
+            if faults is not None
+            else all_cmos_stuck_open_faults(circuit)
+        )
+        self._gates = {gate.name: gate for gate in circuit.gates}
+        self._order = circuit.topological_order()
+
+    def _evaluate(
+        self,
+        pattern: Pattern,
+        force_net: Optional[str] = None,
+        force_value: int = 0,
+    ) -> Dict[str, int]:
+        values: Dict[str, int] = {
+            net: pattern.get(net, 0) for net in self.circuit.inputs
+        }
+        if force_net is not None and force_net in values:
+            values[force_net] = force_value
+        for gate in self._order:
+            value = evaluate_bool(
+                gate.kind, tuple(values[net] for net in gate.inputs)
+            )
+            if force_net == gate.output:
+                value = force_value
+            values[gate.output] = value
+        return values
+
+    def detects(self, v1: Pattern, v2: Pattern, fault: CmosStuckOpenFault) -> bool:
+        """Does the ordered (V1, V2) pair detect the stuck-open fault?"""
+        gate = self._gates[fault.gate]
+        kind = gate.kind.value
+        good1 = self._evaluate(v1)
+        good2 = self._evaluate(v2)
+        bits2 = [good2[net] for net in gate.inputs]
+        if not stuck_open_floats(kind, bits2, fault):
+            return False  # V2 drives the node: faulty value is the good one
+        bits1 = [good1[net] for net in gate.inputs]
+        if stuck_open_floats(kind, bits1, fault):
+            return False  # unknown retained charge: conservatively missed
+        retained = good1[gate.output]
+        if retained == good2[gate.output]:
+            return False
+        faulty2 = self._evaluate(v2, force_net=gate.output, force_value=retained)
+        return any(
+            good2[net] != faulty2[net] for net in self.circuit.outputs
+        )
+
+    def detected_faults(self, v1: Pattern, v2: Pattern) -> List[CmosStuckOpenFault]:
+        """All listed faults one pair detects."""
+        return [f for f in self.faults if self.detects(v1, v2, f)]
+
+    def run(self, pairs: Sequence[PatternPair]) -> Dict[CmosStuckOpenFault, int]:
+        """First-detection index per detected fault over a pair sequence."""
+        with telemetry.span(
+            "faultsim.cmos_open.run", circuit=self.circuit.name
+        ):
+            telemetry.incr("faultsim.patterns_simulated", 2 * len(pairs))
+            telemetry.incr("faultsim.faults_graded", len(self.faults))
+            first_detection: Dict[CmosStuckOpenFault, int] = {}
+            remaining = list(self.faults)
+            for index, (v1, v2) in enumerate(pairs):
+                if not remaining:
+                    break
+                still = []
+                for fault in remaining:
+                    if self.detects(v1, v2, fault):
+                        first_detection[fault] = index
+                    else:
+                        still.append(fault)
+                remaining = still
+            return first_detection

@@ -55,8 +55,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import telemetry
 from ..netlist.circuit import Circuit
-from ..faults.stuck_at import Fault, all_faults
-from ..faults.collapse import collapse_faults
+from ..faults.stuck_at import Fault
+from ..faults.models import (
+    FaultModel,
+    UnsupportedFaultModelError,
+    plan_fault_model,
+)
 from ..resilience import (
     ChaosConfig,
     FailurePolicy,
@@ -196,20 +200,31 @@ class ShardedFaultSimulator:
         self,
         circuit: Circuit,
         engine: Union[str, Any] = "parallel_pattern",
-        faults: Optional[Sequence[Fault]] = None,
+        faults: Optional[Sequence[Any]] = None,
         collapse: bool = True,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         supervision: Optional[SupervisionPolicy] = None,
         failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
         chaos: Optional[ChaosConfig] = None,
+        fault_model: Union[str, FaultModel] = FaultModel.STUCK_AT,
         **engine_kwargs: Any,
     ) -> None:
-        self.circuit = circuit
         self.engine = _engine_name(engine)
-        if faults is None:
-            faults = collapse_faults(circuit) if collapse else all_faults(circuit)
-        self.faults = list(faults)
+        model = FaultModel.coerce(fault_model)
+        if self.engine == SEQUENTIAL_ENGINE and model is not FaultModel.STUCK_AT:
+            # The scan-schedule verifier replays clock-cycle sequences on
+            # the sequential netlist; the reduction composites are
+            # combinational pattern(-pair) machines, so there is nothing
+            # sound it could grade for the other models.
+            raise UnsupportedFaultModelError(
+                f"the sequential verifier only grades stuck-at faults; "
+                f"got fault model {model.value!r}"
+            )
+        plan = plan_fault_model(circuit, model, faults=faults, collapse=collapse)
+        self.fault_model_plan = plan
+        self.circuit = plan.circuit
+        self.faults = list(plan.faults)
         self.workers = max(1, int(workers or 1))
         self.shard_count = max(1, int(shards if shards is not None else self.workers))
         self.supervision = supervision if supervision is not None else SupervisionPolicy()
@@ -556,13 +571,14 @@ def sharded_coverage(
     circuit: Circuit,
     patterns: Sequence[Pattern],
     engine: Union[str, Any] = "parallel_pattern",
-    faults: Optional[Sequence[Fault]] = None,
+    faults: Optional[Sequence[Any]] = None,
     collapse: bool = True,
     workers: int = 1,
     shards: Optional[int] = None,
     supervision: Optional[SupervisionPolicy] = None,
     failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
     chaos: Optional[ChaosConfig] = None,
+    fault_model: Union[str, FaultModel] = FaultModel.STUCK_AT,
     **engine_kwargs: Any,
 ) -> CoverageReport:
     """One-call sharded fault simulation (mirrors ``engine_coverage``)."""
@@ -576,5 +592,6 @@ def sharded_coverage(
         supervision=supervision,
         failure_policy=failure_policy,
         chaos=chaos,
+        fault_model=fault_model,
         **engine_kwargs,
     ).run(patterns)

@@ -50,8 +50,11 @@ __all__ = [
 #: the canonical form so stale store entries can never alias new ones.
 HASH_SCHEMA = "repro.structural-hash/1"
 
-#: Version tag folded into every cache key.
-CACHE_KEY_SCHEMA = "repro.cache-key/1"
+#: Version tag folded into every cache key.  v2 added the fault-model
+#: axis: keys now include ``fault_model`` unconditionally, so rows
+#: written for different models can never alias (and pre-v2 rows are
+#: naturally orphaned rather than mis-served).
+CACHE_KEY_SCHEMA = "repro.cache-key/2"
 
 
 def canonical_form(circuit: Circuit) -> Dict[str, Any]:
@@ -99,6 +102,7 @@ def cache_key(
     engine: Any,
     seed: int = 0,
     params: Optional[Mapping[str, Any]] = None,
+    fault_model: Any = "stuck_at",
 ) -> str:
     """Content address for one deterministic run over ``circuit``.
 
@@ -107,16 +111,24 @@ def cache_key(
     every knob that can change the run's deterministic output (flow
     name, ATPG method, random-phase budget, fault limits, ...); a
     non-serializable value raises ``ValueError`` rather than silently
-    producing an unstable key.  Keys are equal exactly when structure,
-    circuit name, engine, seed, and params all agree.
+    producing an unstable key.  ``fault_model`` (a
+    :class:`repro.faults.FaultModel` member or its string value) is a
+    first-class axis of run identity — the same circuit graded under
+    different models produces different results — and is folded in
+    unconditionally, so the default-model key is byte-for-byte the
+    explicit ``"stuck_at"`` key.  Keys are equal exactly when
+    structure, circuit name, engine, seed, fault model, and params all
+    agree.
     """
     engine_name = getattr(engine, "value", engine)
+    model_name = getattr(fault_model, "value", fault_model)
     payload = {
         "schema": CACHE_KEY_SCHEMA,
         "structure": structural_hash(circuit),
         "circuit": circuit.name,
         "engine": str(engine_name),
         "seed": seed,
+        "fault_model": str(model_name),
         "params": dict(params) if params else {},
     }
     try:

@@ -28,6 +28,7 @@ from .. import telemetry
 from ..netlist.circuit import Circuit
 from ..atpg.api import generate_tests, TestGenerationResult
 from ..faults.collapse import collapse_faults
+from ..faults.models import FaultModel, UnsupportedFaultModelError
 from ..faultsim.sharded import SEQUENTIAL_ENGINE, ShardedFaultSimulator
 from ..faultsim.coverage import CoverageReport, sample_fault_list
 from ..economics.overhead import scan_test_data_volume
@@ -148,6 +149,7 @@ def full_scan_flow(
     supervision: Optional["SupervisionPolicy"] = None,
     failure_policy: str = "raise",
     chaos: Optional["ChaosConfig"] = None,
+    fault_model: str = "stuck_at",
 ) -> FullScanResult:
     """Scan-insert, ATPG the core, schedule, and (optionally) verify.
 
@@ -165,7 +167,34 @@ def full_scan_flow(
     executors' fault tolerance (see :mod:`repro.resilience`); any
     permanent quarantine/degradation shows up in the manifest's
     ``failures`` section.
+
+    ``fault_model`` passes through to the core ATPG.  The scan flow's
+    capability matrix is narrower than the core's: the sequential
+    verifier replays shift/capture cycles against *stuck-at* faults on
+    the scanned netlist, so ``"bridging"`` requires ``verify=False``
+    (core patterns are generated for the bridging universe but cannot
+    be sequentially re-verified against it), and the two-frame models
+    (``"transition"``, ``"cmos_stuck_open"``) are rejected outright —
+    their composite patterns are ordered vector *pairs*, which this
+    single-capture scan protocol cannot apply.  Both violations raise
+    :class:`repro.faults.UnsupportedFaultModelError` before any work
+    runs.
     """
+    model = FaultModel.coerce(fault_model)
+    if model in (FaultModel.TRANSITION, FaultModel.CMOS_STUCK_OPEN):
+        raise UnsupportedFaultModelError(
+            f"full_scan_flow cannot apply {model.value!r} tests: the "
+            f"two-frame composite patterns are ordered vector pairs, "
+            f"but the scan protocol applies one capture per load "
+            f"(launch-off-shift/capture scheduling is not implemented)"
+        )
+    if model is not FaultModel.STUCK_AT and verify:
+        raise UnsupportedFaultModelError(
+            f"full_scan_flow sequential verification grades stuck-at "
+            f"faults on the scanned netlist and cannot re-verify "
+            f"{model.value!r} tests; pass verify=False to run the core "
+            f"ATPG under this model unverified"
+        )
     design = insert_scan(circuit)
     core = circuit.combinational_core()
     verifier: Optional[ShardedFaultSimulator] = None
@@ -183,6 +212,7 @@ def full_scan_flow(
                     supervision=supervision,
                     failure_policy=failure_policy,
                     chaos=chaos,
+                    fault_model=model,
                 )
             with telemetry.span("scan.phase.schedule"):
                 schedule = schedule_scan_tests(
@@ -247,6 +277,11 @@ def full_scan_flow(
         },
         workers=verifier.workers_section() if verifier is not None else None,
         failures=verifier.failures_section() if verifier is not None else None,
+        fault_model=(
+            core_tests.fault_model_plan.section()
+            if core_tests.fault_model_plan is not None
+            else None
+        ),
     )
     return FullScanResult(
         design=design,

@@ -392,6 +392,11 @@ _REQUIRED_SHARD_KEYS = ("shard", "faults", "duration_s", "counters")
 # aborting the run (see repro.resilience.FailureRecord).
 _REQUIRED_FAILURE_KEYS = ("site", "error", "digest", "attempts", "action")
 
+# Optional ``fault_model`` section (see repro.faults.FaultModelPlan):
+# which model the run graded and, for reduced models, the shape of the
+# composite-circuit reduction it ran on.
+_REQUIRED_FAULT_MODEL_KEYS = ("model", "faults", "reduction")
+
 
 @dataclass
 class RunManifest:
@@ -417,6 +422,13 @@ class RunManifest:
     run.  Each row carries ``{"site", "error", "digest", "attempts",
     "action"}`` (plus free-form ``message``/``detail``); a validated
     manifest without this section is a run in which nothing was lost.
+
+    ``fault_model`` is the optional fault-model section (present when a
+    flow resolved its fault universe through
+    :func:`repro.faults.plan_fault_model`): ``{"model", "faults",
+    "reduction"}`` where ``reduction`` is ``None`` for plain stuck-at
+    and otherwise records the composite-circuit rewrite the run graded
+    on (gate counts, two-pattern flag, per-model universe details).
     """
 
     flow: str
@@ -430,6 +442,7 @@ class RunManifest:
     stats: Dict[str, Any] = field(default_factory=dict)
     workers: Optional[Dict[str, Any]] = None
     failures: Optional[List[Dict[str, Any]]] = None
+    fault_model: Optional[Dict[str, Any]] = None
     schema: str = MANIFEST_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -450,6 +463,8 @@ class RunManifest:
             data["workers"] = dict(self.workers)
         if self.failures is not None:
             data["failures"] = [dict(row) for row in self.failures]
+        if self.fault_model is not None:
+            data["fault_model"] = dict(self.fault_model)
         return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -475,6 +490,11 @@ class RunManifest:
             failures=(
                 [dict(row) for row in data["failures"]]
                 if data.get("failures") is not None
+                else None
+            ),
+            fault_model=(
+                dict(data["fault_model"])
+                if data.get("fault_model") is not None
                 else None
             ),
             schema=data.get("schema", MANIFEST_SCHEMA),
@@ -535,6 +555,18 @@ def validate_manifest(data: Dict[str, Any]) -> Dict[str, Any]:
                     f"manifest shard row {row.get('shard')!r} missing keys: "
                     f"{missing_keys}"
                 )
+    fault_model = data.get("fault_model")
+    if fault_model is not None:
+        if not isinstance(fault_model, dict):
+            raise ValueError(
+                f"manifest fault_model section must be an object, got "
+                f"{type(fault_model).__name__}"
+            )
+        absent = [k for k in _REQUIRED_FAULT_MODEL_KEYS if k not in fault_model]
+        if absent:
+            raise ValueError(
+                f"manifest fault_model section missing keys: {absent}"
+            )
     failures = data.get("failures")
     if failures is not None:
         if not isinstance(failures, list):

@@ -4,6 +4,7 @@ import itertools
 
 import pytest
 
+from repro import telemetry
 from repro.circuits import c17, ripple_carry_adder
 from repro.faults import (
     BridgeKind,
@@ -12,9 +13,11 @@ from repro.faults import (
     cmos_nand2,
     cmos_nor2,
     find_two_pattern_test,
+    fresh_net_name,
     random_bridges,
     single_pattern_detects,
 )
+from repro.netlist import Circuit, GateType
 from repro.sim import LogicSimulator
 
 
@@ -22,6 +25,28 @@ class TestBridgingFaults:
     def test_same_net_rejected(self):
         with pytest.raises(ValueError):
             BridgingFault("a", "a", BridgeKind.WIRED_AND)
+
+    def test_unordered_pair_is_one_fault(self):
+        """(a, b) and (b, a) are the same defect: same fields, hash, name."""
+        forward = BridgingFault("G10", "G19", BridgeKind.WIRED_AND)
+        reverse = BridgingFault("G19", "G10", BridgeKind.WIRED_AND)
+        assert forward == reverse
+        assert hash(forward) == hash(reverse)
+        assert forward.name == reverse.name
+        assert (forward.net_a, forward.net_b) == ("G10", "G19")
+        assert len({forward, reverse}) == 1
+
+    def test_reversed_bridge_builds_identical_circuit(self):
+        circuit = c17()
+        forward = apply_bridging_fault(
+            circuit, BridgingFault("G10", "G19", BridgeKind.WIRED_OR)
+        )
+        reverse = apply_bridging_fault(
+            circuit, BridgingFault("G19", "G10", BridgeKind.WIRED_OR)
+        )
+        from repro.netlist import structural_hash
+
+        assert structural_hash(forward) == structural_hash(reverse)
 
     def test_wired_and_semantics(self):
         circuit = c17()
@@ -54,6 +79,77 @@ class TestBridgingFaults:
         for bridge in random_bridges(circuit, 25, seed=3):
             # must not raise
             apply_bridging_fault(circuit, bridge)
+
+    def test_random_bridges_are_distinct(self):
+        """The sample is duplicate-free even across (a,b)/(b,a) spellings."""
+        circuit = ripple_carry_adder(4)
+        bridges = random_bridges(circuit, 30, seed=11)
+        assert len(bridges) == 30
+        assert len(set(bridges)) == 30
+
+    def test_random_bridges_undercount_raises(self):
+        """Asking for more distinct bridges than exist must not silently
+        return a short (biased) sample."""
+        circuit = c17()
+        with pytest.raises(ValueError, match="allow_fewer"):
+            random_bridges(circuit, 10_000, seed=0)
+
+    def test_random_bridges_allow_fewer_counts_the_shortfall(self):
+        circuit = c17()
+        with telemetry.capture() as session:
+            bridges = random_bridges(circuit, 10_000, seed=0, allow_fewer=True)
+        assert 0 < len(bridges) < 10_000
+        assert len(set(bridges)) == len(bridges)
+        undercount = session.counters.get("faults.bridges.undercount", 0)
+        assert undercount == 10_000 - len(bridges)
+
+    def test_wired_net_name_never_collides(self):
+        """A pre-existing ``__bridge_a_b`` net must not capture the
+        gadget's wired output."""
+        circuit = Circuit("collide")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate(GateType.AND, ["a", "b"], "__bridge_a_b", "g0")
+        circuit.add_output("__bridge_a_b")
+        fault = BridgingFault("a", "b", BridgeKind.WIRED_OR)
+        faulty = apply_bridging_fault(circuit, fault)
+        faulty.validate()
+        assert "__bridge_a_b_" in faulty.nets()
+        sim = LogicSimulator(faulty)
+        for a, bit in itertools.product((0, 1), repeat=2):
+            # every reader sees a|b, so the AND computes (a|b)&(a|b)
+            wired = a | bit
+            assert sim.outputs({"a": a, "b": bit}) == {
+                "__bridge_a_b": wired & wired
+            }
+
+    def test_fresh_net_name_avoids_gate_names_too(self):
+        circuit = Circuit("named")
+        circuit.add_input("a")
+        circuit.add_gate(GateType.BUF, ["a"], "x", "taken")
+        circuit.add_output("x")
+        assert fresh_net_name(circuit, "taken") == "taken_"
+        assert fresh_net_name(circuit, "free") == "free"
+
+    def test_bridge_between_two_primary_outputs(self):
+        """Both bridged nets are POs: the output list must stay
+        duplicate-free while both pins read the wired value."""
+        circuit = Circuit("po2")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.buf("a", "x", name="bx")
+        circuit.buf("b", "y", name="by")
+        circuit.add_output("x")
+        circuit.add_output("y")
+        fault = BridgingFault("x", "y", BridgeKind.WIRED_AND)
+        faulty = apply_bridging_fault(circuit, fault)
+        faulty.validate()
+        assert len(faulty.outputs) == 2
+        assert len(set(faulty.outputs)) == 2
+        sim = LogicSimulator(faulty)
+        for a, bit in itertools.product((0, 1), repeat=2):
+            values = list(sim.outputs({"a": a, "b": bit}).values())
+            assert values == [a & bit, a & bit]
 
     def test_stuck_at_tests_catch_most_bridges(self):
         """The §I-A observation: high stuck-at coverage covers bridges."""

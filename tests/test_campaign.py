@@ -172,6 +172,66 @@ class TestRunner:
         assert runner.status()["completed"] == 0
 
 
+class TestFaultModelAxis:
+    MODELS = ["stuck_at", "bridging", "transition"]
+
+    def test_axis_expands_and_ids_carry_the_model(self):
+        spec = tiny_spec(seeds=[0], fault_models=self.MODELS)
+        cells = spec.cells()
+        assert [cell.fault_model for cell in cells] == self.MODELS
+        assert cells[1].cell_id == "c17:atpg:parallel_pattern:bridging:0"
+
+    def test_full_scan_cells_skip_non_stuck_at(self):
+        spec = tiny_spec(
+            workloads=["shift_register4"], seeds=[0], fault_models=self.MODELS
+        )
+        cells, skipped = spec.expand()
+        assert [cell.fault_model for cell in cells] == ["stuck_at"]
+        assert sorted(cell.fault_model for cell in skipped) == [
+            "bridging",
+            "transition",
+        ]
+
+    def test_unknown_fault_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            tiny_spec(fault_models=["delay"])
+
+    def test_spec_round_trips_fault_models(self):
+        spec = tiny_spec(fault_models=self.MODELS)
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt.fault_models == self.MODELS
+        # pre-axis spec dicts (no fault_models key) default to stuck_at
+        legacy = {k: v for k, v in spec.to_dict().items()
+                  if k != "fault_models"}
+        assert CampaignSpec.from_dict(legacy).fault_models == ["stuck_at"]
+
+    def test_cache_key_separates_models(self):
+        keys = {
+            cell_cache_key(
+                CampaignCell("c17", "atpg", "serial", 0, fault_model=model), {}
+            )
+            for model in self.MODELS
+        }
+        assert len(keys) == 3
+        # the default-model cell key equals the explicit stuck_at key
+        assert cell_cache_key(CampaignCell("c17", "atpg", "serial", 0), {}) in keys
+
+    def test_multi_model_warm_run_is_byte_identical_and_workless(self, tmp_path):
+        spec = tiny_spec(seeds=[0], fault_models=self.MODELS)
+        cold = CampaignRunner(spec, tmp_path / "store").run()
+        assert (cold.hits, cold.misses) == (0, 3)
+        assert cold.finished
+        warm = CampaignRunner(spec, tmp_path / "store").run()
+        assert (warm.hits, warm.misses) == (3, 0)
+        assert fault_sim_counters(warm.manifest) == []
+        assert warm.summary == cold.summary
+        for before, after in zip(cold.results, warm.results):
+            assert after.cell == before.cell
+            assert after.patterns == before.patterns
+            assert after.manifest.to_dict() == before.manifest.to_dict()
+            assert after.manifest.fault_model["model"] == before.cell.fault_model
+
+
 class TestCorruptionRobustness:
     def test_corrupt_artifact_is_quarantined_and_recomputed(self, tmp_path):
         """Satellite regression: a corrupt on-disk artifact must be

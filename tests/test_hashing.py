@@ -176,3 +176,25 @@ class TestCacheKey:
     def test_unserializable_params_raise(self):
         with pytest.raises(ValueError, match="JSON-serializable"):
             cache_key(c17(), "serial", 0, {"bad": object()})
+
+    def test_fault_model_is_a_key_axis(self):
+        circuit = c17()
+        base = cache_key(circuit, "serial", 0, {"flow": "atpg"})
+        keys = {
+            model: cache_key(
+                circuit, "serial", 0, {"flow": "atpg"}, fault_model=model
+            )
+            for model in ("stuck_at", "bridging", "transition",
+                          "cmos_stuck_open")
+        }
+        # distinct per model, and the default IS the explicit stuck_at key
+        assert len(set(keys.values())) == 4
+        assert keys["stuck_at"] == base
+
+    def test_fault_model_enum_and_string_agree(self):
+        from repro.faults import FaultModel
+
+        circuit = c17()
+        assert cache_key(
+            circuit, "serial", 0, fault_model=FaultModel.BRIDGING
+        ) == cache_key(circuit, "serial", 0, fault_model="bridging")
