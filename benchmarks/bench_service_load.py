@@ -1,0 +1,406 @@
+"""Campaign-service load benchmark: dedupe under concurrent tenants.
+
+The service's economic claim is that N tenants asking for the same
+fault-grading work should cost ~1 execution, not N.  This benchmark
+simulates hundreds of concurrent submissions (a mix of duplicates and
+fresh specs) against one in-process daemon and pins:
+
+1. **Dedupe exactness** — the daemon performs exactly one cold
+   execution per *unique* cell, no matter how many tenants race; every
+   other slot is a warm hit or an attach to the in-flight execution.
+2. **Byte identity** — every tenant's copy of a cell's artifact is
+   byte-identical, whether it was served cold, warm, or shared.
+3. **Dedupe multiplier** — requested cell-slots / cold executions,
+   the work-collapse factor concurrent duplicate traffic achieves.
+   This is a deterministic count ratio, not a wall-clock figure.
+4. **LRU safety under pressure** — rerunning the same load with a
+   store budget ~1/3 of the working set forces evictions mid-traffic,
+   and every job still completes with full byte-identical payloads
+   (in-flight artifacts are pinned, never evicted), while the store
+   ends bounded (the ``lru-bound`` ratio: unbounded / bounded bytes).
+
+Both ratios are checked against the committed baseline trajectory
+``BENCH_service_load.json`` at the repo root (schema
+``repro.bench-trajectory/1``); ``--update-baseline`` rewrites it.
+
+Run standalone (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py \
+        [--quick] [--update-baseline]
+
+or through pytest, which executes the quick configuration.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import print_table
+
+from repro import bench_trajectory
+from repro.campaign import CampaignSpec
+from repro.service import CampaignService, ServiceClient, ServiceConfig
+from repro.telemetry import validate_manifest
+
+#: Every unique spec is submitted this many times, so the dedupe
+#: multiplier gate is a deterministic count ratio (identical in quick
+#: and full mode) rather than a timing.
+DUPLICATES_PER_UNIQUE = 25
+MIN_DEDUPE_MULTIPLIER = 10.0
+MIN_LRU_BOUND = 2.0
+CLIENT_THREADS = 16
+
+BASELINE_PATH = bench_trajectory.default_baseline_path(
+    "service_load", start=os.path.dirname(os.path.abspath(__file__))
+)
+
+
+def unique_spec(seed):
+    """One single-cell campaign spec; distinct per seed."""
+    return CampaignSpec(
+        name=f"svc-load-{seed}",
+        workloads=["c17"],
+        engines=["parallel_pattern"],
+        seeds=[seed],
+        flows=["auto"],
+        params={"method": "podem", "random_phase": 4},
+    )
+
+
+class DaemonThread:
+    """One in-process daemon on a background thread (real sockets)."""
+
+    def __init__(self, config):
+        self.config = config
+        self.service = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._amain())
+
+    async def _amain(self):
+        self.loop = asyncio.get_running_loop()
+        self.service = CampaignService(self.config)
+        await self.service.start()
+        self._ready.set()
+        await self.service.serve_until_stopped()
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise SystemExit("service daemon did not start")
+        host, port = self.service.address
+        return ServiceClient(host=host, port=port, timeout=600), self.service
+
+    def __exit__(self, *exc):
+        self.loop.call_soon_threadsafe(self.service.request_stop)
+        self._thread.join(timeout=120)
+        if self._thread.is_alive():
+            raise SystemExit("service daemon did not drain")
+
+
+def canonical_bytes(payload):
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def deterministic_bytes(payload):
+    """Canonical bytes with wall-clock fields stripped.
+
+    Artifacts served from one execution (cold, warm hit, shared) must
+    be *strictly* byte-identical — that is :func:`canonical_bytes`.
+    But an artifact recomputed after eviction is a fresh execution: its
+    results are bit-reproducible while its ``duration_s`` timings are
+    not, so cross-execution identity compares everything else.
+    """
+    def strip(node):
+        if isinstance(node, dict):
+            return {
+                key: strip(value)
+                for key, value in node.items()
+                if key != "duration_s"
+            }
+        if isinstance(node, list):
+            return [strip(item) for item in node]
+        return node
+
+    return json.dumps(strip(payload), sort_keys=True).encode("utf-8")
+
+
+def run_load(client, specs, submissions):
+    """Fire ``submissions`` concurrent submits round-robin over specs.
+
+    Returns ``(outcomes, per-key set of distinct payload bytes,
+    elapsed seconds)``.
+    """
+    def submit(index):
+        spec = specs[index % len(specs)]
+        return client.submit(
+            spec, tenant=f"tenant-{index % 7}", return_payloads=True
+        )
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        outcomes = list(pool.map(submit, range(submissions)))
+    elapsed = time.perf_counter() - start
+
+    payload_bytes = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise SystemExit(
+                f"job {outcome.job_id} failed: {outcome.done}"
+            )
+        for key, payload in outcome.payloads().items():
+            payload_bytes.setdefault(key, set()).add(
+                canonical_bytes(payload)
+            )
+    return outcomes, payload_bytes, elapsed
+
+
+def measure_dedupe(unique, store_root):
+    """The unbounded-store storm: exact dedupe + byte identity gates."""
+    specs = [unique_spec(seed) for seed in range(unique)]
+    submissions = unique * DUPLICATES_PER_UNIQUE
+    config = ServiceConfig(store_root=store_root, max_retries=0)
+    with DaemonThread(config) as (client, service):
+        outcomes, payload_bytes, elapsed = run_load(
+            client, specs, submissions
+        )
+        stats = service.stats
+        naive_bytes = service.store.size_bytes()
+
+    if stats.misses != unique:
+        raise SystemExit(
+            f"DEDUPE FAILURE: {stats.misses} cold executions for "
+            f"{unique} unique cells"
+        )
+    torn = {key for key, blobs in payload_bytes.items() if len(blobs) != 1}
+    if torn or len(payload_bytes) != unique:
+        raise SystemExit(
+            f"BYTE-IDENTITY FAILURE: {len(payload_bytes)} keys, "
+            f"non-identical payloads for {sorted(torn)}"
+        )
+    multiplier = stats.cells / stats.misses
+    print_table(
+        f"Dedupe under load ({submissions} submissions, {unique} unique "
+        f"cells, {CLIENT_THREADS} client threads)",
+        ["metric", "value"],
+        [
+            ("jobs", stats.jobs),
+            ("cell slots requested", stats.cells),
+            ("cold executions (misses)", stats.misses),
+            ("warm hits", stats.hits),
+            ("shared (attached in-flight)", stats.shared),
+            ("dedupe multiplier", f"{multiplier:.1f}x"),
+            ("wall clock", f"{elapsed:.2f}s"),
+            ("jobs/sec", f"{submissions / elapsed:.0f}"),
+        ],
+    )
+    if multiplier < MIN_DEDUPE_MULTIPLIER:
+        raise SystemExit(
+            f"dedupe multiplier {multiplier:.1f}x below the required "
+            f"{MIN_DEDUPE_MULTIPLIER}x"
+        )
+    expected = {}
+    for outcome in outcomes:
+        for key, payload in outcome.payloads().items():
+            expected[key] = deterministic_bytes(payload)
+    return multiplier, naive_bytes, expected
+
+
+def measure_lru_bound(unique, naive_bytes, expected, store_root):
+    """A 3x-working-set storm under a ~1/3 budget.
+
+    The dedupe storm keeps its few keys pinned nearly the whole run
+    (every submission holds its cells until streamed), so nothing is
+    evictable there — correctly.  Real pressure needs keys that *go
+    cold*: this phase streams 3x ``unique`` fresh specs through the
+    daemon in two passes with a small client pool, under a budget of
+    roughly one pass-third of the working set.  Old unpinned artifacts
+    must be evicted mid-traffic, every job must still complete, and
+    every payload — cold, warm hit, or recomputed-after-eviction —
+    must be byte-identical per key (and, for the seeds shared with the
+    unbounded run, identical to *that* run's bytes too).
+    """
+    working = 3 * unique
+    specs = [unique_spec(seed) for seed in range(working)]
+    submissions = 2 * working  # every spec twice: early + late pass
+    per_artifact = max(1, naive_bytes // unique)
+    budget = naive_bytes  # holds ~unique of the 3*unique artifacts
+    config = ServiceConfig(
+        store_root=store_root, max_retries=0, size_budget_bytes=budget
+    )
+    with DaemonThread(config) as (client, service):
+        def submit(index):
+            return client.submit(
+                specs[index % working],
+                tenant=f"tenant-{index % 7}",
+                return_payloads=True,
+            )
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(submit, range(submissions)))
+        elapsed = time.perf_counter() - start
+        evicted = service.store.stats.evicted
+        bounded_bytes = service.store.size_bytes()
+
+    payload_bytes = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise SystemExit(f"job {outcome.job_id} failed: {outcome.done}")
+        for key, payload in outcome.payloads().items():
+            payload_bytes.setdefault(key, set()).add(
+                deterministic_bytes(payload)
+            )
+    if evicted == 0:
+        raise SystemExit(
+            f"LRU pressure too low: budget {budget} evicted nothing"
+        )
+    for key, blobs in payload_bytes.items():
+        if len(blobs) != 1 or (key in expected and blobs != {expected[key]}):
+            raise SystemExit(
+                f"LRU BYTE-IDENTITY FAILURE on {key}: payloads diverged "
+                f"across cold/hit/recomputed serves"
+            )
+    # One artifact of slack: the final put's enforcement pass may run
+    # while a handful of still-streaming keys are legitimately pinned.
+    if bounded_bytes > budget + per_artifact:
+        raise SystemExit(
+            f"store ended at {bounded_bytes} bytes, over the {budget} "
+            f"byte budget"
+        )
+    naive_working_bytes = working * per_artifact
+    bound_ratio = naive_working_bytes / max(1, bounded_bytes)
+    print_table(
+        f"LRU-bounded storm ({working} fresh cells x2 passes, "
+        f"budget {budget} bytes = working set/3)",
+        ["metric", "value"],
+        [
+            ("working-set bytes (unbounded)", naive_working_bytes),
+            ("bounded store bytes", bounded_bytes),
+            ("bound ratio", f"{bound_ratio:.1f}x"),
+            ("evictions", evicted),
+            ("wall clock", f"{elapsed:.2f}s"),
+        ],
+    )
+    if bound_ratio < MIN_LRU_BOUND:
+        raise SystemExit(
+            f"bound ratio {bound_ratio:.1f}x below the required "
+            f"{MIN_LRU_BOUND}x"
+        )
+    return bound_ratio
+
+
+def check_manifest(store_root, unique):
+    """The daemon's drain manifest is the numbers' source of truth."""
+    path = os.path.join(store_root, "service", "manifest.json")
+    with open(path, "r", encoding="utf-8") as stream:
+        manifest = json.load(stream)
+    validate_manifest(manifest)
+    dedupe = manifest["service"]["dedupe"]
+    if dedupe["misses"] != unique:
+        raise SystemExit(f"manifest disagrees with the run: {dedupe}")
+    print(
+        f"service manifest OK: jobs={manifest['service']['jobs']} "
+        f"dedupe={dedupe}"
+    )
+
+
+def check_baseline(results, update):
+    """Regression-check (or rewrite) the committed trajectory."""
+    if update:
+        if os.path.exists(BASELINE_PATH):
+            data = bench_trajectory.load_trajectory(BASELINE_PATH)
+        else:
+            data = bench_trajectory.new_trajectory("service_load")
+        for label, circuit, workload, figure, min_gate in results:
+            bench_trajectory.update_entry(
+                data, label, circuit, workload, figure, min_gate
+            )
+        bench_trajectory.save_trajectory(BASELINE_PATH, data)
+        print(f"baseline updated: {BASELINE_PATH}")
+        return
+    if not os.path.exists(BASELINE_PATH):
+        raise SystemExit(
+            f"missing baseline trajectory {BASELINE_PATH}; run with "
+            f"--update-baseline to record one"
+        )
+    data = bench_trajectory.load_trajectory(BASELINE_PATH)
+    for label, _, _, figure, _ in results:
+        try:
+            entry, floor = bench_trajectory.check_entry(data, label, figure)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            f"baseline OK: {label} at {figure:.2f}x "
+            f"(committed {entry['speedup']:.2f}x, floor {floor:.2f}x)"
+        )
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI configuration: fewer unique cells, same dedupe ratio",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=f"rewrite {os.path.basename(BASELINE_PATH)} from this run",
+    )
+    args = parser.parse_args(argv)
+
+    unique = 4 if args.quick else 8
+    mode = "quick" if args.quick else "full"
+    submissions = unique * DUPLICATES_PER_UNIQUE
+    workload = {
+        "unique_cells": unique,
+        "submissions": submissions,
+        "client_threads": CLIENT_THREADS,
+        "circuit": "c17",
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+        cold_store = os.path.join(tmp, "store-unbounded")
+        multiplier, naive_bytes, expected = measure_dedupe(
+            unique, cold_store
+        )
+        check_manifest(cold_store, unique)
+        bound_ratio = measure_lru_bound(
+            unique,
+            naive_bytes,
+            expected,
+            os.path.join(tmp, "store-bounded"),
+        )
+
+    check_baseline(
+        [
+            (
+                f"dedupe-multiplier/{mode}", "c17", workload,
+                multiplier, MIN_DEDUPE_MULTIPLIER,
+            ),
+            (
+                f"lru-bound/{mode}", "c17",
+                dict(workload, budget="unbounded/3"),
+                bound_ratio, MIN_LRU_BOUND,
+            ),
+        ],
+        args.update_baseline,
+    )
+    print("service load benchmark OK")
+    return 0
+
+
+def test_service_load():
+    main(["--quick"])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,110 @@
+"""Campaign-service smoke: two tenants, one execution, clean SIGTERM.
+
+Starts the real daemon (``python -m repro serve``) as a subprocess,
+submits the built-in demo spec from two concurrent clients, and
+asserts the service contract end to end:
+
+* exactly one fault-simulation execution per unique cell (the second
+  tenant attaches to in-flight work or reads the store — dedupe
+  through ``cache_key``);
+* both tenants receive byte-identical artifacts;
+* SIGTERM drains the queue and exits 0, leaving a validated service
+  manifest and no ready file behind.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python examples/serve_smoke.py
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.campaign import demo_spec
+from repro.service import ServiceClient, wait_for_ready
+from repro.telemetry import validate_manifest
+
+
+def canonical(payloads):
+    return {
+        key: json.dumps(value, sort_keys=True).encode("utf-8")
+        for key, value in payloads.items()
+    }
+
+
+def main():
+    spec = demo_spec()
+    unique_cells = len(spec.cells())
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        store = Path(tmp) / "store"
+        ready = Path(tmp) / "ready.json"
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(store),
+                "--ready-file", str(ready),
+                "--retries", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            info = wait_for_ready(ready, timeout=60)
+            print(f"daemon up: pid={info['pid']} port={info['port']}")
+            client = ServiceClient(host=info["host"], port=info["port"])
+
+            def submit(tenant):
+                return client.submit(spec, tenant=tenant,
+                                     return_payloads=True)
+
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                alice, bob = pool.map(submit, ["alice", "bob"])
+
+            for tenant, outcome in (("alice", alice), ("bob", bob)):
+                assert outcome.ok, f"{tenant} failed: {outcome.done}"
+                print(
+                    f"{tenant}: hits={outcome.done['hits']} "
+                    f"misses={outcome.done['misses']} "
+                    f"shared={outcome.done['shared']}"
+                )
+            executions = alice.done["misses"] + bob.done["misses"]
+            assert executions == unique_cells, (
+                f"{executions} executions for {unique_cells} unique cells "
+                "— dedupe failed"
+            )
+            assert canonical(alice.payloads()) == canonical(bob.payloads()), (
+                "tenants received different artifacts"
+            )
+            print(f"dedupe OK: {unique_cells} executions served both tenants")
+
+            daemon.send_signal(signal.SIGTERM)
+            output, _ = daemon.communicate(timeout=120)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=30)
+
+        assert daemon.returncode == 0, (
+            f"daemon exited {daemon.returncode}:\n{output}"
+        )
+        assert "[serve] drained:" in output, output
+        assert not ready.exists(), "ready file not removed on exit"
+        manifest_path = store / "service" / "manifest.json"
+        with open(manifest_path, "r", encoding="utf-8") as stream:
+            manifest = json.load(stream)
+        validate_manifest(manifest)
+        dedupe = manifest["service"]["dedupe"]
+        assert dedupe["misses"] == unique_cells, dedupe
+        assert manifest["service"]["jobs"] == 2, manifest["service"]
+        print(f"SIGTERM drain OK: exit 0, manifest dedupe={dedupe}")
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 """Command-line front door: ``python -m repro``.
 
-Currently one command family, ``campaign``, exposing the resumable
-store-backed orchestrator (:mod:`repro.campaign`):
+Two command families: ``campaign``, exposing the resumable
+store-backed orchestrator (:mod:`repro.campaign`), and ``serve``, the
+long-running multi-tenant campaign daemon (:mod:`repro.service`):
 
 ``python -m repro campaign run [--spec FILE] [--store DIR] [--workers N]``
     Run (or resume) a campaign.  Without ``--spec`` the built-in demo
@@ -19,14 +20,26 @@ store-backed orchestrator (:mod:`repro.campaign`):
     Show completed/pending/failed cells from the checkpoint without
     running (a corrupt checkpoint is rebuilt from the store).
 
-``python -m repro campaign clean [--store DIR] [--spec FILE]``
-    Evict every stored artifact and drop the campaign's state files.
+``python -m repro campaign clean [--store DIR] [--spec FILE] [--purge-store]``
+    Evict this campaign's own artifacts and drop its state files.
+    Stores are shared between campaigns and tenants, so only the
+    spec's cell cache keys are evicted; ``--purge-store`` restores the
+    old wipe-everything behaviour.
+
+``python -m repro serve [--store DIR] [--port N] [--size-budget BYTES] ...``
+    Run the multi-tenant campaign daemon: clients submit campaign
+    specs over a local socket (see :mod:`repro.service`), identical
+    submissions dedupe onto one execution through ``cache_key``,
+    results stream back incrementally, and the store is kept bounded
+    by LRU eviction under ``--size-budget``.  SIGTERM/SIGINT drain the
+    queue and exit 0.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .campaign import CampaignRunner, CampaignSpec, demo_spec
@@ -116,8 +129,99 @@ def build_parser() -> argparse.ArgumentParser:
     status = actions.add_parser("status", help="show checkpoint progress")
     _add_common(status)
 
-    clean = actions.add_parser("clean", help="evict the store + state")
+    clean = actions.add_parser(
+        "clean", help="evict this campaign's artifacts + state"
+    )
     _add_common(clean)
+    clean.add_argument(
+        "--purge-store",
+        action="store_true",
+        help="wipe EVERY artifact in the store, not just this "
+        "campaign's cells (the store may be shared with other "
+        "campaigns and tenants)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant campaign daemon"
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE,
+        help=f"shared result store directory (default: {DEFAULT_STORE})",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="TCP port (default: 0 = pick a free port; discover it "
+        "via --ready-file)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        metavar="FILE",
+        help="write {host, port, pid, store} JSON here once listening "
+        "(default: <store>/service.json)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fork-shard each cell's fault simulation across N "
+        "processes (default: 1)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="R",
+        help="retry a failing cell up to R times before recording the "
+        "failure (default: 0)",
+    )
+    serve.add_argument(
+        "--failure-policy",
+        choices=("raise", "quarantine", "degrade"),
+        default="quarantine",
+        help="'quarantine'/'degrade' fail only the poisoned cell and "
+        "keep serving; 'raise' aborts the submitting job after the "
+        "first failed cell (the daemon never dies); default: quarantine",
+    )
+    serve.add_argument(
+        "--size-budget",
+        type=int,
+        metavar="BYTES",
+        help="LRU-evict oldest artifacts once the store exceeds this "
+        "many bytes (in-flight jobs' artifacts are never evicted; "
+        "default: unbounded)",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        metavar="BYTES",
+        help="reject submissions from tenants whose cold executions "
+        "have already been charged this many artifact bytes "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--index-max-bytes",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="rotate the store's index.jsonl journal past this size "
+        "(default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--quarantine-max-files",
+        type=int,
+        default=64,
+        metavar="N",
+        help="keep at most N quarantined corpses (default: 64)",
+    )
 
     return parser
 
@@ -125,6 +229,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        from .service import ServiceConfig, run_service
+
+        ready_file = args.ready_file or str(Path(args.store) / "service.json")
+        config = ServiceConfig(
+            store_root=args.store,
+            host=args.host,
+            port=args.port,
+            workers=max(1, args.workers),
+            max_retries=max(0, args.retries),
+            failure_policy=args.failure_policy,
+            size_budget_bytes=args.size_budget,
+            tenant_quota_bytes=args.tenant_quota,
+            index_max_bytes=args.index_max_bytes,
+            quarantine_max_files=args.quarantine_max_files,
+            ready_file=ready_file,
+        )
+        return run_service(config)
+
     spec = _load_spec(args.spec)
     runner = CampaignRunner(
         spec,
@@ -179,9 +303,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.action == "clean":
-        outcome = runner.clean()
+        outcome = runner.clean(purge_store=args.purge_store)
+        scope = "store-wide" if args.purge_store else "campaign-scoped"
         print(
-            f"evicted {outcome['evicted']} artifact(s), "
+            f"evicted {outcome['evicted']} artifact(s) ({scope}), "
             f"removed {outcome['state_dirs_removed']} campaign state dir(s)"
         )
         return 0

@@ -645,9 +645,26 @@ class CampaignRunner:
             "store_root": str(self.store.root),
         }
 
-    def clean(self) -> Dict[str, int]:
-        """Evict every store artifact and drop this campaign's state."""
-        evicted = self.store.clear()
+    def campaign_keys(self) -> List[str]:
+        """Cache keys of every runnable cell in this campaign's spec."""
+        cells, _ = self.spec.expand()
+        return [cell_cache_key(cell, self.spec.params) for cell in cells]
+
+    def clean(self, purge_store: bool = False) -> Dict[str, int]:
+        """Evict this campaign's artifacts and drop its state.
+
+        Stores are shared: other campaigns (and, under the service,
+        other tenants) keep their cells in the same objects tree, so by
+        default eviction is scoped to *this* spec's cell cache keys.
+        The old wipe-everything behaviour survives behind
+        ``purge_store=True`` (CLI: ``campaign clean --purge-store``).
+        """
+        if purge_store:
+            evicted = self.store.clear()
+        else:
+            evicted = sum(
+                1 for key in self.campaign_keys() if self.store.evict(key)
+            )
         removed_state = 0
         if self.state_dir.exists():
             shutil.rmtree(self.state_dir)

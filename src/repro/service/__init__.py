@@ -1,0 +1,58 @@
+"""Multi-tenant campaign service: daemon, client, and wire protocol.
+
+``python -m repro serve`` turns the store + campaign + resilience
+stack into a long-running shared grading service: many clients submit
+campaign specs over a local socket, identical submissions collapse
+onto one execution through :func:`repro.netlist.hashing.cache_key`,
+results stream back incrementally, and one tenant's poisoned netlist
+quarantines without stalling anyone else's queue.  See
+:mod:`repro.service.server` for the architecture and
+:mod:`repro.service.protocol` for the wire format.
+"""
+
+from .client import (
+    ServiceClient,
+    ServiceError,
+    SubmitOutcome,
+    read_ready_file,
+    wait_for_ready,
+)
+from .protocol import (
+    DEFAULT_TENANT,
+    EVENT_ACCEPTED,
+    EVENT_BYE,
+    EVENT_CELL,
+    EVENT_DONE,
+    EVENT_ERROR,
+    EVENT_STATUS,
+    OP_SHUTDOWN,
+    OP_STATUS,
+    OP_SUBMIT,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+)
+from .server import CampaignService, ServiceConfig, ServiceStats, run_service
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "DEFAULT_TENANT",
+    "OP_SUBMIT",
+    "OP_STATUS",
+    "OP_SHUTDOWN",
+    "EVENT_ACCEPTED",
+    "EVENT_CELL",
+    "EVENT_DONE",
+    "EVENT_ERROR",
+    "EVENT_STATUS",
+    "EVENT_BYE",
+    "ProtocolError",
+    "ServiceError",
+    "ServiceClient",
+    "SubmitOutcome",
+    "ServiceConfig",
+    "ServiceStats",
+    "CampaignService",
+    "run_service",
+    "read_ready_file",
+    "wait_for_ready",
+]

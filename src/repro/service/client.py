@@ -1,0 +1,254 @@
+"""Synchronous client library for the campaign service.
+
+:class:`ServiceClient` speaks the JSON-lines protocol
+(:mod:`repro.service.protocol`) over one TCP connection per request.
+It is deliberately synchronous — test code, benchmarks, and CI drive
+it from plain threads, and the interesting concurrency lives in the
+daemon, not the client.
+
+Typical use::
+
+    client = ServiceClient.from_ready_file(".repro-store/service.json")
+    outcome = client.submit(spec, tenant="alice")
+    for event in outcome.cells:
+        print(event["cell_id"], event["status"], event["cached"])
+
+Streaming consumers use :meth:`ServiceClient.submit_iter` to see each
+cell the moment the daemon finishes it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..campaign.spec import CampaignSpec
+from .protocol import (
+    DEFAULT_TENANT,
+    EVENT_ACCEPTED,
+    EVENT_BYE,
+    EVENT_CELL,
+    EVENT_DONE,
+    EVENT_ERROR,
+    EVENT_STATUS,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    shutdown_request,
+    status_request,
+    submit_request,
+)
+
+__all__ = [
+    "ServiceError",
+    "SubmitOutcome",
+    "ServiceClient",
+    "read_ready_file",
+    "wait_for_ready",
+]
+
+
+class ServiceError(Exception):
+    """A terminal ``error`` event from the daemon (or a dead daemon).
+
+    ``code`` carries the machine-readable reason (``"quota"``,
+    ``"bad_spec"``, ``"protocol"``, ``"connection"``).
+    """
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything one submission streamed back, already classified."""
+
+    accepted: Dict[str, Any]
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    done: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def job_id(self) -> str:
+        """The daemon-assigned job identity."""
+        return self.accepted["job_id"]
+
+    @property
+    def ok(self) -> bool:
+        """Did every cell complete (no failures, no abort)?"""
+        return not self.done.get("failed") and not self.done.get("aborted")
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        """Failure records of cells that failed permanently."""
+        return [
+            event["failure"]
+            for event in self.cells
+            if event.get("status") == "failed"
+        ]
+
+    def payloads(self) -> Dict[str, Dict[str, Any]]:
+        """``key -> artifact payload`` for runs submitted with payloads."""
+        return {
+            event["key"]: event["payload"]
+            for event in self.cells
+            if "payload" in event
+        }
+
+
+class ServiceClient:
+    """One daemon endpoint; every request opens its own connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_ready_file(
+        cls, path: Union[str, Path], timeout: float = 300.0
+    ) -> "ServiceClient":
+        """Point a client at the daemon a ready file describes."""
+        info = read_ready_file(path)
+        return cls(host=info["host"], port=info["port"], timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def request_iter(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Send one request; yield every event until the daemon closes."""
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}",
+                code="connection",
+            ) from exc
+        try:
+            with sock, sock.makefile("rb") as stream:
+                sock.sendall(encode_line(message))
+                for line in stream:
+                    try:
+                        event = decode_line(line)
+                    except ProtocolError as exc:
+                        raise ServiceError(str(exc), code="protocol") from exc
+                    yield event
+                    if event.get("event") in (EVENT_DONE, EVENT_ERROR,
+                                              EVENT_STATUS, EVENT_BYE):
+                        return
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} failed mid-stream: "
+                f"{exc}",
+                code="connection",
+            ) from exc
+
+    def _request_one(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        for event in self.request_iter(message):
+            if event.get("event") == EVENT_ERROR:
+                raise ServiceError(
+                    event.get("error", "unknown error"),
+                    code=event.get("code", "error"),
+                )
+            return event
+        raise ServiceError("daemon closed the connection without replying",
+                           code="connection")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def submit_iter(
+        self,
+        spec: Union[CampaignSpec, Dict[str, Any]],
+        tenant: str = DEFAULT_TENANT,
+        return_payloads: bool = False,
+    ) -> Iterator[Dict[str, Any]]:
+        """Submit a spec and yield events as the daemon streams them.
+
+        A terminal ``error`` event is raised as :class:`ServiceError`
+        (with its ``code``); all other events are yielded through.
+        """
+        spec_dict = spec.to_dict() if isinstance(spec, CampaignSpec) else spec
+        message = submit_request(
+            spec_dict, tenant=tenant, return_payloads=return_payloads
+        )
+        for event in self.request_iter(message):
+            if event.get("event") == EVENT_ERROR:
+                raise ServiceError(
+                    event.get("error", "unknown error"),
+                    code=event.get("code", "error"),
+                )
+            yield event
+
+    def submit(
+        self,
+        spec: Union[CampaignSpec, Dict[str, Any]],
+        tenant: str = DEFAULT_TENANT,
+        return_payloads: bool = False,
+    ) -> SubmitOutcome:
+        """Submit a spec and collect the full response stream."""
+        accepted: Optional[Dict[str, Any]] = None
+        cells: List[Dict[str, Any]] = []
+        done: Dict[str, Any] = {}
+        for event in self.submit_iter(
+            spec, tenant=tenant, return_payloads=return_payloads
+        ):
+            kind = event.get("event")
+            if kind == EVENT_ACCEPTED:
+                accepted = event
+            elif kind == EVENT_CELL:
+                cells.append(event)
+            elif kind == EVENT_DONE:
+                done = event
+        if accepted is None or not done:
+            raise ServiceError(
+                "submission stream ended before accepted/done",
+                code="connection",
+            )
+        return SubmitOutcome(accepted=accepted, cells=cells, done=done)
+
+    def status(self) -> Dict[str, Any]:
+        """The daemon's live counters, store stats, and tenant usage."""
+        return self._request_one(status_request())
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit; returns the ``bye`` event."""
+        return self._request_one(shutdown_request())
+
+
+# ----------------------------------------------------------------------
+# Ready-file discovery
+# ----------------------------------------------------------------------
+def read_ready_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse a daemon ready file (host/port/pid/store)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        data = json.load(stream)
+    if not isinstance(data, dict) or "host" not in data or "port" not in data:
+        raise ServiceError(f"malformed ready file {path}", code="protocol")
+    return data
+
+
+def wait_for_ready(
+    path: Union[str, Path], timeout: float = 30.0, interval: float = 0.05
+) -> Dict[str, Any]:
+    """Poll for a daemon's ready file (daemon startup is asynchronous)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return read_ready_file(path)
+        except (OSError, ValueError, ServiceError):
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"service ready file {path} did not appear within "
+                    f"{timeout:.0f}s",
+                    code="connection",
+                )
+            time.sleep(interval)

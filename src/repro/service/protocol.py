@@ -1,0 +1,156 @@
+"""Wire protocol for the campaign service: JSON lines over a stream.
+
+One connection carries one request and its response stream.  The
+client sends a single JSON object on one line; the server answers with
+a sequence of JSON-line *events* and closes the connection when the
+request is finished.  Everything is UTF-8 JSON — no framing beyond
+newlines, no binary, so any language (or ``nc``) can speak it.
+
+Requests (all carry ``{"schema": PROTOCOL_SCHEMA, "op": ...}``):
+
+``submit``
+    ``{"op": "submit", "tenant": str, "spec": {campaign-spec dict},
+    "return_payloads": bool}`` — expand the spec into cells and run
+    them through the shared store.  The response stream is one
+    ``accepted`` event, one ``cell`` event per cell **in deterministic
+    spec order, emitted as each cell finishes** (incremental results),
+    and one terminal ``done`` event.
+
+``status``
+    One ``status`` event: service counters, store size/stats, tenant
+    usage, queue depth.
+
+``shutdown``
+    One ``bye`` event, then the daemon drains its queue and exits
+    (same path as SIGTERM).
+
+Error handling: any malformed request, unknown spec, or quota
+rejection produces a single terminal ``error`` event (with a ``code``
+for machine handling) — the daemon itself never dies on bad input.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "OP_SUBMIT",
+    "OP_STATUS",
+    "OP_SHUTDOWN",
+    "OPS",
+    "EVENT_ACCEPTED",
+    "EVENT_CELL",
+    "EVENT_DONE",
+    "EVENT_ERROR",
+    "EVENT_STATUS",
+    "EVENT_BYE",
+    "ProtocolError",
+    "encode_line",
+    "decode_line",
+    "submit_request",
+    "status_request",
+    "shutdown_request",
+    "validate_request",
+]
+
+#: Version tag every request and event carries; a format change bumps
+#: it and old clients get a clean ``error`` event instead of garbage.
+PROTOCOL_SCHEMA = "repro.service/1"
+
+OP_SUBMIT = "submit"
+OP_STATUS = "status"
+OP_SHUTDOWN = "shutdown"
+OPS = (OP_SUBMIT, OP_STATUS, OP_SHUTDOWN)
+
+EVENT_ACCEPTED = "accepted"
+EVENT_CELL = "cell"
+EVENT_DONE = "done"
+EVENT_ERROR = "error"
+EVENT_STATUS = "status"
+EVENT_BYE = "bye"
+
+#: Default tenant for clients that do not identify themselves.
+DEFAULT_TENANT = "default"
+
+
+class ProtocolError(Exception):
+    """A message that cannot be parsed or fails schema validation."""
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One message → one UTF-8 JSON line (canonical key order)."""
+    try:
+        text = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_line(line: Union[str, bytes]) -> Dict[str, Any]:
+    """One received line → message dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not UTF-8: {exc}") from exc
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"message is not JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+# ----------------------------------------------------------------------
+# Request constructors (what the client library sends)
+# ----------------------------------------------------------------------
+def submit_request(
+    spec: Dict[str, Any],
+    tenant: str = DEFAULT_TENANT,
+    return_payloads: bool = False,
+) -> Dict[str, Any]:
+    """A ``submit`` request for one campaign-spec dict."""
+    return {
+        "schema": PROTOCOL_SCHEMA,
+        "op": OP_SUBMIT,
+        "tenant": tenant,
+        "spec": spec,
+        "return_payloads": bool(return_payloads),
+    }
+
+
+def status_request() -> Dict[str, Any]:
+    """A ``status`` request."""
+    return {"schema": PROTOCOL_SCHEMA, "op": OP_STATUS}
+
+
+def shutdown_request() -> Dict[str, Any]:
+    """A ``shutdown`` request."""
+    return {"schema": PROTOCOL_SCHEMA, "op": OP_SHUTDOWN}
+
+
+# ----------------------------------------------------------------------
+# Server-side request validation
+# ----------------------------------------------------------------------
+def validate_request(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Check schema tag, op, and op-specific fields; raises on junk."""
+    schema = data.get("schema")
+    if schema != PROTOCOL_SCHEMA:
+        raise ProtocolError(
+            f"unknown protocol schema {schema!r} (expected {PROTOCOL_SCHEMA!r})"
+        )
+    op = data.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; available: {list(OPS)}")
+    if op == OP_SUBMIT:
+        if not isinstance(data.get("spec"), dict):
+            raise ProtocolError("submit requires a 'spec' object")
+        tenant = data.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(f"tenant must be a non-empty string, got {tenant!r}")
+    return data

@@ -1,0 +1,657 @@
+"""The multi-tenant campaign daemon: ``python -m repro serve``.
+
+The paper's economics only pay off when fault grading is cheap enough
+to run *constantly* — which means a long-lived shared service, not a
+per-developer CLI invocation.  :class:`CampaignService` is that
+service: an asyncio job-queue daemon in front of the content-addressed
+:class:`~repro.store.ResultStore`.
+
+Architecture (one process, one event loop):
+
+* **Connections** — each client connection carries one request
+  (:mod:`repro.service.protocol`) and gets a stream of JSON-line
+  events back.  Submissions expand a :class:`~repro.campaign.spec.
+  CampaignSpec` into cells; every cell streams back as soon as it
+  finishes, in deterministic spec order.
+* **Dedupe through ``cache_key``** — a cell's identity is its content
+  address.  Before scheduling, the server consults the *in-flight
+  table*: if another tenant's identical cell is already executing, the
+  new job attaches to the same :class:`asyncio.Future` (``shared``),
+  paying zero additional work; if the store already holds the
+  artifact, the job gets a warm ``hit``.  Only genuinely novel cells
+  become cold ``miss`` executions.
+* **One execution lane, per-cell sharding** — cells execute one at a
+  time in a worker thread (the flows' telemetry capture is
+  process-global, and pure-Python fault simulation does not benefit
+  from threads anyway); intra-cell parallelism comes from the existing
+  fork-based sharded executor (``workers=N`` per cell).
+* **Tenant isolation** — a poisoned netlist fails *its* cell: the
+  failure is retried per :class:`~repro.resilience.RetryPolicy`, then
+  recorded as a :class:`~repro.resilience.FailureRecord` and streamed
+  to the waiting job(s) while the queue moves on
+  (:class:`~repro.resilience.FailurePolicy` ``quarantine``, the
+  daemon default).  Under ``raise`` the *job* aborts after the failed
+  cell — the daemon itself never dies on tenant input.
+* **Store lifecycle** — the store runs under a
+  :class:`~repro.store.LifecyclePolicy`: every cold put may trigger an
+  LRU pass, but keys of scheduled/streaming cells are *pinned*, so an
+  in-flight job can never lose its own artifacts to eviction.
+* **Quotas** — cold executions charge their artifact bytes to the
+  submitting tenant; a tenant at or over ``tenant_quota_bytes`` has
+  further submissions rejected (cache hits are free — shared results
+  are the whole point).
+
+On shutdown (SIGTERM/SIGINT or the ``shutdown`` op) the daemon stops
+accepting, drains its queue so no client is cut off mid-stream, and
+writes a validated :class:`~repro.telemetry.RunManifest` with a
+``service`` section to ``<store>/service/manifest.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import telemetry
+from ..campaign.runner import cell_cache_key, encode_cell_result, execute_cell
+from ..campaign.spec import CampaignCell, CampaignSpec
+from ..resilience import ChaosConfig, FailurePolicy, RetryPolicy, failure_record
+from ..store import KIND_CAMPAIGN_CELL, LifecyclePolicy, ResultStore
+from .protocol import (
+    DEFAULT_TENANT,
+    EVENT_ACCEPTED,
+    EVENT_BYE,
+    EVENT_CELL,
+    EVENT_DONE,
+    EVENT_ERROR,
+    EVENT_STATUS,
+    OP_SHUTDOWN,
+    OP_STATUS,
+    OP_SUBMIT,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    validate_request,
+)
+
+__all__ = ["ServiceConfig", "ServiceStats", "CampaignService", "run_service"]
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one daemon instance needs to know."""
+
+    store_root: Union[str, Path] = ".repro-store"
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; discover via the ready file
+    workers: int = 1  # per-cell fork sharding (execute_cell workers=N)
+    max_retries: int = 0
+    failure_policy: Union[str, FailurePolicy] = FailurePolicy.QUARANTINE
+    size_budget_bytes: Optional[int] = None
+    index_max_bytes: int = 1 << 20
+    quarantine_max_files: int = 64
+    quarantine_max_age_s: Optional[float] = None
+    tenant_quota_bytes: Optional[int] = None
+    ready_file: Optional[Union[str, Path]] = None
+    drain_timeout_s: float = 120.0
+
+    def lifecycle(self) -> LifecyclePolicy:
+        """The store lifecycle policy this config implies."""
+        return LifecyclePolicy(
+            size_budget_bytes=self.size_budget_bytes,
+            index_max_bytes=self.index_max_bytes,
+            quarantine_max_files=self.quarantine_max_files,
+            quarantine_max_age_s=self.quarantine_max_age_s,
+        )
+
+
+@dataclass
+class ServiceStats:
+    """One daemon lifetime's traffic counters.
+
+    ``cells`` counts requested cell-slots across all jobs; of those,
+    ``hits`` were served from disk, ``misses`` were computed cold,
+    ``shared`` attached to an already-in-flight identical execution,
+    and ``failed`` failed permanently.  ``hits + misses + failed`` is
+    the number of actual executions; ``shared / cells`` is the dedupe
+    ratio concurrent duplicate traffic achieved on top of the store.
+    """
+
+    jobs: int = 0
+    cells: int = 0
+    hits: int = 0
+    misses: int = 0
+    shared: int = 0
+    failed: int = 0
+    rejected: int = 0
+    evicted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe copy for status events and the service manifest."""
+        return asdict(self)
+
+
+class CampaignService:
+    """Asyncio job-queue daemon over one shared :class:`ResultStore`."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        chaos: Optional[ChaosConfig] = None,
+    ) -> None:
+        self.config = config
+        self.chaos = chaos
+        self.store = ResultStore(config.store_root, config.lifecycle())
+        self.failure_policy = FailurePolicy.coerce(config.failure_policy)
+        self.retry = RetryPolicy(max_retries=max(0, config.max_retries))
+        self.stats = ServiceStats()
+        self.tenant_bytes: Dict[str, int] = {}
+        self.address: Optional[Tuple[str, int]] = None
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        # Created in start(): on 3.9 these primitives bind to the loop
+        # that exists at construction time, which must be the running
+        # one or every await dies with "attached to a different loop".
+        self._queue: Optional["asyncio.Queue[Any]"] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_task: Optional["asyncio.Task[None]"] = None
+        self._conn_tasks: set = set()
+        # One lane: executions are serialized (see module docstring).
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._jobs_seq = 0
+        self._started_monotonic = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start the execution worker, write the ready file."""
+        self._queue = asyncio.Queue()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self._worker_task = asyncio.ensure_future(self._worker())
+        self._started_monotonic = time.monotonic()
+        if self.config.ready_file:
+            self._write_ready_file()
+        return self.address
+
+    def _write_ready_file(self) -> None:
+        host, port = self.address
+        payload = {
+            "schema": PROTOCOL_SCHEMA,
+            "host": host,
+            "port": port,
+            "pid": os.getpid(),
+            "store": str(self.store.root),
+        }
+        path = Path(self.config.ready_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.parent / (path.name + ".tmp")
+        temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(temp, path)
+
+    def request_stop(self) -> None:
+        """Ask the daemon to drain and exit (signal-handler safe)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a stop request, then shut down gracefully.
+
+        Graceful means: stop accepting, let queued executions and open
+        response streams finish (bounded by ``drain_timeout_s``), then
+        write the service manifest.
+        """
+        await self._stop.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                self._queue.join(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            pass
+        if self._conn_tasks:
+            await asyncio.wait(
+                list(self._conn_tasks), timeout=self.config.drain_timeout_s
+            )
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+            try:
+                await self._worker_task
+            except asyncio.CancelledError:
+                pass
+        self._executor.shutdown(wait=True)
+        self.write_manifest()
+        if self.config.ready_file:
+            try:
+                os.unlink(self.config.ready_file)
+            except OSError:
+                pass
+
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start`."""
+        if not self._started_monotonic:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    # Service manifest
+    # ------------------------------------------------------------------
+    def service_section(self) -> Dict[str, Any]:
+        """The validated ``service`` manifest section for this lifetime."""
+        return {
+            "jobs": self.stats.jobs,
+            "cells": self.stats.cells,
+            "dedupe": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "shared": self.stats.shared,
+            },
+            "tenants": {
+                tenant: bytes_used
+                for tenant, bytes_used in sorted(self.tenant_bytes.items())
+            },
+            "store": dict(
+                self.store.stats.to_dict(),
+                entries=len(self.store),
+                size_bytes=self.store.size_bytes(),
+            ),
+        }
+
+    def write_manifest(self) -> Path:
+        """Write ``<store>/service/manifest.json`` for this lifetime."""
+        manifest = telemetry.RunManifest(
+            flow="service.run",
+            circuit="service",
+            seed=0,
+            engine="service",
+            method="serve",
+            limits={
+                "workers": self.config.workers,
+                "max_retries": self.config.max_retries,
+                "failure_policy": self.failure_policy.value,
+                "size_budget_bytes": self.config.size_budget_bytes,
+                "tenant_quota_bytes": self.config.tenant_quota_bytes,
+            },
+            stats={
+                "failed": self.stats.failed,
+                "rejected": self.stats.rejected,
+                "evicted": self.stats.evicted,
+            },
+            service=self.service_section(),
+        ).validate()
+        path = self.store.root / "service" / "manifest.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.parent / (path.name + ".tmp")
+        temp.write_text(manifest.to_json(indent=2) + "\n", encoding="utf-8")
+        os.replace(temp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._handle(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-stream; nothing to salvage
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        line = await reader.readline()
+        if not line:
+            return
+        try:
+            request = validate_request(decode_line(line))
+        except ProtocolError as exc:
+            await self._send(
+                writer,
+                {"event": EVENT_ERROR, "code": "protocol", "error": str(exc)},
+            )
+            return
+        op = request["op"]
+        telemetry.incr(f"service.op.{op}")
+        if op == OP_SUBMIT:
+            await self._handle_submit(request, writer)
+        elif op == OP_STATUS:
+            await self._send(writer, self._status_event())
+        elif op == OP_SHUTDOWN:
+            await self._send(writer, {"event": EVENT_BYE})
+            self.request_stop()
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, event: Dict[str, Any]
+    ) -> None:
+        writer.write(encode_line(event))
+        await writer.drain()
+
+    def _status_event(self) -> Dict[str, Any]:
+        return {
+            "event": EVENT_STATUS,
+            "schema": PROTOCOL_SCHEMA,
+            "stats": self.stats.to_dict(),
+            "store": {
+                "entries": len(self.store),
+                "size_bytes": self.store.size_bytes(),
+                "stats": self.store.stats.to_dict(),
+            },
+            "tenants": dict(sorted(self.tenant_bytes.items())),
+            "inflight": len(self._inflight),
+            "queued": self._queue.qsize(),
+            "uptime_s": self.uptime_s(),
+        }
+
+    # ------------------------------------------------------------------
+    # Submissions
+    # ------------------------------------------------------------------
+    async def _handle_submit(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        tenant = request.get("tenant", DEFAULT_TENANT)
+        return_payloads = bool(request.get("return_payloads", False))
+        try:
+            spec = CampaignSpec.from_dict(request["spec"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self.stats.rejected += 1
+            telemetry.incr("service.rejected")
+            await self._send(
+                writer,
+                {"event": EVENT_ERROR, "code": "bad_spec", "error": str(exc)},
+            )
+            return
+        quota = self.config.tenant_quota_bytes
+        used = self.tenant_bytes.get(tenant, 0)
+        if quota is not None and used >= quota:
+            self.stats.rejected += 1
+            telemetry.incr("service.quota.rejected")
+            await self._send(
+                writer,
+                {
+                    "event": EVENT_ERROR,
+                    "code": "quota",
+                    "error": (
+                        f"tenant {tenant!r} is over its store quota "
+                        f"({used} of {quota} bytes charged)"
+                    ),
+                    "tenant": tenant,
+                    "used_bytes": used,
+                    "quota_bytes": quota,
+                },
+            )
+            return
+
+        job_id = f"job-{self._jobs_seq:06d}"
+        self._jobs_seq += 1
+        self.stats.jobs += 1
+        telemetry.incr("service.jobs")
+        loop = asyncio.get_running_loop()
+        # Expansion and key hashing build circuits — off the event loop.
+        cells, skipped = await loop.run_in_executor(None, spec.expand)
+        keyed: List[Tuple[CampaignCell, str]] = await loop.run_in_executor(
+            None,
+            lambda: [
+                (cell, cell_cache_key(cell, spec.params)) for cell in cells
+            ],
+        )
+        self.stats.cells += len(keyed)
+        await self._send(
+            writer,
+            {
+                "event": EVENT_ACCEPTED,
+                "job_id": job_id,
+                "tenant": tenant,
+                "campaign": spec.name,
+                "cells": len(keyed),
+                "skipped": len(skipped),
+            },
+        )
+
+        # Schedule every cell up-front so duplicates inside *and across*
+        # jobs collapse onto one in-flight execution, then stream each
+        # result in deterministic spec order as it completes.  Keys stay
+        # pinned (per job) from scheduling until their event is on the
+        # wire, so an LRU pass can never evict an in-flight artifact.
+        slots = [
+            self._ensure_cell(key, cell, spec.params, tenant)
+            for cell, key in keyed
+        ]
+        job_hits = job_misses = job_shared = job_failed = 0
+        aborted = False
+        unpinned = set()
+        try:
+            for index, ((cell, key), (future, shared)) in enumerate(
+                zip(keyed, slots)
+            ):
+                if aborted:
+                    continue
+                payload, cached, failure = await asyncio.shield(future)
+                event: Dict[str, Any] = {
+                    "event": EVENT_CELL,
+                    "job_id": job_id,
+                    "seq": index,
+                    "of": len(keyed),
+                    "cell_id": cell.cell_id,
+                    "key": key,
+                    "cached": cached,
+                    "shared": shared,
+                }
+                if failure is not None:
+                    job_failed += 1
+                    event["status"] = "failed"
+                    event["failure"] = failure.to_dict()
+                    if self.failure_policy is FailurePolicy.RAISE:
+                        aborted = True
+                else:
+                    event["status"] = "ok"
+                    event["stats"] = payload["stats"]
+                    if return_payloads:
+                        event["payload"] = payload
+                    if shared:
+                        job_shared += 1
+                    elif cached:
+                        job_hits += 1
+                    else:
+                        job_misses += 1
+                await self._send(writer, event)
+                self.store.unpin(key)
+                unpinned.add(index)
+        finally:
+            # Aborted jobs (raise policy / dead client) must still drop
+            # the pins of every cell that never got streamed.
+            for index, (_, key) in enumerate(keyed):
+                if index not in unpinned:
+                    self.store.unpin(key)
+        await self._send(
+            writer,
+            {
+                "event": EVENT_DONE,
+                "job_id": job_id,
+                "tenant": tenant,
+                "cells": len(keyed),
+                "hits": job_hits,
+                "misses": job_misses,
+                "shared": job_shared,
+                "failed": job_failed,
+                "aborted": aborted,
+                "tenant_bytes": self.tenant_bytes.get(tenant, 0),
+            },
+        )
+
+    def _ensure_cell(
+        self,
+        key: str,
+        cell: CampaignCell,
+        params: Dict[str, Any],
+        tenant: str,
+    ) -> Tuple["asyncio.Future[Any]", bool]:
+        """The future resolving ``key``; shared when already in flight."""
+        self.store.pin(key)
+        future = self._inflight.get(key)
+        if future is not None:
+            telemetry.incr("service.cell.shared")
+            self.stats.shared += 1
+            return future, True
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._queue.put_nowait((key, cell, dict(params), tenant, future))
+        return future, False
+
+    # ------------------------------------------------------------------
+    # Execution worker
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            key, cell, params, tenant, future = await self._queue.get()
+            try:
+                try:
+                    outcome = await loop.run_in_executor(
+                        self._executor, self._execute, key, cell, params
+                    )
+                except Exception as exc:  # defensive: _execute catches
+                    outcome = (
+                        None,
+                        False,
+                        failure_record(
+                            f"cell:{cell.cell_id}",
+                            exc,
+                            attempts=1,
+                            action=self.failure_policy.value,
+                            detail={"key": key, "tenant": tenant},
+                        ),
+                    )
+                payload, cached, failure = outcome
+                if failure is not None:
+                    self.stats.failed += 1
+                    telemetry.incr("service.cell.failed")
+                elif cached:
+                    self.stats.hits += 1
+                    telemetry.incr("service.cell.hit")
+                else:
+                    self.stats.misses += 1
+                    telemetry.incr("service.cell.miss")
+                    self._charge(tenant, key)
+                self._inflight.pop(key, None)
+                if not future.done():
+                    future.set_result(outcome)
+            finally:
+                self._queue.task_done()
+
+    def _execute(
+        self, key: str, cell: CampaignCell, params: Dict[str, Any]
+    ) -> Tuple[Optional[Dict[str, Any]], bool, Optional[Any]]:
+        """One cell, in the worker thread: store-first, retried, isolated.
+
+        Returns ``(payload, cached, failure)`` — exactly one of
+        ``payload`` / ``failure`` is set.  Any exception (a poisoned
+        netlist, a flow bug) becomes a :class:`FailureRecord` after the
+        retry budget; it never propagates into the daemon.
+        """
+        attempt = 0
+        while True:
+            try:
+                payload = self.store.get(key, KIND_CAMPAIGN_CELL)
+                if payload is not None:
+                    return payload, True, None
+                if self.chaos is not None:
+                    self.chaos.check_poison_cell(cell.cell_id)
+                    self.chaos.inject_inline(f"cell:{cell.cell_id}", attempt)
+                result = execute_cell(
+                    cell, params, workers=self.config.workers, key=key
+                )
+                payload = encode_cell_result(result)
+                self.store.put(key, KIND_CAMPAIGN_CELL, payload)
+                return payload, False, None
+            except Exception as exc:
+                if attempt < self.retry.max_retries:
+                    telemetry.incr("service.cell.retry")
+                    self.retry.wait(f"cell:{cell.cell_id}", attempt)
+                    attempt += 1
+                    continue
+                return (
+                    None,
+                    False,
+                    failure_record(
+                        f"cell:{cell.cell_id}",
+                        exc,
+                        attempts=attempt + 1,
+                        action=self.failure_policy.value,
+                        detail={"cell_id": cell.cell_id, "key": key},
+                    ),
+                )
+
+    def _charge(self, tenant: str, key: str) -> None:
+        """Charge a cold artifact's bytes to the tenant that caused it."""
+        try:
+            size = self.store.path_for(key).stat().st_size
+        except OSError:
+            size = 0
+        self.tenant_bytes[tenant] = self.tenant_bytes.get(tenant, 0) + size
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+async def _amain(config: ServiceConfig, chaos: Optional[ChaosConfig]) -> int:
+    service = CampaignService(config, chaos=chaos)
+    host, port = await service.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, service.request_stop)
+        except NotImplementedError:  # non-POSIX event loops
+            pass
+    print(
+        f"[serve] listening on {host}:{port} "
+        f"store={service.store.root} pid={os.getpid()}",
+        flush=True,
+    )
+    await service.serve_until_stopped()
+    stats = service.stats
+    print(
+        f"[serve] drained: jobs={stats.jobs} cells={stats.cells} "
+        f"hits={stats.hits} misses={stats.misses} shared={stats.shared} "
+        f"failed={stats.failed} rejected={stats.rejected}",
+        flush=True,
+    )
+    return 0
+
+
+def run_service(
+    config: ServiceConfig, chaos: Optional[ChaosConfig] = None
+) -> int:
+    """Run the daemon until SIGTERM/SIGINT/shutdown; returns exit code."""
+    try:
+        return asyncio.run(_amain(config, chaos))
+    except KeyboardInterrupt:
+        return 0

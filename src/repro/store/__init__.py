@@ -27,10 +27,17 @@ from .codecs import (
     encode_report,
     encode_test_result,
 )
-from .store import ARTIFACT_SCHEMA, ResultStore, StoreError, StoreStats
+from .store import (
+    ARTIFACT_SCHEMA,
+    LifecyclePolicy,
+    ResultStore,
+    StoreError,
+    StoreStats,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "LifecyclePolicy",
     "ResultStore",
     "StoreError",
     "StoreStats",

@@ -37,6 +37,13 @@ Guarantees:
   telemetry counters (``store.hit``/``store.miss``/``store.put``/
   ``store.quarantined``/``store.evict``), so cache behaviour shows up
   in campaign run manifests.
+* **Bounded by a lifecycle policy** — a long-running daemon cannot let
+  the store grow forever.  :class:`LifecyclePolicy` adds LRU eviction
+  by artifact mtime under a configurable size budget (reads bump the
+  mtime, so hot artifacts survive), rotation of the advisory
+  ``index.jsonl`` journal past a size threshold, and count/age caps on
+  the quarantine directory.  Keys *pinned* via :meth:`ResultStore.pin`
+  (in-flight jobs) are never evicted by an LRU pass.
 """
 
 from __future__ import annotations
@@ -44,9 +51,21 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from .. import telemetry
 from ..faultsim.coverage import CoverageReport
@@ -63,7 +82,13 @@ from .codecs import (
     encode_report,
 )
 
-__all__ = ["ARTIFACT_SCHEMA", "StoreError", "StoreStats", "ResultStore"]
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "StoreError",
+    "StoreStats",
+    "LifecyclePolicy",
+    "ResultStore",
+]
 
 #: Envelope schema for every artifact file the store writes.
 ARTIFACT_SCHEMA = "repro.store.artifact/1"
@@ -82,10 +107,40 @@ class StoreStats:
     puts: int = 0
     quarantined: int = 0
     evicted: int = 0
+    index_rotations: int = 0
+    quarantine_evicted: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """JSON-safe copy for manifests and status output."""
         return asdict(self)
+
+
+@dataclass
+class LifecyclePolicy:
+    """Growth bounds for a store that must run unattended.
+
+    ``size_budget_bytes`` caps the total bytes under ``objects/``;
+    every :meth:`ResultStore.put` that pushes the store past it
+    triggers an LRU pass (oldest artifact mtime first) that never
+    touches pinned keys or the artifact just written.  ``None`` (the
+    default) disables automatic eviction — CLI one-shot runs keep
+    today's grow-forever behaviour.
+
+    ``index_max_bytes`` rotates the advisory ``index.jsonl`` journal:
+    once it exceeds the threshold it is renamed to ``index.jsonl.1``
+    (replacing any previous rotation) and appending continues on a
+    fresh file, bounding total journal disk at ~2x the threshold.
+
+    ``quarantine_max_files`` / ``quarantine_max_age_s`` bound the
+    quarantine directory: after every quarantine move, corpses beyond
+    the count cap (oldest first) or older than the age cap are deleted
+    and accounted in ``StoreStats.quarantine_evicted``.
+    """
+
+    size_budget_bytes: Optional[int] = None
+    index_max_bytes: int = 1 << 20
+    quarantine_max_files: int = 64
+    quarantine_max_age_s: Optional[float] = None
 
 
 def _check_key(key: str) -> str:
@@ -101,13 +156,19 @@ def _check_key(key: str) -> str:
 class ResultStore:
     """Content-addressed JSON artifact store rooted at one directory."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        lifecycle: Optional[LifecyclePolicy] = None,
+    ) -> None:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.quarantine_dir = self.root / "quarantine"
         self.index_path = self.root / "index.jsonl"
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
+        self.lifecycle = lifecycle if lifecycle is not None else LifecyclePolicy()
+        self._pins: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Paths
@@ -165,6 +226,12 @@ class ResultStore:
             return None
         self.stats.hits += 1
         telemetry.incr("store.hit")
+        try:
+            # LRU freshness: a hit makes the artifact "recently used",
+            # so eviction order tracks access, not just write order.
+            os.utime(path)
+        except OSError:
+            pass
         return data["payload"]
 
     def put(self, key: str, kind: str, payload: Any) -> Path:
@@ -199,6 +266,8 @@ class ResultStore:
         self.stats.puts += 1
         telemetry.incr("store.put")
         self._index({"op": "put", "key": key, "kind": kind, "bytes": len(text)})
+        if self.lifecycle.size_budget_bytes is not None:
+            self.enforce_budget(protect=frozenset((key,)))
         return path
 
     def memoize(
@@ -290,6 +359,91 @@ class ResultStore:
         return removed
 
     # ------------------------------------------------------------------
+    # Lifecycle: pins and LRU eviction
+    # ------------------------------------------------------------------
+    def pin(self, key: str) -> None:
+        """Protect ``key`` from LRU eviction (refcounted)."""
+        _check_key(key)
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: str) -> None:
+        """Drop one pin on ``key``; unpinning an unpinned key is a no-op."""
+        count = self._pins.get(key, 0) - 1
+        if count <= 0:
+            self._pins.pop(key, None)
+        else:
+            self._pins[key] = count
+
+    def is_pinned(self, key: str) -> bool:
+        """Is ``key`` currently protected from eviction?"""
+        return self._pins.get(key, 0) > 0
+
+    @contextmanager
+    def pinning(self, *keys: str) -> Iterator[None]:
+        """Scope-bound pins: held inside the ``with``, released after."""
+        for key in keys:
+            self.pin(key)
+        try:
+            yield
+        finally:
+            for key in keys:
+                self.unpin(key)
+
+    def artifact_entries(self) -> List[Tuple[int, str, int]]:
+        """``(mtime_ns, key, size_bytes)`` per artifact, oldest first.
+
+        Artifacts that vanish mid-scan (concurrent eviction) are simply
+        skipped — the listing reflects what is observably on disk.
+        """
+        entries: List[Tuple[int, str, int]] = []
+        for key in self.keys():
+            try:
+                info = self.path_for(key).stat()
+            except OSError:
+                continue
+            entries.append((info.st_mtime_ns, key, info.st_size))
+        entries.sort()
+        return entries
+
+    def size_bytes(self) -> int:
+        """Total bytes currently held under ``objects/``."""
+        return sum(size for _, _, size in self.artifact_entries())
+
+    def enforce_budget(
+        self,
+        budget_bytes: Optional[int] = None,
+        protect: FrozenSet[str] = frozenset(),
+    ) -> List[str]:
+        """One LRU pass: evict oldest-mtime artifacts until under budget.
+
+        Pinned keys and ``protect``-ed keys are never candidates, so an
+        in-flight job's artifacts survive any budget squeeze (the pass
+        may therefore legitimately end above budget).  Returns the keys
+        evicted, oldest first.
+        """
+        budget = (
+            budget_bytes
+            if budget_bytes is not None
+            else self.lifecycle.size_budget_bytes
+        )
+        if budget is None:
+            return []
+        entries = self.artifact_entries()
+        total = sum(size for _, _, size in entries)
+        evicted: List[str] = []
+        for _, key, size in entries:
+            if total <= budget:
+                break
+            if self.is_pinned(key) or key in protect:
+                continue
+            if self.evict(key):
+                total -= size
+                evicted.append(key)
+        if evicted:
+            telemetry.incr("store.lru_evicted", len(evicted))
+        return evicted
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _miss(self) -> None:
@@ -311,6 +465,7 @@ class ResultStore:
             self._index(
                 {"op": "quarantine", "file": path.name, "reason": reason}
             )
+            self._bound_quarantine()
         except FileNotFoundError:
             # A concurrent reader quarantined (or a writer replaced) the
             # file between our read and the move.  The corrupt evidence
@@ -327,14 +482,70 @@ class ResultStore:
             except OSError:
                 pass
 
+    def _bound_quarantine(self) -> int:
+        """Delete quarantine corpses beyond the count/age caps.
+
+        A poisoned tenant hammering a daemon with corrupt entries must
+        not be able to fill the disk via the quarantine directory, so
+        corpses are bounded: anything older than
+        ``quarantine_max_age_s`` goes, then the oldest beyond
+        ``quarantine_max_files``.  Removals are accounted in
+        ``StoreStats.quarantine_evicted``; failures are swallowed (the
+        quarantine dir is best-effort evidence, never load-bearing).
+        """
+        policy = self.lifecycle
+        try:
+            entries = sorted(
+                (entry.stat().st_mtime_ns, entry)
+                for entry in self.quarantine_dir.iterdir()
+                if entry.is_file()
+            )
+        except OSError:
+            return 0
+        doomed: List[Path] = []
+        if policy.quarantine_max_age_s is not None:
+            cutoff_ns = (time.time() - policy.quarantine_max_age_s) * 1e9
+            doomed = [entry for mtime_ns, entry in entries if mtime_ns < cutoff_ns]
+            entries = [row for row in entries if row[0] >= cutoff_ns]
+        excess = len(entries) - policy.quarantine_max_files
+        if excess > 0:
+            doomed.extend(entry for _, entry in entries[:excess])
+        removed = 0
+        for entry in doomed:
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            self.stats.quarantine_evicted += removed
+            telemetry.incr("store.quarantine_evicted", removed)
+        return removed
+
     def _index(self, entry: Dict[str, Any]) -> None:
         """Append one line to the advisory put/evict journal.
 
         The index is a convenience for humans and tooling; the objects
         directory is the source of truth, so index write failures are
-        swallowed.
+        swallowed.  Past ``LifecyclePolicy.index_max_bytes`` the file
+        rotates to ``index.jsonl.1`` (replacing any previous rotation),
+        so a daemon's journal disk use stays bounded at ~2x the
+        threshold instead of leaking forever.
         """
         try:
+            try:
+                if (
+                    self.index_path.stat().st_size
+                    >= self.lifecycle.index_max_bytes
+                ):
+                    os.replace(
+                        self.index_path,
+                        self.index_path.parent / (self.index_path.name + ".1"),
+                    )
+                    self.stats.index_rotations += 1
+                    telemetry.incr("store.index_rotated")
+            except FileNotFoundError:
+                pass
             with open(self.index_path, "a", encoding="utf-8") as stream:
                 stream.write(json.dumps(entry, sort_keys=True))
                 stream.write("\n")

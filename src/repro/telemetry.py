@@ -397,6 +397,12 @@ _REQUIRED_FAILURE_KEYS = ("site", "error", "digest", "attempts", "action")
 # composite-circuit reduction it ran on.
 _REQUIRED_FAULT_MODEL_KEYS = ("model", "faults", "reduction")
 
+# Optional ``service`` section (see repro.service.CampaignService): one
+# daemon lifetime's traffic — jobs and cells served, how submissions
+# deduped (hits / shared in-flight executions / cold misses), tenant
+# accounting, and the store's lifecycle counters at shutdown.
+_REQUIRED_SERVICE_KEYS = ("jobs", "cells", "dedupe", "tenants", "store")
+
 
 @dataclass
 class RunManifest:
@@ -429,6 +435,12 @@ class RunManifest:
     "reduction"}`` where ``reduction`` is ``None`` for plain stuck-at
     and otherwise records the composite-circuit rewrite the run graded
     on (gate counts, two-pattern flag, per-model universe details).
+
+    ``service`` is the optional daemon section (written by
+    :class:`repro.service.CampaignService` at shutdown): ``{"jobs",
+    "cells", "dedupe", "tenants", "store"}`` summarizing one service
+    lifetime — how much traffic arrived, how much of it collapsed onto
+    shared executions, and where the store's lifecycle counters ended.
     """
 
     flow: str
@@ -443,6 +455,7 @@ class RunManifest:
     workers: Optional[Dict[str, Any]] = None
     failures: Optional[List[Dict[str, Any]]] = None
     fault_model: Optional[Dict[str, Any]] = None
+    service: Optional[Dict[str, Any]] = None
     schema: str = MANIFEST_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -465,6 +478,8 @@ class RunManifest:
             data["failures"] = [dict(row) for row in self.failures]
         if self.fault_model is not None:
             data["fault_model"] = dict(self.fault_model)
+        if self.service is not None:
+            data["service"] = dict(self.service)
         return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -496,6 +511,9 @@ class RunManifest:
                 dict(data["fault_model"])
                 if data.get("fault_model") is not None
                 else None
+            ),
+            service=(
+                dict(data["service"]) if data.get("service") is not None else None
             ),
             schema=data.get("schema", MANIFEST_SCHEMA),
         )
@@ -566,6 +584,24 @@ def validate_manifest(data: Dict[str, Any]) -> Dict[str, Any]:
         if absent:
             raise ValueError(
                 f"manifest fault_model section missing keys: {absent}"
+            )
+    service = data.get("service")
+    if service is not None:
+        if not isinstance(service, dict):
+            raise ValueError(
+                f"manifest service section must be an object, got "
+                f"{type(service).__name__}"
+            )
+        absent = [k for k in _REQUIRED_SERVICE_KEYS if k not in service]
+        if absent:
+            raise ValueError(f"manifest service section missing keys: {absent}")
+        dedupe = service["dedupe"]
+        if not isinstance(dedupe, dict) or not {
+            "hits", "misses", "shared"
+        } <= set(dedupe):
+            raise ValueError(
+                "manifest service dedupe must carry hits/misses/shared, "
+                f"got {dedupe!r}"
             )
     failures = data.get("failures")
     if failures is not None:

@@ -172,6 +172,84 @@ class TestRunner:
         assert runner.status()["completed"] == 0
 
 
+class TestScopedClean:
+    """``clean`` must not nuke a shared store (other campaigns/tenants
+    keep their artifacts); ``--purge-store`` restores the full wipe."""
+
+    def run_two_campaigns(self, tmp_path):
+        store = tmp_path / "store"
+        mine = CampaignRunner(tiny_spec(name="mine"), store)
+        theirs = CampaignRunner(
+            tiny_spec(name="theirs", seeds=[7, 8]), store
+        )
+        assert mine.run().misses == 2
+        assert theirs.run().misses == 2
+        return mine, theirs
+
+    def test_clean_scoped_to_own_cells(self, tmp_path):
+        mine, theirs = self.run_two_campaigns(tmp_path)
+        outcome = mine.clean()
+        assert outcome == {"evicted": 2, "state_dirs_removed": 1}
+        # The other campaign's artifacts survived: a warm re-run does
+        # zero fault-simulation work.
+        assert len(theirs.store) == 2
+        rerun = CampaignRunner(
+            tiny_spec(name="theirs", seeds=[7, 8]), tmp_path / "store"
+        ).run()
+        assert (rerun.hits, rerun.misses) == (2, 0)
+        # While the cleaned campaign is genuinely cold again.
+        recold = CampaignRunner(
+            tiny_spec(name="mine"), tmp_path / "store"
+        ).run()
+        assert (recold.hits, recold.misses) == (0, 2)
+
+    def test_clean_is_idempotent(self, tmp_path):
+        mine, _ = self.run_two_campaigns(tmp_path)
+        assert mine.clean()["evicted"] == 2
+        assert mine.clean() == {"evicted": 0, "state_dirs_removed": 0}
+
+    def test_purge_store_wipes_everything(self, tmp_path):
+        mine, theirs = self.run_two_campaigns(tmp_path)
+        outcome = mine.clean(purge_store=True)
+        assert outcome["evicted"] == 4
+        assert len(mine.store) == 0
+        assert len(theirs.store) == 0
+
+    def test_campaign_keys_match_store_contents(self, tmp_path):
+        mine, _ = self.run_two_campaigns(tmp_path)
+        for key in mine.campaign_keys():
+            assert mine.store.contains(key)
+
+    def test_cli_clean_scoped_vs_purge(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        for name, seeds in (("mine", [0, 1]), ("theirs", [7, 8])):
+            spec_path = tmp_path / f"{name}.json"
+            spec_path.write_text(
+                json.dumps(tiny_spec(name=name, seeds=seeds).to_dict()),
+                encoding="utf-8",
+            )
+            assert cli_main(
+                ["campaign", "run", "--spec", str(spec_path),
+                 "--store", store]
+            ) == 0
+        capsys.readouterr()
+
+        assert cli_main(
+            ["campaign", "clean", "--spec", str(tmp_path / "mine.json"),
+             "--store", store]
+        ) == 0
+        assert "evicted 2 artifact(s) (campaign-scoped)" in (
+            capsys.readouterr().out
+        )
+
+        assert cli_main(
+            ["campaign", "clean", "--spec", str(tmp_path / "theirs.json"),
+             "--store", store, "--purge-store"]
+        ) == 0
+        assert "evicted 2 artifact(s) (store-wide)" in capsys.readouterr().out
+        assert len(ResultStore(store)) == 0
+
+
 class TestFaultModelAxis:
     MODELS = ["stuck_at", "bridging", "transition"]
 
