@@ -18,15 +18,23 @@ fresh specs) against one in-process daemon and pins:
    and every job still completes with full byte-identical payloads
    (in-flight artifacts are pinned, never evicted), while the store
    ends bounded (the ``lru-bound`` ratio: unbounded / bounded bytes).
+5. **Lane scaling** (``--lanes`` axis) — an all-cold mixed-tenant
+   storm is replayed at each requested lane count; the throughput
+   ratio of the widest run over lanes=1 is the ``lanes-throughput``
+   figure.  Cold cells execute in a process backend, so on a machine
+   with >= 4 cores and fork/spawn the ratio must clear
+   :data:`MIN_LANES_SPEEDUP` (2x); on narrower machines (single-core
+   CI) only the sanity floor applies — lanes must never make the
+   daemon *slower* — and the measured figure is still recorded.
 
-Both ratios are checked against the committed baseline trajectory
+The ratios are checked against the committed baseline trajectory
 ``BENCH_service_load.json`` at the repo root (schema
 ``repro.bench-trajectory/1``); ``--update-baseline`` rewrites it.
 
 Run standalone (CI uses ``--quick``)::
 
     PYTHONPATH=src python benchmarks/bench_service_load.py \
-        [--quick] [--update-baseline]
+        [--quick] [--lanes 1,4] [--update-baseline]
 
 or through pytest, which executes the quick configuration.
 """
@@ -55,6 +63,11 @@ DUPLICATES_PER_UNIQUE = 25
 MIN_DEDUPE_MULTIPLIER = 10.0
 MIN_LRU_BOUND = 2.0
 CLIENT_THREADS = 16
+
+#: Hard lane-scaling gate on machines that can physically parallelize
+#: (>= 4 cores and a process backend); elsewhere only the sanity floor.
+MIN_LANES_SPEEDUP = 2.0
+LANES_SANITY_FLOOR = 0.5
 
 BASELINE_PATH = bench_trajectory.default_baseline_path(
     "service_load", start=os.path.dirname(os.path.abspath(__file__))
@@ -299,6 +312,75 @@ def measure_lru_bound(unique, naive_bytes, expected, store_root):
     return bound_ratio
 
 
+def lanes_gate():
+    """The enforceable lane-scaling floor on *this* machine."""
+    from repro.exec import ForkBackend, SpawnBackend
+
+    cores = os.cpu_count() or 1
+    has_process_backend = ForkBackend.available() or SpawnBackend.available()
+    if cores >= 4 and has_process_backend:
+        return MIN_LANES_SPEEDUP
+    return LANES_SANITY_FLOOR
+
+
+def measure_lanes(unique, lane_counts, tmp):
+    """All-cold mixed-tenant storm per lane count; throughput ratio.
+
+    Every run gets a fresh store (every cell is a genuine cold
+    execution) and the same spec set, so the only variable is how many
+    execution lanes drain the scheduler.
+    """
+    cells = 3 * unique
+    specs = [unique_spec(10_000 + seed) for seed in range(cells)]
+    throughput = {}
+    for lanes in lane_counts:
+        store_root = os.path.join(tmp, f"store-lanes-{lanes}")
+        config = ServiceConfig(
+            store_root=store_root, max_retries=0, lanes=lanes
+        )
+        with DaemonThread(config) as (client, service):
+            def submit(index):
+                return client.submit(
+                    specs[index], tenant=f"tenant-{index % 5}"
+                )
+
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=min(8, cells)) as pool:
+                outcomes = list(pool.map(submit, range(cells)))
+            elapsed = time.perf_counter() - start
+            if service.stats.misses != cells:
+                raise SystemExit(
+                    f"lanes={lanes} run was not all-cold: "
+                    f"{service.stats.misses} misses for {cells} cells"
+                )
+        if not all(outcome.ok for outcome in outcomes):
+            raise SystemExit(f"lanes={lanes} run had failed jobs")
+        throughput[lanes] = cells / elapsed
+
+    widest = max(lane_counts)
+    ratio = throughput[widest] / throughput[min(lane_counts)]
+    gate = lanes_gate()
+    print_table(
+        f"Lane scaling ({cells} cold cells, lanes axis {lane_counts}, "
+        f"{os.cpu_count() or 1} cores)",
+        ["metric", "value"],
+        [
+            *[
+                (f"throughput @ lanes={lanes}", f"{rate:.1f} cells/s")
+                for lanes, rate in sorted(throughput.items())
+            ],
+            ("speedup (widest vs 1)", f"{ratio:.2f}x"),
+            ("enforced floor here", f"{gate:.1f}x"),
+        ],
+    )
+    if ratio < gate:
+        raise SystemExit(
+            f"lane scaling {ratio:.2f}x below the required {gate:.1f}x "
+            f"floor for this machine"
+        )
+    return ratio, cells, widest
+
+
 def check_manifest(store_root, unique):
     """The daemon's drain manifest is the numbers' source of truth."""
     path = os.path.join(store_root, "service", "manifest.json")
@@ -355,7 +437,15 @@ def main(argv):
         "--update-baseline", action="store_true",
         help=f"rewrite {os.path.basename(BASELINE_PATH)} from this run",
     )
+    parser.add_argument(
+        "--lanes", default="1,4", metavar="N,M,...",
+        help="lane counts for the lane-scaling axis (default: 1,4); "
+        "the widest count is compared against lanes=1",
+    )
     args = parser.parse_args(argv)
+    lane_counts = sorted({max(1, int(n)) for n in args.lanes.split(",")})
+    if 1 not in lane_counts:
+        lane_counts.insert(0, 1)
 
     unique = 4 if args.quick else 8
     mode = "quick" if args.quick else "full"
@@ -379,6 +469,9 @@ def main(argv):
             expected,
             os.path.join(tmp, "store-bounded"),
         )
+        lanes_ratio, lane_cells, widest = measure_lanes(
+            unique, lane_counts, tmp
+        )
 
     check_baseline(
         [
@@ -390,6 +483,16 @@ def main(argv):
                 f"lru-bound/{mode}", "c17",
                 dict(workload, budget="unbounded/3"),
                 bound_ratio, MIN_LRU_BOUND,
+            ),
+            (
+                f"lanes-throughput/{mode}", "c17",
+                {
+                    "circuit": "c17",
+                    "cold_cells": lane_cells,
+                    "lanes": widest,
+                    "cores_at_record": os.cpu_count() or 1,
+                },
+                lanes_ratio, lanes_gate(),
             ),
         ],
         args.update_baseline,

@@ -1,8 +1,10 @@
-"""Campaign-service smoke: two tenants, one execution, clean SIGTERM.
+"""Campaign-service smoke: dedupe, priority scheduling, clean SIGTERM.
 
-Starts the real daemon (``python -m repro serve``) as a subprocess,
-submits the built-in demo spec from two concurrent clients, and
-asserts the service contract end to end:
+Starts the real daemon (``python -m repro serve``) as a subprocess and
+asserts the service contract end to end, in two phases:
+
+**Dedupe phase** — submits the built-in demo spec from two concurrent
+clients:
 
 * exactly one fault-simulation execution per unique cell (the second
   tenant attaches to in-flight work or reads the store — dedupe
@@ -10,6 +12,12 @@ asserts the service contract end to end:
 * both tenants receive byte-identical artifacts;
 * SIGTERM drains the queue and exits 0, leaving a validated service
   manifest and no ready file behind.
+
+**Priority phase** — restarts the daemon with ``--lanes 2``, queues a
+low-priority bulk backlog from one tenant, then submits a
+high-priority interactive job from a second tenant and asserts the
+interactive job completes before the backlog does (fair-share +
+priority scheduling over multiple lanes).
 
 Run from the repo root (CI does)::
 
@@ -21,10 +29,11 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from repro.campaign import demo_spec
+from repro.campaign import CampaignSpec, demo_spec
 from repro.service import ServiceClient, wait_for_ready
 from repro.telemetry import validate_manifest
 
@@ -36,23 +45,41 @@ def canonical(payloads):
     }
 
 
-def main():
+def start_daemon(tmp, *extra_args):
+    store = Path(tmp) / "store"
+    ready = Path(tmp) / "ready.json"
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(store),
+            "--ready-file", str(ready),
+            "--retries", "0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return daemon, store, ready
+
+
+def stop_daemon(daemon, ready):
+    """SIGTERM the daemon and assert the clean-drain contract."""
+    daemon.send_signal(signal.SIGTERM)
+    output, _ = daemon.communicate(timeout=120)
+    assert daemon.returncode == 0, (
+        f"daemon exited {daemon.returncode}:\n{output}"
+    )
+    assert "[serve] drained:" in output, output
+    assert not ready.exists(), "ready file not removed on exit"
+    return output
+
+
+def dedupe_smoke():
     spec = demo_spec()
     unique_cells = len(spec.cells())
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
-        store = Path(tmp) / "store"
-        ready = Path(tmp) / "ready.json"
-        daemon = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--store", str(store),
-                "--ready-file", str(ready),
-                "--retries", "0",
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-        )
+        daemon, store, ready = start_daemon(tmp)
         try:
             info = wait_for_ready(ready, timeout=60)
             print(f"daemon up: pid={info['pid']} port={info['port']}")
@@ -81,19 +108,12 @@ def main():
                 "tenants received different artifacts"
             )
             print(f"dedupe OK: {unique_cells} executions served both tenants")
-
-            daemon.send_signal(signal.SIGTERM)
-            output, _ = daemon.communicate(timeout=120)
+            stop_daemon(daemon, ready)
         finally:
             if daemon.poll() is None:
                 daemon.kill()
                 daemon.communicate(timeout=30)
 
-        assert daemon.returncode == 0, (
-            f"daemon exited {daemon.returncode}:\n{output}"
-        )
-        assert "[serve] drained:" in output, output
-        assert not ready.exists(), "ready file not removed on exit"
         manifest_path = store / "service" / "manifest.json"
         with open(manifest_path, "r", encoding="utf-8") as stream:
             manifest = json.load(stream)
@@ -102,6 +122,78 @@ def main():
         assert dedupe["misses"] == unique_cells, dedupe
         assert manifest["service"]["jobs"] == 2, manifest["service"]
         print(f"SIGTERM drain OK: exit 0, manifest dedupe={dedupe}")
+
+
+def smoke_spec(name, seeds):
+    """Single-engine c17 cells; one cell per seed."""
+    return CampaignSpec(
+        name=name,
+        workloads=["c17"],
+        engines=["parallel_pattern"],
+        seeds=list(seeds),
+        flows=["auto"],
+        params={"method": "podem", "random_phase": 4},
+    )
+
+
+def priority_smoke():
+    with tempfile.TemporaryDirectory(prefix="repro-serve-priority-") as tmp:
+        daemon, store, ready = start_daemon(tmp, "--lanes", "2")
+        try:
+            info = wait_for_ready(ready, timeout=60)
+            client = ServiceClient(host=info["host"], port=info["port"])
+            status = client.status()
+            assert status["lanes"] == 2, status
+
+            order = []
+            bulk_accepted = threading.Event()
+
+            def run_bulk():
+                spec = smoke_spec("smoke-bulk", range(40))
+                for event in client.submit_iter(
+                    spec, tenant="bulk", priority=0
+                ):
+                    if event["event"] == "accepted":
+                        bulk_accepted.set()
+                    elif event["event"] == "done":
+                        order.append("bulk")
+
+            bulk_thread = threading.Thread(target=run_bulk)
+            bulk_thread.start()
+            try:
+                assert bulk_accepted.wait(timeout=60), "bulk never accepted"
+                interactive = client.submit(
+                    smoke_spec("smoke-interactive", [999]),
+                    tenant="interactive", priority=10,
+                )
+                assert interactive.ok, interactive.done
+                order.append("interactive")
+            finally:
+                bulk_thread.join(timeout=600)
+            assert not bulk_thread.is_alive(), "bulk job never finished"
+            assert order == ["interactive", "bulk"], (
+                f"high-priority interactive job should finish before the "
+                f"bulk backlog, got {order}"
+            )
+            print("priority OK: interactive (priority 10, second tenant) "
+                  "finished before the 40-cell bulk backlog on 2 lanes")
+            stop_daemon(daemon, ready)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=30)
+
+        manifest_path = store / "service" / "manifest.json"
+        with open(manifest_path, "r", encoding="utf-8") as stream:
+            manifest = json.load(stream)
+        validate_manifest(manifest)
+        assert manifest["limits"]["lanes"] == 2, manifest["limits"]
+        print("lane manifest OK: limits.lanes == 2")
+
+
+def main():
+    dedupe_smoke()
+    priority_smoke()
     print("serve smoke OK")
     return 0
 

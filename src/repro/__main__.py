@@ -104,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are bit-identical to N=1 and share one cache)",
     )
     run.add_argument(
+        "--backend",
+        choices=("fork", "spawn", "inline", "thread-lane"),
+        help="execution backend for sharded fault simulation "
+        "(default: auto — fork where available, else spawn)",
+    )
+    run.add_argument(
         "--limit",
         type=int,
         metavar="K",
@@ -176,6 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
         "processes (default: 1)",
     )
     serve.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N concurrent execution lanes, fair-share scheduled "
+        "across tenants; cold cells dispatch to a process backend so "
+        "lanes overlap on CPU (default: 1)",
+    )
+    serve.add_argument(
+        "--exec-backend",
+        choices=("fork", "spawn", "inline", "thread-lane"),
+        help="execution backend for cell work (default: auto — fork "
+        "where available, else spawn)",
+    )
+    serve.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -239,6 +260,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             host=args.host,
             port=args.port,
             workers=max(1, args.workers),
+            lanes=max(1, args.lanes),
+            exec_backend=args.exec_backend,
             max_retries=max(0, args.retries),
             failure_policy=args.failure_policy,
             size_budget_bytes=args.size_budget,
@@ -254,6 +277,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         spec,
         args.store,
         workers=getattr(args, "workers", 1),
+        backend=getattr(args, "backend", None),
         retry=RetryPolicy(max_retries=max(0, getattr(args, "retries", 2))),
         failure_policy=getattr(args, "failure_policy", "raise"),
     )

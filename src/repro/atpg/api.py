@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .. import telemetry
 from ..netlist.circuit import Circuit
@@ -112,6 +112,7 @@ def generate_tests(
     failure_policy: str = "raise",
     chaos: Optional["ChaosConfig"] = None,
     fault_model: str = "stuck_at",
+    backend: Optional[Any] = None,
 ) -> TestGenerationResult:
     """Run the full deterministic ATPG flow on a combinational circuit.
 
@@ -131,7 +132,12 @@ def generate_tests(
     that many worker processes via
     :class:`repro.faultsim.sharded.ShardedFaultSimulator`.  Results are
     bit-identical to ``workers=1``; the manifest grows a ``workers``
-    section with per-shard timings and counters.
+    section with per-shard timings and counters.  ``backend`` picks the
+    :mod:`repro.exec` execution backend for the pool (``"inline"`` /
+    ``"fork"`` / ``"spawn"`` / ``"thread-lane"`` or an
+    :class:`~repro.exec.ExecutorBackend`; default auto-selects fork
+    where available, else spawn), recorded in the manifest's
+    ``workers.backend``.
 
     ``supervision``/``failure_policy``/``chaos`` configure the sharded
     executor's fault tolerance (see :mod:`repro.resilience`): worker
@@ -176,6 +182,7 @@ def generate_tests(
             supervision=supervision,
             failure_policy=failure_policy,
             chaos=chaos,
+            backend=backend,
         )
         simulator = sharded
     else:
@@ -323,6 +330,8 @@ def generate_tests(
                     )
                     final_report = simulator.run(patterns)
 
+    if sharded is not None:
+        sharded.close()
     manifest = telemetry.RunManifest(
         flow="atpg.generate_tests",
         circuit=circuit.name,

@@ -157,8 +157,14 @@ def execute_cell(
     workers: int = 1,
     circuit: Optional[Circuit] = None,
     key: Optional[str] = None,
+    backend: Optional[Any] = None,
 ) -> CellResult:
-    """Run one cell cold through the appropriate flow."""
+    """Run one cell cold through the appropriate flow.
+
+    ``backend`` picks the :mod:`repro.exec` execution backend for any
+    sharded fault-simulation pool inside the flow; like ``workers`` it
+    never reaches the cache key (same result, different execution).
+    """
     from ..atpg.api import generate_tests
     from ..scan.flow import full_scan_flow
 
@@ -172,6 +178,7 @@ def execute_cell(
             engine=cell.engine,
             workers=workers,
             fault_model=cell.fault_model,
+            backend=backend,
             **_subparams(params, _ATPG_PARAMS),
         )
         duration = time.perf_counter() - start
@@ -199,6 +206,7 @@ def execute_cell(
             engine=cell.engine,
             workers=workers,
             fault_model=cell.fault_model,
+            backend=backend,
             **_subparams(params, _SCAN_PARAMS),
         )
         duration = time.perf_counter() - start
@@ -333,10 +341,12 @@ class CampaignRunner:
         retry: Optional[RetryPolicy] = None,
         failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
         chaos: Optional[ChaosConfig] = None,
+        backend: Optional[Any] = None,
     ) -> None:
         self.spec = spec
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.workers = max(1, int(workers))
+        self.backend = backend
         self.retry = retry if retry is not None else RetryPolicy()
         self.failure_policy = FailurePolicy.coerce(failure_policy)
         self.chaos = chaos
@@ -459,6 +469,7 @@ class CampaignRunner:
                     workers=self.workers,
                     circuit=circuit,
                     key=key,
+                    backend=self.backend,
                 )
 
             try:
@@ -558,6 +569,10 @@ class CampaignRunner:
             method="campaign",
             limits={
                 "workers": self.workers,
+                "backend": (
+                    self.backend if isinstance(self.backend, (str, type(None)))
+                    else getattr(self.backend, "name", str(self.backend))
+                ),
                 "limit": limit,
                 "workloads": list(self.spec.workloads),
                 "engines": list(self.spec.engines),

@@ -21,12 +21,19 @@ Two properties make the merge *exact* rather than approximate:
   first-detection indices, same coverage
   (``tests/test_sharded.py`` holds every engine to this).
 
-Execution degrades gracefully: ``workers <= 1``, a single shard, or a
-platform without ``fork`` all fall back to in-process execution (the
-shard/merge path still runs when more than one shard was requested, so
-the merge stays covered cross-platform).  Every degradation is
-*observable*: a ``faultsim.sharded.fallback`` counter fires and the
-reason lands in the manifest ``workers`` section's ``fallbacks`` list.
+Worker execution goes through a pluggable :mod:`repro.exec` backend
+(``backend=`` accepts ``"inline"``/``"fork"``/``"spawn"``/
+``"thread-lane"``, an :class:`~repro.exec.ExecutorBackend` instance, or
+``None`` for auto-selection: fork where available, else spawn — so
+spawn-only platforms get a real pool instead of silently degrading).
+Execution still degrades gracefully: ``workers <= 1``, a single shard,
+or no usable process backend all fall back to in-process execution
+(the shard/merge path still runs when more than one shard was
+requested, so the merge stays covered cross-platform).  Every
+degradation is *observable*: a ``faultsim.sharded.fallback`` counter
+fires and the reason lands both in the manifest ``workers`` section's
+``fallbacks`` list and in its top-level ``reason`` field
+(``fork_unavailable`` / ``spawn_unavailable`` / ``single_shard``).
 Telemetry from each worker is captured in the child, shipped back with
 the report, folded into the parent's active sink, and aggregated into
 the ``workers`` section of the flow's
@@ -51,9 +58,11 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import weakref
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import telemetry
+from ..exec.backends import ExecutorBackend, _REGISTRY as _BACKEND_REGISTRY
 from ..netlist.circuit import Circuit
 from ..faults.stuck_at import Fault
 from ..faults.models import (
@@ -67,7 +76,6 @@ from ..resilience import (
     FailureRecord,
     SupervisionPolicy,
     failure_record,
-    supervise,
 )
 from .coverage import CoverageReport, merge_reports
 
@@ -170,12 +178,36 @@ def _execute_shard(state: Dict[str, Any], index: int):
     return index, report, dict(session.counters), elapsed
 
 
+def _shard_task(state: Dict[str, Any], index: int, attempt: int):
+    """Backend task entry point: chaos injection, then one shard.
+
+    Module-level (not a closure) so the ``spawn`` backend can pickle it
+    into fresh-interpreter workers.  Chaos injection is mode-aware:
+    ``state["inject"]`` is ``"worker"`` only under isolated (process)
+    backends — :meth:`ChaosConfig.inject_worker` may ``os._exit`` the
+    process, which must never happen in the caller's own process under
+    the inline or thread-lane backends (those get ``"inline"``
+    injection, which only raises).
+    """
+    chaos: Optional[ChaosConfig] = state.get("chaos")
+    if chaos is not None:
+        inject = state.get("inject")
+        site = f"shard:{index}"
+        if inject == "worker":
+            chaos.inject_worker(site, attempt)
+        elif inject == "inline":
+            chaos.inject_inline(site, attempt)
+    return _execute_shard(state, index)
+
+
 class ShardedFaultSimulator:
     """Multi-process fault simulation behind the uniform Engine API.
 
     Construction mirrors ``create_simulator`` plus the parallelism
-    knobs: ``workers`` processes (default 1 = in-process), ``shards``
-    fault shards (default: one per worker).  ``engine`` accepts every
+    knobs: ``workers`` pool slots (default 1 = in-process), ``shards``
+    fault shards (default: one per worker), ``backend`` (a
+    :mod:`repro.exec` backend name/instance, or ``None`` to
+    auto-select fork-then-spawn).  ``engine`` accepts every
     :class:`repro.faultsim.Engine` name and ``"sequential"`` for the
     scan-schedule verifier.
 
@@ -208,6 +240,7 @@ class ShardedFaultSimulator:
         failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
         chaos: Optional[ChaosConfig] = None,
         fault_model: Union[str, FaultModel] = FaultModel.STUCK_AT,
+        backend: Union[None, str, ExecutorBackend] = None,
         **engine_kwargs: Any,
     ) -> None:
         self.engine = _engine_name(engine)
@@ -231,12 +264,16 @@ class ShardedFaultSimulator:
         self.failure_policy = FailurePolicy.coerce(failure_policy)
         self.chaos = chaos
         self.engine_kwargs = dict(engine_kwargs)
+        self.backend_spec = backend
+        self._backends: Dict[str, ExecutorBackend] = {}
         self._local = None
         self.failures: List[FailureRecord] = []
         self.stats: Dict[str, Any] = {
             "requested": self.workers,
             "effective": 0,
             "mode": "inprocess",
+            "backend": None,
+            "reason": None,
             "runs": 0,
             "shards": [],
             "fallbacks": [],
@@ -248,6 +285,56 @@ class ShardedFaultSimulator:
                 "fallbacks": 0,
             },
         }
+
+    # -- backend resolution --------------------------------------------
+    def _resolve_backend(self) -> Tuple[Optional[ExecutorBackend], Optional[str]]:
+        """The pooled backend for this run, or ``(None, reason)``.
+
+        Auto-selection (``backend=None``) prefers fork — state ships to
+        children for free by inheritance — and falls back to spawn so
+        spawn-only platforms still get a real pool.  An explicitly
+        requested backend that is unavailable degrades to in-process
+        with a ``<name>_unavailable`` reason (never silently).  The
+        module-level :func:`fork_available` stays the single source of
+        truth for fork capability (tests monkeypatch it).
+        """
+        spec = self.backend_spec
+        if isinstance(spec, ExecutorBackend):
+            return spec, None
+        if spec is None:
+            if fork_available():
+                name = "fork"
+            elif "spawn" in multiprocessing.get_all_start_methods():
+                name = "spawn"
+            else:
+                return None, "fork_unavailable"
+        else:
+            name = str(spec).strip().lower().replace("_", "-")
+            if name == "thread":
+                name = "thread-lane"
+            if name not in _BACKEND_REGISTRY:
+                raise ValueError(
+                    f"unknown execution backend {spec!r}; available: "
+                    f"{sorted(k for k in _BACKEND_REGISTRY if k != 'thread')}"
+                )
+        cls = _BACKEND_REGISTRY[name]
+        available = fork_available() if name == "fork" else cls.available()
+        if not available:
+            return None, f"{name}_unavailable"
+        instance = self._backends.get(name)
+        if instance is None:
+            instance = cls()
+            self._backends[name] = instance
+            # Persistent-worker backends (spawn) must not leak children
+            # when the simulator is dropped without an explicit close().
+            weakref.finalize(self, instance.close)
+        return instance, None
+
+    def close(self) -> None:
+        """Release any persistent backend workers (idempotent)."""
+        for instance in self._backends.values():
+            instance.close()
+        self._backends.clear()
 
     # -- in-process delegate -------------------------------------------
     def _local_simulator(self):
@@ -280,15 +367,26 @@ class ShardedFaultSimulator:
         recorded in :attr:`failures`.
         """
         shards = shard_faults(self.faults, self.shard_count)
-        pool_capable = fork_available()
-        use_pool = self.workers > 1 and len(shards) > 1 and pool_capable
-        mode = "fork" if use_pool else "inprocess"
-        effective = min(self.workers, len(shards)) if use_pool else 1
-        if self.workers > 1 and not use_pool:
-            # Satellite: degrading to in-process is never silent.
-            self._record_fallback(
-                "fork_unavailable" if not pool_capable else "single_shard"
+        backend, avail_reason = self._resolve_backend()
+        use_pool = self.workers > 1 and len(shards) > 1 and backend is not None
+        mode = backend.name if use_pool and backend is not None else "inprocess"
+        if use_pool and backend is not None:
+            # "effective" is pool slots granted; inline has exactly one.
+            effective = (
+                1 if backend.name == "inline"
+                else min(self.workers, len(shards))
             )
+            self.stats["backend"] = backend.name
+            self.stats["reason"] = None
+        else:
+            effective = 1
+            if self.workers > 1:
+                # Degrading to in-process is never silent: counted in
+                # telemetry, listed in ``fallbacks``, and surfaced as
+                # the manifest workers section's top-level ``reason``.
+                reason = avail_reason if backend is None else "single_shard"
+                self.stats["reason"] = reason
+                self._record_fallback(reason)
         with telemetry.span(
             "faultsim.sharded.run",
             engine=self.engine,
@@ -317,9 +415,9 @@ class ShardedFaultSimulator:
                 report = self._local_simulator().run(patterns, **run_kwargs)
                 self._record_run(mode, 1, [])
                 return report
-            if use_pool:
-                shard_rows, report_lists = self._run_supervised(
-                    state, shards, effective
+            if use_pool and backend is not None:
+                shard_rows, report_lists = self._run_backend(
+                    state, shards, effective, backend
                 )
             else:
                 shard_rows, report_lists = self._run_inprocess(state, shards)
@@ -336,23 +434,24 @@ class ShardedFaultSimulator:
             self._record_run(mode, effective, shard_rows)
             return merged
 
-    def _run_supervised(
+    def _run_backend(
         self,
         state: Dict[str, Any],
         shards: List[List[Fault]],
         effective: int,
+        backend: ExecutorBackend,
     ) -> Tuple[List[Dict[str, Any]], List[List[CoverageReport]]]:
-        """Fork path: supervised children, retries, per-shard fallback."""
-        chaos = self.chaos
-
-        def task(index: int, attempt: int):
-            # Runs in the forked child (state via fork inheritance).
-            if chaos is not None:
-                chaos.inject_worker(f"shard:{index}", attempt)
-            return _execute_shard(state, index)
-
-        outcome = supervise(
-            range(len(shards)), task, workers=effective, policy=self.supervision
+        """Pooled path: supervised backend map, retries, per-shard fallback."""
+        if self.chaos is not None:
+            # Worker-kind injection may os._exit the process: only safe
+            # when the backend isolates tasks in child processes.
+            state["inject"] = "worker" if backend.isolated else "inline"
+        outcome = backend.map(
+            _shard_task,
+            state,
+            range(len(shards)),
+            workers=effective,
+            policy=self.supervision,
         )
         sup = self.stats["supervision"]
         sup["retries"] += outcome.retries
@@ -368,11 +467,14 @@ class ShardedFaultSimulator:
             result = outcome.results.get(index)
             if result is not None:
                 _, report, counters, elapsed = result
-                # Worker counters only exist in the returned dict (the
-                # child's telemetry was reset post-fork), so replay them
-                # into the parent's sink here.
-                for name, value in counters.items():
-                    telemetry.incr(name, value)
+                # Telemetry fold-back contract: counters captured outside
+                # this capture context (another process or thread) only
+                # exist in the returned dict — replay them here.  The
+                # inline backend's tasks tee directly into our sink, so
+                # replaying there would double-count.
+                if backend.replays_counters:
+                    for name, value in counters.items():
+                        telemetry.incr(name, value)
                 shard_rows.append(
                     {"shard": index, "faults": len(shards[index]),
                      "duration_s": elapsed, "counters": counters}
@@ -546,6 +648,8 @@ class ShardedFaultSimulator:
             "requested": self.stats["requested"],
             "effective": self.stats["effective"],
             "mode": self.stats["mode"],
+            "backend": self.stats["backend"],
+            "reason": self.stats["reason"],
             "runs": self.stats["runs"],
             "fallbacks": [dict(row) for row in self.stats["fallbacks"]],
             "supervision": dict(self.stats["supervision"]),
@@ -579,10 +683,11 @@ def sharded_coverage(
     failure_policy: Union[str, FailurePolicy] = FailurePolicy.RAISE,
     chaos: Optional[ChaosConfig] = None,
     fault_model: Union[str, FaultModel] = FaultModel.STUCK_AT,
+    backend: Union[None, str, ExecutorBackend] = None,
     **engine_kwargs: Any,
 ) -> CoverageReport:
     """One-call sharded fault simulation (mirrors ``engine_coverage``)."""
-    return ShardedFaultSimulator(
+    simulator = ShardedFaultSimulator(
         circuit,
         engine,
         faults=faults,
@@ -593,5 +698,10 @@ def sharded_coverage(
         failure_policy=failure_policy,
         chaos=chaos,
         fault_model=fault_model,
+        backend=backend,
         **engine_kwargs,
-    ).run(patterns)
+    )
+    try:
+        return simulator.run(patterns)
+    finally:
+        simulator.close()

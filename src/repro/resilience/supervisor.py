@@ -143,11 +143,22 @@ def _reap(active: _Active, grace_s: float, kill: bool) -> None:
     active.conn.close()
 
 
+def _delegated_task(task_fn: Callable[[Any, int], Any], task: Any,
+                    attempt: int) -> Any:
+    """Adapter from the backend task signature to the supervisor's.
+
+    Module-level so ``backend="spawn"`` delegation can pickle it (the
+    wrapped ``task_fn`` must itself be picklable in that case).
+    """
+    return task_fn(task, attempt)
+
+
 def supervise(
     tasks: Sequence[Hashable],
     task_fn: Callable[[Any, int], Any],
     workers: int,
     policy: Optional[SupervisionPolicy] = None,
+    backend: Optional[Any] = None,
 ) -> SupervisionOutcome:
     """Run ``task_fn(task, attempt)`` in forked children, supervised.
 
@@ -155,8 +166,20 @@ def supervise(
     retried per ``policy.retry`` (with backoff between attempts) and
     ends up either in ``results[task]`` or ``failed[task]``.  Requires
     a platform with ``fork`` (callers gate on
-    :func:`repro.faultsim.sharded.fork_available`).
+    :func:`repro.faultsim.sharded.fork_available`) — unless ``backend``
+    names a :mod:`repro.exec` backend, in which case execution is
+    delegated there with identical outcome/retry/telemetry semantics
+    (the fork backend itself comes straight back here).
     """
+    if backend is not None:
+        from ..exec.backends import ForkBackend, create_backend
+
+        resolved = create_backend(backend)
+        if not isinstance(resolved, ForkBackend):
+            return resolved.map(
+                _delegated_task, task_fn, list(tasks),
+                workers=workers, policy=policy,
+            )
     policy = policy or SupervisionPolicy()
     retry = policy.retry
     context = multiprocessing.get_context("fork")

@@ -22,7 +22,7 @@ the sample seed is recorded in the attached run manifest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from .. import telemetry
 from ..netlist.circuit import Circuit
@@ -150,6 +150,7 @@ def full_scan_flow(
     failure_policy: str = "raise",
     chaos: Optional["ChaosConfig"] = None,
     fault_model: str = "stuck_at",
+    backend: Optional[Any] = None,
 ) -> FullScanResult:
     """Scan-insert, ATPG the core, schedule, and (optionally) verify.
 
@@ -161,7 +162,9 @@ def full_scan_flow(
     fault; benchmarks on larger designs sample).  ``workers > 1``
     shards both the core ATPG's fault-simulation passes and the
     sequential verification across that many processes — the result is
-    bit-identical to ``workers=1``.
+    bit-identical to ``workers=1``.  ``backend`` selects the
+    :mod:`repro.exec` execution backend for both pools (default
+    auto-selects fork where available, else spawn).
 
     ``supervision``/``failure_policy``/``chaos`` configure the sharded
     executors' fault tolerance (see :mod:`repro.resilience`); any
@@ -213,6 +216,7 @@ def full_scan_flow(
                     failure_policy=failure_policy,
                     chaos=chaos,
                     fault_model=model,
+                    backend=backend,
                 )
             with telemetry.span("scan.phase.schedule"):
                 schedule = schedule_scan_tests(
@@ -240,8 +244,10 @@ def full_scan_flow(
                         supervision=supervision,
                         failure_policy=failure_policy,
                         chaos=chaos,
+                        backend=backend,
                     )
                     coverage = verifier.run(schedule)
+                    verifier.close()
 
     engine_name = getattr(engine, "value", engine)
     manifest = telemetry.RunManifest(

@@ -10,6 +10,7 @@ quarantines without stalling anyone else's queue.  See
 :mod:`repro.service.protocol` for the wire format.
 """
 
+from .accounting import TENANTS_JOURNAL, TenantLedger
 from .client import (
     ServiceClient,
     ServiceError,
@@ -18,6 +19,8 @@ from .client import (
     wait_for_ready,
 )
 from .protocol import (
+    ACCEPTED_SCHEMAS,
+    DEFAULT_PRIORITY,
     DEFAULT_TENANT,
     EVENT_ACCEPTED,
     EVENT_BYE,
@@ -31,10 +34,13 @@ from .protocol import (
     PROTOCOL_SCHEMA,
     ProtocolError,
 )
+from .scheduler import FairShareScheduler
 from .server import CampaignService, ServiceConfig, ServiceStats, run_service
 
 __all__ = [
     "PROTOCOL_SCHEMA",
+    "ACCEPTED_SCHEMAS",
+    "DEFAULT_PRIORITY",
     "DEFAULT_TENANT",
     "OP_SUBMIT",
     "OP_STATUS",
@@ -55,4 +61,7 @@ __all__ = [
     "run_service",
     "read_ready_file",
     "wait_for_ready",
+    "FairShareScheduler",
+    "TenantLedger",
+    "TENANTS_JOURNAL",
 ]

@@ -1,0 +1,155 @@
+"""Persistent per-tenant accounting: quotas that survive restarts.
+
+PR 8's byte quotas lived in a daemon-local dict, so a SIGTERM (deploy,
+host reboot) reset every tenant to zero — a tenant at its quota could
+simply wait for the next restart.  :class:`TenantLedger` journals
+every charge to ``<store>/tenants.jsonl`` (one JSON line per event,
+same append-and-rotate machinery as the store's ``index.jsonl``) and
+replays the journal on daemon start, so usage picks up exactly where
+the previous daemon left off.
+
+Journal lines::
+
+    {"op": "charge", "tenant": str, "bytes": int}
+    {"op": "snapshot", "tenants": {tenant: bytes, ...}}
+
+Rotation compacts rather than discards: when the journal passes
+``max_bytes`` it is renamed to ``tenants.jsonl.1`` (replacing any
+previous rotation) and the fresh journal opens with a single
+``snapshot`` line carrying the full current state — so disk use stays
+bounded at ~2x the threshold and a replay never needs the rotated
+file.  Replay reads the newest file that exists (current journal,
+else the rotation), applying the last snapshot then every charge
+after it.
+
+Journal write failures are swallowed (quotas degrade to session-local
+accounting rather than taking the service down); replay failures on a
+corrupt line skip that line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+from .. import telemetry
+
+__all__ = ["TenantLedger", "TENANTS_JOURNAL"]
+
+#: Journal filename under the store root.
+TENANTS_JOURNAL = "tenants.jsonl"
+
+
+class TenantLedger:
+    """Durable tenant -> charged-bytes map backed by a JSONL journal."""
+
+    def __init__(self, root: Union[str, Path],
+                 max_bytes: int = 1 << 20) -> None:
+        self.root = Path(root)
+        self.path = self.root / TENANTS_JOURNAL
+        self.max_bytes = int(max_bytes)
+        self.tenant_bytes: Dict[str, int] = {}
+        self._load()
+
+    # -- replay --------------------------------------------------------
+    def _load(self) -> None:
+        """Rebuild the in-memory map from the newest journal on disk."""
+        path = self.path
+        if not path.exists():
+            rotated = path.parent / (path.name + ".1")
+            if not rotated.exists():
+                return
+            path = rotated
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                lines = stream.readlines()
+        except OSError:
+            return
+        state: Dict[str, int] = {}
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn write mid-rotation; later lines still apply
+            if not isinstance(entry, dict):
+                continue
+            op = entry.get("op")
+            if op == "snapshot" and isinstance(entry.get("tenants"), dict):
+                state = {
+                    str(tenant): int(value)
+                    for tenant, value in entry["tenants"].items()
+                    if isinstance(value, int) and not isinstance(value, bool)
+                }
+            elif op == "charge":
+                tenant = entry.get("tenant")
+                amount = entry.get("bytes")
+                if (
+                    isinstance(tenant, str)
+                    and isinstance(amount, int)
+                    and not isinstance(amount, bool)
+                ):
+                    state[tenant] = state.get(tenant, 0) + amount
+        self.tenant_bytes = state
+        if state:
+            telemetry.incr("service.ledger.resumed")
+
+    # -- accounting ----------------------------------------------------
+    def usage(self, tenant: str) -> int:
+        """Bytes charged to ``tenant`` so far (0 if unknown)."""
+        return self.tenant_bytes.get(tenant, 0)
+
+    def charge(self, tenant: str, amount: int) -> int:
+        """Add ``amount`` bytes to a tenant; returns the new total.
+
+        The journal line is appended *before* the in-memory update: a
+        rotation snapshot taken during the append must capture the
+        state without this charge, or replaying snapshot + charge line
+        would double-count it.
+        """
+        self._append({"op": "charge", "tenant": tenant, "bytes": int(amount)})
+        total = self.tenant_bytes.get(tenant, 0) + int(amount)
+        self.tenant_bytes[tenant] = total
+        return total
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the full tenant -> bytes map (for status/manifest)."""
+        return dict(self.tenant_bytes)
+
+    # -- journal -------------------------------------------------------
+    def _append(self, entry: Dict[str, int]) -> None:
+        """Append one journal line, rotating past ``max_bytes``.
+
+        Mirrors ``ResultStore._index``: the in-memory map is the
+        source of truth for the running daemon, so journal I/O errors
+        are swallowed — accounting degrades to session-local instead
+        of failing the request.
+        """
+        try:
+            try:
+                if self.path.stat().st_size >= self.max_bytes:
+                    os.replace(
+                        self.path, self.path.parent / (self.path.name + ".1")
+                    )
+                    telemetry.incr("service.ledger.rotated")
+                    # Seed the fresh journal with the full state so a
+                    # replay never needs the rotated file.
+                    with open(self.path, "a", encoding="utf-8") as stream:
+                        stream.write(json.dumps(
+                            {"op": "snapshot",
+                             "tenants": dict(self.tenant_bytes)},
+                            sort_keys=True,
+                        ))
+                        stream.write("\n")
+            except FileNotFoundError:
+                pass
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as stream:
+                stream.write(json.dumps(entry, sort_keys=True))
+                stream.write("\n")
+        except OSError:
+            pass

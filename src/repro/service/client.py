@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from ..campaign.spec import CampaignSpec
 from .protocol import (
+    DEFAULT_PRIORITY,
     DEFAULT_TENANT,
     EVENT_ACCEPTED,
     EVENT_BYE,
@@ -170,15 +171,19 @@ class ServiceClient:
         spec: Union[CampaignSpec, Dict[str, Any]],
         tenant: str = DEFAULT_TENANT,
         return_payloads: bool = False,
+        priority: int = DEFAULT_PRIORITY,
     ) -> Iterator[Dict[str, Any]]:
         """Submit a spec and yield events as the daemon streams them.
 
-        A terminal ``error`` event is raised as :class:`ServiceError`
+        ``priority`` (protocol v2) biases the daemon's fair-share
+        scheduler: higher runs sooner within this tenant's share.  A
+        terminal ``error`` event is raised as :class:`ServiceError`
         (with its ``code``); all other events are yielded through.
         """
         spec_dict = spec.to_dict() if isinstance(spec, CampaignSpec) else spec
         message = submit_request(
-            spec_dict, tenant=tenant, return_payloads=return_payloads
+            spec_dict, tenant=tenant, return_payloads=return_payloads,
+            priority=priority,
         )
         for event in self.request_iter(message):
             if event.get("event") == EVENT_ERROR:
@@ -193,13 +198,15 @@ class ServiceClient:
         spec: Union[CampaignSpec, Dict[str, Any]],
         tenant: str = DEFAULT_TENANT,
         return_payloads: bool = False,
+        priority: int = DEFAULT_PRIORITY,
     ) -> SubmitOutcome:
         """Submit a spec and collect the full response stream."""
         accepted: Optional[Dict[str, Any]] = None
         cells: List[Dict[str, Any]] = []
         done: Dict[str, Any] = {}
         for event in self.submit_iter(
-            spec, tenant=tenant, return_payloads=return_payloads
+            spec, tenant=tenant, return_payloads=return_payloads,
+            priority=priority,
         ):
             kind = event.get("event")
             if kind == EVENT_ACCEPTED:

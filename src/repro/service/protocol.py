@@ -10,11 +10,13 @@ Requests (all carry ``{"schema": PROTOCOL_SCHEMA, "op": ...}``):
 
 ``submit``
     ``{"op": "submit", "tenant": str, "spec": {campaign-spec dict},
-    "return_payloads": bool}`` — expand the spec into cells and run
-    them through the shared store.  The response stream is one
-    ``accepted`` event, one ``cell`` event per cell **in deterministic
-    spec order, emitted as each cell finishes** (incremental results),
-    and one terminal ``done`` event.
+    "return_payloads": bool, "priority": int}`` — expand the spec into
+    cells and run them through the shared store.  The response stream
+    is one ``accepted`` event, one ``cell`` event per cell **in
+    deterministic spec order, emitted as each cell finishes**
+    (incremental results), and one terminal ``done`` event.
+    ``priority`` (protocol v2, optional, default 0) biases the
+    fair-share scheduler: higher runs sooner within a tenant's share.
 
 ``status``
     One ``status`` event: service counters, store size/stats, tenant
@@ -36,6 +38,8 @@ from typing import Any, Dict, Union
 
 __all__ = [
     "PROTOCOL_SCHEMA",
+    "ACCEPTED_SCHEMAS",
+    "DEFAULT_PRIORITY",
     "OP_SUBMIT",
     "OP_STATUS",
     "OP_SHUTDOWN",
@@ -57,7 +61,17 @@ __all__ = [
 
 #: Version tag every request and event carries; a format change bumps
 #: it and old clients get a clean ``error`` event instead of garbage.
-PROTOCOL_SCHEMA = "repro.service/1"
+#: v2 added the optional ``priority`` submit field — a compatible
+#: extension, so v1 requests are still accepted (see
+#: ``ACCEPTED_SCHEMAS``) and answered with v2 events.
+PROTOCOL_SCHEMA = "repro.service/2"
+
+#: Request schemas the server accepts.  v1 predates ``priority``; a v1
+#: submit simply runs at the default priority.
+ACCEPTED_SCHEMAS = ("repro.service/1", PROTOCOL_SCHEMA)
+
+#: Default submit priority (higher runs sooner within a tenant's share).
+DEFAULT_PRIORITY = 0
 
 OP_SUBMIT = "submit"
 OP_STATUS = "status"
@@ -113,6 +127,7 @@ def submit_request(
     spec: Dict[str, Any],
     tenant: str = DEFAULT_TENANT,
     return_payloads: bool = False,
+    priority: int = DEFAULT_PRIORITY,
 ) -> Dict[str, Any]:
     """A ``submit`` request for one campaign-spec dict."""
     return {
@@ -121,6 +136,7 @@ def submit_request(
         "tenant": tenant,
         "spec": spec,
         "return_payloads": bool(return_payloads),
+        "priority": int(priority),
     }
 
 
@@ -140,9 +156,10 @@ def shutdown_request() -> Dict[str, Any]:
 def validate_request(data: Dict[str, Any]) -> Dict[str, Any]:
     """Check schema tag, op, and op-specific fields; raises on junk."""
     schema = data.get("schema")
-    if schema != PROTOCOL_SCHEMA:
+    if schema not in ACCEPTED_SCHEMAS:
         raise ProtocolError(
-            f"unknown protocol schema {schema!r} (expected {PROTOCOL_SCHEMA!r})"
+            f"unknown protocol schema {schema!r} (expected one of "
+            f"{list(ACCEPTED_SCHEMAS)})"
         )
     op = data.get("op")
     if op not in OPS:
@@ -153,4 +170,9 @@ def validate_request(data: Dict[str, Any]) -> Dict[str, Any]:
         tenant = data.get("tenant", DEFAULT_TENANT)
         if not isinstance(tenant, str) or not tenant:
             raise ProtocolError(f"tenant must be a non-empty string, got {tenant!r}")
+        priority = data.get("priority", DEFAULT_PRIORITY)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ProtocolError(
+                f"priority must be an integer, got {priority!r}"
+            )
     return data

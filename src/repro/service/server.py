@@ -20,11 +20,20 @@ Architecture (one process, one event loop):
   paying zero additional work; if the store already holds the
   artifact, the job gets a warm ``hit``.  Only genuinely novel cells
   become cold ``miss`` executions.
-* **One execution lane, per-cell sharding** — cells execute one at a
-  time in a worker thread (the flows' telemetry capture is
-  process-global, and pure-Python fault simulation does not benefit
-  from threads anyway); intra-cell parallelism comes from the existing
-  fork-based sharded executor (``workers=N`` per cell).
+* **N execution lanes, fair-share scheduled** — ``--lanes N`` runs N
+  concurrent lane tasks, each draining the
+  :class:`~repro.service.scheduler.FairShareScheduler` (per-tenant
+  deficit round-robin over per-tenant priority queues, so one tenant's
+  bulk campaign cannot starve another's interactive submission; the
+  optional protocol-v2 ``priority`` field biases order within a
+  tenant).  Lane telemetry is safe because
+  :func:`repro.telemetry.capture` is contextvar-scoped and re-entrant
+  across threads.  With more than one lane, cold cells execute in a
+  :mod:`repro.exec` *process* backend (fork where available, else
+  spawn) so lanes actually overlap on CPU-bound work instead of
+  serializing on the GIL — store hits stay in the lane thread, where
+  they overlap on I/O.  Intra-cell parallelism still comes from the
+  sharded executor (``workers=N`` per cell).
 * **Tenant isolation** — a poisoned netlist fails *its* cell: the
   failure is retried per :class:`~repro.resilience.RetryPolicy`, then
   recorded as a :class:`~repro.resilience.FailureRecord` and streamed
@@ -39,7 +48,10 @@ Architecture (one process, one event loop):
 * **Quotas** — cold executions charge their artifact bytes to the
   submitting tenant; a tenant at or over ``tenant_quota_bytes`` has
   further submissions rejected (cache hits are free — shared results
-  are the whole point).
+  are the whole point).  Charges are journaled to
+  ``<store>/tenants.jsonl`` (:class:`~repro.service.accounting.
+  TenantLedger`) and replayed on start, so quotas survive daemon
+  restarts.
 
 On shutdown (SIGTERM/SIGINT or the ``shutdown`` op) the daemon stops
 accepting, drains its queue so no client is cut off mid-stream, and
@@ -62,9 +74,14 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from .. import telemetry
 from ..campaign.runner import cell_cache_key, encode_cell_result, execute_cell
 from ..campaign.spec import CampaignCell, CampaignSpec
+from ..exec.backends import ExecutorBackend, create_backend
 from ..resilience import ChaosConfig, FailurePolicy, RetryPolicy, failure_record
+from ..resilience.supervisor import SupervisionPolicy
 from ..store import KIND_CAMPAIGN_CELL, LifecyclePolicy, ResultStore
+from .accounting import TenantLedger
+from .scheduler import FairShareScheduler
 from .protocol import (
+    DEFAULT_PRIORITY,
     DEFAULT_TENANT,
     EVENT_ACCEPTED,
     EVENT_BYE,
@@ -85,6 +102,34 @@ from .protocol import (
 __all__ = ["ServiceConfig", "ServiceStats", "CampaignService", "run_service"]
 
 
+class CellExecutionError(Exception):
+    """A cold cell failed inside a process backend (crash/hang/raise)."""
+
+
+def _cold_cell_task(
+    payload: Tuple[CampaignCell, Dict[str, Any], int, str, Optional[str]],
+    task: int,
+    attempt: int,
+) -> Tuple[Dict[str, Any], Dict[str, int]]:
+    """Backend task: run one cold cell in a child process.
+
+    Module-level so the spawn backend can pickle it.  The child runs
+    under its own :func:`telemetry.capture` and returns the counters
+    alongside the encoded payload — the parent lane replays them (the
+    exec fold-back contract; child-process counters would otherwise
+    vanish with the child).
+    """
+    del task, attempt  # one cell per map call; retries live in the lane
+    cell, params, workers, key, backend_spec = payload
+    with telemetry.capture() as session:
+        result = execute_cell(
+            cell, params, workers=workers, key=key, backend=backend_spec
+        )
+        encoded = encode_cell_result(result)
+        counters = dict(session.counters)
+    return encoded, counters
+
+
 @dataclass
 class ServiceConfig:
     """Everything one daemon instance needs to know."""
@@ -92,7 +137,9 @@ class ServiceConfig:
     store_root: Union[str, Path] = ".repro-store"
     host: str = "127.0.0.1"
     port: int = 0  # 0 = pick a free port; discover via the ready file
-    workers: int = 1  # per-cell fork sharding (execute_cell workers=N)
+    workers: int = 1  # per-cell sharding (execute_cell workers=N)
+    lanes: int = 1  # concurrent execution lanes (fair-share scheduled)
+    exec_backend: Optional[str] = None  # repro.exec backend; None = auto
     max_retries: int = 0
     failure_policy: Union[str, FailurePolicy] = FailurePolicy.QUARANTINE
     size_budget_bytes: Optional[int] = None
@@ -153,41 +200,85 @@ class CampaignService:
         self.failure_policy = FailurePolicy.coerce(config.failure_policy)
         self.retry = RetryPolicy(max_retries=max(0, config.max_retries))
         self.stats = ServiceStats()
-        self.tenant_bytes: Dict[str, int] = {}
+        self.lanes = max(1, int(config.lanes))
+        # Satellite: per-tenant accounting survives restarts — the
+        # ledger replays <store>/tenants.jsonl on construction.
+        self.ledger = TenantLedger(self.store.root)
+        self.scheduler = FairShareScheduler()
         self.address: Optional[Tuple[str, int]] = None
         self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
         # Created in start(): on 3.9 these primitives bind to the loop
         # that exists at construction time, which must be the running
         # one or every await dies with "attached to a different loop".
-        self._queue: Optional["asyncio.Queue[Any]"] = None
+        self._work: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
         self._stop: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
-        self._worker_task: Optional["asyncio.Task[None]"] = None
+        self._lane_tasks: List["asyncio.Task[None]"] = []
+        self._busy_lanes = 0
         self._conn_tasks: set = set()
-        # One lane: executions are serialized (see module docstring).
+        # One executor thread per lane; lanes overlap on store I/O, and
+        # cold cells escape the GIL through a process backend when
+        # lanes > 1 (see _cold_backend).
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve"
+            max_workers=self.lanes, thread_name_prefix="repro-serve"
         )
+        self._cell_backend: Optional[ExecutorBackend] = None
         self._jobs_seq = 0
         self._started_monotonic = 0.0
+
+    @property
+    def tenant_bytes(self) -> Dict[str, int]:
+        """Per-tenant charged bytes (live view of the durable ledger)."""
+        return self.ledger.tenant_bytes
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
-        """Bind, start the execution worker, write the ready file."""
-        self._queue = asyncio.Queue()
+        """Bind, start the execution lanes, write the ready file."""
+        self._work = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._stop = asyncio.Event()
+        if self.lanes > 1:
+            # Lanes must not serialize on the GIL for cold (CPU-bound)
+            # cells: dispatch those into a process backend.  When no
+            # process backend exists the lanes still overlap store I/O.
+            self._cell_backend = self._resolve_cell_backend()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
-        self._worker_task = asyncio.ensure_future(self._worker())
+        self._lane_tasks = [
+            asyncio.ensure_future(self._lane(index))
+            for index in range(self.lanes)
+        ]
         self._started_monotonic = time.monotonic()
         if self.config.ready_file:
             self._write_ready_file()
         return self.address
+
+    def _resolve_cell_backend(self) -> Optional[ExecutorBackend]:
+        """A process backend for cold cells, or None (inline in lane).
+
+        Auto-selection (``exec_backend=None``) also requires >= 2
+        cores: process dispatch exists to put lanes on separate cores,
+        and on a single-core machine it is pure fork/pickle overhead.
+        An explicitly named backend is honored regardless.
+        """
+        explicit = self.config.exec_backend is not None
+        if not explicit and (os.cpu_count() or 1) < 2:
+            return None
+        backend = create_backend(self.config.exec_backend)
+        if not backend.isolated:
+            # inline / thread-lane cannot escape the GIL for CPU-bound
+            # cell execution; run cells directly in the lane thread.
+            return None
+        if not type(backend).available():
+            return None
+        return backend
 
     def _write_ready_file(self) -> None:
         host, port = self.address
@@ -222,7 +313,7 @@ class CampaignService:
             await self._server.wait_closed()
         try:
             await asyncio.wait_for(
-                self._queue.join(), timeout=self.config.drain_timeout_s
+                self._idle.wait(), timeout=self.config.drain_timeout_s
             )
         except asyncio.TimeoutError:
             pass
@@ -230,13 +321,16 @@ class CampaignService:
             await asyncio.wait(
                 list(self._conn_tasks), timeout=self.config.drain_timeout_s
             )
-        if self._worker_task is not None:
-            self._worker_task.cancel()
+        for task in self._lane_tasks:
+            task.cancel()
+        for task in self._lane_tasks:
             try:
-                await self._worker_task
+                await task
             except asyncio.CancelledError:
                 pass
         self._executor.shutdown(wait=True)
+        if self._cell_backend is not None:
+            self._cell_backend.close()
         self.write_manifest()
         if self.config.ready_file:
             try:
@@ -265,7 +359,7 @@ class CampaignService:
             },
             "tenants": {
                 tenant: bytes_used
-                for tenant, bytes_used in sorted(self.tenant_bytes.items())
+                for tenant, bytes_used in sorted(self.ledger.snapshot().items())
             },
             "store": dict(
                 self.store.stats.to_dict(),
@@ -284,6 +378,12 @@ class CampaignService:
             method="serve",
             limits={
                 "workers": self.config.workers,
+                "lanes": self.lanes,
+                "exec_backend": (
+                    self._cell_backend.name
+                    if self._cell_backend is not None
+                    else None
+                ),
                 "max_retries": self.config.max_retries,
                 "failure_policy": self.failure_policy.value,
                 "size_budget_bytes": self.config.size_budget_bytes,
@@ -365,9 +465,10 @@ class CampaignService:
                 "size_bytes": self.store.size_bytes(),
                 "stats": self.store.stats.to_dict(),
             },
-            "tenants": dict(sorted(self.tenant_bytes.items())),
+            "tenants": dict(sorted(self.ledger.snapshot().items())),
             "inflight": len(self._inflight),
-            "queued": self._queue.qsize(),
+            "queued": self.scheduler.queued(),
+            "lanes": self.lanes,
             "uptime_s": self.uptime_s(),
         }
 
@@ -379,6 +480,7 @@ class CampaignService:
     ) -> None:
         tenant = request.get("tenant", DEFAULT_TENANT)
         return_payloads = bool(request.get("return_payloads", False))
+        priority = int(request.get("priority", DEFAULT_PRIORITY))
         try:
             spec = CampaignSpec.from_dict(request["spec"])
         except (KeyError, TypeError, ValueError) as exc:
@@ -390,7 +492,7 @@ class CampaignService:
             )
             return
         quota = self.config.tenant_quota_bytes
-        used = self.tenant_bytes.get(tenant, 0)
+        used = self.ledger.usage(tenant)
         if quota is not None and used >= quota:
             self.stats.rejected += 1
             telemetry.incr("service.quota.rejected")
@@ -433,6 +535,7 @@ class CampaignService:
                 "campaign": spec.name,
                 "cells": len(keyed),
                 "skipped": len(skipped),
+                "priority": priority,
             },
         )
 
@@ -442,7 +545,7 @@ class CampaignService:
         # pinned (per job) from scheduling until their event is on the
         # wire, so an LRU pass can never evict an in-flight artifact.
         slots = [
-            self._ensure_cell(key, cell, spec.params, tenant)
+            self._ensure_cell(key, cell, spec.params, tenant, priority)
             for cell, key in keyed
         ]
         job_hits = job_misses = job_shared = job_failed = 0
@@ -503,7 +606,7 @@ class CampaignService:
                 "shared": job_shared,
                 "failed": job_failed,
                 "aborted": aborted,
-                "tenant_bytes": self.tenant_bytes.get(tenant, 0),
+                "tenant_bytes": self.ledger.usage(tenant),
             },
         )
 
@@ -513,6 +616,7 @@ class CampaignService:
         cell: CampaignCell,
         params: Dict[str, Any],
         tenant: str,
+        priority: int = DEFAULT_PRIORITY,
     ) -> Tuple["asyncio.Future[Any]", bool]:
         """The future resolving ``key``; shared when already in flight."""
         self.store.pin(key)
@@ -523,16 +627,36 @@ class CampaignService:
             return future, True
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
-        self._queue.put_nowait((key, cell, dict(params), tenant, future))
+        self.scheduler.push(
+            tenant, priority, (key, cell, dict(params), tenant, future)
+        )
+        self._idle.clear()
+        self._work.set()
         return future, False
 
     # ------------------------------------------------------------------
-    # Execution worker
+    # Execution lanes
     # ------------------------------------------------------------------
-    async def _worker(self) -> None:
+    async def _lane(self, lane_index: int) -> None:
+        """One execution lane: drain the fair-share scheduler forever.
+
+        Scheduler pops and the busy/idle bookkeeping all happen on the
+        event-loop thread (no awaits in between), so N lanes never race
+        on the scheduler; only the cell execution itself leaves the
+        loop, via the lane's executor thread.
+        """
         loop = asyncio.get_running_loop()
         while True:
-            key, cell, params, tenant, future = await self._queue.get()
+            entry = self.scheduler.pop()
+            if entry is None:
+                if self._busy_lanes == 0:
+                    self._idle.set()
+                self._work.clear()
+                await self._work.wait()
+                continue
+            key, cell, params, tenant, future = entry.item
+            self._busy_lanes += 1
+            lane_start = time.monotonic()
             try:
                 try:
                     outcome = await loop.run_in_executor(
@@ -565,7 +689,12 @@ class CampaignService:
                 if not future.done():
                     future.set_result(outcome)
             finally:
-                self._queue.task_done()
+                # Deficit accounting: lane seconds drive which tenant
+                # the scheduler serves next.
+                self.scheduler.charge(tenant, time.monotonic() - lane_start)
+                self._busy_lanes -= 1
+                if self._busy_lanes == 0 and self.scheduler.queued() == 0:
+                    self._idle.set()
 
     def _execute(
         self, key: str, cell: CampaignCell, params: Dict[str, Any]
@@ -586,10 +715,7 @@ class CampaignService:
                 if self.chaos is not None:
                     self.chaos.check_poison_cell(cell.cell_id)
                     self.chaos.inject_inline(f"cell:{cell.cell_id}", attempt)
-                result = execute_cell(
-                    cell, params, workers=self.config.workers, key=key
-                )
-                payload = encode_cell_result(result)
+                payload = self._execute_cold(key, cell, params)
                 self.store.put(key, KIND_CAMPAIGN_CELL, payload)
                 return payload, False, None
             except Exception as exc:
@@ -610,13 +736,56 @@ class CampaignService:
                     ),
                 )
 
+    def _execute_cold(
+        self, key: str, cell: CampaignCell, params: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Run one cold cell; in a process backend when lanes demand it.
+
+        With one lane (or no process backend) the cell runs right here
+        in the lane thread, exactly as PR 8 did.  With multiple lanes
+        the cell ships to a fork/spawn child so concurrent cold cells
+        use real cores; the child captures its own telemetry and the
+        counters are replayed here (the exec fold-back contract — the
+        lane thread is outside the connection's capture context
+        anyway, so counters land in the process-global base either
+        way).  A child failure re-raises into the caller's retry loop.
+        """
+        backend = self._cell_backend
+        if backend is None:
+            result = execute_cell(
+                cell,
+                params,
+                workers=self.config.workers,
+                key=key,
+                backend=self.config.exec_backend,
+            )
+            return encode_cell_result(result)
+        outcome = backend.map(
+            _cold_cell_task,
+            (cell, dict(params), self.config.workers, key,
+             self.config.exec_backend),
+            [0],
+            workers=1,
+            policy=SupervisionPolicy(retry=RetryPolicy(max_retries=0)),
+        )
+        if 0 in outcome.results:
+            payload, counters = outcome.results[0]
+            for name, value in counters.items():
+                telemetry.incr(name, value)
+            return payload
+        failure = outcome.failed[0]
+        raise CellExecutionError(
+            f"{failure.error}: {failure.message} "
+            f"(kind={failure.kind}, backend={backend.name})"
+        )
+
     def _charge(self, tenant: str, key: str) -> None:
         """Charge a cold artifact's bytes to the tenant that caused it."""
         try:
             size = self.store.path_for(key).stat().st_size
         except OSError:
             size = 0
-        self.tenant_bytes[tenant] = self.tenant_bytes.get(tenant, 0) + size
+        self.ledger.charge(tenant, size)
 
 
 # ----------------------------------------------------------------------

@@ -43,6 +43,7 @@ Scoped collection (what ``generate_tests`` does internally)::
 
 from __future__ import annotations
 
+import contextvars
 import json
 import threading
 import time
@@ -187,12 +188,33 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
-# Module state: one flag, one sink, a per-thread span stack
+# Module state: a process-global base (flag + sink) set by
+# enable()/disable(), a contextvar overlay set by capture(), and a
+# per-thread span stack.
+#
+# The overlay is what makes capture() re-entrant: each thread (or asyncio
+# task) that enters capture() installs its own (enabled, sink) pair in
+# its execution context, so concurrent captures never see each other's
+# sinks.  Threads that never call capture() fall through to the base, so
+# enable() keeps its historical process-wide meaning.
 # ----------------------------------------------------------------------
 _NULL_SINK = NullSink()
 _enabled = False
 _sink: Any = _NULL_SINK
 _local = threading.local()
+
+# (enabled, sink) while inside capture(); None means "use the base".
+_capture_state: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_telemetry_capture", default=None
+)
+
+
+def _active() -> "tuple[bool, Any]":
+    """The (enabled, sink) pair in effect for the current context."""
+    state = _capture_state.get()
+    if state is not None:
+        return state
+    return _enabled, _sink
 
 
 def _stack() -> List["_Span"]:
@@ -226,23 +248,24 @@ def reset_in_child() -> None:
     """Reinitialize telemetry state after a ``fork()``.
 
     A forked worker inherits the parent's enabled flag, sink (possibly
-    an open file stream) and per-thread span stack.  Sharded execution
-    calls this first thing in every worker so child events can never
-    interleave into the parent's sink and counters can never fold into
-    inherited (never-to-be-emitted) parent spans.
+    an open file stream), capture overlay, and per-thread span stack.
+    Sharded execution calls this first thing in every worker so child
+    events can never interleave into the parent's sink and counters can
+    never fold into inherited (never-to-be-emitted) parent spans.
     """
     disable()
+    _capture_state.set(None)
     _local.stack = []
 
 
 def is_enabled() -> bool:
-    """Is any sink currently listening?"""
-    return _enabled
+    """Is any sink currently listening (in this context)?"""
+    return _active()[0]
 
 
 def current_sink() -> Any:
     """The sink events are being routed to (NullSink when disabled)."""
-    return _sink
+    return _active()[1]
 
 
 # ----------------------------------------------------------------------
@@ -285,7 +308,7 @@ class _Span:
         }
         if self.attrs:
             event["attrs"] = self.attrs
-        _sink.emit(event)
+        _active()[1].emit(event)
 
 
 class _NullSpan:
@@ -310,7 +333,7 @@ def span(name: str, **attrs: Any) -> Any:
     it; the finished span is emitted to the active sink.  While
     telemetry is disabled this returns a shared no-op object.
     """
-    if not _enabled:
+    if not _active()[0]:
         return _NULL_SPAN
     return _Span(name, attrs)
 
@@ -321,14 +344,15 @@ def incr(name: str, value: int = 1) -> None:
     Folded into the innermost open span, or emitted as a standalone
     counter event when no span is open.  No-op while disabled.
     """
-    if not _enabled:
+    enabled, sink = _active()
+    if not enabled:
         return
     stack = getattr(_local, "stack", None)
     if stack:
         counters = stack[-1].counters
         counters[name] = counters.get(name, 0) + value
     else:
-        _sink.emit({"event": "counter", "name": name, "value": value})
+        sink.emit({"event": "counter", "name": name, "value": value})
 
 
 @contextmanager
@@ -342,24 +366,29 @@ def timed(name: str, **attrs: Any) -> Iterator[None]:
 def capture() -> Iterator[InMemorySink]:
     """Force-enable telemetry into a fresh scoped :class:`InMemorySink`.
 
-    If telemetry was already enabled the previous sink keeps receiving
-    every event (tee), so a user-installed JSONL stream sees the same
-    traffic.  On exit the previous enabled/sink state is restored.  This
-    is how flows that always emit a run manifest (``generate_tests``)
-    collect their stats without requiring the caller to opt in.
+    If telemetry was already enabled (in this context) the previous sink
+    keeps receiving every event (tee), so a user-installed JSONL stream
+    sees the same traffic.  On exit the previous enabled/sink state is
+    restored.  This is how flows that always emit a run manifest
+    (``generate_tests``) collect their stats without requiring the
+    caller to opt in.
 
-    Not re-entrant across threads: the enable flag and sink are module
-    globals, matching the single-threaded use of the flows today.
+    Re-entrant across threads and asyncio tasks: the capture state lives
+    in a :class:`contextvars.ContextVar`, so two threads capturing
+    concurrently each get a private session and never interleave
+    counters.  Note that a *new* thread starts from the process-global
+    base set by :func:`enable`, not from the spawning thread's capture
+    — a backend running work in another thread must fold the returned
+    counters back itself (see :mod:`repro.exec`).
     """
-    global _enabled, _sink
     session = InMemorySink()
-    prev_enabled, prev_sink = _enabled, _sink
-    _sink = TeeSink(session, prev_sink) if prev_enabled else session
-    _enabled = True
+    prev_enabled, prev_sink = _active()
+    sink = TeeSink(session, prev_sink) if prev_enabled else session
+    token = _capture_state.set((True, sink))
     try:
         yield session
     finally:
-        _enabled, _sink = prev_enabled, prev_sink
+        _capture_state.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -383,7 +412,13 @@ REQUIRED_MANIFEST_KEYS = (
 _REQUIRED_PHASE_KEYS = ("name", "duration_s", "counters")
 
 # Optional ``workers`` section (sharded multi-process execution).
-_REQUIRED_WORKERS_KEYS = ("requested", "effective", "mode", "shards")
+# ``backend`` names the repro.exec backend that ran the pool (None when
+# the run stayed in-process); ``reason`` explains an in-process
+# degradation despite requested > 1 (e.g. "fork_unavailable",
+# "single_shard") and is None when no degradation happened.
+_REQUIRED_WORKERS_KEYS = (
+    "requested", "effective", "mode", "backend", "reason", "shards"
+)
 
 _REQUIRED_SHARD_KEYS = ("shard", "faults", "duration_s", "counters")
 

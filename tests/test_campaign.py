@@ -451,7 +451,8 @@ class TestFailedCells:
     def _broken_runner(self, store, monkeypatch, policy="degrade", retries=0):
         from repro.resilience import RetryPolicy
 
-        def explode(cell, params, workers=1, circuit=None, key=None):
+        def explode(cell, params, workers=1, circuit=None, key=None,
+                    backend=None):
             raise RuntimeError(f"cell exploded: {cell.cell_id}")
 
         monkeypatch.setattr("repro.campaign.runner.execute_cell", explode)
@@ -506,7 +507,8 @@ class TestCliFailureSurface:
         return str(spec_path)
 
     def test_partial_failure_exits_2(self, tmp_path, capsys, monkeypatch):
-        def explode(cell, params, workers=1, circuit=None, key=None):
+        def explode(cell, params, workers=1, circuit=None, key=None,
+                    backend=None):
             raise RuntimeError("cell exploded")
 
         monkeypatch.setattr("repro.campaign.runner.execute_cell", explode)
@@ -521,7 +523,8 @@ class TestCliFailureSurface:
         assert "2 cell(s) failed permanently" in out
 
     def test_default_raise_policy_propagates(self, tmp_path, monkeypatch):
-        def explode(cell, params, workers=1, circuit=None, key=None):
+        def explode(cell, params, workers=1, circuit=None, key=None,
+                    backend=None):
             raise RuntimeError("cell exploded")
 
         monkeypatch.setattr("repro.campaign.runner.execute_cell", explode)

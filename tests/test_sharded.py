@@ -175,7 +175,7 @@ class TestCombinationalDeterminism:
         assert merged == single
 
     def test_inprocess_fallback_matches(self, monkeypatch):
-        """No fork support => in-process shard execution, same result."""
+        """Pinned fork backend, no fork support => in-process, same result."""
         monkeypatch.setattr(sharded_module, "fork_available", lambda: False)
         circuit = c17()
         faults = collapse_faults(circuit)
@@ -184,10 +184,32 @@ class TestCombinationalDeterminism:
             circuit, Engine.PARALLEL_PATTERN, faults=faults
         ).run(patterns)
         simulator = ShardedFaultSimulator(
-            circuit, Engine.PARALLEL_PATTERN, faults=faults, workers=4, shards=3
+            circuit, Engine.PARALLEL_PATTERN, faults=faults, workers=4,
+            shards=3, backend="fork",
         )
         assert simulator.run(patterns) == single
         assert simulator.stats["mode"] == "inprocess"
+
+    def test_auto_backend_uses_spawn_when_fork_unavailable(self, monkeypatch):
+        """Spawn-only platforms get a real pool, not silent degradation."""
+        monkeypatch.setattr(sharded_module, "fork_available", lambda: False)
+        circuit = c17()
+        faults = collapse_faults(circuit)
+        patterns = random_patterns(circuit, 8, seed=5)
+        single = create_simulator(
+            circuit, Engine.PARALLEL_PATTERN, faults=faults
+        ).run(patterns)
+        simulator = ShardedFaultSimulator(
+            circuit, Engine.PARALLEL_PATTERN, faults=faults, workers=2,
+            shards=2,
+        )
+        try:
+            assert simulator.run(patterns) == single
+        finally:
+            simulator.close()
+        assert simulator.stats["mode"] == "spawn"
+        assert simulator.workers_section()["backend"] == "spawn"
+        assert simulator.workers_section()["reason"] is None
 
     def test_detects_and_detected_faults_delegate(self):
         circuit = c17()
@@ -431,13 +453,17 @@ class TestFallbackObservability:
         self, monkeypatch
     ):
         monkeypatch.setattr(sharded_module, "fork_available", lambda: False)
-        simulator = ShardedFaultSimulator(self.circuit, workers=2)
+        simulator = ShardedFaultSimulator(
+            self.circuit, workers=2, backend="fork"
+        )
         with telemetry.capture() as session:
             report = simulator.run(self.patterns)
         assert report == self.baseline  # degraded, not different
         assert session.counters["faultsim.sharded.fallback"] == 1
         section = simulator.workers_section()
         assert section["mode"] == "inprocess"
+        assert section["reason"] == "fork_unavailable"
+        assert section["backend"] is None
         assert section["fallbacks"] == [
             {"reason": "fork_unavailable", "shard": None}
         ]
@@ -450,6 +476,7 @@ class TestFallbackObservability:
         with telemetry.capture() as session:
             simulator.run(self.patterns)
         assert session.counters["faultsim.sharded.fallback"] == 1
+        assert simulator.workers_section()["reason"] == "single_shard"
         assert simulator.workers_section()["fallbacks"] == [
             {"reason": "single_shard", "shard": None}
         ]
@@ -464,9 +491,113 @@ class TestFallbackObservability:
 
     def test_fallbacks_reach_flow_manifests(self, monkeypatch):
         monkeypatch.setattr(sharded_module, "fork_available", lambda: False)
-        result = generate_tests(self.circuit, random_phase=4, workers=2)
+        result = generate_tests(
+            self.circuit, random_phase=4, workers=2, backend="fork"
+        )
         section = result.manifest.to_dict()["workers"]
         assert section["mode"] == "inprocess"
+        # Satellite: the degradation reason is a first-class validated
+        # manifest field now, not just a telemetry counter.
+        assert section["reason"] == "fork_unavailable"
         assert {row["reason"] for row in section["fallbacks"]} == {
             "fork_unavailable"
         }
+
+
+class TestBackendMatrix:
+    """Tentpole acceptance: every backend is bit-identical to workers=1.
+
+    engines x {inline, fork, spawn, thread-lane}: the execution
+    backend is a pure transport — the merged CoverageReport must equal
+    the single-process run exactly, including the 0- and 1-fault
+    corners.  ``spawn`` additionally proves the pickled-state path
+    (nothing inherited) produces the same bits as fork inheritance.
+    """
+
+    BACKENDS = ("inline", "fork", "spawn", "thread-lane")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("engine", list(Engine))
+    def test_combinational_engines_bit_identical(self, engine, backend):
+        circuit = c17()
+        faults = collapse_faults(circuit)
+        patterns = random_patterns(circuit, 10, seed=11)
+        single = create_simulator(circuit, engine, faults=faults).run(patterns)
+        merged = sharded_coverage(
+            circuit,
+            patterns,
+            engine=engine,
+            faults=faults,
+            workers=2,
+            shards=3,
+            backend=backend,
+        )
+        assert merged == single
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sequential_verifier_bit_identical(self, backend):
+        design = insert_scan(sequence_detector())
+        schedule = schedule_scan_tests(design, [{"X": 1}, {"Q1": 1}])
+        faults = collapse_faults(design.circuit)
+        single = SequentialFaultSimulator(
+            design.circuit, faults=faults
+        ).run(schedule)
+        merged = sharded_coverage(
+            design.circuit,
+            schedule,
+            engine="sequential",
+            faults=faults,
+            workers=2,
+            shards=3,
+            backend=backend,
+        )
+        assert merged == single
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("fault_count", (0, 1))
+    def test_degenerate_fault_lists(self, backend, fault_count):
+        circuit = c17()
+        faults = collapse_faults(circuit)[:fault_count]
+        patterns = random_patterns(circuit, 6, seed=12)
+        single = create_simulator(
+            circuit, Engine.WIDE, faults=faults
+        ).run(patterns)
+        merged = sharded_coverage(
+            circuit,
+            patterns,
+            engine=Engine.WIDE,
+            faults=faults,
+            workers=2,
+            shards=4,
+            backend=backend,
+        )
+        assert merged == single
+
+    def test_backend_recorded_in_workers_section(self):
+        circuit = c17()
+        patterns = random_patterns(circuit, 6, seed=13)
+        simulator = ShardedFaultSimulator(
+            circuit, workers=2, backend="thread-lane"
+        )
+        try:
+            simulator.run(patterns)
+            section = simulator.workers_section()
+            assert section["mode"] == "thread-lane"
+            assert section["backend"] == "thread-lane"
+            assert section["reason"] is None
+        finally:
+            simulator.close()
+
+    def test_inline_backend_is_explicit_sequential_execution(self):
+        # Inline is a real backend choice, not a fallback: no fallback
+        # counter, effective workers pinned to 1.
+        circuit = c17()
+        patterns = random_patterns(circuit, 6, seed=14)
+        simulator = ShardedFaultSimulator(circuit, workers=4, backend="inline")
+        with telemetry.capture() as session:
+            report = simulator.run(patterns)
+        assert report == sharded_coverage(circuit, patterns, workers=1)
+        assert "faultsim.sharded.fallback" not in session.counters
+        section = simulator.workers_section()
+        assert section["mode"] == "inline"
+        assert section["effective"] == 1

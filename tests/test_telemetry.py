@@ -9,6 +9,7 @@ scoping/teeing, manifest schema validation, and — end to end — that a
 """
 
 import random
+import time
 
 import pytest
 
@@ -171,6 +172,45 @@ class TestCapture:
         assert rows[1]["counters"] == {"c": 2}
         assert all("duration_s" in r for r in rows)
 
+    def test_concurrent_thread_captures_never_interleave(self):
+        """Regression: capture is contextvar-scoped and re-entrant.
+
+        Two threads capturing concurrently (the service's execution
+        lanes) must each see exactly their own counters — the sink
+        swap used to be process-global, so one thread's exit could
+        steal or merge the other's session.
+        """
+        import threading
+
+        barrier = threading.Barrier(2, timeout=30)
+        seen = {}
+        errors = []
+
+        def lane(name, rounds):
+            try:
+                with telemetry.capture() as session:
+                    barrier.wait()  # both captures live simultaneously
+                    for _ in range(rounds):
+                        telemetry.incr(f"lane.{name}")
+                        time.sleep(0)  # encourage interleaved scheduling
+                    barrier.wait()  # neither exits before both counted
+                    seen[name] = dict(session.counters)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=lane, args=("a", 500)),
+            threading.Thread(target=lane, args=("b", 300)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert seen["a"] == {"lane.a": 500}
+        assert seen["b"] == {"lane.b": 300}
+        assert not telemetry.is_enabled()  # both restores landed cleanly
+
 
 class TestRunManifestSchema:
     def _manifest(self):
@@ -224,6 +264,8 @@ class TestRunManifestSchema:
             "requested": 4,
             "effective": 2,
             "mode": "fork",
+            "backend": "fork",
+            "reason": None,
             "runs": 1,
             "shards": [
                 {"shard": 0, "faults": 11, "duration_s": 0.1, "counters": {}},
