@@ -26,6 +26,12 @@ fresh specs) against one in-process daemon and pins:
    :data:`MIN_LANES_SPEEDUP` (2x); on narrower machines (single-core
    CI) only the sanity floor applies — lanes must never make the
    daemon *slower* — and the measured figure is still recorded.
+6. **Journal overhead** (``journal-overhead`` axis) — the durable job
+   journal (journal-before-ack crash safety) must cost at most
+   :data:`MAX_JOURNAL_OVERHEAD` (1.5x) on a quiet-mode all-warm storm,
+   where per-job work is near zero and the two journal appends per job
+   are the entire marginal cost.  The figure is no-journal wall clock
+   over journaled wall clock (>= 1/1.5 passes).
 
 The ratios are checked against the committed baseline trajectory
 ``BENCH_service_load.json`` at the repo root (schema
@@ -68,6 +74,11 @@ CLIENT_THREADS = 16
 #: (>= 4 cores and a process backend); elsewhere only the sanity floor.
 MIN_LANES_SPEEDUP = 2.0
 LANES_SANITY_FLOOR = 0.5
+
+#: The durable job journal may slow an all-warm (quiet-mode) storm by
+#: at most this factor; the recorded figure is base/journaled wall
+#: clock, so the enforced floor is ``1 / MAX_JOURNAL_OVERHEAD``.
+MAX_JOURNAL_OVERHEAD = 1.5
 
 BASELINE_PATH = bench_trajectory.default_baseline_path(
     "service_load", start=os.path.dirname(os.path.abspath(__file__))
@@ -381,6 +392,66 @@ def measure_lanes(unique, lane_counts, tmp):
     return ratio, cells, widest
 
 
+def measure_journal_overhead(unique, tmp):
+    """Quiet-mode storm with and without the durable job journal.
+
+    Each run pre-warms every cell, then fires an all-warm duplicate
+    storm: per-job work is near zero, so the two journal appends per
+    job (``accepted`` + ``done``) are the entire marginal cost — the
+    worst case for journal overhead.  The figure is no-journal wall
+    clock over journaled wall clock; it must clear
+    ``1 / MAX_JOURNAL_OVERHEAD``.
+    """
+    specs = [unique_spec(20_000 + seed) for seed in range(unique)]
+    submissions = unique * DUPLICATES_PER_UNIQUE
+    elapsed = {}
+    for label, journal in (("off", False), ("on", True)):
+        store_root = os.path.join(tmp, f"store-journal-{label}")
+        config = ServiceConfig(
+            store_root=store_root, max_retries=0, job_journal=journal
+        )
+        with DaemonThread(config) as (client, service):
+            for spec in specs:  # pre-warm: the timed storm is all-hit
+                if not client.submit(spec, tenant="warmup").ok:
+                    raise SystemExit("journal-overhead warmup failed")
+            # Best of two storms: sub-second all-warm runs are noisy
+            # on shared hardware, and the min is the honest cost.
+            _, _, first = run_load(client, specs, submissions)
+            _, _, second = run_load(client, specs, submissions)
+            elapsed[label] = min(first, second)
+            if service.stats.misses != unique:
+                raise SystemExit(
+                    f"journal={label} storm was not all-warm: "
+                    f"{service.stats.misses} misses"
+                )
+            if journal:
+                stats = service.journal.stats_dict()
+                if stats["open"] != 0 or stats["write_failures"] != 0:
+                    raise SystemExit(
+                        f"journal left inconsistent after storm: {stats}"
+                    )
+    ratio = elapsed["off"] / elapsed["on"]
+    gate = 1.0 / MAX_JOURNAL_OVERHEAD
+    print_table(
+        f"Journal overhead ({submissions} all-warm submissions, best of "
+        f"2 storms, {unique + 2 * submissions} jobs journaled per run)",
+        ["metric", "value"],
+        [
+            ("wall clock, journal off", f"{elapsed['off']:.2f}s"),
+            ("wall clock, journal on", f"{elapsed['on']:.2f}s"),
+            ("off/on ratio", f"{ratio:.2f}x"),
+            ("overhead", f"{elapsed['on'] / elapsed['off']:.2f}x "
+                         f"(max {MAX_JOURNAL_OVERHEAD}x)"),
+        ],
+    )
+    if ratio < gate:
+        raise SystemExit(
+            f"journal overhead {elapsed['on'] / elapsed['off']:.2f}x "
+            f"exceeds the {MAX_JOURNAL_OVERHEAD}x ceiling"
+        )
+    return ratio
+
+
 def check_manifest(store_root, unique):
     """The daemon's drain manifest is the numbers' source of truth."""
     path = os.path.join(store_root, "service", "manifest.json")
@@ -472,6 +543,7 @@ def main(argv):
         lanes_ratio, lane_cells, widest = measure_lanes(
             unique, lane_counts, tmp
         )
+        journal_ratio = measure_journal_overhead(unique, tmp)
 
     check_baseline(
         [
@@ -493,6 +565,11 @@ def main(argv):
                     "cores_at_record": os.cpu_count() or 1,
                 },
                 lanes_ratio, lanes_gate(),
+            ),
+            (
+                f"journal-overhead/{mode}", "c17",
+                dict(workload, storm="all-warm quiet mode"),
+                journal_ratio, 1.0 / MAX_JOURNAL_OVERHEAD,
             ),
         ],
         args.update_baseline,

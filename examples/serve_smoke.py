@@ -1,7 +1,8 @@
-"""Campaign-service smoke: dedupe, priority scheduling, clean SIGTERM.
+"""Campaign-service smoke: dedupe, priority, crash recovery, SIGTERM.
 
 Starts the real daemon (``python -m repro serve``) as a subprocess and
-asserts the service contract end to end, in two phases:
+asserts the service contract end to end, in three phases
+(``--phase {dedupe,priority,recovery,all}`` selects a subset):
 
 **Dedupe phase** — submits the built-in demo spec from two concurrent
 clients:
@@ -19,22 +20,43 @@ high-priority interactive job from a second tenant and asserts the
 interactive job completes before the backlog does (fair-share +
 priority scheduling over multiple lanes).
 
+**Recovery phase** — starts the daemon with chaos armed to SIGKILL
+itself after the first completed cell, submits a job through the
+resilient client, and asserts the crash-safety contract:
+
+* the daemon dies 137 mid-job; the stale ready file (dead pid) makes
+  ``wait_for_ready`` fail fast, not poll to timeout;
+* a restarted daemon on the same port + store recovers the journaled
+  job before accepting connections; the client's ``submit_iter``
+  resumes by ``job_id`` + last-seen ``seq`` with no gaps or dupes;
+* the pre-crash cell is served from the store (hit, not re-executed)
+  and the recovered run's artifacts are byte-identical to a clean
+  uninterrupted run.
+
 Run from the repo root (CI does)::
 
-    PYTHONPATH=src python examples/serve_smoke.py
+    PYTHONPATH=src python examples/serve_smoke.py [--phase all]
 """
 
+import argparse
 import json
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.campaign import CampaignSpec, demo_spec
-from repro.service import ServiceClient, wait_for_ready
+from repro.resilience import RetryPolicy
+from repro.service import (
+    ServiceClient,
+    StaleReadyFileError,
+    wait_for_ready,
+)
 from repro.telemetry import validate_manifest
 
 
@@ -191,10 +213,158 @@ def priority_smoke():
         print("lane manifest OK: limits.lanes == 2")
 
 
-def main():
-    dedupe_smoke()
-    priority_smoke()
-    print("serve smoke OK")
+def strip_durations(value):
+    """Drop wall-clock noise so two executions compare byte-identical."""
+    if isinstance(value, dict):
+        return {
+            key: strip_durations(inner)
+            for key, inner in value.items()
+            if key != "duration_s"
+        }
+    if isinstance(value, list):
+        return [strip_durations(inner) for inner in value]
+    return value
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def recovery_smoke():
+    spec = smoke_spec("smoke-recovery", [0, 1])
+    with tempfile.TemporaryDirectory(prefix="repro-serve-recover-") as tmp:
+        port = free_port()
+        daemon, store, ready = start_daemon(
+            tmp, "--port", str(port),
+            "--chaos-seed", "0", "--chaos-kill-after-cells", "1",
+        )
+        restarted = None
+        events, errors = [], []
+        try:
+            info = wait_for_ready(ready, timeout=60)
+            print(f"daemon up (chaos armed): pid={info['pid']} port={port}")
+            client = ServiceClient(host=info["host"], port=info["port"],
+                                   timeout=120)
+
+            def run_client():
+                try:
+                    for event in client.submit_iter(
+                        spec, tenant="alice", return_payloads=True,
+                        resume_deadline_s=120,
+                        retry=RetryPolicy(base_delay_s=0.05,
+                                          max_delay_s=0.25),
+                    ):
+                        events.append(event)
+                except BaseException as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=run_client)
+            thread.start()
+
+            output, _ = daemon.communicate(timeout=120)
+            assert daemon.returncode == 137, (
+                f"chaos SIGKILL expected (137), got {daemon.returncode}:\n"
+                f"{output}"
+            )
+            print("daemon SIGKILLed itself mid-job (exit 137)")
+
+            start = time.monotonic()
+            try:
+                wait_for_ready(ready, timeout=30)
+            except StaleReadyFileError:
+                elapsed = time.monotonic() - start
+                assert elapsed < 5, f"stale detection took {elapsed:.1f}s"
+                print(f"stale ready file detected fast ({elapsed:.2f}s)")
+            else:
+                raise AssertionError("stale ready file went undetected")
+            ready.unlink()
+
+            restarted, _, _ = start_daemon(tmp, "--port", str(port))
+            info = wait_for_ready(ready, timeout=60)
+            assert info["pid"] == restarted.pid
+            print(f"daemon restarted: pid={info['pid']} same port+store")
+
+            thread.join(timeout=180)
+            assert not thread.is_alive(), "client never finished"
+            assert not errors, f"client raised: {errors!r}"
+
+            seqs = [event["seq"] for event in events]
+            assert seqs == list(range(len(seqs))), (
+                f"seq must be gapless across the crash, got {seqs}"
+            )
+            done = events[-1]
+            assert done["event"] == "done" and not done["failed"], done
+            assert done["hits"] >= 1, (
+                "pre-crash cell should be a store hit on recovery"
+            )
+            status = client.status()
+            assert status["stats"]["recovered"] == 1, status["stats"]
+            print(
+                f"resume OK: {len(events)} events, gapless seq, "
+                f"hits={done['hits']} misses={done['misses']} "
+                f"(recovered={status['stats']['recovered']})"
+            )
+            stop_daemon(restarted, ready)
+            restarted = None
+        finally:
+            for proc in (daemon, restarted):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.communicate(timeout=30)
+
+        manifest_path = store / "service" / "manifest.json"
+        with open(manifest_path, "r", encoding="utf-8") as stream:
+            manifest = json.load(stream)
+        validate_manifest(manifest)
+        recovery = manifest["service"]["recovery"]
+        assert recovery["recovered"] == 1, recovery
+        print(f"recovery manifest OK: {recovery}")
+
+    # Byte-identity: a clean, uninterrupted run of the same spec on a
+    # fresh store must produce the same artifacts.
+    with tempfile.TemporaryDirectory(prefix="repro-serve-clean-") as tmp:
+        daemon, _, ready = start_daemon(tmp)
+        try:
+            info = wait_for_ready(ready, timeout=60)
+            client = ServiceClient(host=info["host"], port=info["port"],
+                                   timeout=120)
+            clean = client.submit(spec, tenant="alice",
+                                  return_payloads=True)
+            assert clean.ok, clean.done
+            stop_daemon(daemon, ready)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=30)
+    recovered_payloads = {
+        e["key"]: e["payload"] for e in events if "payload" in e
+    }
+    assert canonical(strip_durations(recovered_payloads)) == canonical(
+        strip_durations(clean.payloads())
+    ), "recovered run's artifacts differ from a clean run"
+    print("byte-identity OK: recovered run == clean run (modulo wall-clock)")
+
+
+PHASES = {
+    "dedupe": dedupe_smoke,
+    "priority": priority_smoke,
+    "recovery": recovery_smoke,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--phase", choices=[*PHASES, "all"], default="all",
+        help="which smoke phase to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    selected = list(PHASES) if args.phase == "all" else [args.phase]
+    for name in selected:
+        PHASES[name]()
+    print(f"serve smoke OK ({', '.join(selected)})")
     return 0
 
 

@@ -31,8 +31,13 @@ long-running multi-tenant campaign daemon (:mod:`repro.service`):
     specs over a local socket (see :mod:`repro.service`), identical
     submissions dedupe onto one execution through ``cache_key``,
     results stream back incrementally, and the store is kept bounded
-    by LRU eviction under ``--size-budget``.  SIGTERM/SIGINT drain the
-    queue and exit 0.
+    by LRU eviction under ``--size-budget``.  Accepted jobs are
+    journaled to ``<store>/jobs.jsonl`` before the ack and recovered
+    on restart (``--no-journal`` opts out).  SIGTERM/SIGINT drain the
+    queue and exit 0; an unreadable jobs journal exits 3 (recovery
+    would be silently broken — fix or remove the journal).  The
+    ``--chaos-*`` flags arm the seeded daemon chaos harness
+    (:class:`repro.resilience.ChaosConfig`) for recovery testing.
 """
 
 from __future__ import annotations
@@ -243,6 +248,86 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="keep at most N quarantined corpses (default: 64)",
     )
+    serve.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the jobs journal: accepted jobs are not durable "
+        "and a daemon crash loses them (default: journal to "
+        "<store>/jobs.jsonl and recover open jobs on start)",
+    )
+    serve.add_argument(
+        "--journal-max-bytes",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="rotate <store>/jobs.jsonl past this size, compacting "
+        "open jobs into a snapshot line (default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--job-history",
+        type=int,
+        default=64,
+        metavar="N",
+        help="keep the last N finished jobs resumable (their buffered "
+        "event streams) for late 'resume' requests (default: 64)",
+    )
+    serve.add_argument(
+        "--cell-deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-attempt wall-clock bound for a cold cell in a "
+        "process backend; hung workers are terminated and retried "
+        "(default: unbounded)",
+    )
+    chaos_group = serve.add_argument_group(
+        "chaos (seeded fault injection for recovery testing)"
+    )
+    chaos_group.add_argument(
+        "--chaos-seed",
+        type=int,
+        metavar="SEED",
+        help="arm the chaos harness with this seed (required for any "
+        "other --chaos-* flag to take effect)",
+    )
+    chaos_group.add_argument(
+        "--chaos-drop-client",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="abort client connections mid-stream with this "
+        "probability per event (clients must resume; default: 0)",
+    )
+    chaos_group.add_argument(
+        "--chaos-lane-kill",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="kill a lane's cell worker on the cell's first attempt "
+        "with this probability (default: 0)",
+    )
+    chaos_group.add_argument(
+        "--chaos-lane-hang",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="hang a lane's cell worker past --cell-deadline with "
+        "this probability (default: 0)",
+    )
+    chaos_group.add_argument(
+        "--chaos-kill-after-cells",
+        type=int,
+        metavar="N",
+        help="SIGKILL the daemon itself (os._exit 137) after N cold "
+        "cells complete — the restart-recovery scenario (default: off)",
+    )
+    chaos_group.add_argument(
+        "--chaos-journal-corrupt",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="tear the jobs-journal tail mid-line after an append "
+        "with this probability (default: 0)",
+    )
 
     return parser
 
@@ -252,7 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "serve":
-        from .service import ServiceConfig, run_service
+        from .resilience import ChaosConfig
+        from .service import JobJournalError, ServiceConfig, run_service
 
         ready_file = args.ready_file or str(Path(args.store) / "service.json")
         config = ServiceConfig(
@@ -269,8 +355,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             index_max_bytes=args.index_max_bytes,
             quarantine_max_files=args.quarantine_max_files,
             ready_file=ready_file,
+            job_journal=not args.no_journal,
+            journal_max_bytes=max(4096, args.journal_max_bytes),
+            job_history=max(1, args.job_history),
+            cell_deadline_s=args.cell_deadline,
         )
-        return run_service(config)
+        chaos = None
+        if args.chaos_seed is not None:
+            chaos = ChaosConfig(
+                seed=args.chaos_seed,
+                drop_client_rate=args.chaos_drop_client,
+                lane_kill_rate=args.chaos_lane_kill,
+                lane_hang_rate=args.chaos_lane_hang,
+                daemon_kill_after_cells=args.chaos_kill_after_cells,
+                corrupt_journal_rate=args.chaos_journal_corrupt,
+                hang_s=(args.cell_deadline or 30.0) * 4,
+            )
+        try:
+            return run_service(config, chaos=chaos)
+        except JobJournalError as exc:
+            print(f"[serve] FATAL: {exc}", file=sys.stderr, flush=True)
+            return 3
 
     spec = _load_spec(args.spec)
     runner = CampaignRunner(

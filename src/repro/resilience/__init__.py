@@ -15,9 +15,12 @@ design* — applied to this repo's own execution stack.  Three layers:
   :class:`repro.faultsim.sharded.ShardedFaultSimulator`);
 * :mod:`~repro.resilience.chaos` — :class:`ChaosConfig`, the seeded
   chaos harness that injects worker crashes/hangs/exceptions, poisoned
-  faults and cells, and store/checkpoint corruption, proving
-  end-to-end (``tests/test_chaos.py``) that supervised runs stay
-  bit-identical to fault-free ones.
+  faults and cells, store/checkpoint corruption, and the service
+  daemon's own failure modes (dropped client connections, killed/hung
+  lane workers, SIGKILL between cells, torn journal tails), proving
+  end-to-end (``tests/test_chaos.py``, ``tests/test_service_recovery
+  .py``) that supervised and recovered runs stay bit-identical to
+  fault-free ones.
 """
 
 from .policy import (
@@ -33,7 +36,13 @@ from .supervisor import (
     TaskFailure,
     supervise,
 )
-from .chaos import ChaosConfig, ChaosError, PoisonedFaultError, corrupt_json_file
+from .chaos import (
+    ChaosConfig,
+    ChaosError,
+    PoisonedFaultError,
+    corrupt_json_file,
+    corrupt_tail,
+)
 
 __all__ = [
     "FailurePolicy",
@@ -49,4 +58,5 @@ __all__ = [
     "ChaosError",
     "PoisonedFaultError",
     "corrupt_json_file",
+    "corrupt_tail",
 ]

@@ -20,7 +20,14 @@ Fault kinds:
   bisection and quarantine, the paths retries cannot heal);
 * **file corruption** — a just-written store artifact or campaign
   checkpoint is truncated mid-JSON (the reader must quarantine or
-  rebuild, never crash).
+  rebuild, never crash);
+* **service faults** (the ``repro.service`` daemon's own failure
+  modes): a client connection dropped mid-stream (the client must
+  resume by ``job_id`` + last-seen ``seq``), a lane's cell worker
+  killed or hung (one retry-budget attempt, charged once), the daemon
+  SIGKILLed between cells (restart recovery must replay the job
+  journal), and the job journal's tail torn mid-line (replay must skip
+  it with a counter, never raise).
 
 By default rates apply only to a site's *first* attempt
 (``first_attempt_only=True``), so retries heal every transient fault
@@ -45,6 +52,7 @@ __all__ = [
     "PoisonedFaultError",
     "ChaosConfig",
     "corrupt_json_file",
+    "corrupt_tail",
 ]
 
 
@@ -81,6 +89,32 @@ def corrupt_json_file(
         raise ValueError(f"unknown corruption mode {mode!r}")
 
 
+def corrupt_tail(path: Union[str, Path], seed: int = 0) -> bool:
+    """Tear the *final line* of a journal file (power-loss mid-append).
+
+    Cuts a seed-chosen number of bytes off the end of the last line so
+    earlier lines stay intact — exactly the failure a crash during an
+    ``O_APPEND`` write leaves behind.  Returns False (no-op) when the
+    file is missing or has no final line to tear.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return False
+    stripped = data.rstrip(b"\n")
+    if not stripped:
+        return False
+    last_start = stripped.rfind(b"\n") + 1
+    last_line = stripped[last_start:]
+    if len(last_line) < 2:
+        return False
+    rng = random.Random(f"{seed}:tail:{path.name}")
+    keep = rng.randrange(1, len(last_line))
+    path.write_bytes(stripped[:last_start] + last_line[:keep])
+    return True
+
+
 @dataclass(frozen=True)
 class ChaosConfig:
     """Seeded description of which software faults to inject, where.
@@ -90,6 +124,11 @@ class ChaosConfig:
     they apply only to ``attempt == 0`` so every injected transient
     fault is healed by one retry.  ``poison_faults`` / ``poison_cells``
     name units that fail deterministically on every attempt.
+
+    The ``drop_client_rate`` / ``lane_kill_rate`` / ``lane_hang_rate``
+    / ``daemon_kill_after_cells`` / ``corrupt_journal_rate`` knobs
+    target the :mod:`repro.service` daemon itself — see the module doc
+    and :mod:`repro.service.server` for where each one bites.
     """
 
     seed: int = 0
@@ -102,6 +141,23 @@ class ChaosConfig:
     first_attempt_only: bool = True
     poison_faults: Tuple[str, ...] = ()
     poison_cells: Tuple[str, ...] = ()
+    #: Drop (abort) a client connection mid-stream with this
+    #: probability, decided per ``(job, seq, drop-attempt)``; with
+    #: ``first_attempt_only`` a job is dropped at most once, so a
+    #: resuming client always gets through on the retry.
+    drop_client_rate: float = 0.0
+    #: Kill a lane's cell worker (``os._exit`` in a process backend,
+    #: an exception in the inline path) on the cell's first attempt.
+    lane_kill_rate: float = 0.0
+    #: Hang a lane's cell worker past the service's cell deadline.
+    lane_hang_rate: float = 0.0
+    #: SIGKILL the daemon (``os._exit(137)``) after this many cold
+    #: cells complete — the "power loss between cells" scenario the
+    #: job journal must recover from.  None disables.
+    daemon_kill_after_cells: Optional[int] = None
+    #: Tear the jobs-journal tail mid-line after an append with this
+    #: probability (decided per append sequence number).
+    corrupt_journal_rate: float = 0.0
 
     # ------------------------------------------------------------------
     # Decisions (pure functions of seed/site/attempt)
@@ -188,6 +244,76 @@ class ChaosConfig:
         corrupt_json_file(path, seed=self.seed)
         telemetry.incr("chaos.corrupted")
         return True
+
+    # ------------------------------------------------------------------
+    # Service (daemon) faults
+    # ------------------------------------------------------------------
+    def decide_lane(self, site: str, attempt: int) -> Optional[str]:
+        """Which lane-worker fault (if any) to inject for this cell.
+
+        Draw order is fixed (kill, hang) so a seed's injections are
+        stable; ``first_attempt_only`` heals every injection on the
+        cell's first retry.
+        """
+        if self.first_attempt_only and attempt > 0:
+            return None
+        rng = self._rng(f"lane:{site}", attempt)
+        for kind, rate in (
+            ("kill", self.lane_kill_rate),
+            ("hang", self.lane_hang_rate),
+        ):
+            if rate and rng.random() < rate:
+                return kind
+        return None
+
+    def inject_lane_worker(self, site: str, attempt: int) -> None:
+        """Kill/hang the *cell worker child* — never call in the daemon."""
+        kind = self.decide_lane(site, attempt)
+        if kind is None:
+            return
+        if kind == "kill":
+            os._exit(23)
+        time.sleep(self.hang_s)
+
+    def inject_lane_inline(self, site: str, attempt: int) -> None:
+        """Lane fault as an exception — for cells run in the lane thread."""
+        kind = self.decide_lane(site, attempt)
+        if kind is not None:
+            raise ChaosError(
+                f"injected lane {kind} (as exception) at {site} "
+                f"attempt {attempt}"
+            )
+
+    def decide_drop_client(self, job_id: str, seq: int, attempt: int) -> bool:
+        """Abort the client connection before streaming event ``seq``?
+
+        ``attempt`` counts how often this job's stream has already been
+        dropped, so with ``first_attempt_only`` the post-resume replay
+        of the very same ``(job, seq)`` is never dropped again.
+        """
+        if self.first_attempt_only and attempt > 0:
+            return False
+        if not self.drop_client_rate:
+            return False
+        rng = self._rng(f"drop:{job_id}:{seq}", attempt)
+        return rng.random() < self.drop_client_rate
+
+    def maybe_corrupt_journal(
+        self, path: Union[str, Path], sequence: int
+    ) -> bool:
+        """Tear the journal tail with probability ``corrupt_journal_rate``.
+
+        ``sequence`` is the append number, so each journal write rolls
+        its own independent dice.  Returns True when a tear happened
+        (counted as ``chaos.corrupted``).
+        """
+        rate = self.corrupt_journal_rate
+        if not rate or self._rng(f"journal:{sequence}", 0).random() >= rate:
+            return False
+        if corrupt_tail(path, seed=self.seed):
+            telemetry.incr("chaos.corrupted")
+            return True
+        return False
 
     def maybe_corrupt_store(self, key: str, path: Union[str, Path]) -> bool:
         """Store-artifact corruption hook (rate ``corrupt_store_rate``)."""

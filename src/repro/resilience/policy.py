@@ -110,6 +110,27 @@ class RetryPolicy:
         self.sleep(delay)
         return delay
 
+    def wait_until(
+        self, site: str, attempt: int, deadline: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> bool:
+        """Deadline-bounded backoff: sleep, but never past ``deadline``.
+
+        The service client's reconnect loop uses this: retries are
+        bounded by a wall-clock budget (a restarting daemon can take
+        seconds, so a fixed attempt count is the wrong unit), while the
+        delays themselves stay the policy's deterministic jittered
+        schedule.  ``deadline`` is a ``clock()`` timestamp.  Returns
+        False — without sleeping — when the deadline has already
+        passed; otherwise sleeps ``min(delay, time remaining)`` and
+        returns True.
+        """
+        remaining = deadline - clock()
+        if remaining <= 0:
+            return False
+        self.sleep(min(self.delay_for(site, attempt), remaining))
+        return True
+
 
 def traceback_digest(exc: BaseException) -> str:
     """Short stable digest of an exception's formatted traceback.

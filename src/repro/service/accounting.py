@@ -24,7 +24,9 @@ after it.
 
 Journal write failures are swallowed (quotas degrade to session-local
 accounting rather than taking the service down); replay failures on a
-corrupt line skip that line.
+corrupt line — e.g. a tail torn by power loss mid-append — skip that
+line, counted as ``service.ledger.torn`` and surfaced on
+:attr:`TenantLedger.torn_lines`.
 """
 
 from __future__ import annotations
@@ -51,6 +53,8 @@ class TenantLedger:
         self.path = self.root / TENANTS_JOURNAL
         self.max_bytes = int(max_bytes)
         self.tenant_bytes: Dict[str, int] = {}
+        #: Unparseable journal lines skipped during replay (torn tail).
+        self.torn_lines = 0
         self._load()
 
     # -- replay --------------------------------------------------------
@@ -75,8 +79,15 @@ class TenantLedger:
             try:
                 entry = json.loads(line)
             except ValueError:
-                continue  # torn write mid-rotation; later lines still apply
+                # Torn write (classic crash mid-append); later lines
+                # still apply.  Count it — silent data loss is how
+                # quota drift goes unnoticed.
+                self.torn_lines += 1
+                telemetry.incr("service.ledger.torn")
+                continue
             if not isinstance(entry, dict):
+                self.torn_lines += 1
+                telemetry.incr("service.ledger.torn")
                 continue
             op = entry.get("op")
             if op == "snapshot" and isinstance(entry.get("tenants"), dict):

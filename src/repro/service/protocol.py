@@ -18,17 +18,38 @@ Requests (all carry ``{"schema": PROTOCOL_SCHEMA, "op": ...}``):
     ``priority`` (protocol v2, optional, default 0) biases the
     fair-share scheduler: higher runs sooner within a tenant's share.
 
+``resume``
+    ``{"op": "resume", "job_id": str, "after_seq": int}`` (protocol
+    v3) — re-attach to a job's event stream after a dropped
+    connection or a daemon restart.  The daemon replays every buffered
+    event with ``seq > after_seq`` and then continues live until
+    ``done``.  An unknown ``job_id`` (never accepted, retired from
+    history, or lost to a torn journal tail) gets a terminal ``error``
+    event with code ``unknown_job``.
+
 ``status``
     One ``status`` event: service counters, store size/stats, tenant
-    usage, queue depth.
+    usage, queue depth, recovery/journal state.
 
 ``shutdown``
     One ``bye`` event, then the daemon drains its queue and exits
     (same path as SIGTERM).
 
+**Event sequencing (protocol v3).**  Every event a job streams carries
+a job-scoped ``seq``: ``accepted`` is ``seq 0``, the cells are ``seq
+1..N`` (each also carries ``index``, its position in spec order, and
+``of``, the cell count), and ``done`` is ``seq N+1``.  Within one job
+the stream — across any number of drops and resumes — is strictly
+increasing and gapless in ``seq``, which is what makes client-side
+resume exact: replay everything after the last seq you saw, nothing
+is duplicated, nothing is missing.  v1/v2 requests are still accepted
+(they simply never send ``resume``); their events carry the v3 fields.
+
 Error handling: any malformed request, unknown spec, or quota
 rejection produces a single terminal ``error`` event (with a ``code``
 for machine handling) — the daemon itself never dies on bad input.
+A request line larger than :data:`MAX_LINE_BYTES` is rejected the same
+way (code ``protocol``) instead of stalling the reader.
 """
 
 from __future__ import annotations
@@ -40,7 +61,9 @@ __all__ = [
     "PROTOCOL_SCHEMA",
     "ACCEPTED_SCHEMAS",
     "DEFAULT_PRIORITY",
+    "MAX_LINE_BYTES",
     "OP_SUBMIT",
+    "OP_RESUME",
     "OP_STATUS",
     "OP_SHUTDOWN",
     "OPS",
@@ -54,6 +77,7 @@ __all__ = [
     "encode_line",
     "decode_line",
     "submit_request",
+    "resume_request",
     "status_request",
     "shutdown_request",
     "validate_request",
@@ -61,22 +85,29 @@ __all__ = [
 
 #: Version tag every request and event carries; a format change bumps
 #: it and old clients get a clean ``error`` event instead of garbage.
-#: v2 added the optional ``priority`` submit field — a compatible
-#: extension, so v1 requests are still accepted (see
-#: ``ACCEPTED_SCHEMAS``) and answered with v2 events.
-PROTOCOL_SCHEMA = "repro.service/2"
+#: v3 added per-job event sequence numbers and the ``resume`` op —
+#: compatible extensions, so v1/v2 requests are still accepted (see
+#: ``ACCEPTED_SCHEMAS``) and answered with v3 events.
+PROTOCOL_SCHEMA = "repro.service/3"
 
-#: Request schemas the server accepts.  v1 predates ``priority``; a v1
-#: submit simply runs at the default priority.
-ACCEPTED_SCHEMAS = ("repro.service/1", PROTOCOL_SCHEMA)
+#: Request schemas the server accepts.  v1 predates ``priority``; v2
+#: predates ``seq``/``resume``.  Older submits simply run with the
+#: newer fields defaulted.
+ACCEPTED_SCHEMAS = ("repro.service/1", "repro.service/2", PROTOCOL_SCHEMA)
 
 #: Default submit priority (higher runs sooner within a tenant's share).
 DEFAULT_PRIORITY = 0
 
+#: Hard per-line size cap (requests *and* events).  Generous — specs
+#: are small and payloads stream server->client — but bounded, so one
+#: hostile line can neither exhaust memory nor stall the read loop.
+MAX_LINE_BYTES = 8 << 20
+
 OP_SUBMIT = "submit"
+OP_RESUME = "resume"
 OP_STATUS = "status"
 OP_SHUTDOWN = "shutdown"
-OPS = (OP_SUBMIT, OP_STATUS, OP_SHUTDOWN)
+OPS = (OP_SUBMIT, OP_RESUME, OP_STATUS, OP_SHUTDOWN)
 
 EVENT_ACCEPTED = "accepted"
 EVENT_CELL = "cell"
@@ -140,6 +171,16 @@ def submit_request(
     }
 
 
+def resume_request(job_id: str, after_seq: int = -1) -> Dict[str, Any]:
+    """A ``resume`` request: replay ``job_id`` events after ``after_seq``."""
+    return {
+        "schema": PROTOCOL_SCHEMA,
+        "op": OP_RESUME,
+        "job_id": job_id,
+        "after_seq": int(after_seq),
+    }
+
+
 def status_request() -> Dict[str, Any]:
     """A ``status`` request."""
     return {"schema": PROTOCOL_SCHEMA, "op": OP_STATUS}
@@ -174,5 +215,20 @@ def validate_request(data: Dict[str, Any]) -> Dict[str, Any]:
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ProtocolError(
                 f"priority must be an integer, got {priority!r}"
+            )
+    elif op == OP_RESUME:
+        job_id = data.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ProtocolError(
+                f"resume requires a non-empty 'job_id' string, got {job_id!r}"
+            )
+        after_seq = data.get("after_seq", -1)
+        if (
+            not isinstance(after_seq, int)
+            or isinstance(after_seq, bool)
+            or after_seq < -1
+        ):
+            raise ProtocolError(
+                f"after_seq must be an integer >= -1, got {after_seq!r}"
             )
     return data

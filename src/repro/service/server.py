@@ -13,6 +13,24 @@ Architecture (one process, one event loop):
   events back.  Submissions expand a :class:`~repro.campaign.spec.
   CampaignSpec` into cells; every cell streams back as soon as it
   finishes, in deterministic spec order.
+* **Jobs outlive connections** — a submission becomes a :class:`Job`:
+  an event buffer filled by a detached ``_run_job`` task, with every
+  event carrying a job-scoped strictly-increasing ``seq`` (``accepted``
+  is 0, cells 1..N, ``done`` N+1).  The connection merely *streams*
+  that buffer; a dropped connection loses nothing, and the protocol-v3
+  ``resume`` op re-attaches to the buffer after the client's last-seen
+  ``seq`` — exact, no duplicates, no gaps.
+* **Crash safety (journal-before-ack)** — every accepted job is
+  appended to ``<store>/jobs.jsonl``
+  (:class:`~repro.service.journal.JobJournal`) *before* the
+  ``accepted`` event goes on the wire.  A daemon SIGKILLed mid-job
+  replays the journal on restart and re-enqueues each open job through
+  the scheduler; cells that finished before the crash are
+  content-addressed store hits, so recovery only re-pays the work the
+  crash actually lost, and a resuming client sees the identical
+  deterministic event order.  Replay tolerates a torn final journal
+  line (skip + count); an outright unreadable journal makes ``serve``
+  exit with code 3 rather than run with recovery silently broken.
 * **Dedupe through ``cache_key``** — a cell's identity is its content
   address.  Before scheduling, the server consults the *in-flight
   table*: if another tenant's identical cell is already executing, the
@@ -52,6 +70,17 @@ Architecture (one process, one event loop):
   ``<store>/tenants.jsonl`` (:class:`~repro.service.accounting.
   TenantLedger`) and replayed on start, so quotas survive daemon
   restarts.
+* **Daemon chaos** — a :class:`~repro.resilience.ChaosConfig` can turn
+  the service's own failure modes on, seeded: abort a client
+  connection mid-stream (``drop_client_rate``; the client resumes),
+  kill or hang a lane's cell worker (``lane_kill_rate`` /
+  ``lane_hang_rate``; one retry-budget attempt, charged once),
+  SIGKILL the whole daemon after N cold cells
+  (``daemon_kill_after_cells``; restart recovery replays the
+  journal), and tear the journal tail mid-append
+  (``corrupt_journal_rate``; replay skips it).  Chaos runs must end
+  byte-identical to clean runs — that is what the recovery tests
+  assert.
 
 On shutdown (SIGTERM/SIGINT or the ``shutdown`` op) the daemon stops
 accepting, drains its queue so no client is cut off mid-stream, and
@@ -79,6 +108,7 @@ from ..resilience import ChaosConfig, FailurePolicy, RetryPolicy, failure_record
 from ..resilience.supervisor import SupervisionPolicy
 from ..store import KIND_CAMPAIGN_CELL, LifecyclePolicy, ResultStore
 from .accounting import TenantLedger
+from .journal import JobJournal
 from .scheduler import FairShareScheduler
 from .protocol import (
     DEFAULT_PRIORITY,
@@ -89,6 +119,8 @@ from .protocol import (
     EVENT_DONE,
     EVENT_ERROR,
     EVENT_STATUS,
+    MAX_LINE_BYTES,
+    OP_RESUME,
     OP_SHUTDOWN,
     OP_STATUS,
     OP_SUBMIT,
@@ -99,7 +131,13 @@ from .protocol import (
     validate_request,
 )
 
-__all__ = ["ServiceConfig", "ServiceStats", "CampaignService", "run_service"]
+__all__ = [
+    "ServiceConfig",
+    "ServiceStats",
+    "Job",
+    "CampaignService",
+    "run_service",
+]
 
 
 class CellExecutionError(Exception):
@@ -107,7 +145,10 @@ class CellExecutionError(Exception):
 
 
 def _cold_cell_task(
-    payload: Tuple[CampaignCell, Dict[str, Any], int, str, Optional[str]],
+    payload: Tuple[
+        CampaignCell, Dict[str, Any], int, str, Optional[str],
+        Optional[ChaosConfig], int,
+    ],
     task: int,
     attempt: int,
 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
@@ -117,10 +158,14 @@ def _cold_cell_task(
     under its own :func:`telemetry.capture` and returns the counters
     alongside the encoded payload — the parent lane replays them (the
     exec fold-back contract; child-process counters would otherwise
-    vanish with the child).
+    vanish with the child).  Lane chaos (worker kill/hang) is shipped
+    in the payload and injected *here*, in the child, with the lane's
+    retry attempt — never in the daemon process.
     """
     del task, attempt  # one cell per map call; retries live in the lane
-    cell, params, workers, key, backend_spec = payload
+    (cell, params, workers, key, backend_spec, chaos, lane_attempt) = payload
+    if chaos is not None:
+        chaos.inject_lane_worker(f"cell:{cell.cell_id}", lane_attempt)
     with telemetry.capture() as session:
         result = execute_cell(
             cell, params, workers=workers, key=key, backend=backend_spec
@@ -149,6 +194,17 @@ class ServiceConfig:
     tenant_quota_bytes: Optional[int] = None
     ready_file: Optional[Union[str, Path]] = None
     drain_timeout_s: float = 120.0
+    #: Journal accepted jobs to <store>/jobs.jsonl (journal-before-ack)
+    #: and recover open jobs on start.  Off = session-local jobs only.
+    job_journal: bool = True
+    journal_max_bytes: int = 1 << 20
+    #: Finished jobs kept resumable (event buffers retained).  Open
+    #: jobs are never evicted from the resume table.
+    job_history: int = 64
+    #: Per-attempt wall-clock bound for a cold cell in a process
+    #: backend (supervision timeout — how hung lane workers die).
+    #: None = unbounded; inline execution cannot be deadlined.
+    cell_deadline_s: Optional[float] = None
 
     def lifecycle(self) -> LifecyclePolicy:
         """The store lifecycle policy this config implies."""
@@ -170,6 +226,10 @@ class ServiceStats:
     and ``failed`` failed permanently.  ``hits + misses + failed`` is
     the number of actual executions; ``shared / cells`` is the dedupe
     ratio concurrent duplicate traffic achieved on top of the store.
+    ``recovered`` jobs were replayed from the journal on start,
+    ``resumed`` counts ``resume`` re-attachments, ``retries`` counts
+    per-cell re-attempts, and ``dropped`` counts chaos-aborted client
+    connections.
     """
 
     jobs: int = 0
@@ -180,10 +240,58 @@ class ServiceStats:
     failed: int = 0
     rejected: int = 0
     evicted: int = 0
+    recovered: int = 0
+    resumed: int = 0
+    retries: int = 0
+    dropped: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """JSON-safe copy for status events and the service manifest."""
         return asdict(self)
+
+
+class Job:
+    """One accepted submission, decoupled from any connection.
+
+    The job's ``_run_job`` task appends events (each stamped with the
+    next ``seq``) to :attr:`events` and notifies :attr:`cond`; any
+    number of streamers — the submitting connection, later ``resume``
+    connections — replay the buffer from their own offset and then
+    follow live.  The buffer is the resume source of truth, so it is
+    retained after :attr:`finished` until the job ages out of the
+    daemon's bounded history.
+    """
+
+    __slots__ = (
+        "job_id", "tenant", "priority", "return_payloads", "spec",
+        "recovered", "events", "next_seq", "finished", "drops", "cond",
+        "task",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        priority: int,
+        return_payloads: bool,
+        spec: Dict[str, Any],
+        recovered: bool = False,
+    ) -> None:
+        self.job_id = job_id
+        self.tenant = tenant
+        self.priority = priority
+        self.return_payloads = return_payloads
+        self.spec = spec
+        self.recovered = recovered
+        self.events: List[Dict[str, Any]] = []
+        self.next_seq = 0
+        self.finished = False
+        #: How often a streamer of this job was chaos-dropped — feeds
+        #: ChaosConfig.decide_drop_client so first_attempt_only chaos
+        #: never re-drops the post-resume replay of the same event.
+        self.drops = 0
+        self.cond: Optional[asyncio.Condition] = None
+        self.task: Optional["asyncio.Task[None]"] = None
 
 
 class CampaignService:
@@ -204,9 +312,22 @@ class CampaignService:
         # Satellite: per-tenant accounting survives restarts — the
         # ledger replays <store>/tenants.jsonl on construction.
         self.ledger = TenantLedger(self.store.root)
+        # Crash safety: replay <store>/jobs.jsonl now (raises
+        # JobJournalError -> serve exit code 3 if unreadable); open
+        # jobs found here are re-enqueued in start().
+        self.journal = JobJournal(
+            self.store.root,
+            max_bytes=config.journal_max_bytes,
+            enabled=config.job_journal,
+            chaos=chaos,
+        )
         self.scheduler = FairShareScheduler()
         self.address: Optional[Tuple[str, int]] = None
         self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        #: Every resumable job (open + bounded finished history).
+        self._jobs: Dict[str, Job] = {}
+        self._finished_order: List[str] = []
+        self._job_tasks: set = set()
         # Created in start(): on 3.9 these primitives bind to the loop
         # that exists at construction time, which must be the running
         # one or every await dies with "attached to a different loop".
@@ -224,7 +345,10 @@ class CampaignService:
             max_workers=self.lanes, thread_name_prefix="repro-serve"
         )
         self._cell_backend: Optional[ExecutorBackend] = None
-        self._jobs_seq = 0
+        # Job numbering continues across restarts (journal watermark),
+        # so a recovered daemon never reuses a journaled job_id.
+        self._jobs_seq = self.journal.next_job_number
+        self._cold_done = 0  # chaos: daemon_kill_after_cells counter
         self._started_monotonic = 0.0
 
     @property
@@ -236,7 +360,12 @@ class CampaignService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
-        """Bind, start the execution lanes, write the ready file."""
+        """Bind, start the lanes, recover journaled jobs, write ready.
+
+        Recovery happens *before* the ready file appears: a client that
+        waited for readiness can immediately ``resume`` a job the
+        previous daemon lifetime accepted.
+        """
         self._work = asyncio.Event()
         self._idle = asyncio.Event()
         self._idle.set()
@@ -246,8 +375,27 @@ class CampaignService:
             # cells: dispatch those into a process backend.  When no
             # process backend exists the lanes still overlap store I/O.
             self._cell_backend = self._resolve_cell_backend()
+        # Recover journaled jobs *before* the socket binds: on a fixed
+        # port a resuming client may connect the instant the port is
+        # live, and it must find its job registered, not unknown_job.
+        for record in list(self.journal.open_jobs.values()):
+            job = Job(
+                record["job_id"],
+                record["tenant"],
+                record["priority"],
+                record["return_payloads"],
+                record["spec"],
+                recovered=True,
+            )
+            self._jobs[job.job_id] = job
+            self.stats.recovered += 1
+            telemetry.incr("service.job.recovered")
+            self._spawn_job(job)
         self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
         )
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
@@ -303,9 +451,11 @@ class CampaignService:
     async def serve_until_stopped(self) -> None:
         """Block until a stop request, then shut down gracefully.
 
-        Graceful means: stop accepting, let queued executions and open
-        response streams finish (bounded by ``drain_timeout_s``), then
-        write the service manifest.
+        Graceful means: stop accepting, let queued executions, job
+        tasks, and open response streams finish (bounded by
+        ``drain_timeout_s``), then write the service manifest.  A job
+        still unfinished past the timeout stays *open in the journal*,
+        so the next daemon lifetime recovers it.
         """
         await self._stop.wait()
         if self._server is not None:
@@ -317,13 +467,17 @@ class CampaignService:
             )
         except asyncio.TimeoutError:
             pass
+        if self._job_tasks:
+            await asyncio.wait(
+                list(self._job_tasks), timeout=self.config.drain_timeout_s
+            )
         if self._conn_tasks:
             await asyncio.wait(
                 list(self._conn_tasks), timeout=self.config.drain_timeout_s
             )
-        for task in self._lane_tasks:
+        for task in list(self._job_tasks) + self._lane_tasks:
             task.cancel()
-        for task in self._lane_tasks:
+        for task in list(self._job_tasks) + self._lane_tasks:
             try:
                 await task
             except asyncio.CancelledError:
@@ -366,6 +520,13 @@ class CampaignService:
                 entries=len(self.store),
                 size_bytes=self.store.size_bytes(),
             ),
+            "recovery": {
+                "recovered": self.stats.recovered,
+                "resumed": self.stats.resumed,
+                "retries": self.stats.retries,
+                "dropped": self.stats.dropped,
+                "journal": self.journal.stats_dict(),
+            },
         }
 
     def write_manifest(self) -> Path:
@@ -415,7 +576,7 @@ class CampaignService:
         try:
             await self._handle(reader, writer)
         except (ConnectionResetError, BrokenPipeError):
-            pass  # client went away mid-stream; nothing to salvage
+            pass  # client went away mid-stream; the job keeps running
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
@@ -428,12 +589,30 @@ class CampaignService:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            # Request line exceeded MAX_LINE_BYTES: the reader buffer
+            # is unusable, but the connection is ours — answer with a
+            # structured error instead of dying or going silent.
+            telemetry.incr("service.protocol.oversized")
+            await self._send(
+                writer,
+                {
+                    "event": EVENT_ERROR,
+                    "code": "protocol",
+                    "error": (
+                        f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    ),
+                },
+            )
+            return
         if not line:
             return
         try:
             request = validate_request(decode_line(line))
         except ProtocolError as exc:
+            telemetry.incr("service.protocol.rejected")
             await self._send(
                 writer,
                 {"event": EVENT_ERROR, "code": "protocol", "error": str(exc)},
@@ -443,6 +622,8 @@ class CampaignService:
         telemetry.incr(f"service.op.{op}")
         if op == OP_SUBMIT:
             await self._handle_submit(request, writer)
+        elif op == OP_RESUME:
+            await self._handle_resume(request, writer)
         elif op == OP_STATUS:
             await self._send(writer, self._status_event())
         elif op == OP_SHUTDOWN:
@@ -469,6 +650,10 @@ class CampaignService:
             "inflight": len(self._inflight),
             "queued": self.scheduler.queued(),
             "lanes": self.lanes,
+            "jobs_open": sum(
+                1 for job in self._jobs.values() if not job.finished
+            ),
+            "journal": self.journal.stats_dict(),
             "uptime_s": self.uptime_s(),
         }
 
@@ -481,8 +666,9 @@ class CampaignService:
         tenant = request.get("tenant", DEFAULT_TENANT)
         return_payloads = bool(request.get("return_payloads", False))
         priority = int(request.get("priority", DEFAULT_PRIORITY))
+        spec_dict = request["spec"]
         try:
-            spec = CampaignSpec.from_dict(request["spec"])
+            CampaignSpec.from_dict(spec_dict)
         except (KeyError, TypeError, ValueError) as exc:
             self.stats.rejected += 1
             telemetry.incr("service.rejected")
@@ -512,103 +698,256 @@ class CampaignService:
             )
             return
 
-        job_id = f"job-{self._jobs_seq:06d}"
+        number = self._jobs_seq
         self._jobs_seq += 1
+        job = Job(
+            f"job-{number:06d}", tenant, priority, return_payloads, spec_dict
+        )
+        self._jobs[job.job_id] = job
         self.stats.jobs += 1
         telemetry.incr("service.jobs")
-        loop = asyncio.get_running_loop()
-        # Expansion and key hashing build circuits — off the event loop.
-        cells, skipped = await loop.run_in_executor(None, spec.expand)
-        keyed: List[Tuple[CampaignCell, str]] = await loop.run_in_executor(
-            None,
-            lambda: [
-                (cell, cell_cache_key(cell, spec.params)) for cell in cells
-            ],
+        # Journal-before-ack: the job must be durable before the client
+        # can possibly learn its job_id — an acked job_id is always
+        # recoverable (or the journal is off and the client knows the
+        # daemon runs session-local).
+        self.journal.record_accepted(
+            job.job_id, number, tenant, priority, return_payloads, spec_dict
         )
-        self.stats.cells += len(keyed)
-        await self._send(
-            writer,
-            {
-                "event": EVENT_ACCEPTED,
-                "job_id": job_id,
-                "tenant": tenant,
-                "campaign": spec.name,
-                "cells": len(keyed),
-                "skipped": len(skipped),
-                "priority": priority,
-            },
+        self._spawn_job(job)
+        await self._stream_job(job, writer, after_seq=-1)
+
+    async def _handle_resume(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job = self._jobs.get(request["job_id"])
+        if job is None:
+            telemetry.incr("service.resume.unknown")
+            await self._send(
+                writer,
+                {
+                    "event": EVENT_ERROR,
+                    "code": "unknown_job",
+                    "error": (
+                        f"unknown job_id {request['job_id']!r} (never "
+                        "accepted, aged out of history, or lost with a "
+                        "torn journal tail)"
+                    ),
+                    "job_id": request["job_id"],
+                },
+            )
+            return
+        self.stats.resumed += 1
+        telemetry.incr("service.resumed")
+        await self._stream_job(
+            job, writer, after_seq=int(request.get("after_seq", -1))
         )
 
-        # Schedule every cell up-front so duplicates inside *and across*
-        # jobs collapse onto one in-flight execution, then stream each
-        # result in deterministic spec order as it completes.  Keys stay
-        # pinned (per job) from scheduling until their event is on the
-        # wire, so an LRU pass can never evict an in-flight artifact.
-        slots = [
-            self._ensure_cell(key, cell, spec.params, tenant, priority)
-            for cell, key in keyed
-        ]
-        job_hits = job_misses = job_shared = job_failed = 0
-        aborted = False
-        unpinned = set()
+    # ------------------------------------------------------------------
+    # Jobs (detached from connections)
+    # ------------------------------------------------------------------
+    def _spawn_job(self, job: Job) -> None:
+        """Start the job's detached runner task and track it for drain."""
+        job.cond = asyncio.Condition()
+        job.task = asyncio.ensure_future(self._run_job(job))
+        self._job_tasks.add(job.task)
+        job.task.add_done_callback(self._job_tasks.discard)
+
+    async def _emit(self, job: Job, event: Dict[str, Any]) -> None:
+        """Stamp the next seq on ``event``, buffer it, wake streamers."""
+        event["seq"] = job.next_seq
+        job.next_seq += 1
+        job.events.append(event)
+        async with job.cond:
+            job.cond.notify_all()
+
+    async def _finish_job(self, job: Job) -> None:
+        """Mark the job terminal and retire the oldest finished jobs."""
+        job.finished = True
+        async with job.cond:
+            job.cond.notify_all()
+        self._finished_order.append(job.job_id)
+        while len(self._finished_order) > max(0, self.config.job_history):
+            oldest = self._finished_order.pop(0)
+            retired = self._jobs.get(oldest)
+            if retired is not None and retired.finished:
+                del self._jobs[oldest]
+
+    async def _run_job(self, job: Job) -> None:
+        """Execute one job into its event buffer, no connection needed.
+
+        This is the only writer of ``job.events``; it journals the job
+        ``done`` after the terminal event is buffered, so a crash at
+        any earlier point leaves the job open for the next lifetime.
+        """
+        loop = asyncio.get_running_loop()
+        keyed: List[Tuple[CampaignCell, str]] = []
         try:
-            for index, ((cell, key), (future, shared)) in enumerate(
-                zip(keyed, slots)
-            ):
-                if aborted:
-                    continue
-                payload, cached, failure = await asyncio.shield(future)
-                event: Dict[str, Any] = {
-                    "event": EVENT_CELL,
-                    "job_id": job_id,
-                    "seq": index,
-                    "of": len(keyed),
-                    "cell_id": cell.cell_id,
-                    "key": key,
-                    "cached": cached,
-                    "shared": shared,
-                }
-                if failure is not None:
-                    job_failed += 1
-                    event["status"] = "failed"
-                    event["failure"] = failure.to_dict()
-                    if self.failure_policy is FailurePolicy.RAISE:
-                        aborted = True
-                else:
-                    event["status"] = "ok"
-                    event["stats"] = payload["stats"]
-                    if return_payloads:
-                        event["payload"] = payload
-                    if shared:
-                        job_shared += 1
-                    elif cached:
-                        job_hits += 1
+            try:
+                spec = CampaignSpec.from_dict(job.spec)
+                # Expansion and key hashing build circuits — off the loop.
+                cells, skipped = await loop.run_in_executor(None, spec.expand)
+                keyed = await loop.run_in_executor(
+                    None,
+                    lambda: [
+                        (cell, cell_cache_key(cell, spec.params))
+                        for cell in cells
+                    ],
+                )
+            except Exception as exc:
+                # Unreachable for submissions (spec pre-validated);
+                # guards recovery of a journal written by a newer/older
+                # daemon whose spec no longer parses.
+                await self._emit(
+                    job,
+                    {
+                        "event": EVENT_ERROR,
+                        "code": "bad_spec",
+                        "error": str(exc),
+                        "job_id": job.job_id,
+                    },
+                )
+                self.journal.record_done(job.job_id)
+                return
+            self.stats.cells += len(keyed)
+            await self._emit(
+                job,
+                {
+                    "event": EVENT_ACCEPTED,
+                    "job_id": job.job_id,
+                    "tenant": job.tenant,
+                    "campaign": spec.name,
+                    "cells": len(keyed),
+                    "skipped": len(skipped),
+                    "priority": job.priority,
+                    "recovered": job.recovered,
+                },
+            )
+            # Schedule every cell up-front so duplicates inside *and
+            # across* jobs collapse onto one in-flight execution, then
+            # buffer each result in deterministic spec order as it
+            # completes.  Keys stay pinned (per job) from scheduling
+            # until their event is buffered, so an LRU pass can never
+            # evict an in-flight artifact.
+            slots = [
+                self._ensure_cell(
+                    key, cell, spec.params, job.tenant, job.priority
+                )
+                for cell, key in keyed
+            ]
+            job_hits = job_misses = job_shared = job_failed = 0
+            aborted = False
+            unpinned = set()
+            try:
+                for index, ((cell, key), (future, shared)) in enumerate(
+                    zip(keyed, slots)
+                ):
+                    if aborted:
+                        continue
+                    payload, cached, failure = await asyncio.shield(future)
+                    event: Dict[str, Any] = {
+                        "event": EVENT_CELL,
+                        "job_id": job.job_id,
+                        "index": index,
+                        "of": len(keyed),
+                        "cell_id": cell.cell_id,
+                        "key": key,
+                        "cached": cached,
+                        "shared": shared,
+                    }
+                    if failure is not None:
+                        job_failed += 1
+                        event["status"] = "failed"
+                        event["failure"] = failure.to_dict()
+                        if self.failure_policy is FailurePolicy.RAISE:
+                            aborted = True
                     else:
-                        job_misses += 1
-                await self._send(writer, event)
-                self.store.unpin(key)
-                unpinned.add(index)
-        finally:
-            # Aborted jobs (raise policy / dead client) must still drop
-            # the pins of every cell that never got streamed.
-            for index, (_, key) in enumerate(keyed):
-                if index not in unpinned:
+                        event["status"] = "ok"
+                        event["stats"] = payload["stats"]
+                        if job.return_payloads:
+                            event["payload"] = payload
+                        if shared:
+                            job_shared += 1
+                        elif cached:
+                            job_hits += 1
+                        else:
+                            job_misses += 1
+                    await self._emit(job, event)
                     self.store.unpin(key)
-        await self._send(
-            writer,
-            {
-                "event": EVENT_DONE,
-                "job_id": job_id,
-                "tenant": tenant,
-                "cells": len(keyed),
-                "hits": job_hits,
-                "misses": job_misses,
-                "shared": job_shared,
-                "failed": job_failed,
-                "aborted": aborted,
-                "tenant_bytes": self.ledger.usage(tenant),
-            },
-        )
+                    unpinned.add(index)
+            finally:
+                # Aborted jobs (raise policy / cancelled drain) must
+                # still drop the pins of every cell never buffered.
+                for index, (_, key) in enumerate(keyed):
+                    if index not in unpinned:
+                        self.store.unpin(key)
+            await self._emit(
+                job,
+                {
+                    "event": EVENT_DONE,
+                    "job_id": job.job_id,
+                    "tenant": job.tenant,
+                    "cells": len(keyed),
+                    "hits": job_hits,
+                    "misses": job_misses,
+                    "shared": job_shared,
+                    "failed": job_failed,
+                    "aborted": aborted,
+                    "tenant_bytes": self.ledger.usage(job.tenant),
+                },
+            )
+            # Done is journaled only after the terminal event exists:
+            # a crash anywhere before this line leaves the job open, so
+            # the next lifetime re-runs it (hits-only) and a resuming
+            # client still reaches its ``done``.
+            self.journal.record_done(job.job_id)
+        finally:
+            await self._finish_job(job)
+
+    async def _stream_job(
+        self,
+        job: Job,
+        writer: asyncio.StreamWriter,
+        after_seq: int,
+    ) -> None:
+        """Send ``job`` events with ``seq > after_seq``; follow live.
+
+        Replays the buffer first (resume path), then waits on the
+        job's condition for fresh events until the terminal event has
+        been sent.  Chaos ``drop_client_rate`` bites here: the
+        connection is aborted (hard RST, mid-stream) *before* a chosen
+        event is sent, exactly what a flaky network does to a client.
+        """
+        cursor = 0
+        while True:
+            while cursor < len(job.events):
+                event = job.events[cursor]
+                cursor += 1
+                if event["seq"] <= after_seq:
+                    continue
+                # Chaos drops are *mid-stream* only (seq >= 1): before
+                # the accepted event the client holds no job_id to
+                # resume with, so a pre-ack drop just forces a
+                # resubmit — a different (and always-available) path.
+                if (
+                    self.chaos is not None
+                    and event["seq"] >= 1
+                    and self.chaos.decide_drop_client(
+                        job.job_id, event["seq"], job.drops
+                    )
+                ):
+                    job.drops += 1
+                    self.stats.dropped += 1
+                    telemetry.incr("service.chaos.dropped")
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    return
+                await self._send(writer, event)
+            if job.finished and cursor >= len(job.events):
+                return
+            async with job.cond:
+                if cursor >= len(job.events) and not job.finished:
+                    await job.cond.wait()
 
     def _ensure_cell(
         self,
@@ -659,11 +998,11 @@ class CampaignService:
             lane_start = time.monotonic()
             try:
                 try:
-                    outcome = await loop.run_in_executor(
+                    outcome, retries = await loop.run_in_executor(
                         self._executor, self._execute, key, cell, params
                     )
                 except Exception as exc:  # defensive: _execute catches
-                    outcome = (
+                    outcome, retries = (
                         None,
                         False,
                         failure_record(
@@ -673,8 +1012,9 @@ class CampaignService:
                             action=self.failure_policy.value,
                             detail={"key": key, "tenant": tenant},
                         ),
-                    )
+                    ), 0
                 payload, cached, failure = outcome
+                self.stats.retries += retries
                 if failure is not None:
                     self.stats.failed += 1
                     telemetry.incr("service.cell.failed")
@@ -698,26 +1038,36 @@ class CampaignService:
 
     def _execute(
         self, key: str, cell: CampaignCell, params: Dict[str, Any]
-    ) -> Tuple[Optional[Dict[str, Any]], bool, Optional[Any]]:
+    ) -> Tuple[
+        Tuple[Optional[Dict[str, Any]], bool, Optional[Any]], int
+    ]:
         """One cell, in the worker thread: store-first, retried, isolated.
 
-        Returns ``(payload, cached, failure)`` — exactly one of
-        ``payload`` / ``failure`` is set.  Any exception (a poisoned
-        netlist, a flow bug) becomes a :class:`FailureRecord` after the
-        retry budget; it never propagates into the daemon.
+        Returns ``((payload, cached, failure), retries)`` — exactly one
+        of ``payload`` / ``failure`` is set.  Any exception (a poisoned
+        netlist, a flow bug, injected lane chaos) becomes a
+        :class:`FailureRecord` after the retry budget; it never
+        propagates into the daemon.
         """
         attempt = 0
         while True:
             try:
                 payload = self.store.get(key, KIND_CAMPAIGN_CELL)
                 if payload is not None:
-                    return payload, True, None
+                    return (payload, True, None), attempt
                 if self.chaos is not None:
                     self.chaos.check_poison_cell(cell.cell_id)
                     self.chaos.inject_inline(f"cell:{cell.cell_id}", attempt)
-                payload = self._execute_cold(key, cell, params)
+                    if self._cell_backend is None:
+                        # No child process to kill/hang: lane faults
+                        # surface as exceptions into this retry loop.
+                        self.chaos.inject_lane_inline(
+                            f"cell:{cell.cell_id}", attempt
+                        )
+                payload = self._execute_cold(key, cell, params, attempt)
                 self.store.put(key, KIND_CAMPAIGN_CELL, payload)
-                return payload, False, None
+                self._maybe_kill_daemon()
+                return (payload, False, None), attempt
             except Exception as exc:
                 if attempt < self.retry.max_retries:
                     telemetry.incr("service.cell.retry")
@@ -734,10 +1084,28 @@ class CampaignService:
                         action=self.failure_policy.value,
                         detail={"cell_id": cell.cell_id, "key": key},
                     ),
-                )
+                ), attempt
+
+    def _maybe_kill_daemon(self) -> None:
+        """Chaos ``daemon_kill_after_cells``: SIGKILL-equivalent, now.
+
+        Runs *after* the cold artifact hit the store, so the crash
+        lands exactly between cells — the scenario restart recovery
+        must turn into hits-only replay.  ``os._exit`` skips every
+        drain/manifest/ready-file courtesy, like a real kill -9.
+        """
+        if self.chaos is None or self.chaos.daemon_kill_after_cells is None:
+            return
+        self._cold_done += 1
+        if self._cold_done >= self.chaos.daemon_kill_after_cells:
+            os._exit(137)
 
     def _execute_cold(
-        self, key: str, cell: CampaignCell, params: Dict[str, Any]
+        self,
+        key: str,
+        cell: CampaignCell,
+        params: Dict[str, Any],
+        attempt: int = 0,
     ) -> Dict[str, Any]:
         """Run one cold cell; in a process backend when lanes demand it.
 
@@ -748,7 +1116,10 @@ class CampaignService:
         counters are replayed here (the exec fold-back contract — the
         lane thread is outside the connection's capture context
         anyway, so counters land in the process-global base either
-        way).  A child failure re-raises into the caller's retry loop.
+        way).  A child failure — including a chaos-killed or chaos-hung
+        worker, the latter reaped by the ``cell_deadline_s``
+        supervision timeout — re-raises into the caller's retry loop,
+        consuming exactly one retry-budget attempt.
         """
         backend = self._cell_backend
         if backend is None:
@@ -763,10 +1134,13 @@ class CampaignService:
         outcome = backend.map(
             _cold_cell_task,
             (cell, dict(params), self.config.workers, key,
-             self.config.exec_backend),
+             self.config.exec_backend, self.chaos, attempt),
             [0],
             workers=1,
-            policy=SupervisionPolicy(retry=RetryPolicy(max_retries=0)),
+            policy=SupervisionPolicy(
+                timeout_s=self.config.cell_deadline_s,
+                retry=RetryPolicy(max_retries=0),
+            ),
         )
         if 0 in outcome.results:
             payload, counters = outcome.results[0]
@@ -802,7 +1176,8 @@ async def _amain(config: ServiceConfig, chaos: Optional[ChaosConfig]) -> int:
             pass
     print(
         f"[serve] listening on {host}:{port} "
-        f"store={service.store.root} pid={os.getpid()}",
+        f"store={service.store.root} pid={os.getpid()} "
+        f"recovered={service.stats.recovered}",
         flush=True,
     )
     await service.serve_until_stopped()
@@ -810,7 +1185,8 @@ async def _amain(config: ServiceConfig, chaos: Optional[ChaosConfig]) -> int:
     print(
         f"[serve] drained: jobs={stats.jobs} cells={stats.cells} "
         f"hits={stats.hits} misses={stats.misses} shared={stats.shared} "
-        f"failed={stats.failed} rejected={stats.rejected}",
+        f"failed={stats.failed} rejected={stats.rejected} "
+        f"recovered={stats.recovered} resumed={stats.resumed}",
         flush=True,
     )
     return 0
@@ -819,7 +1195,12 @@ async def _amain(config: ServiceConfig, chaos: Optional[ChaosConfig]) -> int:
 def run_service(
     config: ServiceConfig, chaos: Optional[ChaosConfig] = None
 ) -> int:
-    """Run the daemon until SIGTERM/SIGINT/shutdown; returns exit code."""
+    """Run the daemon until SIGTERM/SIGINT/shutdown; returns exit code.
+
+    An unreadable jobs journal (:class:`~repro.service.journal.
+    JobJournalError`) propagates — ``python -m repro serve`` maps it to
+    exit code 3.
+    """
     try:
         return asyncio.run(_amain(config, chaos))
     except KeyboardInterrupt:

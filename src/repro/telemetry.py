@@ -435,8 +435,12 @@ _REQUIRED_FAULT_MODEL_KEYS = ("model", "faults", "reduction")
 # Optional ``service`` section (see repro.service.CampaignService): one
 # daemon lifetime's traffic — jobs and cells served, how submissions
 # deduped (hits / shared in-flight executions / cold misses), tenant
-# accounting, and the store's lifecycle counters at shutdown.
-_REQUIRED_SERVICE_KEYS = ("jobs", "cells", "dedupe", "tenants", "store")
+# accounting, the store's lifecycle counters at shutdown, and the
+# crash-safety story (jobs recovered from the journal, resumes served,
+# retries spent, journal health).
+_REQUIRED_SERVICE_KEYS = (
+    "jobs", "cells", "dedupe", "tenants", "store", "recovery"
+)
 
 
 @dataclass

@@ -123,7 +123,12 @@ class TestSubmission:
                              return_payloads=True)
         assert cold.ok
         assert (cold.done["hits"], cold.done["misses"]) == (0, 2)
-        assert [e["seq"] for e in cold.cells] == [0, 1]
+        assert [e["index"] for e in cold.cells] == [0, 1]
+        # Protocol v3: job-scoped seq is gapless — accepted=0, cells
+        # 1..N, done=N+1.
+        assert [e["seq"] for e in cold.cells] == [1, 2]
+        assert cold.accepted["seq"] == 0
+        assert cold.done["seq"] == 3
         assert [e["cell_id"] for e in cold.cells] == [TINY_CELL_0,
                                                       TINY_CELL_1]
 
